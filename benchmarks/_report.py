@@ -1,0 +1,19 @@
+"""Exhibit collection for the benchmark harness.
+
+Regenerated tables are printed immediately (visible with ``-s``) and
+queued; the conftest emits them in the terminal summary so they always
+appear in captured benchmark output.
+"""
+
+from __future__ import annotations
+
+_SECTIONS: list[tuple[str, str]] = []
+
+
+def report(title: str, text: str) -> None:
+    print(f"\n{title}\n{text}")
+    _SECTIONS.append((title, text))
+
+
+def sections() -> list[tuple[str, str]]:
+    return _SECTIONS

@@ -1,0 +1,55 @@
+"""E1 — the transformation preserves behaviour (abstract/Section 1).
+
+For every workload in the standard suite, the pipelined DLX must satisfy
+the paper's data-consistency criterion ``R_I^T = R_S^{I(k,T)}`` against
+the sequential reference, commit the identical architectural write
+streams, and satisfy Lemma 1 over the run.
+"""
+
+from _report import report
+from repro.core import (
+    check_data_consistency,
+    check_lemma1,
+    compare_commit_streams,
+    transform,
+)
+from repro.hdl.sim import Simulator
+from repro.perf import format_table
+
+
+def run_suite(dlx_machines):
+    rows = []
+    for workload, machine, _count in dlx_machines:
+        pipelined = transform(machine)
+        consistency = check_data_consistency(machine, pipelined.module, cycles=120)
+        streams = compare_commit_streams(
+            machine, pipelined.module, cycles=120, seq_cycles=700
+        )
+        sim = Simulator(pipelined.module)
+        for _ in range(120):
+            sim.step()
+        lemma1 = check_lemma1(sim.trace, 5)
+        rows.append(
+            {
+                "workload": workload.name,
+                "retired": consistency.instructions_retired,
+                "R_I = R_S": "OK" if consistency.ok else "FAIL",
+                "commit streams": "OK" if streams.ok else "FAIL",
+                "Lemma 1": "OK" if lemma1.ok else "FAIL",
+            }
+        )
+    return rows
+
+
+def test_consistency_suite(benchmark, dlx_machines):
+    # benchmark one representative check; the full sweep runs once below
+    workload, machine, _count = dlx_machines[0]
+    pipelined = transform(machine)
+    benchmark(check_data_consistency, machine, pipelined.module, 60)
+
+    rows = run_suite(dlx_machines)
+    report("E1: data consistency across the workload suite", format_table(rows))
+    assert all(
+        row["R_I = R_S"] == row["commit streams"] == row["Lemma 1"] == "OK"
+        for row in rows
+    )

@@ -1,0 +1,103 @@
+"""F2 — Figure 2: the generated forwarding hardware for the 5-stage DLX.
+
+The paper's figure shows, for one GPR operand (GPRa) read in decode:
+
+* three ``=?`` address comparators against the precomputed write
+  addresses ``f4_GPRwa:2 / :3 / :4``, gated by ``full_2/3/4`` and the
+  precomputed write enables — producing ``GPRa2_hit[2..4]``;
+* a priority multiplexer chain selecting among the forwarding-register
+  values (``C:2``-era values at EX, MEM) and the register-file input
+  (``shift4load``/``Din`` path) with fall-through to ``GPR.5``.
+
+We run the transformation on the prepared DLX and inventory exactly that
+structure, then show the hit signals firing in simulation.
+"""
+
+import pytest
+
+from _report import report
+from repro.core import transform
+from repro.dlx import assemble, build_dlx_machine
+from repro.hdl.analyze import analyze
+from repro.hdl.sim import Simulator
+from repro.perf import format_table
+
+SOURCE = """
+        addi r1, r0, 3
+        add  r2, r1, r1      ; hit[2]: producer in EX
+        add  r3, r1, r2      ; hit[3] for r1's producer
+        add  r4, r1, r1      ; hit[4]
+        lw   r5, 0(r0)
+        add  r6, r5, r5      ; load: hit at stage 4 via shift4load
+halt:   j halt
+        nop
+"""
+
+
+@pytest.fixture(scope="module")
+def pipelined():
+    machine = build_dlx_machine(assemble(SOURCE), data={0: 10})
+    return machine, transform(machine)
+
+
+def test_fig2_structure(benchmark, pipelined):
+    machine, _ = pipelined
+
+    def run_transform():
+        return transform(machine)
+
+    result = benchmark(run_transform)
+    networks = result.networks_for("GPR", stage=1)
+    assert len(networks) == 2  # GPRa and GPRb operands
+
+    rows = []
+    for name, network in zip(("GPRa", "GPRb"), networks):
+        hit_stats = analyze(list(network.hits.values()))
+        value_stats = analyze([network.g])
+        rows.append(
+            {
+                "operand": name,
+                "hit stages": str(network.hit_stages),
+                "'=?' comparators": hit_stats.count("EQ"),
+                "full gating": "full_2..full_4",
+                "mux chain": value_stats.count("MUX"),
+                "fallback": "GPR (the paper's GPR.5)",
+            }
+        )
+        assert network.hit_stages == [2, 3, 4]
+        assert network.comparators == 3
+        assert hit_stats.count("EQ") == 3
+    report("F2 / Figure 2: DLX forwarding hardware (regenerated)", format_table(rows))
+
+    module = result.module
+    for stage in (2, 3, 4):
+        assert f"GPRwe.{stage}" in module.registers  # f4_GPRwe:j
+        assert f"GPRwa.{stage}" in module.registers  # f4_GPRwa:j
+
+
+def test_fig2_hits_fire_in_simulation(benchmark, pipelined):
+    _machine, result = pipelined
+    sim = benchmark.pedantic(
+        lambda: Simulator(result.module), rounds=1, iterations=1
+    )
+    fired = {2: 0, 3: 0, 4: 0}
+    for _ in range(40):
+        values = sim.step()
+        for stage in (2, 3, 4):
+            for name, value in values.items():
+                if name.startswith("fwd.GPR.1.") and name.endswith(f".hit.{stage}"):
+                    fired[stage] += value
+    report("F2: hit-signal activity over the probe program", str(fired))
+    assert all(fired[stage] > 0 for stage in (2, 3, 4))
+
+
+def test_fig2_shift4load_path(benchmark, pipelined):
+    """The load result is forwarded from the WB input (the shift4load ->
+    Din path at top = w)."""
+    _machine, result = pipelined
+    sim = benchmark.pedantic(
+        lambda: Simulator(result.module), rounds=1, iterations=1
+    )
+    for _ in range(50):
+        sim.step()
+    assert sim.mem("GPR", 6) == 20  # r5=10 loaded, doubled via forwarding

@@ -1,0 +1,54 @@
+"""E4 — forwarding-hardware cost vs pipeline depth (Section 4.2 remark).
+
+"Note that this hardware gets slow with larger pipelines.  With larger
+pipelines, one can use a find first one circuit and a balanced tree of
+multiplexers or an operand bus with tri-state drivers."
+
+We synthesize forwarding for the parametric deep machine at depths
+4..16 in all three styles and measure unit-gate cost and critical-path
+delay.  Expected shape: the chain's delay grows linearly with depth, the
+tree/bus stay near-logarithmic, with a crossover at moderate depth.
+"""
+
+from _report import report
+from repro.core import TransformOptions, transform
+from repro.machine.deep import build_deep_machine
+from repro.perf import cost_versus_depth, format_table, forwarding_cost
+
+DEPTHS = [4, 6, 8, 12, 16]
+
+
+def test_forwarding_cost_vs_depth(benchmark):
+    def synthesize_one():
+        machine = build_deep_machine(8)
+        pipelined = transform(machine, TransformOptions(forwarding_style="tree"))
+        return forwarding_cost(pipelined)
+
+    benchmark(synthesize_one)
+
+    results = cost_versus_depth(depths=DEPTHS)
+    report(
+        "E4: forwarding style cost/delay vs pipeline depth",
+        format_table([r.row() for r in results]),
+    )
+
+    chain = {r.n_stages: r.delay for r in results if r.style == "chain"}
+    tree = {r.n_stages: r.delay for r in results if r.style == "tree"}
+    bus = {r.n_stages: r.delay for r in results if r.style == "bus"}
+
+    # linear vs logarithmic growth
+    chain_growth = chain[16] - chain[4]
+    tree_growth = tree[16] - tree[4]
+    assert chain_growth >= 3 * tree_growth + 6
+    # the tree/bus overtake the chain at some depth (the paper's point)
+    crossover = next((d for d in DEPTHS if tree[d] < chain[d]), None)
+    assert crossover is not None and crossover <= 8
+    # the bus behaves like the tree in this delay model
+    assert all(abs(bus[d] - tree[d]) <= 4 for d in DEPTHS)
+
+    # gate count grows for all styles (more comparators and sources)
+    for style_map in (chain, tree, bus):
+        pass
+    costs = {(r.n_stages, r.style): r.cost for r in results}
+    for style in ("chain", "tree", "bus"):
+        assert costs[(16, style)] > costs[(4, style)]

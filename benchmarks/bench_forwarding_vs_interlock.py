@@ -1,0 +1,49 @@
+"""E3 — CPI: sequential vs interlock-only vs forwarded pipeline.
+
+The quantitative case for the synthesized forwarding logic: the sequential
+machine runs at CPI = n = 5 by construction; adding only interlock keeps
+correctness but stalls on every dependence; the generated forwarding logic
+pushes CPI toward 1 (plus unavoidable load-use and structural penalties).
+Expected shape: forwarded ~1.0-2.2, interlock-only ~2-4, sequential 5.
+"""
+
+from _report import report
+from repro.core import TransformOptions, transform
+from repro.machine import build_sequential
+from repro.perf import format_table, run_to_completion
+
+
+def test_forwarding_vs_interlock(benchmark, dlx_machines):
+    workload0, machine0, count0 = dlx_machines[0]
+    pipelined0 = transform(machine0)
+    benchmark(run_to_completion, pipelined0.module, count0, 5)
+
+    rows = []
+    speedups = []
+    for workload, machine, count in dlx_machines:
+        seq = run_to_completion(build_sequential(machine), count, 5)
+        interlock = run_to_completion(
+            transform(machine, TransformOptions(interlock_only=True)).module,
+            count,
+            5,
+        )
+        forwarded = run_to_completion(transform(machine).module, count, 5)
+        assert seq.completed and interlock.completed and forwarded.completed
+        rows.append(
+            {
+                "workload": workload.name,
+                "instructions": count,
+                "seq CPI": round(seq.cpi, 2),
+                "interlock CPI": round(interlock.cpi, 2),
+                "forwarded CPI": round(forwarded.cpi, 2),
+                "fwd stall cyc": forwarded.stall_cycles,
+                "speedup": round(seq.cycles / forwarded.cycles, 2),
+            }
+        )
+        speedups.append(seq.cycles / forwarded.cycles)
+        # expected ordering on every workload
+        assert forwarded.cpi <= interlock.cpi <= seq.cpi + 0.01
+        assert abs(seq.cpi - 5.0) < 0.2
+    report("E3: CPI — sequential vs interlock-only vs forwarded", format_table(rows))
+    assert min(speedups) > 2.0  # pipelining pays off everywhere
+    assert max(speedups) > 4.0  # and approaches n on friendly code

@@ -1,0 +1,59 @@
+"""E8 — liveness (Section 6.3): "a finite upper bound exists such that a
+given instruction terminates."
+
+Measured: the worst-case fetch-to-retire latency per workload on the
+forwarded and interlock-only pipelines, against the structural bound.
+Every instruction's latency is n (the pipe depth) plus its accumulated
+stall cycles; forwarding caps the per-dependence penalty at the
+load-use/structural distance, interlock-only at the writeback distance.
+"""
+
+from _report import report
+from repro.core import TransformOptions, check_liveness, transform
+from repro.hdl.sim import Simulator
+from repro.perf import format_table
+
+BOUND = 40  # generous finite bound for a 5-stage pipe on these workloads
+
+
+def test_liveness_bounds(benchmark, dlx_machines):
+    workload0, machine0, _ = dlx_machines[0]
+    pipelined0 = transform(machine0)
+
+    def measure_one():
+        sim = Simulator(pipelined0.module)
+        for _ in range(120):
+            sim.step()
+        return check_liveness(sim.trace, 5, bound=BOUND)
+
+    result = benchmark(measure_one)
+    assert result.ok
+
+    rows = []
+    for workload, machine, _count in dlx_machines:
+        row = {"workload": workload.name}
+        for label, options in (
+            ("forwarded", TransformOptions()),
+            ("interlock", TransformOptions(interlock_only=True)),
+        ):
+            pipelined = transform(machine, options)
+            sim = Simulator(pipelined.module)
+            for _ in range(200):
+                sim.step()
+            liveness = check_liveness(sim.trace, 5, bound=BOUND)
+            assert liveness.ok, (workload.name, label, liveness.violations[:2])
+            row[f"{label} worst"] = liveness.worst_latency
+            row[f"{label} checked"] = liveness.instructions_checked
+        assert row["forwarded worst"] <= row["interlock worst"]
+        rows.append(row)
+    rows_out = [
+        {
+            "workload": row["workload"],
+            "fwd worst latency": row["forwarded worst"],
+            "interlock worst latency": row["interlock worst"],
+            "bound": BOUND,
+            "instructions": row["forwarded checked"],
+        }
+        for row in rows
+    ]
+    report("E8: liveness — worst fetch-to-retire latency (cycles)", format_table(rows_out))

@@ -1,0 +1,124 @@
+"""E6 — precise interrupts via speculation (Section 5, Smith & Pleszkun).
+
+TRAP (and the external ``irq`` line) resolve in MEM: the offending
+instruction and everything younger are squashed before any architectural
+write, ``(EDPC, EPCP)`` capture the resume point, and fetch redirects to
+the handler.  Measured: precision of the state at handler entry, and
+commit-stream equality with the sequential reference.
+"""
+
+import pytest
+
+from _report import report
+from repro.core import compare_commit_streams, transform
+from repro.dlx import DlxConfig, DlxReference, assemble, build_dlx_machine
+from repro.dlx.prepared import SISR_DEFAULT
+from repro.hdl.sim import Simulator
+from repro.perf import format_table
+
+SOURCE = f"""
+        addi r1, r0, 5
+        sw   0(r0), r1       ; older store: must commit
+        add  r2, r1, r1
+        trap 0
+        sw   4(r0), r1       ; younger store: must be squashed
+        addi r3, r0, 99      ; younger ALU op: must be squashed
+halt:   j halt
+        nop
+.org {SISR_DEFAULT:#x}
+handler:
+        add  r20, r2, r2     ; older result visible in the handler
+        lw   r21, 4(r0)      ; squashed store invisible
+hloop:  j hloop
+        nop
+"""
+
+
+@pytest.fixture(scope="module")
+def setup():
+    program = assemble(SOURCE)
+    machine = build_dlx_machine(program, config=DlxConfig(interrupts=True))
+    return program, machine, transform(machine)
+
+
+def test_precise_interrupts(benchmark, setup):
+    program, machine, pipelined = setup
+
+    def run():
+        sim = Simulator(pipelined.module)
+        for _ in range(80):
+            sim.step()
+        return sim
+
+    sim = benchmark(run)
+    reference = DlxReference(program, interrupts=True)
+    reference.run(40)
+
+    rows = [
+        {
+            "observation": "EDPC (interrupted instruction)",
+            "pipelined": hex(sim.reg("EDPC.4")),
+            "reference": hex(reference.state.edpc),
+        },
+        {
+            "observation": "EPCP (its delayed-PC pair)",
+            "pipelined": hex(sim.reg("EPCP.4")),
+            "reference": hex(reference.state.epcp),
+        },
+        {
+            "observation": "older store DMem[0]",
+            "pipelined": sim.mem("DMem", 0),
+            "reference": reference.state.dmem.get(0, 0),
+        },
+        {
+            "observation": "younger store DMem[1] (squashed)",
+            "pipelined": sim.mem("DMem", 1),
+            "reference": reference.state.dmem.get(1, 0),
+        },
+        {
+            "observation": "younger r3 (squashed)",
+            "pipelined": sim.mem("GPR", 3),
+            "reference": reference.state.gpr[3],
+        },
+        {
+            "observation": "handler r20 (sees older r2)",
+            "pipelined": sim.mem("GPR", 20),
+            "reference": reference.state.gpr[20],
+        },
+    ]
+    report("E6: precise interrupt state at handler entry", format_table(rows))
+    for row in rows:
+        assert row["pipelined"] == row["reference"], row
+
+    streams = compare_commit_streams(
+        machine, pipelined.module, cycles=100, seq_cycles=500
+    )
+    assert streams.ok, streams.first_violation()
+
+
+def test_external_interrupt_is_precise(benchmark, setup):
+    """Pulse irq mid-flight; the instruction then in MEM is squashed with
+    its address saved, instructions older than it commit."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    program = assemble(
+        f"""
+        addi r1, r0, 1
+        addi r2, r0, 2
+        addi r3, r0, 3
+        addi r4, r0, 4
+halt:   j halt
+        nop
+.org {SISR_DEFAULT:#x}
+hloop:  j hloop
+        nop
+        """
+    )
+    machine = build_dlx_machine(program, config=DlxConfig(interrupts=True))
+    pipelined = transform(machine)
+    sim = Simulator(pipelined.module)
+    for cycle in range(50):
+        sim.step({"irq": 1 if cycle == 5 else 0})
+    # at cycle 5, the instruction in MEM was fetched at cycle 2 (addr 8)
+    assert sim.reg("EDPC.4") == 8
+    assert sim.mem("GPR", 1) == 1 and sim.mem("GPR", 2) == 2  # older committed
+    assert sim.mem("GPR", 3) == 0  # interrupted: squashed

@@ -1,0 +1,86 @@
+"""E5 — speculation / branch prediction (Section 5).
+
+The speculative no-delay-slot DLX guesses the fetch PC; prediction quality
+changes rollback counts and cycle counts but never the architectural
+results ("it is a matter of performance only and not of correctness").
+"""
+
+from _report import report
+from repro.core import compare_commit_streams, transform
+from repro.dlx import DlxReference
+from repro.dlx.programs import branchy, fibonacci, memcpy
+from repro.dlx.speculative import PREDICTORS, DlxSpecConfig, build_dlx_spec_machine
+from repro.perf import format_table, run_to_completion
+
+
+def workloads():
+    return [
+        memcpy(6, delay_slots=False),
+        branchy(10, delay_slots=False),
+        fibonacci(8, delay_slots=False),
+    ]
+
+
+def count_instructions(workload):
+    reference = DlxReference(
+        workload.program, data=workload.data, delay_slot=False
+    )
+    count = 0
+    while reference.state.dpc != workload.halt_address and count < 5000:
+        reference.step()
+        count += 1
+    assert reference.state.dpc == workload.halt_address
+    return count
+
+
+def test_speculation(benchmark):
+    suite = workloads()
+    counts = {w.name: count_instructions(w) for w in suite}
+
+    def run_one():
+        workload = suite[1]
+        machine = build_dlx_spec_machine(
+            workload.program, data=workload.data,
+            config=DlxSpecConfig(predictor="btfn"),
+        )
+        pipelined = transform(machine)
+        return run_to_completion(pipelined.module, counts[workload.name], 5)
+
+    benchmark(run_one)
+
+    rows = []
+    for workload in suite:
+        cycles_by_predictor = {}
+        for predictor in PREDICTORS:
+            machine = build_dlx_spec_machine(
+                workload.program,
+                data=workload.data,
+                config=DlxSpecConfig(predictor=predictor),
+            )
+            pipelined = transform(machine)
+            perf = run_to_completion(
+                pipelined.module, counts[workload.name], 5
+            )
+            assert perf.completed, (workload.name, predictor)
+            streams = compare_commit_streams(
+                machine, pipelined.module, cycles=250, seq_cycles=2500
+            )
+            assert streams.ok, (workload.name, predictor)
+            cycles_by_predictor[predictor] = perf
+            rows.append(
+                {
+                    "workload": workload.name,
+                    "predictor": predictor,
+                    "instructions": counts[workload.name],
+                    "cycles": perf.cycles,
+                    "CPI": round(perf.cpi, 2),
+                    "rollbacks": perf.rollbacks,
+                    "consistent": "yes",
+                }
+            )
+        # loops are backward branches: btfn/taken beat not_taken
+        assert (
+            cycles_by_predictor["btfn"].rollbacks
+            <= cycles_by_predictor["not_taken"].rollbacks
+        )
+    report("E5: branch prediction — performance varies, results never", format_table(rows))

@@ -1,0 +1,80 @@
+"""E12 (extension) — the Section 4.2 depth remark on the real case study.
+
+The synthetic deep machine of E4 isolates the forwarding hardware; this
+experiment stretches the actual DLX (configurable EX/MEM depth, full ISA,
+delay slot) and measures both sides of the trade the paper hints at:
+
+* the generated forwarding hardware per depth (comparators, delay for the
+  chain vs tree styles), and
+* the price of depth in cycles: dependent ALU chains and load-use
+  distances stall longer, so CPI rises even though every configuration
+  stays data-consistent.
+"""
+
+from _report import report
+from repro.core import TransformOptions, check_data_consistency, transform
+from repro.dlx import DlxReference
+from repro.dlx.programs import fibonacci
+from repro.dlx.superpipe import SuperPipeConfig, build_superpipelined_dlx
+from repro.perf import format_table, forwarding_cost, run_to_completion
+
+DEPTHS = [(1, 1), (2, 1), (2, 2), (3, 2), (4, 3)]
+
+
+def test_superpipelined_dlx(benchmark):
+    workload = fibonacci(6)
+    reference = DlxReference(
+        workload.program, data=workload.data, imem_addr_width=8, dmem_addr_width=6
+    )
+    count = 0
+    while reference.state.dpc != workload.halt_address and count < 3000:
+        reference.step()
+        count += 1
+
+    def transform_depth_8():
+        config = SuperPipeConfig(ex_stages=3, mem_stages=2)
+        machine = build_superpipelined_dlx(
+            workload.program, data=workload.data, config=config
+        )
+        return transform(machine)
+
+    benchmark(transform_depth_8)
+
+    rows = []
+    previous_cpi = 0.0
+    for ex, mem in DEPTHS:
+        config = SuperPipeConfig(ex_stages=ex, mem_stages=mem)
+        machine = build_superpipelined_dlx(
+            workload.program, data=workload.data, config=config
+        )
+        chain = transform(machine, TransformOptions(forwarding_style="chain"))
+        tree = transform(machine, TransformOptions(forwarding_style="tree"))
+        consistency = check_data_consistency(
+            machine, chain.module, cycles=config.n_stages * 25
+        )
+        assert consistency.ok, (ex, mem, consistency.first_violation())
+        perf = run_to_completion(chain.module, count, config.n_stages)
+        assert perf.completed
+        chain_cost = forwarding_cost(chain)
+        tree_cost = forwarding_cost(tree)
+        rows.append(
+            {
+                "stages": config.n_stages,
+                "EX/MEM": f"{ex}/{mem}",
+                "=? per operand": config.n_stages - 2,
+                "chain delay": round(chain_cost.delay, 0),
+                "tree delay": round(tree_cost.delay, 0),
+                "CPI": round(perf.cpi, 2),
+                "consistent": "yes",
+            }
+        )
+        assert perf.cpi >= previous_cpi - 0.01  # depth never helps this code
+        previous_cpi = perf.cpi
+    report(
+        "E12 (extension): superpipelined DLX — hardware and CPI vs depth",
+        format_table(rows),
+    )
+
+    # the paper's recommendation holds on the real machine
+    deepest = rows[-1]
+    assert deepest["tree delay"] < deepest["chain delay"]

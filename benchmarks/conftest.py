@@ -1,0 +1,69 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each ``bench_*.py`` file regenerates one exhibit of the paper (table,
+figure, or quantitative claim); see DESIGN.md section 3 for the index and
+EXPERIMENTS.md for recorded paper-vs-measured outcomes.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(the ``-s`` shows the regenerated tables.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _report import sections
+from repro.core import transform
+from repro.dlx import DlxConfig, DlxReference, build_dlx_machine
+from repro.dlx.programs import Workload, standard_suite
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Emit every regenerated exhibit after the run, so the tables appear
+    in captured benchmark output (no -s needed)."""
+    for title, text in sections():
+        terminalreporter.section(title)
+        terminalreporter.write_line(text)
+
+# Small memories keep formal-engine state expansion manageable without
+# changing any measured behaviour (programs fit comfortably).
+SMALL = DlxConfig(imem_addr_width=6, dmem_addr_width=4)
+
+
+def instruction_count(workload: Workload, delay_slot: bool = True) -> int:
+    """Dynamic instructions until the workload's halt loop is reached."""
+    reference = DlxReference(
+        workload.program, data=workload.data, delay_slot=delay_slot
+    )
+    count = 0
+    while reference.state.dpc != workload.halt_address and count < 5000:
+        reference.step()
+        count += 1
+    assert reference.state.dpc == workload.halt_address, workload.name
+    return count
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return standard_suite(delay_slots=True)
+
+
+@pytest.fixture(scope="session")
+def dlx_machines(suite):
+    """(workload, machine, instruction count) for the standard suite."""
+    rows = []
+    for workload in suite:
+        machine = build_dlx_machine(workload.program, data=workload.data)
+        rows.append((workload, machine, instruction_count(workload)))
+    return rows
+
+
+@pytest.fixture(scope="session")
+def small_dlx():
+    """A compact DLX (small memories) for the formal-engine experiments."""
+    from repro.dlx.programs import fibonacci
+
+    workload = fibonacci(5)
+    machine = build_dlx_machine(workload.program, data=workload.data, config=SMALL)
+    return workload, machine, transform(machine)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Branch prediction via speculation (paper, Section 5).
+
+The speculative DLX has no delay slot: the fetch stage guesses the next
+PC, each instruction verifies its own fetch address in EX against its
+predecessor's true next-PC, and a mismatch squashes the wrong path.  The
+predictor affects only performance, never correctness — run the same loop
+under three predictors (and watch an adversarial one lose, correctly).
+
+Run:  python examples/branch_prediction.py
+"""
+
+from repro.core import compare_commit_streams, transform
+from repro.dlx import DlxReference, assemble
+from repro.dlx.speculative import PREDICTORS, DlxSpecConfig, build_dlx_spec_machine
+from repro.hdl.sim import Simulator
+from repro.perf import format_table
+
+LOOP_SOURCE = """
+        addi r1, r0, 12      ; loop counter
+        addi r2, r0, 0       ; accumulator
+loop:   add  r2, r2, r1
+        subi r1, r1, 1
+        bnez r1, loop        ; backward branch, taken 11 times
+        sw   0(r0), r2
+        lw   r3, 0(r0)
+        jal  func
+        addi r4, r0, 77
+halt:   j halt
+func:   addi r5, r0, 9
+        jr   r31
+"""
+
+
+def main() -> None:
+    program = assemble(LOOP_SOURCE)
+    reference = DlxReference(program, delay_slot=False)
+    reference.run(100)
+    print("ISA reference: r2 =", reference.state.gpr[2],
+          " r3 =", reference.state.gpr[3], " r4 =", reference.state.gpr[4])
+
+    rows = []
+    for predictor in PREDICTORS:
+        machine = build_dlx_spec_machine(
+            program, config=DlxSpecConfig(predictor=predictor)
+        )
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        mispredicts = 0
+        done_cycle = None
+        for cycle in range(400):
+            values = sim.step()
+            mispredicts += values["spec.fetch.mispredict"]
+            if done_cycle is None and sim.mem("GPR", 4) == 77 and sim.mem("GPR", 5) == 9:
+                done_cycle = cycle
+        consistent = all(
+            sim.mem("GPR", r) == reference.state.gpr[r] for r in range(32)
+        )
+        streams = compare_commit_streams(
+            machine, pipelined.module, cycles=200, seq_cycles=2000
+        )
+        rows.append(
+            {
+                "predictor": predictor,
+                "mispredicts": mispredicts,
+                "cycles to finish": done_cycle,
+                "results correct": consistent,
+                "commit streams": "match" if streams.ok else "DIFFER",
+            }
+        )
+    print()
+    print(format_table(rows))
+    print(
+        "\nThe guessed value has no influence on correctness (Section 5):"
+        "\nevery predictor produces identical architectural results; a bad"
+        "\npredictor only pays more rollback cycles."
+    )
+    assert all(row["results correct"] for row in rows)
+    assert all(row["commit streams"] == "match" for row in rows)
+
+
+if __name__ == "__main__":
+    main()

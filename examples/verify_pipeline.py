@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The four-tuple: design, specification, human-readable proof sketch,
+machine-checked proof (paper, Section 1: "critical designs should be a
+four-tuple... our tool therefore also generates a proof of correctness").
+
+This example shows the verification side of the flow on the toy machine:
+
+1. the tool emits structured proof obligations alongside the hardware;
+2. the SAT-based engines prove the stall-engine/forwarding invariants and
+   the scheduling-function lemma by k-induction on the generated netlist;
+3. the dynamic checkers discharge data consistency and liveness against
+   the sequential reference;
+4. a deliberately broken stall engine is caught.
+
+Run:  python examples/verify_pipeline.py
+"""
+
+from repro.core import transform
+from repro.machine import toy
+from repro.perf import format_table
+from repro.proofs import Status, discharge, generate_obligations
+
+
+def build():
+    program = [
+        toy.li(1, 5),
+        toy.add(2, 1, 1),
+        toy.ld(3, 2),
+        toy.add(0, 3, 3),
+    ]
+    machine = toy.build_toy_machine(program, {10: 8})
+    return machine, transform(machine)
+
+
+def main() -> None:
+    machine, pipelined = build()
+    obligations = generate_obligations(pipelined)
+    print(f"tool emitted {len(obligations)} proof obligations"
+          f" ({len(obligations.invariants())} invariants,"
+          f" {len(obligations.trace_checks())} trace checks)\n")
+
+    report = discharge(pipelined, obligations, trace_cycles=80, conjoin=False)
+    rows = [
+        {
+            "obligation": record.oid,
+            "status": record.status.value,
+            "method": record.method,
+            "time": f"{record.seconds * 1000:.0f} ms",
+        }
+        for record in report.records
+    ]
+    print(format_table(rows))
+    print(f"\n=> {report.summary()}")
+    assert report.ok
+
+    # Negative control: break the stall engine and watch the proofs fail.
+    print("\n--- negative control: sabotaged full-bit update ---")
+    machine, broken = build()
+    broken.module.drive_register("fullb.1", broken.engine.ue[0])
+    broken_obligations = generate_obligations(broken)
+    broken_report = discharge(
+        broken, broken_obligations, trace_cycles=60, max_k=1, bmc_bound=4
+    )
+    failing = broken_report.failed()
+    print(f"{len(failing)} obligations fail on the broken design:")
+    for record in failing[:5]:
+        print(f"  {record.status.value:8s} {record.oid}")
+    assert failing, "the sabotage must be detected"
+    print("\nThe generated proofs are not decorative: they reject wrong"
+          " hardware.")
+
+
+if __name__ == "__main__":
+    main()

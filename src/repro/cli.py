@@ -1,0 +1,220 @@
+"""Command-line front end: assemble, transform, run and verify DLX programs.
+
+Usage examples::
+
+    python -m repro.cli run program.s                 # pipelined execution
+    python -m repro.cli run program.s --machine seq   # sequential reference
+    python -m repro.cli run program.s --vcd out.vcd   # dump waveforms
+    python -m repro.cli verify program.s              # obligations + traces
+    python -m repro.cli cost --depths 4 8 12          # forwarding-cost table
+
+The program file is DLX assembly (see :mod:`repro.dlx.assemble` for the
+syntax); execution stops when the instruction count of the ISA reference
+reaching the ``halt`` label is retired, or after ``--cycles``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from .core import TransformOptions, check_data_consistency, transform
+from .dlx import DlxConfig, DlxReference, assemble, build_dlx_machine, labels_of
+from .hdl.sim import Simulator
+from .machine import build_sequential
+from .perf import cost_versus_depth, format_table, run_to_completion
+from .proofs import discharge, generate_obligations
+
+
+def _load(path: str):
+    with open(path) as handle:
+        source = handle.read()
+    program = assemble(source)
+    labels = labels_of(source)
+    return source, program, labels
+
+
+def _config_for(program, dmem_bits: int = 6) -> DlxConfig:
+    """Size the machine's memories to the program: smaller memories mean a
+    much smaller state space for the formal engines, with identical
+    behaviour for programs that fit."""
+    imem_bits = max(4, math.ceil(math.log2(len(program) + 4)))
+    return DlxConfig(imem_addr_width=imem_bits, dmem_addr_width=dmem_bits)
+
+
+def _target_instructions(program, labels, dmem_bits: int = 6) -> int:
+    if "halt" not in labels:
+        return 0
+    config = _config_for(program, dmem_bits)
+    reference = DlxReference(
+        program,
+        imem_addr_width=config.imem_addr_width,
+        dmem_addr_width=config.dmem_addr_width,
+    )
+    count = 0
+    while reference.state.dpc != labels["halt"] and count < 100_000:
+        reference.step()
+        count += 1
+    return count
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    _source, program, labels = _load(args.program)
+    if args.list:
+        from .dlx.disassemble import disassemble
+
+        print(disassemble(program))
+        print()
+    machine = build_dlx_machine(program, config=_config_for(program, args.dmem_bits))
+    if args.machine == "seq":
+        module = build_sequential(machine)
+    else:
+        options = TransformOptions(
+            forwarding_style=args.style,
+            interlock_only=args.machine == "interlock",
+        )
+        module = transform(machine, options).module
+
+    target = _target_instructions(program, labels, args.dmem_bits)
+    if target and not args.cycles:
+        report = run_to_completion(module, target, 5, name=args.program)
+        cycles = report.cycles
+        print(
+            f"{report.instructions} instructions in {report.cycles} cycles"
+            f" (CPI {report.cpi:.2f}, {report.stall_cycles} stall cycles)"
+        )
+    else:
+        cycles = args.cycles or 1000
+
+    sim = Simulator(module)
+    for _ in range(cycles):
+        sim.step()
+    print("\nGPR:")
+    rows = [
+        {"reg": f"r{reg}", "value": f"{sim.mem('GPR', reg):#010x}"}
+        for reg in range(32)
+        if sim.mem("GPR", reg)
+    ]
+    print(format_table(rows) if rows else "  (all zero)")
+    dmem = {
+        addr: value
+        for addr, value in sim.state.memories["DMem"].items()
+        if value
+    }
+    if dmem:
+        print("\nDMem (word-indexed):")
+        print(
+            format_table(
+                [
+                    {"word": addr, "value": f"{value:#010x}"}
+                    for addr, value in sorted(dmem.items())
+                ]
+            )
+        )
+    if args.pipeview and args.machine != "seq":
+        from .perf.pipeview import dlx_labels, render
+
+        print("\npipeline diagram (first instructions):")
+        print(
+            render(
+                sim.trace,
+                5,
+                labels=dlx_labels(sim.trace, program),
+                max_instructions=args.pipeview,
+                max_cycles=min(cycles, args.pipeview * 3 + 8),
+            )
+        )
+    if args.vcd:
+        from .hdl.vcd import dump_vcd
+
+        dump_vcd(sim.trace, module, args.vcd)
+        print(f"\nwaveforms written to {args.vcd}")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    _source, program, _labels = _load(args.program)
+    machine = build_dlx_machine(program, config=_config_for(program, args.dmem_bits))
+    pipelined = transform(machine)
+    print("checking data consistency against the sequential reference ...")
+    consistency = check_data_consistency(
+        machine, pipelined.module, cycles=args.cycles
+    )
+    print(f"  {'OK' if consistency.ok else 'FAIL'}"
+          f" ({consistency.instructions_retired} instructions retired)")
+    if not consistency.ok:
+        print("  first violation:", consistency.first_violation())
+        return 1
+    print("discharging generated proof obligations ...")
+    obligations = generate_obligations(pipelined)
+    report = discharge(pipelined, obligations, trace_cycles=args.cycles)
+    print(f"  {report.summary()}")
+    for record in report.failed():
+        print(f"  FAILED {record.oid}: {record.detail[:120]}")
+    return 0 if report.ok else 1
+
+
+def cmd_cost(args: argparse.Namespace) -> int:
+    results = cost_versus_depth(depths=args.depths)
+    print(format_table([r.row() for r in results]))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="assemble and execute a program")
+    run_parser.add_argument("program", help="DLX assembly file")
+    run_parser.add_argument(
+        "--machine",
+        choices=("pipelined", "interlock", "seq"),
+        default="pipelined",
+    )
+    run_parser.add_argument(
+        "--style", choices=("chain", "tree", "bus"), default="chain"
+    )
+    run_parser.add_argument("--cycles", type=int, default=0)
+    run_parser.add_argument(
+        "--dmem-bits", type=int, default=6,
+        help="data memory size in address bits (words)",
+    )
+    run_parser.add_argument("--vcd", help="dump waveforms to this file")
+    run_parser.add_argument(
+        "--list", action="store_true", help="print a disassembly listing first"
+    )
+    run_parser.add_argument(
+        "--pipeview",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print a pipeline occupancy diagram for the first N instructions",
+    )
+    run_parser.set_defaults(func=cmd_run)
+
+    verify_parser = sub.add_parser(
+        "verify", help="transform a program's machine and discharge the proofs"
+    )
+    verify_parser.add_argument("program", help="DLX assembly file")
+    verify_parser.add_argument("--cycles", type=int, default=150)
+    verify_parser.add_argument(
+        "--dmem-bits", type=int, default=6,
+        help="data memory size in address bits (words)",
+    )
+    verify_parser.set_defaults(func=cmd_verify)
+
+    cost_parser = sub.add_parser("cost", help="forwarding cost vs pipeline depth")
+    cost_parser.add_argument(
+        "--depths", type=int, nargs="+", default=[4, 6, 8, 12, 16]
+    )
+    cost_parser.set_defaults(func=cmd_cost)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,325 @@
+"""Data consistency and liveness checking (paper, Sections 6.2 and 6.3).
+
+Two complementary checks, both against the machine's own *sequential*
+elaboration (the paper's correctness reference):
+
+1. **Scheduling-function data consistency** — the paper's criterion
+   ``R_I^T = R_S^i``: during every cycle ``T``, each visible register (and
+   register-file word) written by stage ``k`` holds the specification value
+   right before instruction ``i = I(k, T)`` executes.  Applicable to
+   machines without speculation (the paper's proofs also omit rollback).
+
+2. **Commit-stream equivalence** — the sequences of architectural writes
+   (the ``commit.*`` probes shared by both elaborations) must be identical
+   prefix-wise.  Squashed speculative instructions never commit, so this
+   check also covers machines with rollback.
+
+Liveness (Section 6.3): a finite upper bound on the number of cycles any
+fetched instruction needs to retire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..hdl.netlist import Module
+from ..hdl.sim import Simulator, Trace
+from ..machine.prepared import PreparedMachine
+from ..machine.sequential import build_sequential
+from .scheduling import compute_schedule
+
+InputProvider = Callable[[int], Mapping[str, int]]
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of a consistency check."""
+
+    ok: bool
+    cycles: int
+    instructions_retired: int
+    violations: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def first_violation(self) -> str | None:
+        return self.violations[0] if self.violations else None
+
+
+@dataclass
+class SpecState:
+    """Visible architectural state of the specification before one
+    instruction: register values by name, register-file contents by name."""
+
+    registers: dict[str, int]
+    memories: dict[str, dict[int, int]]
+
+
+def collect_spec_states(
+    machine: PreparedMachine,
+    instructions: int,
+    inputs: InputProvider | None = None,
+    max_cycles: int | None = None,
+) -> list[SpecState]:
+    """Run the sequential machine and snapshot the visible state *before*
+    each instruction ``0..instructions`` (inclusive: the state before the
+    first not-yet-executed instruction is included).
+
+    ``R_S^i`` of the paper is ``result[i]``.
+    """
+    module = build_sequential(machine)
+    sim = Simulator(module)
+    n = machine.n_stages
+    max_cycles = max_cycles if max_cycles is not None else (instructions + 1) * n * 4
+
+    def snapshot() -> SpecState:
+        registers = {
+            reg.name: sim.reg(reg.instance_name(reg.last))
+            for reg in machine.visible_registers()
+        }
+        memories = {
+            regfile.name: dict(sim.state.memories[regfile.name])
+            for regfile in machine.visible_regfiles()
+        }
+        return SpecState(registers=registers, memories=memories)
+
+    states = [snapshot()]
+    cycles = 0
+    while len(states) <= instructions and cycles < max_cycles:
+        stimulus = inputs(sim.cycle) if inputs is not None else {}
+        values = sim.step(stimulus)
+        cycles += 1
+        if values["seq.instr_done"]:
+            states.append(snapshot())
+    if len(states) <= instructions:
+        raise RuntimeError(
+            f"sequential reference retired only {len(states) - 1} instructions"
+            f" in {cycles} cycles (wanted {instructions})"
+        )
+    return states
+
+
+def check_data_consistency(
+    machine: PreparedMachine,
+    pipelined_module: Module,
+    cycles: int,
+    inputs: InputProvider | None = None,
+    seq_inputs: InputProvider | None = None,
+) -> ConsistencyReport:
+    """The paper's data-consistency criterion via the scheduling function.
+
+    Runs the pipelined module for ``cycles`` cycles, computes ``I(k, T)``
+    from its ``ue`` trace, collects the specification states from the
+    sequential machine, and checks ``R_I^T = R_S^{I(k,T)}`` for every
+    visible register and register-file word in every cycle.
+    """
+    if machine.speculations:
+        raise ValueError(
+            "scheduling-function consistency assumes no rollback; use"
+            " compare_commit_streams for speculative machines"
+        )
+    sim = Simulator(pipelined_module)
+    n = machine.n_stages
+
+    # Visible-state snapshots of the *implementation*, one per cycle.
+    impl_states: list[SpecState] = []
+
+    def impl_snapshot() -> SpecState:
+        registers = {
+            reg.name: sim.reg(reg.instance_name(reg.last))
+            for reg in machine.visible_registers()
+        }
+        memories = {
+            regfile.name: dict(sim.state.memories[regfile.name])
+            for regfile in machine.visible_regfiles()
+        }
+        return SpecState(registers=registers, memories=memories)
+
+    impl_states.append(impl_snapshot())
+    for _ in range(cycles):
+        stimulus = inputs(sim.cycle) if inputs is not None else {}
+        sim.step(stimulus)
+        impl_states.append(impl_snapshot())
+
+    schedule = compute_schedule(sim.trace, n)
+    retired = schedule.instructions_retired()
+    spec_states = collect_spec_states(
+        machine, schedule.instructions_fetched(), inputs=seq_inputs
+    )
+
+    violations: list[str] = []
+    for t in range(cycles + 1):
+        impl = impl_states[t]
+        for reg in machine.visible_registers():
+            k = reg.last - 1  # the stage that writes the architectural instance
+            i = schedule(k, t)
+            spec = spec_states[i]
+            if impl.registers[reg.name] != spec.registers[reg.name]:
+                violations.append(
+                    f"cycle {t}: {reg.name} = {impl.registers[reg.name]:#x}"
+                    f" != spec^{i} {spec.registers[reg.name]:#x}"
+                )
+        for regfile in machine.visible_regfiles():
+            k = regfile.write_stage
+            i = schedule(k, t)
+            spec = spec_states[i]
+            impl_mem = impl.memories[regfile.name]
+            spec_mem = spec.memories[regfile.name]
+            for addr in set(impl_mem) | set(spec_mem):
+                if impl_mem.get(addr, 0) != spec_mem.get(addr, 0):
+                    violations.append(
+                        f"cycle {t}: {regfile.name}[{addr}] ="
+                        f" {impl_mem.get(addr, 0):#x} != spec^{i}"
+                        f" {spec_mem.get(addr, 0):#x}"
+                    )
+    return ConsistencyReport(
+        ok=not violations,
+        cycles=cycles,
+        instructions_retired=retired,
+        violations=violations[:50],
+    )
+
+
+def commit_stream(
+    trace: Trace, machine: PreparedMachine, exclude: set[str] | None = None
+) -> dict[str, list[tuple]]:
+    """Extract the architectural write sequences from the ``commit.*``
+    probes, one ordered stream *per resource*: ``(addr, data)`` tuples for
+    register files, ``(data,)`` tuples for visible registers.
+
+    Per-resource streams are the right granularity for cross-machine
+    comparison: one instruction's writes to different resources commit in
+    different stages, so a single interleaved stream would depend on the
+    pipeline's timing.
+    """
+    exclude = exclude or set()
+    streams: dict[str, list[tuple]] = {}
+    cycles = len(trace)
+    for regfile in machine.visible_regfiles():
+        name = regfile.name
+        if name in exclude or f"commit.{name}.we" not in trace.probes:
+            continue
+        we = trace.probe(f"commit.{name}.we")
+        wa = trace.probe(f"commit.{name}.wa")
+        data = trace.probe(f"commit.{name}.data")
+        streams[name] = [(wa[t], data[t]) for t in range(cycles) if we[t]]
+    for reg in machine.visible_registers():
+        name = reg.name
+        if name in exclude or f"commit.{name}.we" not in trace.probes:
+            continue
+        we = trace.probe(f"commit.{name}.we")
+        data = trace.probe(f"commit.{name}.data")
+        streams[name] = [(data[t],) for t in range(cycles) if we[t]]
+    return streams
+
+
+def compare_commit_streams(
+    machine: PreparedMachine,
+    pipelined_module: Module,
+    cycles: int,
+    inputs: InputProvider | None = None,
+    seq_inputs: InputProvider | None = None,
+    seq_cycles: int | None = None,
+) -> ConsistencyReport:
+    """Run both elaborations and compare their per-resource architectural
+    write streams prefix-wise (up to the shorter stream).  Works for
+    speculative machines: squashed instructions never produce commit
+    events.
+
+    Registers that are speculation repair targets (e.g. a predicted PC)
+    are excluded: their wrong-path writes are corrected by rollback rather
+    than suppressed, so their raw write stream legitimately differs.
+    """
+    repaired = {
+        target.split(".")[0]
+        for spec in machine.speculations
+        for target in spec.repairs
+    }
+    pipe_sim = Simulator(pipelined_module)
+    for _ in range(cycles):
+        stimulus = inputs(pipe_sim.cycle) if inputs is not None else {}
+        pipe_sim.step(stimulus)
+    pipe_streams = commit_stream(pipe_sim.trace, machine, exclude=repaired)
+
+    seq_module = build_sequential(machine)
+    seq_sim = Simulator(seq_module)
+    seq_cycles = seq_cycles if seq_cycles is not None else cycles * machine.n_stages
+    retired = 0
+    for _ in range(seq_cycles):
+        stimulus = seq_inputs(seq_sim.cycle) if seq_inputs is not None else {}
+        values = seq_sim.step(stimulus)
+        retired += values["seq.instr_done"]
+    seq_streams = commit_stream(seq_sim.trace, machine, exclude=repaired)
+
+    violations: list[str] = []
+    committed_anything = False
+    for name in seq_streams:
+        pipe_events = pipe_streams.get(name, [])
+        seq_events = seq_streams[name]
+        committed_anything = committed_anything or bool(pipe_events)
+        length = min(len(pipe_events), len(seq_events))
+        violations.extend(
+            f"{name} commit {index}: pipelined {pipe_events[index]}"
+            f" != sequential {seq_events[index]}"
+            for index in range(length)
+            if pipe_events[index] != seq_events[index]
+        )
+        if not pipe_events and seq_events:
+            violations.append(f"pipelined machine never committed to {name}")
+    return ConsistencyReport(
+        ok=not violations,
+        cycles=cycles,
+        instructions_retired=retired,
+        violations=violations[:50],
+    )
+
+
+@dataclass
+class LivenessReport:
+    """Outcome of the liveness check (paper, Section 6.3)."""
+
+    ok: bool
+    bound: int
+    worst_latency: int
+    instructions_checked: int
+    violations: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_liveness(
+    trace: Trace, n_stages: int, bound: int
+) -> LivenessReport:
+    """Every fetched instruction retires within ``bound`` cycles.
+
+    Uses the scheduling function: instruction ``i`` is fetched in the first
+    cycle with ``I(0, T) = i`` and retired in the first cycle with
+    ``I(n-1, T) > i``.  Instructions still in flight at the end of the
+    trace are ignored (their latency is unknown, not unbounded).
+    """
+    schedule = compute_schedule(trace, n_stages)
+    worst = 0
+    checked = 0
+    violations: list[str] = []
+    for i in range(schedule.instructions_retired()):
+        fetched = schedule.fetch_cycle(i)
+        retired = schedule.retire_cycle(i)
+        if fetched is None or retired is None:
+            continue
+        latency = retired - fetched
+        checked += 1
+        worst = max(worst, latency)
+        if latency > bound:
+            violations.append(
+                f"instruction {i}: latency {latency} exceeds bound {bound}"
+            )
+    return LivenessReport(
+        ok=not violations,
+        bound=bound,
+        worst_latency=worst,
+        instructions_checked=checked,
+        violations=violations[:50],
+    )

@@ -1,0 +1,454 @@
+"""Forwarding synthesis (paper, Section 4).
+
+For every operand read of a register file ``R`` (written by stage ``w``)
+performed in a stage ``k`` with ``w not in {k-1, k}``, the tool generates:
+
+* *hit signals* ``R^k_hit[j] = full_j AND Rwe.j AND (f^k_Rra == Rwa.j)``
+  for ``j in {k+1, ..., w}``, comparing the read address against the
+  precomputed write addresses piped down the pipe (the ``=?`` boxes of
+  Figure 2);
+* a *valid-bit pipeline* ``Qv.j`` per forwarded register file, tracking
+  whether the designated forwarding register already holds the final
+  value: ``Q^j_valid = Qv.j OR f^j_Qwe`` with ``Qv.j := Q^{j-1}_valid``;
+* the input-generation function ``g^k_R``: a priority selection over the
+  hit stages — the youngest hit (smallest ``j``) wins; a hit in stage
+  ``j < w`` takes ``f^j_Q`` if ``f^j_Qwe`` else ``Q.j``; a hit in stage
+  ``w`` takes the register-file input ``f^w_R``; no hit falls through to
+  the architectural register file ``R.(w+1)[a]``;
+* the *data hazard* contribution: the selected hit is not valid yet, or
+  stage ``top`` itself has a data hazard (paper, Section 4.1.1).
+
+Three hardware styles realise the same selection function (Section 4.2:
+"with larger pipelines, one can use a find-first-one circuit and a
+balanced tree of multiplexers or an operand bus with tri-state drivers"):
+
+* ``"chain"`` — nested priority muxes (Figure 2, linear delay);
+* ``"tree"``  — find-first-one + balanced mux tree (log delay);
+* ``"bus"``   — find-first-one + one-hot AND-OR bus (tri-state model).
+
+With ``interlock_only=True`` no value is ever forwarded: every hit raises
+a data hazard, yielding the interlock-only baseline pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..hdl import expr as E
+from ..hdl.library import find_first_one, onehot_mux, priority_mux, tree_select
+from ..hdl.netlist import Module
+from ..machine.elaborate import precomputed_wa, precomputed_we
+from ..machine.prepared import MachineSpecError, PreparedMachine
+
+FORWARDING_STYLES = ("chain", "tree", "bus")
+
+# rewriter(stage, expr): the stage's input-generation substitution g^stage.
+Rewriter = Callable[[int, E.Expr], E.Expr]
+
+
+def valid_bit_name(regfile: str, stage: int) -> str:
+    return f"fwd.{regfile}.v.{stage}"
+
+
+@dataclass
+class ForwardingNetwork:
+    """The synthesized forwarding hardware for one read site."""
+
+    regfile: str  # forwarded state: a register file or a plain register
+    stage: int  # k — the stage performing the read
+    read_addr: E.Expr | None  # f^k_Rra (after rewriting); None for registers
+    hit_stages: list[int]  # k+1 .. w
+    hits: dict[int, E.Expr]
+    values: dict[int, E.Expr]
+    g: E.Expr  # the generated input value g^k_R
+    dhaz: E.Expr  # this read's contribution to dhaz_k
+    style: str
+    comparators: int  # number of =? equality testers generated
+    fallback: E.Expr | None = None  # the architectural read (no-hit case)
+
+    @property
+    def write_stage(self) -> int:
+        return self.hit_stages[-1]
+
+
+@dataclass
+class PendingDrive:
+    """A register drive deferred until the update enables exist."""
+
+    name: str
+    next_stage: int  # the stage whose ue clocks the register
+    # build(rewrite) -> next-value expression; called once rewriters exist
+    build: Callable[[Rewriter], E.Expr]
+
+
+@dataclass
+class ValidChain:
+    """Valid-bit pipeline bookkeeping for one register file.
+
+    Valid expressions are computed on demand (and cached): stage ``j``'s
+    expression must only be requested once stage ``j``'s operand
+    substitution is final, which the deep-to-shallow processing order of
+    the transform guarantees.
+    """
+
+    regfile: str
+    seed_stage: int
+    last_stage: int
+    _cache: dict[int, E.Expr] = field(default_factory=dict)
+
+    def valid_expr(self, builder: "ForwardingBuilder", j: int) -> E.Expr:
+        """``Q^j_valid = Qv.j OR f^j_Qwe`` (``Qv.seed`` is constant 0)."""
+        if j in self._cache:
+            return self._cache[j]
+        if not self.seed_stage <= j <= self.last_stage:
+            return E.const(1, 0)
+        prev: E.Expr = (
+            E.const(1, 0)
+            if j == self.seed_stage
+            else E.reg_read(valid_bit_name(self.regfile, j), 1)
+        )
+        we = builder._producer_we(self.regfile, j)
+        valid = prev if we is None else E.bor(prev, builder.rewrite(j, we))
+        self._cache[j] = valid
+        return valid
+
+
+class ForwardingBuilder:
+    """Synthesizes forwarding networks for a prepared machine.
+
+    The builder is driven by :func:`repro.core.transform.transform`; stages
+    are processed from the deepest to the shallowest so that a stage's
+    hazard signal can refer to the hazard signals of the stages below it
+    (paper: "we enable dhaz_k if the data hazard signal of stage top is
+    active").
+    """
+
+    def __init__(
+        self,
+        machine: PreparedMachine,
+        module: Module,
+        full: list[E.Expr],
+        style: str = "chain",
+        interlock_only: bool = False,
+    ) -> None:
+        if style not in FORWARDING_STYLES:
+            raise ValueError(
+                f"unknown forwarding style {style!r}; use one of {FORWARDING_STYLES}"
+            )
+        self.machine = machine
+        self.module = module
+        self.full = full
+        self.style = style
+        self.interlock_only = interlock_only
+        self.networks: list[ForwardingNetwork] = []
+        self.pending: list[PendingDrive] = []
+        # dhaz_j of deeper stages, filled in by the transform as it walks
+        # stages from deep to shallow.
+        self.stage_dhaz: dict[int, E.Expr] = {}
+        self._chains: dict[str, ValidChain] = {}
+
+    # -- forwardability ----------------------------------------------------------
+
+    def is_forwarded(self, regfile_name: str, stage: int) -> bool:
+        """Does a read of ``regfile_name`` in ``stage`` need forwarding?
+
+        Paper, Section 4.1: "If an instance of R is either output of stage
+        k-1 or stage k, nothing needs to be changed."
+        """
+        regfile = self.machine.regfiles[regfile_name]
+        if regfile.read_only or not regfile.visible:
+            return False
+        if regfile.write_stage in (stage - 1, stage):
+            return False
+        if regfile.write_stage < stage - 1:
+            raise MachineSpecError(
+                f"stage {stage} reads {regfile_name!r} which is written by the"
+                f" earlier stage {regfile.write_stage}; in a pipeline younger"
+                " instructions would already have overwritten it — pipe the"
+                " value forward through register instances instead"
+            )
+        return True
+
+    def is_forwarded_register(self, reg_name: str, stage: int) -> bool:
+        """Does a read of the architectural instance of plain register
+        ``reg_name`` in ``stage`` need forwarding?  Same rule as for
+        register files; the address comparison is simply omitted."""
+        reg = self.machine.registers[reg_name]
+        w = reg.write_stage
+        if w in (stage - 1, stage):
+            return False
+        if w < stage - 1:
+            raise MachineSpecError(
+                f"stage {stage} reads {reg_name}.{reg.last} which is written"
+                f" by the earlier stage {w}; pipe the value forward through"
+                " register instances instead"
+            )
+        return True
+
+    # -- valid-bit pipelines --------------------------------------------------------
+
+    def _producer_we(self, regfile_name: str, stage: int) -> E.Expr | None:
+        """``f^stage_Qwe`` OR-ed over the chain registers of ``regfile``
+        that stage ``stage`` computes; None if the stage produces nothing."""
+        chain_regs = {f.reg for f in self.machine.forwarding_for(regfile_name)}
+        terms: list[E.Expr] = []
+        for reg in sorted(chain_regs):
+            out = self.machine.output_for(stage, reg)
+            if out is None:
+                continue
+            terms.append(out.we if out.we is not None else E.const(1, 1))
+        if not terms:
+            return None
+        return E.any_of(terms)
+
+    def valid_chain(self, regfile_name: str) -> ValidChain | None:
+        """Declare (once) the valid-bit pipeline of a register file and
+        return the per-stage valid expressions.
+
+        Returns None when the machine annotates no forwarding registers for
+        the file (interlock-only for that file)."""
+        if regfile_name in self._chains:
+            return self._chains[regfile_name]
+        annotations = self.machine.forwarding_for(regfile_name)
+        if not annotations:
+            return None
+        if regfile_name in self.machine.regfiles:
+            w = self.machine.regfiles[regfile_name].write_stage
+        else:
+            w = self.machine.registers[regfile_name].write_stage
+        producer_stages = [
+            j for j in range(w) if self._producer_we(regfile_name, j) is not None
+        ]
+        if not producer_stages:
+            raise MachineSpecError(
+                f"forwarding registers of {regfile_name!r} are never written"
+            )
+        seed = producer_stages[0]
+        last = max(f.stage for f in annotations)
+        chain = ValidChain(regfile=regfile_name, seed_stage=seed, last_stage=last)
+
+        for j in range(seed + 1, last + 1):
+            self.module.add_register(valid_bit_name(regfile_name, j), 1)
+            prev_stage = j - 1
+            self.pending.append(
+                PendingDrive(
+                    name=valid_bit_name(regfile_name, j),
+                    next_stage=prev_stage,
+                    build=lambda rewrite, c=chain, s=prev_stage: c.valid_expr(self, s),
+                )
+            )
+        self._chains[regfile_name] = chain
+        return chain
+
+    # The transform installs the real per-stage rewriter here; until then
+    # (and for already-processed deeper stages) expressions are rewritten
+    # immediately.
+    rewrite: Rewriter = staticmethod(lambda stage, expression: expression)
+
+    def _rewritten(self, stage: int, expression: E.Expr) -> E.Expr:
+        return self.rewrite(stage, expression)
+
+    # -- the generic forwarding algorithm ----------------------------------------------
+
+    def build_read(
+        self, regfile_name: str, stage: int, read_addr: E.Expr
+    ) -> ForwardingNetwork:
+        """Synthesize ``g^stage_R`` and the hazard contribution for one read
+        of ``regfile_name`` at (already rewritten) address ``read_addr``."""
+        machine = self.machine
+        regfile = machine.regfiles[regfile_name]
+        w = regfile.write_stage
+        k = stage
+        if not self.is_forwarded(regfile_name, k):
+            raise MachineSpecError(
+                f"read of {regfile_name!r} in stage {k} needs no forwarding"
+            )
+        if regfile.compute_stage is None:
+            raise MachineSpecError(
+                f"register file {regfile_name!r} has no write interface"
+            )
+        if regfile.compute_stage > k + 1:
+            raise MachineSpecError(
+                f"cannot forward {regfile_name!r} into stage {k}: write"
+                f" enable/address are only known from stage"
+                f" {regfile.compute_stage} on (precompute them earlier)"
+            )
+
+        hit_stages = list(range(k + 1, w + 1))
+        hits: dict[int, E.Expr] = {}
+        fallback = E.mem_read(regfile_name, read_addr, regfile.data_width)
+        for j in hit_stages:
+            we_j = precomputed_we(machine, regfile_name, j, self.rewrite)
+            wa_j = precomputed_wa(machine, regfile_name, j, self.rewrite)
+            hits[j] = E.band(E.band(self.full[j], we_j), E.eq(read_addr, wa_j))
+        top_value = self._rewritten(w, regfile.data)
+        return self._assemble(
+            name=regfile_name,
+            stage=k,
+            w=w,
+            width=regfile.data_width,
+            read_addr=read_addr,
+            hit_stages=hit_stages,
+            hits=hits,
+            fallback=fallback,
+            top_value=top_value,
+            comparators=len(hit_stages),
+        )
+
+    def build_reg_read(self, reg_name: str, stage: int) -> ForwardingNetwork:
+        """Synthesize forwarding for a read of the architectural instance of
+        a *plain* register (no register file).  The address comparison is
+        omitted (paper, Section 4.1): ``hit[j] = full_j AND Rwe.j``."""
+        machine = self.machine
+        reg = machine.registers[reg_name]
+        w = reg.write_stage
+        k = stage
+        if not self.is_forwarded_register(reg_name, k):
+            raise MachineSpecError(
+                f"read of {reg_name!r} in stage {k} needs no forwarding"
+            )
+        out = machine.output_for(w, reg.name)
+        if out is None:
+            # pure pass-through into the architectural instance
+            we: E.Expr | None = None
+            top_value: E.Expr = E.reg_read(
+                reg.instance_name(reg.last - 1), reg.width
+            )
+        else:
+            we = out.we
+            top_value = self._rewritten(w, out.value)
+
+        hit_stages = list(range(k + 1, w + 1))
+        hits: dict[int, E.Expr] = {}
+        for j in hit_stages:
+            if we is None:
+                we_j: E.Expr = E.const(1, 1)
+            elif isinstance(we, E.Const):
+                we_j = we
+            elif j == w:
+                we_j = self._rewritten(w, we)
+            else:
+                raise MachineSpecError(
+                    f"forwarding {reg_name!r} into stage {k}: the write"
+                    f" enable of stage {w} is not available in stage {j};"
+                    " make the write unconditional or precompute the enable"
+                )
+            hits[j] = E.band(self.full[j], we_j)
+        fallback = E.reg_read(reg.instance_name(reg.last), reg.width)
+        return self._assemble(
+            name=reg_name,
+            stage=k,
+            w=w,
+            width=reg.width,
+            read_addr=None,
+            hit_stages=hit_stages,
+            hits=hits,
+            fallback=fallback,
+            top_value=top_value,
+            comparators=0,
+        )
+
+    def _assemble(
+        self,
+        name: str,
+        stage: int,
+        w: int,
+        width: int,
+        read_addr: E.Expr | None,
+        hit_stages: list[int],
+        hits: dict[int, E.Expr],
+        fallback: E.Expr,
+        top_value: E.Expr,
+        comparators: int,
+    ) -> ForwardingNetwork:
+        """Shared tail of the forwarding algorithm: per-stage values and
+        hazards, priority selection in the chosen style, hazard OR."""
+        machine = self.machine
+        annotations = {f.stage: f for f in machine.forwarding_for(name)}
+        chain = self.valid_chain(name)
+
+        values: dict[int, E.Expr] = {}
+        hazards: dict[int, E.Expr] = {}
+        for j in hit_stages:
+            if self.interlock_only:
+                values[j] = fallback
+                hazards[j] = E.const(1, 1)
+            elif j == w:
+                # top = w: take the value present at the register input.
+                values[j] = top_value
+                hazards[j] = E.const(1, 0)
+            else:
+                annotation = annotations.get(j)
+                if annotation is None:
+                    # No forwarding register for this stage: any hit here
+                    # must interlock.
+                    values[j] = fallback
+                    hazards[j] = E.const(1, 1)
+                else:
+                    out = machine.output_for(j, annotation.reg)
+                    q_reg = machine.registers[annotation.reg]
+                    q_current = E.reg_read(q_reg.instance_name(j), q_reg.width)
+                    if out is None:
+                        value: E.Expr = q_current
+                    else:
+                        q_we = (
+                            self._rewritten(j, out.we)
+                            if out.we is not None
+                            else E.const(1, 1)
+                        )
+                        value = E.mux(
+                            q_we, self._rewritten(j, out.value), q_current
+                        )
+                    if value.width != width:
+                        raise MachineSpecError(
+                            f"forwarding register {annotation.reg!r} width"
+                            f" {value.width} != {name!r} width {width}"
+                        )
+                    values[j] = value
+                    valid_j = (
+                        chain.valid_expr(self, j)
+                        if chain is not None
+                        else E.const(1, 0)
+                    )
+                    deeper_dhaz = self.stage_dhaz.get(j, E.const(1, 0))
+                    hazards[j] = E.bor(E.bnot(valid_j), deeper_dhaz)
+
+        ordered_hits = [hits[j] for j in hit_stages]
+        ordered_values = [values[j] for j in hit_stages]
+
+        if self.interlock_only:
+            g = fallback
+        elif self.style == "chain":
+            g = priority_mux(ordered_hits, ordered_values, fallback)
+        elif self.style == "tree":
+            g = tree_select(ordered_hits, ordered_values, fallback)
+        else:  # bus
+            onehot = find_first_one(ordered_hits)
+            none_hit = E.bnot(E.any_of(ordered_hits))
+            g = onehot_mux(
+                list(onehot) + [none_hit], ordered_values + [fallback]
+            )
+
+        # dhaz: the *selected* (top) hit is hazardous.
+        onehot = find_first_one(ordered_hits)
+        dhaz = E.any_of(
+            E.band(first_hit, hazards[j])
+            for first_hit, j in zip(onehot, hit_stages)
+        )
+
+        network = ForwardingNetwork(
+            regfile=name,
+            stage=stage,
+            read_addr=read_addr,
+            hit_stages=hit_stages,
+            hits=hits,
+            values=values,
+            g=g,
+            dhaz=dhaz,
+            style=self.style,
+            comparators=comparators,
+            fallback=fallback,
+        )
+        self.networks.append(network)
+        return network

@@ -1,0 +1,139 @@
+"""Scheduling functions (paper, Section 6.1).
+
+``I(k, T) = i`` means instruction ``I_i`` is in stage ``k`` during cycle
+``T``.  The paper's *total* scheduling function extends this to cycles in
+which a stage is not full by anticipating the next instruction; it is
+defined inductively from the update-enable trace:
+
+* ``I(k, 0) = 0``;
+* ``I(k, T) = I(k, T-1)`` if ``ue_k`` was off in cycle ``T-1``;
+* ``I(0, T) = I(0, T-1) + 1`` if ``ue_0`` fired;
+* ``I(k, T) = I(k-1, T-1)`` if ``ue_k`` fired, ``k != 0``.
+
+This module computes the function from a simulation trace and checks the
+paper's Lemma 1 on it.  (Like the paper's proofs, the scheduling function
+assumes no rollback; squashing machines are checked via their commit
+streams instead, see :mod:`repro.core.consistency`.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hdl.sim import Trace
+
+
+@dataclass
+class Schedule:
+    """The scheduling function as a table: ``table[T][k] = I(k, T)``."""
+
+    n_stages: int
+    table: list[list[int]] = field(default_factory=list)
+
+    def __call__(self, k: int, t: int) -> int:
+        return self.table[t][k]
+
+    @property
+    def cycles(self) -> int:
+        return len(self.table)
+
+    def instructions_fetched(self) -> int:
+        """Instructions that have entered stage 0 (``I(0, last)``)."""
+        return self.table[-1][0] if self.table else 0
+
+    def instructions_retired(self) -> int:
+        """Instructions that have left the last stage."""
+        return self.table[-1][self.n_stages - 1] if self.table else 0
+
+    def retire_cycle(self, i: int) -> int | None:
+        """First cycle T with ``I(n-1, T) > i`` (instruction ``i`` has left
+        the pipe), or None if it never retires within the trace."""
+        last = self.n_stages - 1
+        for t, row in enumerate(self.table):
+            if row[last] > i:
+                return t
+        return None
+
+    def fetch_cycle(self, i: int) -> int | None:
+        """First cycle T with ``I(0, T) == i`` and stage 0 full (trivially
+        full in this model), i.e. the cycle instruction ``i`` entered."""
+        for t, row in enumerate(self.table):
+            if row[0] == i:
+                return t
+        return None
+
+
+def compute_schedule(trace: Trace, n_stages: int) -> Schedule:
+    """Evaluate the paper's inductive definition over a recorded trace.
+
+    Requires the ``ue.{k}`` probes produced by the elaborations.  The trace
+    row at index ``t`` holds the signals *during* cycle ``t``; the schedule
+    table has one extra row for cycle ``len(trace)`` (the state after the
+    final edge).
+    """
+    ue = [trace.probe(f"ue.{k}") for k in range(n_stages)]
+    cycles = len(trace)
+    schedule = Schedule(n_stages=n_stages, table=[[0] * n_stages])
+    for t in range(cycles):
+        previous = schedule.table[-1]
+        row = list(previous)
+        # Evaluate in increasing k so that I(k-1, T-1) is read from
+        # `previous`, not the partially updated row.
+        for k in range(n_stages):
+            if ue[k][t]:
+                row[k] = previous[0] + 1 if k == 0 else previous[k - 1]
+        schedule.table.append(row)
+    return schedule
+
+
+@dataclass
+class Lemma1Report:
+    """Outcome of checking the paper's Lemma 1 on a trace."""
+
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+    cycles_checked: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_lemma1(trace: Trace, n_stages: int) -> Lemma1Report:
+    """Check Lemma 1 of the paper on a concrete trace:
+
+    1. ``I(k, T)`` increases by one exactly when ``ue_k`` fired;
+    2. scheduling functions of adjoining stages differ by 0 or 1;
+    3. ``full_k == 0  iff  I(k-1, T) == I(k, T)``.
+
+    Requires ``ue.{k}`` and ``full.{k}`` probes (the latter only exist on
+    pipelined machines — for the sequential machine only parts 1 and 2 are
+    meaningful and ``full`` checks are skipped).
+    """
+    schedule = compute_schedule(trace, n_stages)
+    ue = [trace.probe(f"ue.{k}") for k in range(n_stages)]
+    has_full = all(f"full.{k}" in trace.probes for k in range(n_stages))
+    full = (
+        [trace.probe(f"full.{k}") for k in range(n_stages)] if has_full else None
+    )
+    violations: list[str] = []
+    for t in range(len(trace)):
+        for k in range(n_stages):
+            # Part 1: increment iff ue.
+            delta = schedule(k, t + 1) - schedule(k, t)
+            if delta != ue[k][t]:
+                violations.append(
+                    f"lemma1.1: I({k},{t + 1}) - I({k},{t}) = {delta}"
+                    f" but ue_{k} = {ue[k][t]}"
+                )
+        for k in range(1, n_stages):
+            diff = schedule(k - 1, t) - schedule(k, t)
+            if diff not in (0, 1):
+                violations.append(
+                    f"lemma1.2: I({k - 1},{t}) - I({k},{t}) = {diff} not in {{0,1}}"
+                )
+            if full is not None:
+                if bool(full[k][t]) != (diff == 1):
+                    violations.append(
+                        f"lemma1.3: full_{k}^{t} = {full[k][t]} but diff = {diff}"
+                    )
+    return Lemma1Report(ok=not violations, violations=violations, cycles_checked=len(trace))

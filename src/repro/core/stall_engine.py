@@ -1,0 +1,155 @@
+"""The stall engine (paper, Section 3).
+
+The stall engine turns per-stage hazard/stall conditions into the update
+enable signals ``ue_k``, allowing execution to stall in some stages while
+proceeding in the stages below (including removal of pipeline bubbles).
+It is extended with the rollback (squashing) mechanism used for
+speculation.
+
+Signal definitions, verbatim from the paper:
+
+* ``full_0 = 1``; ``full_k = fullb.k`` for ``k >= 1``;
+* ``rollback'_k = OR_{i=k}^{n-1} rollback_i`` — the instruction in stage
+  ``k`` has to be squashed;
+* ``ue_k = full_k AND NOT stall_k AND NOT rollback'_k``;
+* ``stall_{n-1} = (dhaz_{n-1} OR ext_{n-1}) AND full_{n-1}``,
+  ``stall_k = (dhaz_k OR ext_k OR stall_{k+1}) AND full_k``;
+* ``fullb.s := ue_{s-1} OR stall_s`` (a stage becomes full if it is
+  updated or stalled), gated with ``NOT rollback'_s`` so squashed
+  instructions vanish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hdl import expr as E
+from ..hdl.netlist import Module
+
+
+def full_bit_name(stage: int) -> str:
+    return f"fullb.{stage}"
+
+
+@dataclass
+class StallEngine:
+    """All stall-engine signals as expressions over the module's state.
+
+    Indexing: every list has one entry per stage ``0..n-1``.
+    """
+
+    n_stages: int
+    full: list[E.Expr] = field(default_factory=list)
+    dhaz: list[E.Expr] = field(default_factory=list)
+    ext: list[E.Expr] = field(default_factory=list)
+    stall: list[E.Expr] = field(default_factory=list)
+    rollback: list[E.Expr] = field(default_factory=list)
+    rollback_prime: list[E.Expr] = field(default_factory=list)
+    ue: list[E.Expr] = field(default_factory=list)
+
+
+def declare_full_bits(module: Module, n_stages: int) -> list[E.Expr]:
+    """Declare the ``fullb.s`` registers (stages 1..n-1) and return the
+    ``full_k`` expressions.  Stage 0 is always full (an instruction can
+    always be fetched)."""
+    full: list[E.Expr] = [E.const(1, 1)]
+    for stage in range(1, n_stages):
+        full.append(module.add_register(full_bit_name(stage), 1, init=0))
+    return full
+
+
+def build_stall_chain(
+    full: list[E.Expr], dhaz: list[E.Expr], ext: list[E.Expr]
+) -> list[E.Expr]:
+    """``stall_k`` from the hazard and external-stall conditions.
+
+    A stall propagates upward: stage ``k`` stalls if it has a hazard, an
+    external stall, or stage ``k+1`` is stalled — and only if it is full
+    (empty stages cannot stall, which is what enables bubble removal).
+    """
+    n = len(full)
+    stall: list[E.Expr] = [E.const(1, 0)] * n
+    stall[n - 1] = E.band(E.bor(dhaz[n - 1], ext[n - 1]), full[n - 1])
+    for k in range(n - 2, -1, -1):
+        stall[k] = E.band(E.bor(E.bor(dhaz[k], ext[k]), stall[k + 1]), full[k])
+    return stall
+
+
+def build_rollback_prime(rollback: list[E.Expr]) -> list[E.Expr]:
+    """``rollback'_k = OR_{i=k}^{n-1} rollback_i``."""
+    n = len(rollback)
+    prime: list[E.Expr] = [E.const(1, 0)] * n
+    prime[n - 1] = rollback[n - 1]
+    for k in range(n - 2, -1, -1):
+        prime[k] = E.bor(rollback[k], prime[k + 1])
+    return prime
+
+
+def build_update_enables(
+    full: list[E.Expr], stall: list[E.Expr], rollback_prime: list[E.Expr]
+) -> list[E.Expr]:
+    """``ue_k = full_k AND NOT stall_k AND NOT rollback'_k``."""
+    return [
+        E.band(E.band(f, E.bnot(s)), E.bnot(r))
+        for f, s, r in zip(full, stall, rollback_prime)
+    ]
+
+
+def drive_full_bits(
+    module: Module,
+    ue: list[E.Expr],
+    stall: list[E.Expr],
+    rollback_prime: list[E.Expr],
+) -> None:
+    """``fullb.s := (ue_{s-1} OR stall_s) AND NOT rollback'_s``."""
+    n = len(ue)
+    for stage in range(1, n):
+        module.drive_register(
+            full_bit_name(stage),
+            E.band(
+                E.bor(ue[stage - 1], stall[stage]), E.bnot(rollback_prime[stage])
+            ),
+        )
+
+
+def build_stall_engine(
+    module: Module,
+    n_stages: int,
+    dhaz: list[E.Expr],
+    ext: list[E.Expr],
+    rollback: list[E.Expr],
+    full: list[E.Expr],
+) -> StallEngine:
+    """Assemble the complete stall engine from already-declared full bits
+    and the per-stage hazard/external/rollback conditions; drives the full
+    bit registers and returns all signals."""
+    if not (
+        len(dhaz) == len(ext) == len(rollback) == len(full) == n_stages
+    ):
+        raise ValueError("per-stage signal lists must have length n_stages")
+    stall = build_stall_chain(full, dhaz, ext)
+    prime = build_rollback_prime(rollback)
+    ue = build_update_enables(full, stall, prime)
+    drive_full_bits(module, ue, stall, prime)
+    return StallEngine(
+        n_stages=n_stages,
+        full=full,
+        dhaz=dhaz,
+        ext=ext,
+        stall=stall,
+        rollback=rollback,
+        rollback_prime=prime,
+        ue=ue,
+    )
+
+
+def add_probes(module: Module, engine: StallEngine) -> None:
+    """Expose every stall-engine signal for tracing and verification.
+    (``ue.{k}`` probes are added by the shared datapath elaboration.)"""
+    for k in range(engine.n_stages):
+        module.add_probe(f"full.{k}", engine.full[k])
+        module.add_probe(f"stall.{k}", engine.stall[k])
+        module.add_probe(f"dhaz.{k}", engine.dhaz[k])
+        module.add_probe(f"ext.{k}", engine.ext[k])
+        module.add_probe(f"rollback.{k}", engine.rollback[k])
+        module.add_probe(f"rollback_prime.{k}", engine.rollback_prime[k])

@@ -1,0 +1,390 @@
+"""The pipeline transformation tool (the paper's core contribution).
+
+:func:`transform` takes a :class:`repro.machine.PreparedMachine` — a
+stage-partitioned sequential design without forwarding or interlock — and
+produces a pipelined netlist by
+
+1. adding the **stall engine** (Section 3): full bits, stall chain, update
+   enables, rollback;
+2. synthesizing **forwarding logic** (Section 4) for every operand read of
+   a register file written by a distant stage, using the designer-named
+   forwarding registers;
+3. adding **interlock** (Section 4.1.1): data-hazard signals wherever
+   forwarding might fail, feeding the stall chain;
+4. adding **speculation hardware** (Section 5): guess pipelines, compare
+   logic, rollback generation, and state repair;
+5. emitting **proof obligations** for the generated hardware
+   (:mod:`repro.proofs`) — the machine-checkable counterpart of the
+   paper's generated PVS proofs.
+
+The datapath itself is shared with the sequential elaboration
+(:mod:`repro.machine.elaborate`); the transformation only changes where
+``ue_k`` comes from and substitutes the forwarding networks ``g^k_R`` for
+the direct operand reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hdl import expr as E
+from ..hdl.netlist import Module
+from ..hdl.subst import substitute
+from ..machine.elaborate import drive_latency_counters, elaborate_datapath
+from ..machine.prepared import MachineSpecError, PreparedMachine, SpeculationSpec
+from . import stall_engine as se
+from .forwarding import FORWARDING_STYLES, ForwardingBuilder, ForwardingNetwork
+
+
+@dataclass(frozen=True)
+class TransformOptions:
+    """Knobs of the transformation.
+
+    * ``forwarding_style`` — ``"chain"`` (Figure 2 priority muxes),
+      ``"tree"`` (find-first-one + balanced tree) or ``"bus"`` (one-hot
+      operand bus); all three compute the same function.
+    * ``interlock_only`` — synthesize no forwarding values at all; every
+      hit interlocks until the writer has committed.  This is the baseline
+      pipeline the paper's forwarding logic is compared against.
+    """
+
+    forwarding_style: str = "chain"
+    interlock_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.forwarding_style not in FORWARDING_STYLES:
+            raise ValueError(
+                f"unknown forwarding style {self.forwarding_style!r};"
+                f" use one of {FORWARDING_STYLES}"
+            )
+
+
+@dataclass
+class SpeculationHardware:
+    """Generated compare/rollback hardware for one speculation annotation."""
+
+    spec: SpeculationSpec
+    mispredict: E.Expr
+    guessed: E.Expr  # the piped guess as seen at the resolve stage
+    actual: E.Expr
+
+
+@dataclass
+class PipelinedMachine:
+    """The transformation result: netlist + synthesized-structure metadata."""
+
+    module: Module
+    machine: PreparedMachine
+    options: TransformOptions
+    engine: se.StallEngine
+    networks: list[ForwardingNetwork] = field(default_factory=list)
+    speculations: list[SpeculationHardware] = field(default_factory=list)
+
+    @property
+    def n_stages(self) -> int:
+        return self.machine.n_stages
+
+    def networks_for(self, regfile: str, stage: int | None = None) -> list[ForwardingNetwork]:
+        return [
+            net
+            for net in self.networks
+            if net.regfile == regfile and (stage is None or net.stage == stage)
+        ]
+
+
+def _guess_pipe_name(spec: SpeculationSpec, stage: int) -> str:
+    return spec.guess_name(stage)
+
+
+def transform(
+    machine: PreparedMachine, options: TransformOptions | None = None
+) -> PipelinedMachine:
+    """Transform a prepared sequential machine into a pipelined machine."""
+    machine.validate()
+    options = options or TransformOptions()
+    module = Module(f"{machine.name}.pipelined")
+    n = machine.n_stages
+
+    # ---- 1. stall engine state -------------------------------------------------
+    full = se.declare_full_bits(module, n)
+    ext: list[E.Expr] = []
+    for stage in range(n):
+        if stage in machine.external_stalls:
+            ext.append(module.add_input(f"ext.{stage}", 1))
+        else:
+            ext.append(E.const(1, 0))
+
+    # ---- 2. forwarding: per-stage operand substitution --------------------------
+    builder = ForwardingBuilder(
+        machine,
+        module,
+        full,
+        style=options.forwarding_style,
+        interlock_only=options.interlock_only,
+    )
+
+    # g^k substitution state: per-stage map (regfile, id(addr)) -> network
+    # for register files, (reg,) -> network for plain registers, plus a
+    # shared memo so common sub-expressions rewrite once per stage.
+    stage_networks: dict[int, dict[tuple, ForwardingNetwork]] = {
+        k: {} for k in range(n)
+    }
+    stage_memos: dict[int, dict[int, E.Expr]] = {k: {} for k in range(n)}
+    # architectural instance name -> base register, for site discovery
+    arch_instances = {
+        reg.instance_name(reg.last): reg.name
+        for reg in machine.registers.values()
+    }
+
+    def rewrite(stage: int, expression: E.Expr) -> E.Expr:
+        """The pipelined machine's input-generation function g^stage."""
+        nets = stage_networks[stage]
+
+        def mem_builder(name: str):
+            def build(addr: E.Expr) -> E.Expr:
+                network = nets.get((name, id(addr)))
+                if network is None:
+                    raise MachineSpecError(
+                        f"internal error: unsynthesized read of {name!r}"
+                        f" in stage {stage}"
+                    )
+                return network.g
+
+            return build
+
+        mem_map = {
+            name: mem_builder(name)
+            for name in machine.regfiles
+            if builder.is_forwarded(name, stage)
+        }
+        reg_map = {
+            machine.registers[key[0]].instance_name(
+                machine.registers[key[0]].last
+            ): network.g
+            for key, network in nets.items()
+            if len(key) == 1
+        }
+        if not mem_map and not reg_map:
+            return expression
+        return substitute(
+            expression, reg_map=reg_map, mem_map=mem_map, memo=stage_memos[stage]
+        )
+
+    builder.rewrite = rewrite
+
+    # ---- 3. walk stages deep -> shallow, synthesizing read sites ---------------
+    # Plain-register sites are synthesized before register-file sites: a
+    # register-file *read address* may itself contain a forwarded register
+    # read (e.g. an instruction fetch addressed by the forwarded delayed
+    # PC), and must be rewritten before the address comparators are built.
+    dhaz: list[E.Expr] = [E.const(1, 0)] * n
+    for stage in range(n - 1, -1, -1):
+        roots = _stage_roots(machine, stage)
+        reg_sites, file_sites = _forwarded_read_sites(
+            builder, roots, stage, arch_instances
+        )
+        contributions: list[E.Expr] = []
+        for reg_name in reg_sites:
+            network = builder.build_reg_read(reg_name, stage)
+            stage_networks[stage][(reg_name,)] = network
+            contributions.append(network.dhaz)
+        for regfile_name, addr in file_sites:
+            rewritten_addr = rewrite(stage, addr)
+            network = builder.build_read(regfile_name, stage, rewritten_addr)
+            stage_networks[stage][(regfile_name, id(rewritten_addr))] = network
+            contributions.append(network.dhaz)
+        dhaz[stage] = E.any_of(contributions)
+        builder.stage_dhaz[stage] = dhaz[stage]
+
+    # ---- 4. stall chain ----------------------------------------------------------
+    # Designer-declared stall conditions (multi-cycle units) join the
+    # external stall requests; they are rewritten with the stage's g^k so
+    # they may read forwarded operands.
+    for stage in range(n):
+        conditions = [
+            rewrite(stage, condition)
+            for condition in machine.stall_conditions_for(stage)
+        ]
+        if conditions:
+            ext[stage] = E.bor(ext[stage], E.any_of(conditions))
+    stall = se.build_stall_chain(full, dhaz, ext)
+
+    # ---- 5. speculation hardware ---------------------------------------------------
+    rollback: list[E.Expr] = [E.const(1, 0)] * n
+    spec_hardware: list[SpeculationHardware] = []
+    for spec in machine.speculations:
+        hardware = _build_speculation(
+            machine, module, spec, full, stall, rewrite
+        )
+        spec_hardware.append(hardware)
+        rollback[spec.resolve_stage] = E.bor(
+            rollback[spec.resolve_stage], hardware.mispredict
+        )
+
+    # ---- 6. update enables + full-bit updates ----------------------------------------
+    prime = se.build_rollback_prime(rollback)
+    ue = se.build_update_enables(full, stall, prime)
+    se.drive_full_bits(module, ue, stall, prime)
+    engine = se.StallEngine(
+        n_stages=n,
+        full=full,
+        dhaz=dhaz,
+        ext=ext,
+        stall=stall,
+        rollback=rollback,
+        rollback_prime=prime,
+        ue=ue,
+    )
+
+    # ---- 7. shared datapath -------------------------------------------------------------
+    elaborate_datapath(module, machine, ue, rewrite=rewrite)
+    drive_latency_counters(module, machine, ue, occupied=full)
+
+    # ---- 8. deferred drives: valid bits and guess pipes -----------------------------------
+    for pending in builder.pending:
+        module.drive_register(
+            pending.name, pending.build(rewrite), enable=ue[pending.next_stage]
+        )
+    for spec, hardware in zip(machine.speculations, spec_hardware):
+        for j in range(spec.guess_stage + 1, spec.resolve_stage + 1):
+            source: E.Expr = (
+                rewrite(spec.guess_stage, spec.guess)
+                if j - 1 == spec.guess_stage
+                else E.reg_read(_guess_pipe_name(spec, j - 1), spec.guess.width)
+            )
+            module.drive_register(
+                _guess_pipe_name(spec, j), source, enable=ue[j - 1]
+            )
+
+    # ---- 9. speculation repairs ------------------------------------------------------------
+    _apply_repairs(machine, module, spec_hardware, rewrite)
+
+    # ---- 10. probes -------------------------------------------------------------------------
+    se.add_probes(module, engine)
+    for hardware in spec_hardware:
+        module.add_probe(f"spec.{hardware.spec.name}.mispredict", hardware.mispredict)
+        module.add_probe(f"spec.{hardware.spec.name}.guessed", hardware.guessed)
+        module.add_probe(f"spec.{hardware.spec.name}.actual", hardware.actual)
+    for index, network in enumerate(builder.networks):
+        prefix = f"fwd.{network.regfile}.{network.stage}.{index}"
+        module.add_probe(f"{prefix}.g", network.g)
+        module.add_probe(f"{prefix}.dhaz", network.dhaz)
+        for j in network.hit_stages:
+            module.add_probe(f"{prefix}.hit.{j}", network.hits[j])
+
+    module.validate()
+    return PipelinedMachine(
+        module=module,
+        machine=machine,
+        options=options,
+        engine=engine,
+        networks=builder.networks,
+        speculations=spec_hardware,
+    )
+
+
+def _stage_roots(machine: PreparedMachine, stage: int) -> list[E.Expr]:
+    """All designer expressions evaluated in the context of ``stage``."""
+    roots: list[E.Expr] = []
+    for out in machine.writes_of_stage(stage):
+        roots.append(out.value)
+        if out.we is not None:
+            roots.append(out.we)
+    for regfile in machine.regfiles.values():
+        if regfile.we is None:
+            continue
+        if regfile.compute_stage == stage:
+            roots.extend((regfile.we, regfile.wa))
+        if regfile.write_stage == stage:
+            roots.append(regfile.data)
+    roots.extend(machine.stall_conditions_for(stage))
+    for spec in machine.speculations:
+        if spec.guess_stage == stage:
+            roots.append(spec.guess)
+        if spec.resolve_stage == stage:
+            roots.append(spec.actual)
+            if spec.check_if is not None:
+                roots.append(spec.check_if)
+            roots.extend(spec.repairs.values())
+    return roots
+
+
+def _forwarded_read_sites(
+    builder: ForwardingBuilder,
+    roots: list[E.Expr],
+    stage: int,
+    arch_instances: dict[str, str],
+) -> tuple[list[str], list[tuple[str, E.Expr]]]:
+    """Forwarded reads performed by ``stage``: plain-register names, and
+    distinct (register file, address expression) pairs.  Order is
+    deterministic (DAG discovery order)."""
+    reg_sites: list[str] = []
+    file_sites: list[tuple[str, E.Expr]] = []
+    seen: set[tuple] = set()
+    for node in E.walk(roots):
+        if isinstance(node, E.MemRead) and builder.is_forwarded(node.mem, stage):
+            key = (node.mem, id(node.addr))
+            if key not in seen:
+                seen.add(key)
+                file_sites.append((node.mem, node.addr))
+        elif isinstance(node, E.RegRead) and node.name in arch_instances:
+            base = arch_instances[node.name]
+            if (base,) not in seen and builder.is_forwarded_register(base, stage):
+                seen.add((base,))
+                reg_sites.append(base)
+    return reg_sites, file_sites
+
+
+def _build_speculation(
+    machine: PreparedMachine,
+    module: Module,
+    spec: SpeculationSpec,
+    full: list[E.Expr],
+    stall: list[E.Expr],
+    rewrite,
+) -> SpeculationHardware:
+    """Compare piped guess against the actual value at the resolve stage.
+
+    The comparison fires only when the stage is full and not stalled
+    (Section 5: "in order to ensure that the input operands are valid").
+    """
+    r = spec.resolve_stage
+    for j in range(spec.guess_stage + 1, r + 1):
+        module.add_register(_guess_pipe_name(spec, j), spec.guess.width)
+    guessed: E.Expr = (
+        rewrite(spec.guess_stage, spec.guess)
+        if r == spec.guess_stage
+        else E.reg_read(_guess_pipe_name(spec, r), spec.guess.width)
+    )
+    actual = rewrite(r, spec.actual)
+    mismatch = E.ne(guessed, actual)
+    mispredict = E.band(E.band(full[r], E.bnot(stall[r])), mismatch)
+    if spec.check_if is not None:
+        mispredict = E.band(mispredict, rewrite(r, spec.check_if))
+    return SpeculationHardware(
+        spec=spec, mispredict=mispredict, guessed=guessed, actual=actual
+    )
+
+
+def _apply_repairs(
+    machine: PreparedMachine,
+    module: Module,
+    spec_hardware: list[SpeculationHardware],
+    rewrite,
+) -> None:
+    """On rollback, override the repaired registers with the correct values
+    ("the correct value is used as input for subsequent calculations").
+
+    When several speculations repair the same register in one cycle, the
+    deepest resolve stage (the oldest instruction) wins.
+    """
+    ordered = sorted(spec_hardware, key=lambda h: h.spec.resolve_stage)
+    for hardware in ordered:
+        for target, value in hardware.spec.repairs.items():
+            reg = module.registers[target]
+            repaired = rewrite(hardware.spec.resolve_stage, value)
+            module.drive_register(
+                target,
+                E.mux(hardware.mispredict, repaired, reg.next),
+                enable=E.bor(reg.enable, hardware.mispredict),
+            )

@@ -1,0 +1,31 @@
+"""The DLX case study: ISA, assembler, reference simulator and the
+prepared five-stage machine of the paper's Section 4.2."""
+
+from . import isa, programs
+from .assemble import Assembler, AssemblerError, assemble, labels_of
+from .disassemble import disassemble, disassemble_word
+from .prepared import SISR_DEFAULT, DlxConfig, build_dlx_machine
+from .reference import DlxReference, ReferenceState
+from .speculative import PREDICTORS, DlxSpecConfig, build_dlx_spec_machine
+from .superpipe import SuperPipeConfig, build_superpipelined_dlx
+
+__all__ = [
+    "Assembler",
+    "AssemblerError",
+    "DlxConfig",
+    "DlxReference",
+    "DlxSpecConfig",
+    "PREDICTORS",
+    "ReferenceState",
+    "SISR_DEFAULT",
+    "SuperPipeConfig",
+    "assemble",
+    "build_dlx_machine",
+    "build_dlx_spec_machine",
+    "build_superpipelined_dlx",
+    "disassemble",
+    "disassemble_word",
+    "isa",
+    "labels_of",
+    "programs",
+]

@@ -1,0 +1,301 @@
+"""A small two-pass DLX assembler.
+
+Syntax (one instruction or label per line; ``;`` and ``#`` start comments)::
+
+    start:  addi r1, r0, 10
+    loop:   subi r1, r1, 1
+            bnez r1, loop
+            nop               ; branch delay slot
+            lw   r2, 8(r3)
+            sw   4(r3), r2
+            jal  subroutine
+            nop
+    halt:   j halt
+            nop
+
+Registers are ``r0`` .. ``r31``.  Immediates are decimal or ``0x`` hex.
+Branch/jump targets may be labels (encoded as delay-slot-relative offsets,
+``target - (pc + 4)``) or numeric byte offsets.  ``.org ADDR`` moves the
+location counter (gaps fill with NOP); ``.word VALUE`` emits raw words.
+
+Pseudo-instructions: ``nop``, ``li rd, imm32`` (expands to LHI+ORI when
+needed), ``move rd, rs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import isa
+
+
+class AssemblerError(ValueError):
+    """Raised for malformed assembly input."""
+
+
+@dataclass
+class _Pending:
+    """One instruction awaiting label resolution."""
+
+    mnemonic: str
+    operands: list[str]
+    address: int  # byte address
+    line: int
+
+
+_R_TYPE = {
+    "add": isa.F_ADD,
+    "sub": isa.F_SUB,
+    "and": isa.F_AND,
+    "or": isa.F_OR,
+    "xor": isa.F_XOR,
+    "sll": isa.F_SLL,
+    "srl": isa.F_SRL,
+    "sra": isa.F_SRA,
+    "slt": isa.F_SLT,
+    "sltu": isa.F_SLTU,
+    "seq": isa.F_SEQ,
+    "sne": isa.F_SNE,
+    "mult": isa.F_MULT,
+}
+
+_I_TYPE = {
+    "addi": isa.OP_ADDI,
+    "subi": isa.OP_SUBI,
+    "andi": isa.OP_ANDI,
+    "ori": isa.OP_ORI,
+    "xori": isa.OP_XORI,
+    "slti": isa.OP_SLTI,
+    "sltui": isa.OP_SLTUI,
+    "seqi": isa.OP_SEQI,
+    "snei": isa.OP_SNEI,
+}
+
+_LOADS = {
+    "lb": isa.OP_LB,
+    "lbu": isa.OP_LBU,
+    "lh": isa.OP_LH,
+    "lhu": isa.OP_LHU,
+    "lw": isa.OP_LW,
+}
+
+_STORES = {"sb": isa.OP_SB, "sh": isa.OP_SH, "sw": isa.OP_SW}
+
+
+def _register(token: str, line: int) -> int:
+    token = token.strip().lower()
+    if not token.startswith("r"):
+        raise AssemblerError(f"line {line}: expected register, got {token!r}")
+    try:
+        number = int(token[1:])
+    except ValueError as exc:
+        raise AssemblerError(f"line {line}: bad register {token!r}") from exc
+    if not 0 <= number < isa.REGS:
+        raise AssemblerError(f"line {line}: register {token!r} out of range")
+    return number
+
+
+def _number(token: str, line: int) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"line {line}: bad number {token!r}") from exc
+
+
+def _mem_operand(token: str, line: int) -> tuple[int, str]:
+    """Parse ``imm(rN)``; returns (register, immediate-text)."""
+    token = token.strip()
+    if "(" not in token or not token.endswith(")"):
+        raise AssemblerError(
+            f"line {line}: expected imm(reg) memory operand, got {token!r}"
+        )
+    imm_text, reg_text = token[:-1].split("(", 1)
+    return _register(reg_text, line), imm_text.strip() or "0"
+
+
+class Assembler:
+    """Two-pass assembler producing a word list from byte address 0."""
+
+    def __init__(self) -> None:
+        self.labels: dict[str, int] = {}
+        self.words: list[int] = []
+        self._pending: list[_Pending] = []
+
+    def assemble(self, source: str) -> list[int]:
+        self._first_pass(source)
+        self._second_pass()
+        return self.words
+
+    # -- pass 1: layout ---------------------------------------------------------
+
+    def _emit(self, word: int | None, pending: _Pending | None = None) -> None:
+        if pending is not None:
+            self._pending.append(pending)
+            self.words.append(0)
+        else:
+            assert word is not None
+            self.words.append(word & 0xFFFFFFFF)
+
+    def _first_pass(self, source: str) -> None:
+        for line_number, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split(";")[0].split("#")[0].strip()
+            if not line:
+                continue
+            while ":" in line:
+                label, line = line.split(":", 1)
+                label = label.strip()
+                if not label.isidentifier():
+                    raise AssemblerError(
+                        f"line {line_number}: bad label {label!r}"
+                    )
+                if label in self.labels:
+                    raise AssemblerError(
+                        f"line {line_number}: duplicate label {label!r}"
+                    )
+                self.labels[label] = len(self.words) * 4
+                line = line.strip()
+            if not line:
+                continue
+            self._instruction(line, line_number)
+
+    def _instruction(self, line: str, line_number: int) -> None:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = (
+            [op.strip() for op in parts[1].split(",")] if len(parts) > 1 else []
+        )
+
+        if mnemonic == ".org":
+            target = _number(operands[0], line_number)
+            if target % 4 or target < len(self.words) * 4:
+                raise AssemblerError(
+                    f"line {line_number}: bad .org target {target:#x}"
+                )
+            while len(self.words) * 4 < target:
+                self._emit(isa.NOP)
+            return
+        if mnemonic == ".word":
+            for op in operands:
+                self._emit(_number(op, line_number))
+            return
+        if mnemonic == "nop":
+            self._emit(isa.NOP)
+            return
+        if mnemonic == "move":
+            rd = _register(operands[0], line_number)
+            rs = _register(operands[1], line_number)
+            self._emit(isa.encode_i(isa.OP_ADDI, rd, rs, 0))
+            return
+        if mnemonic == "li":
+            rd = _register(operands[0], line_number)
+            value = _number(operands[1], line_number) & 0xFFFFFFFF
+            if value < 0x8000:
+                self._emit(isa.encode_i(isa.OP_ADDI, rd, 0, value))
+            else:
+                self._emit(isa.encode_i(isa.OP_LHI, rd, 0, value >> 16))
+                if value & 0xFFFF:
+                    self._emit(isa.encode_i(isa.OP_ORI, rd, rd, value & 0xFFFF))
+            return
+
+        if mnemonic in _R_TYPE:
+            rd = _register(operands[0], line_number)
+            ra = _register(operands[1], line_number)
+            rb = _register(operands[2], line_number)
+            self._emit(isa.encode_r(_R_TYPE[mnemonic], rd, ra, rb))
+            return
+        if mnemonic in _I_TYPE:
+            rd = _register(operands[0], line_number)
+            ra = _register(operands[1], line_number)
+            imm = _number(operands[2], line_number)
+            self._emit(isa.encode_i(_I_TYPE[mnemonic], rd, ra, imm))
+            return
+        if mnemonic == "lhi":
+            rd = _register(operands[0], line_number)
+            imm = _number(operands[1], line_number)
+            self._emit(isa.encode_i(isa.OP_LHI, rd, 0, imm))
+            return
+        if mnemonic in _LOADS:
+            rd = _register(operands[0], line_number)
+            base, imm_text = _mem_operand(operands[1], line_number)
+            self._emit(
+                isa.encode_i(
+                    _LOADS[mnemonic], rd, base, _number(imm_text, line_number)
+                )
+            )
+            return
+        if mnemonic in _STORES:
+            base, imm_text = _mem_operand(operands[0], line_number)
+            rd = _register(operands[1], line_number)
+            self._emit(
+                isa.encode_i(
+                    _STORES[mnemonic], rd, base, _number(imm_text, line_number)
+                )
+            )
+            return
+        if mnemonic in ("beqz", "bnez"):
+            self._emit(
+                None,
+                _Pending(mnemonic, operands, len(self.words) * 4, line_number),
+            )
+            return
+        if mnemonic in ("j", "jal"):
+            self._emit(
+                None,
+                _Pending(mnemonic, operands, len(self.words) * 4, line_number),
+            )
+            return
+        if mnemonic == "jr":
+            self._emit(isa.encode_i(isa.OP_JR, 0, _register(operands[0], line_number), 0))
+            return
+        if mnemonic == "jalr":
+            self._emit(
+                isa.encode_i(isa.OP_JALR, 0, _register(operands[0], line_number), 0)
+            )
+            return
+        if mnemonic == "trap":
+            imm = _number(operands[0], line_number) if operands else 0
+            self._emit(isa.encode_i(isa.OP_TRAP, 0, 0, imm))
+            return
+        if mnemonic == "rfe":
+            self._emit(isa.encode_i(isa.OP_RFE, 0, 0, 0))
+            return
+        raise AssemblerError(f"line {line_number}: unknown mnemonic {mnemonic!r}")
+
+    # -- pass 2: resolve labels ----------------------------------------------------
+
+    def _offset(self, token: str, address: int, line: int) -> int:
+        token = token.strip()
+        if token in self.labels:
+            # delayed branch: offsets are relative to the delay slot
+            return self.labels[token] - (address + 4)
+        return _number(token, line)
+
+    def _second_pass(self) -> None:
+        for pending in self._pending:
+            index = pending.address // 4
+            if pending.mnemonic in ("beqz", "bnez"):
+                reg = _register(pending.operands[0], pending.line)
+                offset = self._offset(
+                    pending.operands[1], pending.address, pending.line
+                )
+                op = isa.OP_BEQZ if pending.mnemonic == "beqz" else isa.OP_BNEZ
+                self.words[index] = isa.encode_i(op, 0, reg, offset)
+            else:
+                offset = self._offset(
+                    pending.operands[0], pending.address, pending.line
+                )
+                op = isa.OP_J if pending.mnemonic == "j" else isa.OP_JAL
+                self.words[index] = isa.encode_j(op, offset)
+
+
+def assemble(source: str) -> list[int]:
+    """Assemble DLX source into a list of instruction words."""
+    return Assembler().assemble(source)
+
+
+def labels_of(source: str) -> dict[str, int]:
+    """Assemble and return the label table (byte addresses)."""
+    assembler = Assembler()
+    assembler.assemble(source)
+    return assembler.labels

@@ -1,0 +1,306 @@
+"""Combinational datapath builders for the DLX (decode, ALU, load/store
+alignment, next-PC logic).
+
+Every function takes and returns :mod:`repro.hdl.expr` expressions; the
+prepared machine (:mod:`repro.dlx.prepared`) wires them to register
+instances.  Decoding happens per stage directly from the piped instruction
+register ``IR.k`` (the paper's ``IR.2``/``IR.3`` instances), so no ad-hoc
+control pipeline is needed.
+"""
+
+from __future__ import annotations
+
+from ..hdl import expr as E
+from . import isa
+
+WORD = isa.WORD
+
+
+# ---------------------------------------------------------------------------
+# Field extraction
+# ---------------------------------------------------------------------------
+
+
+def opcode(ir: E.Expr) -> E.Expr:
+    return E.bits(ir, 26, 31)
+
+
+def rs1(ir: E.Expr) -> E.Expr:
+    return E.bits(ir, 21, 25)
+
+
+def rs2(ir: E.Expr) -> E.Expr:
+    return E.bits(ir, 16, 20)
+
+
+def rd_r(ir: E.Expr) -> E.Expr:
+    return E.bits(ir, 11, 15)
+
+
+def rd_i(ir: E.Expr) -> E.Expr:
+    return E.bits(ir, 16, 20)
+
+
+def funct(ir: E.Expr) -> E.Expr:
+    return E.bits(ir, 0, 5)
+
+
+def imm16_sext(ir: E.Expr) -> E.Expr:
+    return E.sext(E.bits(ir, 0, 15), WORD)
+
+
+def imm16_zext(ir: E.Expr) -> E.Expr:
+    return E.zext(E.bits(ir, 0, 15), WORD)
+
+
+def imm26_sext(ir: E.Expr) -> E.Expr:
+    return E.sext(E.bits(ir, 0, 25), WORD)
+
+
+def _op_is(ir: E.Expr, *codes: int) -> E.Expr:
+    return E.any_of(E.eq(opcode(ir), E.const(6, code)) for code in codes)
+
+
+def _funct_is(ir: E.Expr, *codes: int) -> E.Expr:
+    return E.any_of(E.eq(funct(ir), E.const(6, code)) for code in codes)
+
+
+# ---------------------------------------------------------------------------
+# Instruction classification
+# ---------------------------------------------------------------------------
+
+
+def is_rtype(ir: E.Expr) -> E.Expr:
+    return E.band(
+        E.eq(opcode(ir), E.const(6, isa.OP_SPECIAL)),
+        _funct_is(ir, *sorted(isa.R_FUNCTS)),
+    )
+
+
+def is_load(ir: E.Expr) -> E.Expr:
+    return _op_is(ir, *sorted(isa.LOAD_OPS))
+
+
+def is_store(ir: E.Expr) -> E.Expr:
+    return _op_is(ir, *sorted(isa.STORE_OPS))
+
+
+def is_branch(ir: E.Expr) -> E.Expr:
+    return _op_is(ir, *sorted(isa.BRANCH_OPS))
+
+
+def is_alu_imm(ir: E.Expr) -> E.Expr:
+    return _op_is(ir, *sorted(isa.ALU_IMM_OPS))
+
+
+def is_lhi(ir: E.Expr) -> E.Expr:
+    return _op_is(ir, isa.OP_LHI)
+
+
+def is_link(ir: E.Expr) -> E.Expr:
+    return _op_is(ir, isa.OP_JAL, isa.OP_JALR)
+
+
+def is_jump_reg(ir: E.Expr) -> E.Expr:
+    return _op_is(ir, isa.OP_JR, isa.OP_JALR)
+
+
+def is_jump_imm(ir: E.Expr) -> E.Expr:
+    return _op_is(ir, isa.OP_J, isa.OP_JAL)
+
+
+def is_trap(ir: E.Expr) -> E.Expr:
+    return _op_is(ir, isa.OP_TRAP)
+
+
+def is_rfe(ir: E.Expr) -> E.Expr:
+    return _op_is(ir, isa.OP_RFE)
+
+
+def is_alu(ir: E.Expr) -> E.Expr:
+    """Does the EX stage produce this instruction's GPR result?"""
+    return E.bor(is_rtype(ir), is_alu_imm(ir))
+
+
+def writes_gpr(ir: E.Expr) -> E.Expr:
+    """GPR write enable (``f^w_GPRwe``, precomputed in decode).  Writes to
+    register 0 are suppressed (GPR[0] is hardwired zero)."""
+    writes = E.any_of(
+        [is_rtype(ir), is_alu_imm(ir), is_lhi(ir), is_load(ir), is_link(ir)]
+    )
+    return E.band(writes, E.ne(gpr_dest(ir), E.const(5, 0)))
+
+
+def gpr_dest(ir: E.Expr) -> E.Expr:
+    """Destination register (``f^w_GPRwa``, precomputed in decode)."""
+    dest = E.mux(is_rtype(ir), rd_r(ir), rd_i(ir))
+    return E.mux(is_link(ir), E.const(5, 31), dest)
+
+
+def b_operand_addr(ir: E.Expr) -> E.Expr:
+    """Second GPR read address: ``rs2`` for R-type, the ``rd`` field for
+    stores (the stored register lives in the rd position)."""
+    return E.mux(is_store(ir), rd_i(ir), rs2(ir))
+
+
+# ---------------------------------------------------------------------------
+# ALU
+# ---------------------------------------------------------------------------
+
+
+def alu_result(ir: E.Expr, a: E.Expr, b: E.Expr) -> E.Expr:
+    """The EX-stage result for R-type and ALU-immediate instructions.
+
+    ``b`` is the already-selected second operand (register or extended
+    immediate); shift amounts come from its low 5 bits.
+    """
+    zero = E.const(WORD, 0)
+    one = E.const(WORD, 1)
+    amount = E.zext(E.bits(b, 0, 4), WORD)
+
+    rt = is_rtype(ir)
+    f = funct(ir)
+    op = opcode(ir)
+
+    def rsel(code: int) -> E.Expr:
+        return E.band(rt, E.eq(f, E.const(6, code)))
+
+    def isel(code: int) -> E.Expr:
+        return E.band(E.bnot(rt), E.eq(op, E.const(6, code)))
+
+    sel_add = E.bor(rsel(isa.F_ADD), isel(isa.OP_ADDI))
+    sel_sub = E.bor(rsel(isa.F_SUB), isel(isa.OP_SUBI))
+    sel_and = E.bor(rsel(isa.F_AND), isel(isa.OP_ANDI))
+    sel_or = E.bor(rsel(isa.F_OR), isel(isa.OP_ORI))
+    sel_xor = E.bor(rsel(isa.F_XOR), isel(isa.OP_XORI))
+    sel_sll = rsel(isa.F_SLL)
+    sel_srl = rsel(isa.F_SRL)
+    sel_sra = rsel(isa.F_SRA)
+    sel_slt = E.bor(rsel(isa.F_SLT), isel(isa.OP_SLTI))
+    sel_sltu = E.bor(rsel(isa.F_SLTU), isel(isa.OP_SLTUI))
+    sel_seq = E.bor(rsel(isa.F_SEQ), isel(isa.OP_SEQI))
+    sel_sne = E.bor(rsel(isa.F_SNE), isel(isa.OP_SNEI))
+    sel_mult = rsel(isa.F_MULT)
+
+    result = E.add(a, b)  # default: add
+    for sel, value in (
+        (sel_sub, E.sub(a, b)),
+        (sel_and, E.band(a, b)),
+        (sel_or, E.bor(a, b)),
+        (sel_xor, E.bxor(a, b)),
+        (sel_sll, E.shl(a, amount)),
+        (sel_srl, E.lshr(a, amount)),
+        (sel_sra, E.ashr(a, amount)),
+        (sel_slt, E.mux(E.slt(a, b), one, zero)),
+        (sel_sltu, E.mux(E.ult(a, b), one, zero)),
+        (sel_seq, E.mux(E.eq(a, b), one, zero)),
+        (sel_sne, E.mux(E.ne(a, b), one, zero)),
+        (sel_mult, E.mul(a, b)),
+    ):
+        result = E.mux(sel, value, result)
+    return result
+
+
+def is_mult(ir: E.Expr) -> E.Expr:
+    """R-type MULT — executed by the multi-cycle multiplier when the
+    machine is configured with a latency > 1."""
+    return E.band(
+        E.eq(opcode(ir), E.const(6, isa.OP_SPECIAL)),
+        E.eq(funct(ir), E.const(6, isa.F_MULT)),
+    )
+
+
+def ex_b_operand(ir: E.Expr, b_reg: E.Expr) -> E.Expr:
+    """Second ALU operand: register for R-type, extended immediate for
+    I-type (zero-extended for the logical immediates, sign-extended
+    otherwise)."""
+    use_zext = _op_is(ir, *sorted(isa.ZEXT_IMM_OPS))
+    imm = E.mux(use_zext, imm16_zext(ir), imm16_sext(ir))
+    return E.mux(is_alu_imm(ir), imm, b_reg)
+
+
+# ---------------------------------------------------------------------------
+# Loads and stores (byte-addressed over a word memory)
+# ---------------------------------------------------------------------------
+
+
+def shift4load(ir: E.Expr, word: E.Expr, byte_offset: E.Expr) -> E.Expr:
+    """The paper's ``shift4load`` circuit (Figure 2): align and extend the
+    memory word for LB/LBU/LH/LHU/LW.  ``byte_offset`` is the low 2 bits
+    of the effective address; the memory is little-endian."""
+    shift = E.zext(E.concat(byte_offset, E.const(3, 0)), WORD)  # offset * 8
+    shifted = E.lshr(word, shift)
+    byte = E.bits(shifted, 0, 7)
+    half = E.bits(shifted, 0, 15)
+    op = opcode(ir)
+    result = word  # LW
+    for code, value in (
+        (isa.OP_LB, E.sext(byte, WORD)),
+        (isa.OP_LBU, E.zext(byte, WORD)),
+        (isa.OP_LH, E.sext(half, WORD)),
+        (isa.OP_LHU, E.zext(half, WORD)),
+    ):
+        result = E.mux(E.eq(op, E.const(6, code)), value, result)
+    return result
+
+
+def store_merge(
+    ir: E.Expr, old_word: E.Expr, data: E.Expr, byte_offset: E.Expr
+) -> E.Expr:
+    """Merge the store data into the existing memory word for SB/SH/SW
+    (read-modify-write byte lanes)."""
+    shift = E.zext(E.concat(byte_offset, E.const(3, 0)), WORD)
+    op = opcode(ir)
+    mask_byte = E.shl(E.const(WORD, 0xFF), shift)
+    mask_half = E.shl(E.const(WORD, 0xFFFF), shift)
+    data_shifted = E.shl(data, shift)
+
+    def merged(mask: E.Expr) -> E.Expr:
+        return E.bor(E.band(old_word, E.bnot(mask)), E.band(data_shifted, mask))
+
+    result = data  # SW: replace the whole word
+    result = E.mux(E.eq(op, E.const(6, isa.OP_SB)), merged(mask_byte), result)
+    result = E.mux(E.eq(op, E.const(6, isa.OP_SH)), merged(mask_half), result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Control flow (delayed branch)
+# ---------------------------------------------------------------------------
+
+
+def branch_taken(ir: E.Expr, a: E.Expr) -> E.Expr:
+    """BEQZ/BNEZ decision on the (forwarded) first operand."""
+    a_zero = E.eq(a, E.const(WORD, 0))
+    return E.bor(
+        E.band(_op_is(ir, isa.OP_BEQZ), a_zero),
+        E.band(_op_is(ir, isa.OP_BNEZ), E.bnot(a_zero)),
+    )
+
+
+def next_pcp(
+    ir: E.Expr, dpc: E.Expr, pcp: E.Expr, a: E.Expr
+) -> E.Expr:
+    """``f^1_PCP``: the fetch address after the delay slot.
+
+    * default: ``PCP + 4``;
+    * taken branch: ``DPC + 4 + sext(imm16)``;
+    * J/JAL: ``DPC + 4 + sext(imm26)``;
+    * JR/JALR: the (forwarded) register operand.
+    """
+    four = E.const(WORD, 4)
+    sequential = E.add(pcp, four)
+    branch_target = E.add(E.add(dpc, four), imm16_sext(ir))
+    jump_target = E.add(E.add(dpc, four), imm26_sext(ir))
+    result = sequential
+    result = E.mux(
+        E.band(is_branch(ir), branch_taken(ir, a)), branch_target, result
+    )
+    result = E.mux(is_jump_imm(ir), jump_target, result)
+    result = E.mux(is_jump_reg(ir), a, result)
+    return result
+
+
+def link_value(dpc: E.Expr) -> E.Expr:
+    """JAL/JALR link value: the address after the delay slot."""
+    return E.add(dpc, E.const(WORD, 8))

@@ -1,0 +1,98 @@
+"""DLX disassembler.
+
+Produces assembler-compatible text: ``assemble(disassemble(words))``
+round-trips for every encodable instruction (property-tested).  Used by
+the CLI to show program listings and by debugging sessions to read
+instruction registers out of waveforms.
+"""
+
+from __future__ import annotations
+
+from . import isa
+
+_R_NAMES = {
+    isa.F_ADD: "add",
+    isa.F_SUB: "sub",
+    isa.F_AND: "and",
+    isa.F_OR: "or",
+    isa.F_XOR: "xor",
+    isa.F_SLL: "sll",
+    isa.F_SRL: "srl",
+    isa.F_SRA: "sra",
+    isa.F_SLT: "slt",
+    isa.F_SLTU: "sltu",
+    isa.F_SEQ: "seq",
+    isa.F_SNE: "sne",
+    isa.F_MULT: "mult",
+}
+
+_I_NAMES = {
+    isa.OP_ADDI: "addi",
+    isa.OP_SUBI: "subi",
+    isa.OP_ANDI: "andi",
+    isa.OP_ORI: "ori",
+    isa.OP_XORI: "xori",
+    isa.OP_SLTI: "slti",
+    isa.OP_SLTUI: "sltui",
+    isa.OP_SEQI: "seqi",
+    isa.OP_SNEI: "snei",
+}
+
+_LOAD_NAMES = {
+    isa.OP_LB: "lb",
+    isa.OP_LBU: "lbu",
+    isa.OP_LH: "lh",
+    isa.OP_LHU: "lhu",
+    isa.OP_LW: "lw",
+}
+
+_STORE_NAMES = {isa.OP_SB: "sb", isa.OP_SH: "sh", isa.OP_SW: "sw"}
+
+
+def disassemble_word(word: int) -> str:
+    """Disassemble one instruction word to assembler syntax.
+
+    Unknown encodings render as ``.word 0x...`` (which the assembler
+    accepts back verbatim).
+    """
+    instr = isa.Decoded(word & 0xFFFFFFFF)
+    op = instr.opcode
+    if word == isa.NOP:
+        return "nop"
+    if instr.is_rtype:
+        name = _R_NAMES[instr.funct]
+        if instr.sa == 0:
+            return f"{name} r{instr.rd_r}, r{instr.rs1}, r{instr.rs2}"
+    if op in _I_NAMES:
+        return f"{_I_NAMES[op]} r{instr.rd_i}, r{instr.rs1}, {instr.imm16_signed}"
+    if op == isa.OP_LHI and instr.rs1 == 0:
+        return f"lhi r{instr.rd_i}, {instr.imm16:#x}"
+    if op in _LOAD_NAMES:
+        return f"{_LOAD_NAMES[op]} r{instr.rd_i}, {instr.imm16_signed}(r{instr.rs1})"
+    if op in _STORE_NAMES:
+        return f"{_STORE_NAMES[op]} {instr.imm16_signed}(r{instr.rs1}), r{instr.rd_i}"
+    if op == isa.OP_BEQZ and instr.rd_i == 0:
+        return f"beqz r{instr.rs1}, {instr.imm16_signed}"
+    if op == isa.OP_BNEZ and instr.rd_i == 0:
+        return f"bnez r{instr.rs1}, {instr.imm16_signed}"
+    if op == isa.OP_J:
+        return f"j {instr.imm26_signed}"
+    if op == isa.OP_JAL:
+        return f"jal {instr.imm26_signed}"
+    if op == isa.OP_JR and instr.rd_i == 0 and instr.imm16 == 0:
+        return f"jr r{instr.rs1}"
+    if op == isa.OP_JALR and instr.rd_i == 0 and instr.imm16 == 0:
+        return f"jalr r{instr.rs1}"
+    if op == isa.OP_TRAP and instr.rs1 == 0 and instr.rd_i == 0:
+        return f"trap {instr.imm16}"
+    if op == isa.OP_RFE and (word & 0x03FFFFFF) == 0:
+        return "rfe"
+    return f".word {word & 0xFFFFFFFF:#010x}"
+
+
+def disassemble(words: list[int], base: int = 0) -> str:
+    """Disassemble a program; one ``addr: text`` line per word."""
+    lines = []
+    for index, word in enumerate(words):
+        lines.append(f"{base + 4 * index:#06x}:  {disassemble_word(word)}")
+    return "\n".join(lines)

@@ -1,0 +1,242 @@
+"""The DLX instruction set (integer subset, as in the paper's case study).
+
+The machine follows Hennessy & Patterson's DLX [10] as prepared in
+Mueller & Paul [20]: a 32-bit RISC with one branch delay slot and no
+floating point unit.  Field layout:
+
+* **R-type** (``opcode == 0``): ``opcode(6) rs1(5) rs2(5) rd(5) sa(5) funct(6)``
+* **I-type**: ``opcode(6) rs1(5) rd(5) imm(16)``
+* **J-type**: ``opcode(6) imm(26)``
+
+Branch/jump offsets are relative to the *delay-slot* instruction
+(``PC + 4 + imm``), and the link value of JAL/JALR is ``PC + 8`` (the
+instruction after the delay slot) — standard delayed-branch semantics.
+
+Encodings are our own consistent assignment (binary compatibility with
+any particular DLX assembler is not a goal of the reproduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+WORD = 32
+REGS = 32
+
+# ---------------------------------------------------------------------------
+# Opcodes
+# ---------------------------------------------------------------------------
+
+OP_SPECIAL = 0x00  # R-type, operation in funct
+OP_J = 0x02
+OP_JAL = 0x03
+OP_BEQZ = 0x04
+OP_BNEZ = 0x05
+OP_ADDI = 0x08
+OP_SUBI = 0x0A
+OP_ANDI = 0x0C
+OP_ORI = 0x0D
+OP_XORI = 0x0E
+OP_LHI = 0x0F
+OP_RFE = 0x10
+OP_TRAP = 0x11
+OP_SLTI = 0x12
+OP_SLTUI = 0x13
+OP_SEQI = 0x18
+OP_SNEI = 0x19
+OP_JR = 0x16
+OP_JALR = 0x17
+OP_LB = 0x20
+OP_LH = 0x21
+OP_LW = 0x23
+OP_LBU = 0x24
+OP_LHU = 0x25
+OP_SB = 0x28
+OP_SH = 0x29
+OP_SW = 0x2B
+
+# R-type functs
+F_SLL = 0x04
+F_SRL = 0x06
+F_SRA = 0x07
+F_ADD = 0x20
+F_SUB = 0x22
+F_AND = 0x24
+F_OR = 0x25
+F_XOR = 0x26
+F_SLT = 0x2A
+F_SLTU = 0x2B
+F_SEQ = 0x28
+F_SNE = 0x29
+F_MULT = 0x18  # low word of the product (multi-cycle in hardware)
+
+LOAD_OPS = frozenset({OP_LB, OP_LH, OP_LW, OP_LBU, OP_LHU})
+STORE_OPS = frozenset({OP_SB, OP_SH, OP_SW})
+BRANCH_OPS = frozenset({OP_BEQZ, OP_BNEZ})
+JUMP_OPS = frozenset({OP_J, OP_JAL, OP_JR, OP_JALR})
+ALU_IMM_OPS = frozenset(
+    {OP_ADDI, OP_SUBI, OP_ANDI, OP_ORI, OP_XORI, OP_SLTI, OP_SLTUI, OP_SEQI, OP_SNEI}
+)
+# ALU-immediate ops whose immediate is zero-extended (logical ops).
+ZEXT_IMM_OPS = frozenset({OP_ANDI, OP_ORI, OP_XORI})
+
+R_FUNCTS = frozenset(
+    {
+        F_SLL, F_SRL, F_SRA, F_ADD, F_SUB, F_AND, F_OR, F_XOR,
+        F_SLT, F_SLTU, F_SEQ, F_SNE, F_MULT,
+    }
+)
+
+
+def _field(value: int, width: int, what: str) -> int:
+    if not 0 <= value < (1 << width):
+        raise ValueError(f"{what} value {value} does not fit in {width} bits")
+    return value
+
+
+def _simm(value: int, width: int, what: str) -> int:
+    low = -(1 << (width - 1))
+    high = (1 << width) - 1  # accept both signed and unsigned spellings
+    if not low <= value <= high:
+        raise ValueError(f"{what} value {value} out of range for {width} bits")
+    return value & ((1 << width) - 1)
+
+
+def encode_r(funct: int, rd: int, rs1: int, rs2: int, sa: int = 0) -> int:
+    """Encode an R-type instruction."""
+    return (
+        (OP_SPECIAL << 26)
+        | (_field(rs1, 5, "rs1") << 21)
+        | (_field(rs2, 5, "rs2") << 16)
+        | (_field(rd, 5, "rd") << 11)
+        | (_field(sa, 5, "sa") << 6)
+        | _field(funct, 6, "funct")
+    )
+
+
+def encode_i(opcode: int, rd: int, rs1: int, imm: int) -> int:
+    """Encode an I-type instruction (imm accepts signed or unsigned)."""
+    return (
+        (_field(opcode, 6, "opcode") << 26)
+        | (_field(rs1, 5, "rs1") << 21)
+        | (_field(rd, 5, "rd") << 16)
+        | _simm(imm, 16, "imm")
+    )
+
+
+def encode_j(opcode: int, imm: int) -> int:
+    """Encode a J-type instruction (imm accepts signed or unsigned)."""
+    return (_field(opcode, 6, "opcode") << 26) | _simm(imm, 26, "imm")
+
+
+@dataclass(frozen=True)
+class Decoded:
+    """All fields of one instruction word."""
+
+    word: int
+
+    @property
+    def opcode(self) -> int:
+        return (self.word >> 26) & 0x3F
+
+    @property
+    def rs1(self) -> int:
+        return (self.word >> 21) & 0x1F
+
+    @property
+    def rs2(self) -> int:
+        return (self.word >> 16) & 0x1F
+
+    @property
+    def rd_r(self) -> int:
+        return (self.word >> 11) & 0x1F
+
+    @property
+    def rd_i(self) -> int:
+        return (self.word >> 16) & 0x1F
+
+    @property
+    def sa(self) -> int:
+        return (self.word >> 6) & 0x1F
+
+    @property
+    def funct(self) -> int:
+        return self.word & 0x3F
+
+    @property
+    def imm16(self) -> int:
+        return self.word & 0xFFFF
+
+    @property
+    def imm16_signed(self) -> int:
+        value = self.imm16
+        return value - 0x10000 if value & 0x8000 else value
+
+    @property
+    def imm26_signed(self) -> int:
+        value = self.word & 0x3FFFFFF
+        return value - (1 << 26) if value & (1 << 25) else value
+
+    # -- classification ------------------------------------------------------
+
+    @property
+    def is_rtype(self) -> bool:
+        return self.opcode == OP_SPECIAL and self.funct in R_FUNCTS
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode in LOAD_OPS
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode in STORE_OPS
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode in BRANCH_OPS
+
+    @property
+    def is_jump(self) -> bool:
+        return self.opcode in JUMP_OPS
+
+    @property
+    def is_alu_imm(self) -> bool:
+        return self.opcode in ALU_IMM_OPS
+
+    @property
+    def is_lhi(self) -> bool:
+        return self.opcode == OP_LHI
+
+    @property
+    def is_link(self) -> bool:
+        return self.opcode in (OP_JAL, OP_JALR)
+
+    @property
+    def is_trap(self) -> bool:
+        return self.opcode == OP_TRAP
+
+    @property
+    def is_rfe(self) -> bool:
+        return self.opcode == OP_RFE
+
+    @property
+    def writes_gpr(self) -> bool:
+        """Does this instruction write a general-purpose register?
+
+        Writes of register 0 are suppressed architecturally (GPR[0] == 0).
+        """
+        return self.gpr_dest != 0
+
+    @property
+    def gpr_dest(self) -> int:
+        """Destination register number (0 when the instruction writes none)."""
+        if self.is_rtype:
+            return self.rd_r
+        if self.is_alu_imm or self.is_lhi or self.is_load:
+            return self.rd_i
+        if self.opcode in (OP_JAL, OP_JALR):
+            return 31
+        return 0
+
+
+NOP = encode_i(OP_ADDI, 0, 0, 0)  # addi r0, r0, 0

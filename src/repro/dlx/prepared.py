@@ -1,0 +1,240 @@
+"""The prepared sequential DLX (the paper's case study, Section 4.2).
+
+A five-stage DLX without floating point unit, with one branch delay slot
+(so instruction fetch needs no speculation), partitioned as::
+
+    0 IF   IR.1 := IMem[DPC]
+    1 ID   operand fetch A.2/B.2 (forwarded after transformation),
+           branch resolution, DPC.2 := PCP, PCP.2 := next,
+           C.2 := link/LHI value, GPRwe/GPRwa precomputed
+    2 EX   C.3 := ALU result, MAR.3 := A + imm, MDRw.3 := B
+    3 MEM  MDRr.4 := DMem[MAR], DMem write (read-modify-write lanes)
+    4 WB   GPR[GPRwa] := is_load ? shift4load(MDRr) : C.4
+
+The forwarding registers named for GPR are ``C`` in the execute and
+memory stages (instances ``C.2``/``C.3``/``C.4`` — the paper's Figure 2).
+
+The architectural PC is the delayed pair ``(DPC, PCP)``: ``DPC`` is the
+fetch address of the current instruction, ``PCP`` the fetch address of
+the next one, so a branch in instruction ``i`` redirects instruction
+``i+2``.  ``DPC`` is read by the fetch stage but written by decode; after
+transformation that read becomes a (register) forwarding path from ID to
+IF — which is exactly how the tool "automatically generates a pipelined
+machine with one or more delay slots".
+
+With ``interrupts=True`` the machine additionally implements precise
+interrupts by speculating that no interrupt occurs (paper, Section 5,
+after Smith & Pleszkun [23]): TRAP and the external ``irq`` line are
+resolved in the MEM stage — before any architectural write of the
+offending instruction — and a mismatch squashes the pipe, saves the
+``(EDPC, EPCP)`` pair and redirects fetch to the handler at ``SISR``.
+``RFE`` restores the saved pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hdl import expr as E
+from ..machine.prepared import PreparedMachine, SpeculationSpec
+from . import datapath as dp
+from . import isa
+
+WORD = isa.WORD
+SISR_DEFAULT = 0x400  # interrupt service routine entry (byte address)
+
+
+@dataclass(frozen=True)
+class DlxConfig:
+    """Sizing and feature knobs of the DLX machine."""
+
+    imem_addr_width: int = 10  # instruction words
+    dmem_addr_width: int = 10  # data words
+    interrupts: bool = False
+    sisr: int = SISR_DEFAULT
+    ext_stall_mem: bool = False  # model a slow-memory stall input at MEM
+    # MULT occupies EX for this many cycles (an iterative multiplier);
+    # 1 = combinational.  The result is only forwardable/written once the
+    # latency has elapsed, so consumers interlock meanwhile.
+    multiplier_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.multiplier_latency < 1:
+            raise ValueError("multiplier latency must be at least 1 cycle")
+
+
+def build_dlx_machine(
+    program: list[int],
+    data: dict[int, int] | None = None,
+    config: DlxConfig | None = None,
+) -> PreparedMachine:
+    """Build the prepared sequential DLX for a program.
+
+    ``program`` is a list of instruction words placed from byte address 0;
+    unoccupied instruction memory reads as NOP.  ``data`` maps *word*
+    indices to initial data-memory words.
+    """
+    config = config or DlxConfig()
+    imem_size = 1 << config.imem_addr_width
+    if len(program) > imem_size:
+        raise ValueError(
+            f"program of {len(program)} words exceeds instruction memory"
+            f" ({imem_size} words)"
+        )
+
+    machine = PreparedMachine("dlx", 5)
+
+    # ---- state ------------------------------------------------------------
+    machine.add_register("DPC", WORD, first=2, init=0, visible=True)
+    machine.add_register("PCP", WORD, first=2, init=4, visible=True)
+    machine.add_register("IR", WORD, first=1, last=4, init=isa.NOP)
+    machine.add_register("IPC", WORD, first=2, last=4)
+    machine.add_register("A", WORD, first=2)
+    machine.add_register("B", WORD, first=2)
+    machine.add_register("C", WORD, first=2, last=4)
+    machine.add_register("MAR", WORD, first=3, last=4)
+    machine.add_register("MDRw", WORD, first=3)
+    machine.add_register("MDRr", WORD, first=4)
+
+    machine.add_register_file(
+        "GPR", addr_width=5, data_width=WORD, write_stage=4
+    )
+    machine.add_register_file(
+        "IMem",
+        addr_width=config.imem_addr_width,
+        data_width=WORD,
+        write_stage=0,
+        init={
+            i: (program[i] if i < len(program) else isa.NOP)
+            for i in range(imem_size)
+        },
+        read_only=True,
+    )
+    machine.add_register_file(
+        "DMem",
+        addr_width=config.dmem_addr_width,
+        data_width=WORD,
+        write_stage=3,
+        init=dict(data or {}),
+    )
+    if config.interrupts:
+        machine.add_register("NPC", WORD, first=2, last=3)
+        machine.add_register("EDPC", WORD, first=4, visible=True)
+        machine.add_register("EPCP", WORD, first=4, visible=True)
+    if config.ext_stall_mem:
+        machine.allow_external_stall(3)
+
+    # ---- stage 0: IF ---------------------------------------------------------
+    dpc = machine.read_last("DPC")  # forwarded from ID after transformation
+    fetch_index = E.bits(dpc, 2, 2 + config.imem_addr_width - 1)
+    machine.set_output(0, "IR", machine.read_file("IMem", fetch_index))
+
+    # ---- stage 1: ID -----------------------------------------------------------
+    ir1 = machine.read("IR", 1)
+    dpc1 = machine.read_last("DPC")  # own-stage read: value before update
+    pcp1 = machine.read_last("PCP")
+    a_read = machine.read_file("GPR", dp.rs1(ir1))
+    b_read = machine.read_file("GPR", dp.b_operand_addr(ir1))
+
+    machine.set_output(1, "A", a_read)
+    machine.set_output(1, "B", b_read)
+    machine.set_output(1, "IPC", dpc1)
+
+    new_dpc: E.Expr = pcp1
+    new_pcp = dp.next_pcp(ir1, dpc1, pcp1, a_read)
+    if config.interrupts:
+        machine.set_output(1, "NPC", pcp1)
+        rfe = dp.is_rfe(ir1)
+        new_dpc = E.mux(rfe, machine.read_last("EDPC"), new_dpc)
+        new_pcp = E.mux(rfe, machine.read_last("EPCP"), new_pcp)
+    machine.set_output(1, "DPC", new_dpc)
+    machine.set_output(1, "PCP", new_pcp)
+
+    lhi_value = E.concat(E.bits(ir1, 0, 15), E.const(16, 0))
+    machine.set_output(
+        1,
+        "C",
+        E.mux(dp.is_lhi(ir1), lhi_value, dp.link_value(dpc1)),
+        we=E.bor(dp.is_lhi(ir1), dp.is_link(ir1)),
+    )
+
+    # ---- stage 2: EX ---------------------------------------------------------------
+    ir2 = machine.read("IR", 2)
+    a2 = machine.read("A", 2)
+    b2 = machine.read("B", 2)
+    c_we = dp.is_alu(ir2)
+    if config.multiplier_latency > 1:
+        # An iterative multiplier: MULT holds EX for `latency` cycles; the
+        # result exists (and may be forwarded) only in the final cycle.
+        latency = config.multiplier_latency
+        count = machine.add_latency_counter("mulcnt", stage=2, width=6)
+        busy = E.band(
+            dp.is_mult(ir2), E.ult(count, E.const(6, latency - 1))
+        )
+        machine.add_stall_condition(2, busy)
+        c_we = E.band(c_we, E.bnot(busy))
+    machine.set_output(
+        2, "C", dp.alu_result(ir2, a2, dp.ex_b_operand(ir2, b2)), we=c_we
+    )
+    machine.set_output(2, "MAR", E.add(a2, dp.imm16_sext(ir2)))
+    machine.set_output(2, "MDRw", b2)
+
+    # ---- stage 3: MEM -----------------------------------------------------------------
+    ir3 = machine.read("IR", 3)
+    mar3 = machine.read("MAR", 3)
+    mdrw3 = machine.read("MDRw", 3)
+    word_index = E.bits(mar3, 2, 2 + config.dmem_addr_width - 1)
+    byte_offset = E.bits(mar3, 0, 1)
+    mem_word = machine.read_file("DMem", word_index)
+    machine.set_output(3, "MDRr", mem_word)
+    machine.set_regfile_write(
+        "DMem",
+        data=dp.store_merge(ir3, mem_word, mdrw3, byte_offset),
+        we=dp.is_store(ir3),
+        wa=word_index,
+        compute_stage=3,
+    )
+    if config.interrupts:
+        machine.set_output(3, "EDPC", machine.read("IPC", 3), we=E.const(1, 0))
+        machine.set_output(3, "EPCP", machine.read("NPC", 3), we=E.const(1, 0))
+
+    # ---- stage 4: WB --------------------------------------------------------------------
+    ir4 = machine.read("IR", 4)
+    c4 = machine.read("C", 4)
+    mdrr4 = machine.read("MDRr", 4)
+    mar4 = machine.read("MAR", 4)
+    loaded = dp.shift4load(ir4, mdrr4, E.bits(mar4, 0, 1))
+    machine.set_regfile_write(
+        "GPR",
+        data=E.mux(dp.is_load(ir4), loaded, c4),
+        we=dp.writes_gpr(ir1),
+        wa=dp.gpr_dest(ir1),
+        compute_stage=1,
+    )
+
+    # ---- forwarding registers (the designer's only manual input) -----------------------
+    machine.add_forwarding_register("GPR", "C", 2)
+    machine.add_forwarding_register("GPR", "C", 3)
+
+    # ---- precise interrupts by speculation ----------------------------------------------
+    if config.interrupts:
+        irq = E.input_port("irq", 1)
+        jisr = E.bor(dp.is_trap(ir3), irq)
+        machine.add_speculation(
+            SpeculationSpec(
+                name="interrupt",
+                guess_stage=0,
+                guess=E.const(1, 0),
+                resolve_stage=3,
+                actual=jisr,
+                repairs={
+                    "DPC.2": E.const(WORD, config.sisr),
+                    "PCP.2": E.const(WORD, config.sisr + 4),
+                    "EDPC.4": machine.read("IPC", 3),
+                    "EPCP.4": machine.read("NPC", 3),
+                },
+            )
+        )
+
+    machine.validate()
+    return machine

@@ -1,0 +1,315 @@
+"""DLX workload programs for the evaluation harness.
+
+Each workload returns assembly source (and optional initial data memory).
+The ``delay_slots`` flag targets the classic delay-slot DLX (a NOP is
+placed after every control transfer) or the speculative no-delay-slot
+variant.  All workloads end in a ``halt: j halt`` idle loop; run them with
+:func:`repro.perf.metrics.run_to_completion`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .assemble import assemble, labels_of
+
+
+@dataclass
+class Workload:
+    """An assembled workload with its completion metadata."""
+
+    name: str
+    source: str
+    program: list[int]
+    data: dict[int, int]
+    halt_address: int
+
+    @classmethod
+    def from_source(
+        cls, name: str, source: str, data: dict[int, int] | None = None
+    ) -> "Workload":
+        labels = labels_of(source)
+        if "halt" not in labels:
+            raise ValueError(f"workload {name!r} has no 'halt' label")
+        return cls(
+            name=name,
+            source=source,
+            program=assemble(source),
+            data=dict(data or {}),
+            halt_address=labels["halt"],
+        )
+
+
+def _ds(delay_slots: bool) -> str:
+    """Delay-slot filler after a control transfer."""
+    return "        nop\n" if delay_slots else ""
+
+
+def alu_dependent(n: int = 24, delay_slots: bool = True) -> Workload:
+    """A chain of immediately dependent ALU instructions — the forwarding
+    stress case (every instruction needs its predecessor's result)."""
+    lines = ["        addi r1, r0, 1"]
+    for i in range(n):
+        src = 1 + (i % 2)
+        dst = 1 + ((i + 1) % 2)
+        lines.append(f"        addi r{dst}, r{src}, {i + 1}")
+    lines.append("halt:   j halt")
+    lines.append("        nop")
+    return Workload.from_source("alu-dependent", "\n".join(lines) + "\n")
+
+
+def alu_independent(n: int = 24, delay_slots: bool = True) -> Workload:
+    """Independent ALU instructions — the no-hazard best case (CPI -> 1)."""
+    lines = []
+    for i in range(n):
+        lines.append(f"        addi r{1 + (i % 8)}, r0, {i}")
+    lines.append("halt:   j halt")
+    lines.append("        nop")
+    return Workload.from_source("alu-independent", "\n".join(lines) + "\n")
+
+
+def load_use(n: int = 12, delay_slots: bool = True) -> Workload:
+    """Alternating load / immediate-use pairs — the interlock stress case
+    (every use hits the load-delay hazard)."""
+    lines = []
+    data = {}
+    for i in range(n):
+        data[i] = (7 * i + 3) & 0xFFFFFFFF
+        lines.append(f"        lw   r1, {4 * i}(r0)")
+        lines.append(f"        add  r{2 + (i % 4)}, r1, r1")
+    lines.append("halt:   j halt")
+    lines.append("        nop")
+    return Workload.from_source("load-use", "\n".join(lines) + "\n", data)
+
+
+def memcpy(words: int = 8, delay_slots: bool = True) -> Workload:
+    """Copy ``words`` words from address 0 to address 256 in a loop."""
+    data = {i: (0x1000 + i) for i in range(words)}
+    ds = _ds(delay_slots)
+    source = f"""
+        addi r1, r0, 0        ; src
+        addi r2, r0, 256      ; dst
+        addi r3, r0, {words}  ; count
+loop:   lw   r4, 0(r1)
+        sw   0(r2), r4
+        addi r1, r1, 4
+        addi r2, r2, 4
+        subi r3, r3, 1
+        bnez r3, loop
+{ds}halt:   j halt
+        nop
+"""
+    return Workload.from_source("memcpy", source, data)
+
+
+def dot_product(n: int = 8, delay_slots: bool = True) -> Workload:
+    """Dot product of two small vectors; result stored at word 128."""
+    data = {}
+    for i in range(n):
+        data[i] = i + 1
+        data[32 + i] = 2 * i + 1
+    ds = _ds(delay_slots)
+    source = f"""
+        addi r1, r0, 0        ; a
+        addi r2, r0, 128      ; b (byte address of word 32)
+        addi r3, r0, {n}      ; count
+        addi r4, r0, 0        ; acc
+loop:   lw   r5, 0(r1)
+        lw   r6, 0(r2)
+        addi r1, r1, 4
+        addi r2, r2, 4
+        subi r3, r3, 1
+        add  r7, r5, r6       ; use both loads
+        add  r4, r4, r7
+        bnez r3, loop
+{ds}        sw   512(r0), r4
+halt:   j halt
+        nop
+"""
+    return Workload.from_source("dot-product", source, data)
+
+
+def branchy(iterations: int = 10, delay_slots: bool = True) -> Workload:
+    """A counted loop with a data-dependent inner branch — the control
+    stress case for the speculative machine."""
+    ds = _ds(delay_slots)
+    source = f"""
+        addi r1, r0, {iterations}
+        addi r2, r0, 0
+        addi r3, r0, 0
+loop:   andi r4, r1, 1
+        beqz r4, even
+{ds}        addi r2, r2, 1     ; odd iteration
+        j    next
+{ds}even:   addi r3, r3, 1     ; even iteration
+next:   subi r1, r1, 1
+        bnez r1, loop
+{ds}halt:   j halt
+        nop
+"""
+    return Workload.from_source("branchy", source)
+
+
+def fibonacci(n: int = 10, delay_slots: bool = True) -> Workload:
+    """Iterative Fibonacci; F(n) left in r3 and stored at word 0."""
+    ds = _ds(delay_slots)
+    source = f"""
+        addi r1, r0, 0        ; F(i)
+        addi r2, r0, 1        ; F(i+1)
+        addi r4, r0, {n}
+loop:   add  r3, r1, r2
+        move r1, r2
+        move r2, r3
+        subi r4, r4, 1
+        bnez r4, loop
+{ds}        sw   0(r0), r3
+halt:   j halt
+        nop
+"""
+    return Workload.from_source("fibonacci", source)
+
+
+def bubble_sort(n: int = 6, seed: int = 3, delay_slots: bool = True) -> Workload:
+    """Bubble-sort ``n`` words in place at address 0 — nested loops,
+    data-dependent branches, heavy load/store traffic."""
+    rng = random.Random(seed)
+    data = {i: rng.randrange(1, 200) for i in range(n)}
+    ds = _ds(delay_slots)
+    source = f"""
+        addi r1, r0, {n - 1}   ; outer count
+outer:  addi r2, r0, 0         ; byte index
+        addi r3, r0, 0         ; swapped flag
+inner:  lw   r4, 0(r2)
+        lw   r5, 4(r2)
+        slt  r6, r5, r4        ; out of order?
+        beqz r6, noswap
+{ds}        sw   0(r2), r5
+        sw   4(r2), r4
+        addi r3, r0, 1
+noswap: addi r2, r2, 4
+        slti r7, r2, {4 * (n - 1)}
+        bnez r7, inner
+{ds}        subi r1, r1, 1
+        bnez r1, outer
+{ds}halt:   j halt
+        nop
+"""
+    return Workload.from_source("bubble-sort", source, data)
+
+
+def matmul(n: int = 3, seed: int = 9, delay_slots: bool = True) -> Workload:
+    """Multiply two ``n x n`` matrices (A at word 0, B at word 16, C at
+    word 32) with the MULT instruction — a multiplication-dense kernel
+    for the multi-cycle-unit experiments."""
+    rng = random.Random(seed)
+    data = {}
+    for i in range(n * n):
+        data[i] = rng.randrange(1, 9)  # A
+        data[16 + i] = rng.randrange(1, 9)  # B
+    ds = _ds(delay_slots)
+    source = f"""
+        addi r21, r0, {n}       ; matrix dimension
+        addi r22, r0, 2         ; shift for word size
+        addi r1, r0, 0          ; i
+iloop:  addi r2, r0, 0          ; j
+jloop:  addi r3, r0, 0          ; k
+        addi r4, r0, 0          ; acc
+kloop:  mult r5, r1, r21        ; i*n
+        add  r5, r5, r3         ; i*n + k
+        sll  r5, r5, r22        ; *4
+        lw   r6, 0(r5)          ; A[i][k]
+        mult r7, r3, r21
+        add  r7, r7, r2
+        sll  r7, r7, r22
+        lw   r8, 64(r7)         ; B[k][j] (B at byte 64 = word 16)
+        mult r9, r6, r8
+        add  r4, r4, r9
+        addi r3, r3, 1
+        slt  r10, r3, r21
+        bnez r10, kloop
+{ds}        mult r5, r1, r21
+        add  r5, r5, r2
+        sll  r5, r5, r22
+        sw   128(r5), r4        ; C at byte 128 = word 32
+        addi r2, r2, 1
+        slt  r10, r2, r21
+        bnez r10, jloop
+{ds}        addi r1, r1, 1
+        slt  r10, r1, r21
+        bnez r10, iloop
+{ds}halt:   j halt
+        nop
+"""
+    return Workload.from_source("matmul", source, data)
+
+
+def random_program(
+    n: int = 40, seed: int = 0, delay_slots: bool = True
+) -> Workload:
+    """A seeded random straight-line mix of ALU, load/store and short
+    forward branches (always reconvergent, so both sequencing models
+    terminate at the halt loop)."""
+    rng = random.Random(seed)
+    lines: list[str] = []
+    data = {i: rng.randrange(1 << 16) for i in range(32)}
+    label = 0
+    i = 0
+    while i < n:
+        kind = rng.random()
+        dst = rng.randrange(1, 8)
+        src1 = rng.randrange(0, 8)
+        src2 = rng.randrange(0, 8)
+        if kind < 0.45:
+            op = rng.choice(["add", "sub", "and", "or", "xor", "slt"])
+            lines.append(f"        {op}  r{dst}, r{src1}, r{src2}")
+        elif kind < 0.6:
+            op = rng.choice(["addi", "andi", "ori", "xori"])
+            lines.append(f"        {op} r{dst}, r{src1}, {rng.randrange(256)}")
+        elif kind < 0.75:
+            offset = 4 * rng.randrange(32)
+            lines.append(f"        lw   r{dst}, {offset}(r0)")
+        elif kind < 0.85:
+            offset = 4 * rng.randrange(32)
+            lines.append(f"        sw   {offset}(r0), r{src1}")
+        else:
+            lines.append(f"        beqz r{src1}, fwd{label}")
+            if delay_slots:
+                lines.append("        nop")
+            skip = rng.randrange(1, 4)
+            for _ in range(skip):
+                d = rng.randrange(1, 8)
+                lines.append(f"        addi r{d}, r{d}, 1")
+                i += 1
+            lines.append(f"fwd{label}:")
+            label += 1
+        i += 1
+    lines.append("halt:   j halt")
+    lines.append("        nop")
+    return Workload.from_source(
+        f"random-{seed}", "\n".join(lines) + "\n", data
+    )
+
+
+def standard_suite(delay_slots: bool = True) -> list[Workload]:
+    """The workload suite used by the consistency and CPI experiments."""
+    return [
+        alu_independent(delay_slots=delay_slots),
+        alu_dependent(delay_slots=delay_slots),
+        load_use(delay_slots=delay_slots),
+        memcpy(delay_slots=delay_slots),
+        dot_product(delay_slots=delay_slots),
+        branchy(delay_slots=delay_slots),
+        fibonacci(delay_slots=delay_slots),
+        random_program(seed=1, delay_slots=delay_slots),
+        random_program(seed=2, delay_slots=delay_slots),
+    ]
+
+
+def extended_suite(delay_slots: bool = True) -> list[Workload]:
+    """Longer application kernels (hundreds of dynamic instructions):
+    bubble sort and MULT-based matrix multiplication."""
+    return [
+        bubble_sort(delay_slots=delay_slots),
+        matmul(delay_slots=delay_slots),
+    ]

@@ -1,0 +1,280 @@
+"""ISA-level DLX reference simulator (the specification machine).
+
+Executes one instruction per step with delayed-branch semantics over the
+architectural state ``(GPR, DMem, DPC, PCP, EDPC, EPCP)``.  It records
+the architectural write streams (GPR and DMem) that the hardware
+machines' commit probes must reproduce, which makes it the oracle for
+the data-consistency experiments.
+
+Interrupt semantics (matching the speculative hardware): before an
+instruction executes, if it is TRAP or the external interrupt predicate
+fires for it, the instruction is *not* executed; ``(EDPC, EPCP)`` save
+the ``(DPC, PCP)`` pair and control transfers to the handler at ``SISR``.
+``RFE`` restores the saved pair (re-executing the interrupted
+instruction unless the handler adjusted ``EDPC``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..hdl.bitvec import from_signed, mask, to_signed
+from . import isa
+from .prepared import SISR_DEFAULT
+
+WORD_MASK = mask(32)
+
+
+@dataclass
+class ReferenceState:
+    """Architectural state of the specification machine."""
+
+    gpr: list[int] = field(default_factory=lambda: [0] * 32)
+    dmem: dict[int, int] = field(default_factory=dict)  # word index -> word
+    dpc: int = 0
+    pcp: int = 4
+    edpc: int = 0
+    epcp: int = 0
+
+    def copy(self) -> "ReferenceState":
+        return ReferenceState(
+            gpr=list(self.gpr),
+            dmem=dict(self.dmem),
+            dpc=self.dpc,
+            pcp=self.pcp,
+            edpc=self.edpc,
+            epcp=self.epcp,
+        )
+
+
+class DlxReference:
+    """Step-at-a-time DLX interpreter with write-stream recording."""
+
+    def __init__(
+        self,
+        program: list[int],
+        data: dict[int, int] | None = None,
+        imem_addr_width: int = 10,
+        dmem_addr_width: int = 10,
+        interrupts: bool = False,
+        sisr: int = SISR_DEFAULT,
+        irq: Callable[[int, "ReferenceState"], bool] | None = None,
+        delay_slot: bool = True,
+    ) -> None:
+        self.imem_size = 1 << imem_addr_width
+        self.dmem_mask = mask(dmem_addr_width)
+        if len(program) > self.imem_size:
+            raise ValueError("program exceeds instruction memory")
+        self.imem = [
+            program[i] if i < len(program) else isa.NOP
+            for i in range(self.imem_size)
+        ]
+        self.state = ReferenceState(dmem=dict(data or {}))
+        self.interrupts = interrupts
+        self.sisr = sisr
+        # With delay_slot=False (the speculative machine's ISA) branches
+        # and jumps take effect immediately and the link value is PC + 4;
+        # the PCP register degenerates to "PC + 4".
+        self.delay_slot = delay_slot
+        # irq(instruction_index, state) -> external interrupt pending?
+        self.irq = irq
+        self.instructions = 0
+        self.gpr_writes: list[tuple[int, int]] = []
+        self.dmem_writes: list[tuple[int, int]] = []
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _fetch(self, address: int) -> int:
+        return self.imem[(address >> 2) & (self.imem_size - 1)]
+
+    def _read_word(self, byte_address: int) -> int:
+        return self.state.dmem.get((byte_address >> 2) & self.dmem_mask, 0)
+
+    def _write_word(self, byte_address: int, word: int) -> None:
+        index = (byte_address >> 2) & self.dmem_mask
+        word &= WORD_MASK
+        self.state.dmem[index] = word
+        self.dmem_writes.append((index, word))
+
+    def _write_gpr(self, reg: int, value: int) -> None:
+        if reg == 0:
+            return
+        value &= WORD_MASK
+        self.state.gpr[reg] = value
+        self.gpr_writes.append((reg, value))
+
+    # -- execution -----------------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute one instruction (or take one interrupt)."""
+        state = self.state
+        word = self._fetch(state.dpc)
+        instr = isa.Decoded(word)
+
+        if self.interrupts:
+            external = self.irq is not None and self.irq(self.instructions, state)
+            if instr.is_trap or external:
+                state.edpc = state.dpc
+                state.epcp = state.pcp
+                state.dpc = self.sisr & WORD_MASK
+                state.pcp = (self.sisr + 4) & WORD_MASK
+                self.instructions += 1
+                return
+
+        a = state.gpr[instr.rs1]
+        b_addr = instr.rd_i if instr.is_store else instr.rs2
+        b = state.gpr[b_addr]
+
+        # control-flow destination (None: fall through); offsets are
+        # relative to DPC + 4 under both sequencing models
+        control: int | None = None
+        link = (state.dpc + (8 if self.delay_slot else 4)) & WORD_MASK
+        is_rfe = self.interrupts and instr.is_rfe
+
+        if instr.is_rtype:
+            self._write_gpr(instr.rd_r, self._alu_r(instr, a, b))
+        elif instr.is_alu_imm:
+            imm = (
+                instr.imm16
+                if instr.opcode in isa.ZEXT_IMM_OPS
+                else instr.imm16_signed
+            )
+            self._write_gpr(instr.rd_i, self._alu_i(instr, a, imm))
+        elif instr.is_lhi:
+            self._write_gpr(instr.rd_i, (instr.imm16 << 16) & WORD_MASK)
+        elif instr.is_load:
+            address = (a + instr.imm16_signed) & WORD_MASK
+            self._write_gpr(instr.rd_i, self._load(instr, address))
+        elif instr.is_store:
+            address = (a + instr.imm16_signed) & WORD_MASK
+            self._store(instr, address, b)
+        elif instr.is_branch:
+            taken = (a == 0) if instr.opcode == isa.OP_BEQZ else (a != 0)
+            if taken:
+                control = (state.dpc + 4 + instr.imm16_signed) & WORD_MASK
+        elif instr.opcode == isa.OP_J:
+            control = (state.dpc + 4 + instr.imm26_signed) & WORD_MASK
+        elif instr.opcode == isa.OP_JAL:
+            control = (state.dpc + 4 + instr.imm26_signed) & WORD_MASK
+            self._write_gpr(31, link)
+        elif instr.opcode == isa.OP_JR:
+            control = a
+        elif instr.opcode == isa.OP_JALR:
+            control = a
+            self._write_gpr(31, link)
+        # anything else: architectural NOP
+
+        if self.delay_slot:
+            if is_rfe:
+                state.dpc = state.edpc
+                state.pcp = state.epcp
+            else:
+                state.dpc = state.pcp
+                state.pcp = (
+                    control
+                    if control is not None
+                    else (state.pcp + 4) & WORD_MASK
+                )
+        else:
+            if is_rfe:
+                state.dpc = state.edpc
+            else:
+                state.dpc = (
+                    control
+                    if control is not None
+                    else (state.dpc + 4) & WORD_MASK
+                )
+            state.pcp = (state.dpc + 4) & WORD_MASK
+        self.instructions += 1
+
+    def run(self, instructions: int) -> "DlxReference":
+        for _ in range(instructions):
+            self.step()
+        return self
+
+    # -- operation semantics ----------------------------------------------------------
+
+    @staticmethod
+    def _alu_op(funct: int, a: int, b: int) -> int:
+        sa = to_signed(a, 32)
+        sb = to_signed(b, 32)
+        amount = b & 0x1F
+        if funct == isa.F_ADD:
+            return a + b
+        if funct == isa.F_SUB:
+            return a - b
+        if funct == isa.F_AND:
+            return a & b
+        if funct == isa.F_OR:
+            return a | b
+        if funct == isa.F_XOR:
+            return a ^ b
+        if funct == isa.F_SLL:
+            return a << amount
+        if funct == isa.F_SRL:
+            return a >> amount
+        if funct == isa.F_SRA:
+            return from_signed(sa >> amount, 32)
+        if funct == isa.F_SLT:
+            return int(sa < sb)
+        if funct == isa.F_SLTU:
+            return int(a < b)
+        if funct == isa.F_SEQ:
+            return int(a == b)
+        if funct == isa.F_SNE:
+            return int(a != b)
+        if funct == isa.F_MULT:
+            return a * b  # low 32 bits taken by the caller's mask
+        raise ValueError(f"unknown funct {funct:#x}")
+
+    def _alu_r(self, instr: isa.Decoded, a: int, b: int) -> int:
+        return self._alu_op(instr.funct, a, b & WORD_MASK) & WORD_MASK
+
+    _IMM_FUNCT = {
+        isa.OP_ADDI: isa.F_ADD,
+        isa.OP_SUBI: isa.F_SUB,
+        isa.OP_ANDI: isa.F_AND,
+        isa.OP_ORI: isa.F_OR,
+        isa.OP_XORI: isa.F_XOR,
+        isa.OP_SLTI: isa.F_SLT,
+        isa.OP_SLTUI: isa.F_SLTU,
+        isa.OP_SEQI: isa.F_SEQ,
+        isa.OP_SNEI: isa.F_SNE,
+    }
+
+    def _alu_i(self, instr: isa.Decoded, a: int, imm: int) -> int:
+        return self._alu_op(self._IMM_FUNCT[instr.opcode], a, imm & WORD_MASK) & WORD_MASK
+
+    def _load(self, instr: isa.Decoded, address: int) -> int:
+        word = self._read_word(address)
+        shift = (address & 3) * 8
+        shifted = word >> shift
+        op = instr.opcode
+        if op == isa.OP_LW:
+            return word
+        if op == isa.OP_LB:
+            return from_signed(to_signed(shifted & 0xFF, 8), 32)
+        if op == isa.OP_LBU:
+            return shifted & 0xFF
+        if op == isa.OP_LH:
+            return from_signed(to_signed(shifted & 0xFFFF, 16), 32)
+        if op == isa.OP_LHU:
+            return shifted & 0xFFFF
+        raise ValueError(f"unknown load {op:#x}")
+
+    def _store(self, instr: isa.Decoded, address: int, value: int) -> None:
+        op = instr.opcode
+        if op == isa.OP_SW:
+            self._write_word(address, value)
+            return
+        old = self._read_word(address)
+        shift = (address & 3) * 8
+        if op == isa.OP_SB:
+            lane_mask = 0xFF << shift
+        elif op == isa.OP_SH:
+            lane_mask = 0xFFFF << shift
+        else:
+            raise ValueError(f"unknown store {op:#x}")
+        merged = (old & ~lane_mask) | ((value << shift) & lane_mask)
+        self._write_word(address, merged)

@@ -1,0 +1,225 @@
+"""A speculative DLX variant: no delay slot, predicted instruction fetch.
+
+This machine realises the paper's Section 5 remark: "if one speculates on
+whether a branch is taken or not taken in stage 0 (instruction fetch), one
+can implement branch prediction."
+
+ISA difference to :mod:`repro.dlx.prepared`: control transfers take effect
+immediately (no delay slot) and the link value is ``PC + 4``.  Because the
+next fetch address of instruction ``i`` is only certain once ``i`` resolves
+in EX, the fetch stage *guesses* it:
+
+* every instruction's **guess** is its own fetch address (the value of
+  ``PC`` when it occupied stage 0), piped along by the tool;
+* every instruction writes its **true next PC** into the architectural
+  register ``TNPC`` in EX (stage 2);
+* when an instruction reaches EX, its piped guess is compared against its
+  predecessor's ``TNPC`` (readable directly in stage 2) — a mismatch means
+  the instruction was fetched from the wrong address: ``rollback_2``
+  squashes it and everything younger, and the repair ``PC := TNPC``
+  restarts fetch on the correct path.
+
+The *predictor* only chooses the guessed fetch address; per the paper it
+affects performance, never correctness (an adversarial predictor still
+yields a consistent machine — experiment E5 checks exactly that).
+
+Predictors (all decode the fetched word combinationally):
+
+* ``"not_taken"``  — always ``PC + 4``;
+* ``"taken"``      — branches and immediate jumps predicted taken
+  (target computable at fetch); register jumps fall back to ``PC + 4``;
+* ``"btfn"``       — backward-taken / forward-not-taken for conditional
+  branches; immediate jumps predicted taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hdl import expr as E
+from ..machine.prepared import PreparedMachine, SpeculationSpec
+from . import datapath as dp
+from . import isa
+
+WORD = isa.WORD
+
+PREDICTORS = ("not_taken", "taken", "btfn")
+
+
+@dataclass(frozen=True)
+class DlxSpecConfig:
+    """Sizing and predictor selection for the speculative DLX."""
+
+    imem_addr_width: int = 10
+    dmem_addr_width: int = 10
+    predictor: str = "not_taken"
+
+    def __post_init__(self) -> None:
+        if self.predictor not in PREDICTORS:
+            raise ValueError(
+                f"unknown predictor {self.predictor!r}; use one of {PREDICTORS}"
+            )
+
+
+def _predicted_npc(predictor: str, pc: E.Expr, word: E.Expr) -> E.Expr:
+    """The fetch stage's guess for the next PC."""
+    fall_through = E.add(pc, E.const(WORD, 4))
+    if predictor == "not_taken":
+        return fall_through
+    branch_target = E.add(fall_through, dp.imm16_sext(word))
+    jump_target = E.add(fall_through, dp.imm26_sext(word))
+    backward = E.bit(word, 15)  # sign of imm16
+    if predictor == "taken":
+        take_branch = dp.is_branch(word)
+    else:  # btfn
+        take_branch = E.band(dp.is_branch(word), backward)
+    guess = fall_through
+    guess = E.mux(take_branch, branch_target, guess)
+    guess = E.mux(dp.is_jump_imm(word), jump_target, guess)
+    return guess
+
+
+def _true_npc(ir: E.Expr, pc: E.Expr, a: E.Expr) -> E.Expr:
+    """``f^2_TNPC``: the architecturally correct next PC, resolved in EX."""
+    fall_through = E.add(pc, E.const(WORD, 4))
+    branch_target = E.add(fall_through, dp.imm16_sext(ir))
+    jump_target = E.add(fall_through, dp.imm26_sext(ir))
+    result = fall_through
+    result = E.mux(
+        E.band(dp.is_branch(ir), dp.branch_taken(ir, a)), branch_target, result
+    )
+    result = E.mux(dp.is_jump_imm(ir), jump_target, result)
+    result = E.mux(dp.is_jump_reg(ir), a, result)
+    return result
+
+
+def build_dlx_spec_machine(
+    program: list[int],
+    data: dict[int, int] | None = None,
+    config: DlxSpecConfig | None = None,
+) -> PreparedMachine:
+    """Build the prepared speculative DLX for a program."""
+    config = config or DlxSpecConfig()
+    imem_size = 1 << config.imem_addr_width
+    if len(program) > imem_size:
+        raise ValueError("program exceeds instruction memory")
+
+    machine = PreparedMachine("dlx-spec", 5)
+
+    # ---- state -----------------------------------------------------------
+    machine.add_register("PC", WORD, first=1, init=0, visible=True)
+    machine.add_register("IR", WORD, first=1, last=4, init=isa.NOP)
+    machine.add_register("PCI", WORD, first=1, last=3)  # own fetch address
+    machine.add_register("A", WORD, first=2)
+    machine.add_register("B", WORD, first=2)
+    machine.add_register("C", WORD, first=2, last=4)
+    machine.add_register("MAR", WORD, first=3, last=4)
+    machine.add_register("MDRw", WORD, first=3)
+    machine.add_register("MDRr", WORD, first=4)
+    machine.add_register("TNPC", WORD, first=3, init=0)
+
+    machine.add_register_file("GPR", addr_width=5, data_width=WORD, write_stage=4)
+    machine.add_register_file(
+        "IMem",
+        addr_width=config.imem_addr_width,
+        data_width=WORD,
+        write_stage=0,
+        init={
+            i: (program[i] if i < len(program) else isa.NOP)
+            for i in range(imem_size)
+        },
+        read_only=True,
+    )
+    machine.add_register_file(
+        "DMem",
+        addr_width=config.dmem_addr_width,
+        data_width=WORD,
+        write_stage=3,
+        init=dict(data or {}),
+    )
+
+    # ---- stage 0: IF (speculative) -------------------------------------------
+    pc = machine.read_last("PC")
+    fetch_index = E.bits(pc, 2, 2 + config.imem_addr_width - 1)
+    fetched = machine.read_file("IMem", fetch_index)
+    machine.set_output(0, "IR", fetched)
+    machine.set_output(0, "PCI", pc)
+    machine.set_output(0, "PC", _predicted_npc(config.predictor, pc, fetched))
+
+    # ---- stage 1: ID --------------------------------------------------------------
+    ir1 = machine.read("IR", 1)
+    pci1 = machine.read("PCI", 1)
+    a_read = machine.read_file("GPR", dp.rs1(ir1))
+    b_read = machine.read_file("GPR", dp.b_operand_addr(ir1))
+    machine.set_output(1, "A", a_read)
+    machine.set_output(1, "B", b_read)
+
+    lhi_value = E.concat(E.bits(ir1, 0, 15), E.const(16, 0))
+    link_value = E.add(pci1, E.const(WORD, 4))
+    machine.set_output(
+        1,
+        "C",
+        E.mux(dp.is_lhi(ir1), lhi_value, link_value),
+        we=E.bor(dp.is_lhi(ir1), dp.is_link(ir1)),
+    )
+
+    # ---- stage 2: EX ------------------------------------------------------------------
+    ir2 = machine.read("IR", 2)
+    pci2 = machine.read("PCI", 2)
+    a2 = machine.read("A", 2)
+    b2 = machine.read("B", 2)
+    machine.set_output(
+        2, "C", dp.alu_result(ir2, a2, dp.ex_b_operand(ir2, b2)), we=dp.is_alu(ir2)
+    )
+    machine.set_output(2, "MAR", E.add(a2, dp.imm16_sext(ir2)))
+    machine.set_output(2, "MDRw", b2)
+    machine.set_output(2, "TNPC", _true_npc(ir2, pci2, a2))
+
+    # ---- stage 3: MEM --------------------------------------------------------------------
+    ir3 = machine.read("IR", 3)
+    mar3 = machine.read("MAR", 3)
+    mdrw3 = machine.read("MDRw", 3)
+    word_index = E.bits(mar3, 2, 2 + config.dmem_addr_width - 1)
+    byte_offset = E.bits(mar3, 0, 1)
+    mem_word = machine.read_file("DMem", word_index)
+    machine.set_output(3, "MDRr", mem_word)
+    machine.set_regfile_write(
+        "DMem",
+        data=dp.store_merge(ir3, mem_word, mdrw3, byte_offset),
+        we=dp.is_store(ir3),
+        wa=word_index,
+        compute_stage=3,
+    )
+
+    # ---- stage 4: WB -----------------------------------------------------------------------
+    ir4 = machine.read("IR", 4)
+    c4 = machine.read("C", 4)
+    mdrr4 = machine.read("MDRr", 4)
+    mar4 = machine.read("MAR", 4)
+    loaded = dp.shift4load(ir4, mdrr4, E.bits(mar4, 0, 1))
+    machine.set_regfile_write(
+        "GPR",
+        data=E.mux(dp.is_load(ir4), loaded, c4),
+        we=dp.writes_gpr(ir1),
+        wa=dp.gpr_dest(ir1),
+        compute_stage=1,
+    )
+
+    # ---- forwarding registers -----------------------------------------------------------------
+    machine.add_forwarding_register("GPR", "C", 2)
+    machine.add_forwarding_register("GPR", "C", 3)
+
+    # ---- fetch speculation -----------------------------------------------------------------------
+    machine.add_speculation(
+        SpeculationSpec(
+            name="fetch",
+            guess_stage=0,
+            guess=machine.read_last("PC"),
+            resolve_stage=2,
+            actual=machine.read("TNPC", 3),
+            repairs={"PC.1": machine.read("TNPC", 3)},
+        )
+    )
+
+    machine.validate()
+    return machine

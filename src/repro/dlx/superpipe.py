@@ -1,0 +1,189 @@
+"""A superpipelined DLX: configurable execute and memory depth.
+
+The paper's Section 4.2 remark — forwarding "gets slow with larger
+pipelines" — applied to the real case study rather than a synthetic
+machine: this builder stretches the 5-stage DLX to ``3 + ex_stages +
+mem_stages`` stages::
+
+    0 IF | 1 ID | EX1..EXe | MEM1..MEMm | WB
+
+The ALU computes in the *last* EX stage (operands travel along), the
+data memory commits/reads in the last MEM stage, and ``C`` passes through
+every stage in between.  Consequences the experiments measure:
+
+* the forwarding networks get one hit stage (and one ``=?`` comparator)
+  per added stage;
+* ALU results become valid only after EXe, so dependent instructions
+  interlock for ``ex_stages - 1`` extra cycles;
+* the load-use penalty grows by ``ex_stages + mem_stages - 2`` cycles.
+
+Delayed branches, byte/half memory access and the full integer ISA are
+inherited unchanged; interrupts and the multi-cycle multiplier are left
+to the 5-stage builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hdl import expr as E
+from ..machine.prepared import PreparedMachine
+from . import datapath as dp
+from . import isa
+
+WORD = isa.WORD
+
+
+@dataclass(frozen=True)
+class SuperPipeConfig:
+    """Depth and sizing of the superpipelined DLX."""
+
+    ex_stages: int = 2
+    mem_stages: int = 1
+    imem_addr_width: int = 8
+    dmem_addr_width: int = 6
+
+    def __post_init__(self) -> None:
+        if self.ex_stages < 1 or self.mem_stages < 1:
+            raise ValueError("ex_stages and mem_stages must be at least 1")
+
+    @property
+    def n_stages(self) -> int:
+        return 3 + self.ex_stages + self.mem_stages
+
+    @property
+    def ex_last(self) -> int:
+        """The stage whose f produces the ALU result."""
+        return 1 + self.ex_stages
+
+    @property
+    def mem_last(self) -> int:
+        """The stage that accesses the data memory."""
+        return 1 + self.ex_stages + self.mem_stages
+
+    @property
+    def wb(self) -> int:
+        return self.n_stages - 1
+
+
+def build_superpipelined_dlx(
+    program: list[int],
+    data: dict[int, int] | None = None,
+    config: SuperPipeConfig | None = None,
+) -> PreparedMachine:
+    """Build the prepared superpipelined DLX."""
+    config = config or SuperPipeConfig()
+    imem_size = 1 << config.imem_addr_width
+    if len(program) > imem_size:
+        raise ValueError("program exceeds instruction memory")
+
+    n = config.n_stages
+    ex_last = config.ex_last
+    mem_last = config.mem_last
+    wb = config.wb
+    machine = PreparedMachine(f"dlx-sp{n}", n)
+
+    # ---- state -------------------------------------------------------------
+    machine.add_register("DPC", WORD, first=2, init=0, visible=True)
+    machine.add_register("PCP", WORD, first=2, init=4, visible=True)
+    machine.add_register("IR", WORD, first=1, last=wb, init=isa.NOP)
+    machine.add_register("A", WORD, first=2, last=ex_last)
+    machine.add_register("B", WORD, first=2, last=ex_last)
+    machine.add_register("C", WORD, first=2, last=wb)
+    machine.add_register("MAR", WORD, first=ex_last + 1, last=wb)
+    machine.add_register("MDRw", WORD, first=ex_last + 1, last=mem_last)
+    machine.add_register("MDRr", WORD, first=mem_last + 1)
+
+    machine.add_register_file("GPR", addr_width=5, data_width=WORD, write_stage=wb)
+    machine.add_register_file(
+        "IMem",
+        addr_width=config.imem_addr_width,
+        data_width=WORD,
+        write_stage=0,
+        init={
+            i: (program[i] if i < len(program) else isa.NOP)
+            for i in range(imem_size)
+        },
+        read_only=True,
+    )
+    machine.add_register_file(
+        "DMem",
+        addr_width=config.dmem_addr_width,
+        data_width=WORD,
+        write_stage=mem_last,
+        init=dict(data or {}),
+    )
+
+    # ---- IF -----------------------------------------------------------------
+    dpc = machine.read_last("DPC")
+    fetch_index = E.bits(dpc, 2, 2 + config.imem_addr_width - 1)
+    machine.set_output(0, "IR", machine.read_file("IMem", fetch_index))
+
+    # ---- ID -------------------------------------------------------------------
+    ir1 = machine.read("IR", 1)
+    dpc1 = machine.read_last("DPC")
+    pcp1 = machine.read_last("PCP")
+    a_read = machine.read_file("GPR", dp.rs1(ir1))
+    b_read = machine.read_file("GPR", dp.b_operand_addr(ir1))
+    machine.set_output(1, "A", a_read)
+    machine.set_output(1, "B", b_read)
+    machine.set_output(1, "DPC", pcp1)
+    machine.set_output(1, "PCP", dp.next_pcp(ir1, dpc1, pcp1, a_read))
+
+    lhi_value = E.concat(E.bits(ir1, 0, 15), E.const(16, 0))
+    machine.set_output(
+        1,
+        "C",
+        E.mux(dp.is_lhi(ir1), lhi_value, dp.link_value(dpc1)),
+        we=E.bor(dp.is_lhi(ir1), dp.is_link(ir1)),
+    )
+
+    # ---- EX1 .. EXe: operands travel, the last stage computes ------------------
+    ir_ex = machine.read("IR", ex_last)
+    a_ex = machine.read("A", ex_last)
+    b_ex = machine.read("B", ex_last)
+    machine.set_output(
+        ex_last,
+        "C",
+        dp.alu_result(ir_ex, a_ex, dp.ex_b_operand(ir_ex, b_ex)),
+        we=dp.is_alu(ir_ex),
+    )
+    machine.set_output(ex_last, "MAR", E.add(a_ex, dp.imm16_sext(ir_ex)))
+    machine.set_output(ex_last, "MDRw", b_ex)
+
+    # ---- MEM1 .. MEMm: the last stage accesses memory ----------------------------
+    ir_mem = machine.read("IR", mem_last)
+    mar_mem = machine.read("MAR", mem_last)
+    mdrw_mem = machine.read("MDRw", mem_last)
+    word_index = E.bits(mar_mem, 2, 2 + config.dmem_addr_width - 1)
+    byte_offset = E.bits(mar_mem, 0, 1)
+    mem_word = machine.read_file("DMem", word_index)
+    machine.set_output(mem_last, "MDRr", mem_word)
+    machine.set_regfile_write(
+        "DMem",
+        data=dp.store_merge(ir_mem, mem_word, mdrw_mem, byte_offset),
+        we=dp.is_store(ir_mem),
+        wa=word_index,
+        compute_stage=mem_last,
+    )
+
+    # ---- WB -----------------------------------------------------------------------
+    ir_wb = machine.read("IR", wb)
+    c_wb = machine.read("C", wb)
+    mdrr_wb = machine.read("MDRr", wb)
+    mar_wb = machine.read("MAR", wb)
+    loaded = dp.shift4load(ir_wb, mdrr_wb, E.bits(mar_wb, 0, 1))
+    machine.set_regfile_write(
+        "GPR",
+        data=E.mux(dp.is_load(ir_wb), loaded, c_wb),
+        we=dp.writes_gpr(ir1),
+        wa=dp.gpr_dest(ir1),
+        compute_stage=1,
+    )
+
+    # ---- forwarding registers: C in every intermediate stage ------------------------
+    for stage in range(2, wb):
+        machine.add_forwarding_register("GPR", "C", stage)
+
+    machine.validate()
+    return machine

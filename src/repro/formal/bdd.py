@@ -1,0 +1,200 @@
+"""Reduced Ordered Binary Decision Diagrams.
+
+A compact ROBDD package (Bryant 1986, the paper's reference [4]) used as a
+second, independent engine for combinational equivalence: two circuits are
+equivalent iff their BDDs are the same node.  The manager interns nodes in a
+unique table and memoizes ``ite``, so equality is pointer equality.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+class Bdd:
+    """A BDD manager with a fixed growing variable order.
+
+    Nodes are integers: 0 = FALSE, 1 = TRUE, others index the manager's node
+    table.  Each internal node is ``(var, low, high)`` where ``low`` is the
+    cofactor for var=0.
+    """
+
+    def __init__(self) -> None:
+        self.false = 0
+        self.true = 1
+        # node id -> (var, low, high); ids 0/1 are terminals
+        self._nodes: list[tuple[int, int, int]] = [(-1, 0, 0), (-1, 1, 1)]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self.num_vars = 0
+
+    def new_var(self) -> int:
+        """Allocate the next variable (later in the order) and return the
+        BDD node for it."""
+        var = self.num_vars
+        self.num_vars += 1
+        return self._mk(var, self.false, self.true)
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def var_of(self, node: int) -> int:
+        return self._nodes[node][0]
+
+    def _top_var(self, *nodes: int) -> int:
+        variables = [self._nodes[n][0] for n in nodes if n > 1]
+        return min(variables)
+
+    def _cofactor(self, node: int, var: int, value: int) -> int:
+        if node <= 1:
+            return node
+        node_var, low, high = self._nodes[node]
+        if node_var != var:
+            return node
+        return high if value else low
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: f ? g : h."""
+        if f == self.true:
+            return g
+        if f == self.false:
+            return h
+        if g == h:
+            return g
+        if g == self.true and h == self.false:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        var = self._top_var(f, g, h)
+        low = self.ite(
+            self._cofactor(f, var, 0),
+            self._cofactor(g, var, 0),
+            self._cofactor(h, var, 0),
+        )
+        high = self.ite(
+            self._cofactor(f, var, 1),
+            self._cofactor(g, var, 1),
+            self._cofactor(h, var, 1),
+        )
+        result = self._mk(var, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    # -- boolean operators -----------------------------------------------------
+
+    def not_(self, f: int) -> int:
+        return self.ite(f, self.false, self.true)
+
+    def and_(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.false)
+
+    def or_(self, f: int, g: int) -> int:
+        return self.ite(f, self.true, g)
+
+    def xor_(self, f: int, g: int) -> int:
+        return self.ite(f, self.not_(g), g)
+
+    def xnor_(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.not_(g))
+
+    def implies_(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.true)
+
+    # -- queries -----------------------------------------------------------------
+
+    def is_tautology(self, f: int) -> bool:
+        return f == self.true
+
+    def equivalent(self, f: int, g: int) -> bool:
+        """Equivalence is pointer equality on a shared manager."""
+        return f == g
+
+    def satisfy_one(self, f: int) -> dict[int, bool] | None:
+        """Return one satisfying assignment (var index -> bool), or None."""
+        if f == self.false:
+            return None
+        assignment: dict[int, bool] = {}
+        node = f
+        while node > 1:
+            var, low, high = self._nodes[node]
+            if low != self.false:
+                assignment[var] = False
+                node = low
+            else:
+                assignment[var] = True
+                node = high
+        return assignment
+
+    def count_sat(self, f: int, var_count: int | None = None) -> int:
+        """Number of satisfying assignments over ``var_count`` variables."""
+        total_vars = self.num_vars if var_count is None else var_count
+        memo: dict[int, int] = {}
+
+        def count(node: int) -> tuple[int, int]:
+            """Returns (count, level) where count is over vars below level."""
+            if node == self.false:
+                return 0, total_vars
+            if node == self.true:
+                return 1, total_vars
+            if node in memo:
+                var = self._nodes[node][0]
+                return memo[node], var
+            var, low, high = self._nodes[node]
+            lc, ll = count(low)
+            hc, hl = count(high)
+            result = lc * (1 << (ll - var - 1)) + hc * (1 << (hl - var - 1))
+            memo[node] = result
+            return result, var
+
+        count_value, level = count(f)
+        return count_value * (1 << level)
+
+    def evaluate(self, f: int, assignment: Mapping[int, bool]) -> bool:
+        node = f
+        while node > 1:
+            var, low, high = self._nodes[node]
+            node = high if assignment.get(var, False) else low
+        return node == self.true
+
+    def size(self, f: int) -> int:
+        """Number of internal nodes reachable from ``f``."""
+        seen: set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            _, low, high = self._nodes[node]
+            stack.extend((low, high))
+        return len(seen)
+
+
+def bdd_from_aig(
+    bdd: Bdd, aig_ands: Sequence[tuple[int, int, int]], var_map: Mapping[int, int]
+) -> dict[int, int]:
+    """Build BDDs for every AIG variable.
+
+    ``var_map`` maps AIG input variables to BDD nodes; returns a map from AIG
+    variable to BDD node (constant var 0 maps to FALSE).
+    """
+    node_of: dict[int, int] = {0: bdd.false}
+    node_of.update(var_map)
+
+    def lit_bdd(lit: int) -> int:
+        base = node_of[lit >> 1]
+        return bdd.not_(base) if lit & 1 else base
+
+    for var, a, b in aig_ands:
+        node_of[var] = bdd.and_(lit_bdd(a), lit_bdd(b))
+    return node_of

@@ -1,0 +1,429 @@
+"""Bounded model checking and k-induction over HDL modules.
+
+A :class:`TransitionSystem` is extracted from a :class:`repro.hdl.Module`:
+registers and (expanded) memory words form the state, and each state
+element's next-value is a single expression — ``mux(enable, next, hold)``
+for registers, a write-port fold for memory words.
+
+:func:`bmc` searches for a property violation within ``k`` steps from the
+initial state; :func:`k_induction` proves a property invariant by the
+standard base + inductive-step scheme.  Both bit-blast the unrolling to CNF
+and use the CDCL solver from :mod:`repro.formal.sat`.
+
+This engine is what discharges the hardware-level proof obligations the
+transformation tool emits (the role PVS played for the paper's authors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..hdl import expr as E
+from ..hdl.netlist import Module
+from .aig import Aig, BitBlaster, Vec, fresh_vec, to_cnf
+from .sat import Solver
+
+
+@dataclass(frozen=True)
+class StateVar:
+    """One element of the transition system's state vector."""
+
+    name: str
+    width: int
+    init: int
+    next: E.Expr
+
+
+class TransitionSystem:
+    """A flat synchronous transition system extracted from a module."""
+
+    def __init__(
+        self,
+        state: list[StateVar],
+        inputs: dict[str, int],
+        mem_shapes: dict[str, tuple[int, int]],
+    ) -> None:
+        self.state = state
+        self.inputs = inputs
+        # memory name -> (addr_width, data_width); words appear in `state`
+        # under the names "mem[idx]".
+        self.mem_shapes = mem_shapes
+        self.mem_word_names = {
+            f"{mem}[{addr}]"
+            for mem, (addr_width, _dw) in mem_shapes.items()
+            for addr in range(1 << addr_width)
+        }
+        # Memories with no write ports (ROMs); their words stay constant
+        # even when the initial frame is otherwise unconstrained.
+        self.constant_mems: set[str] = set()
+        self._by_name = {var.name: var for var in state}
+
+    def var(self, name: str) -> StateVar:
+        return self._by_name[name]
+
+    def cone_of_influence(self, roots: list[E.Expr]) -> set[str]:
+        """State-variable names transitively needed to evaluate ``roots``
+        across any number of steps (memory reads pull in the whole memory).
+        """
+        needed: set[str] = set()
+        frontier: list[E.Expr] = list(roots)
+        while frontier:
+            exprs = frontier
+            frontier = []
+            names: set[str] = set()
+            for node in E.walk(exprs):
+                if isinstance(node, E.RegRead):
+                    names.add(node.name)
+                elif isinstance(node, E.MemRead):
+                    addr_width, _dw = self.mem_shapes[node.mem]
+                    names.update(
+                        f"{node.mem}[{a}]" for a in range(1 << addr_width)
+                    )
+            for name in names - needed:
+                needed.add(name)
+                frontier.append(self._by_name[name].next)
+        return needed
+
+    @classmethod
+    def from_module(cls, module: Module) -> "TransitionSystem":
+        module.validate()
+        state: list[StateVar] = []
+        constant_mems: set[str] = set()
+        for name, reg in module.registers.items():
+            hold = E.reg_read(name, reg.width)
+            state.append(
+                StateVar(
+                    name=name,
+                    width=reg.width,
+                    init=reg.init,
+                    next=E.mux(reg.enable, reg.next, hold),
+                )
+            )
+        mem_shapes: dict[str, tuple[int, int]] = {}
+        for name, memory in module.memories.items():
+            mem_shapes[name] = (memory.addr_width, memory.data_width)
+            if not memory.write_ports:
+                # A ROM: constant in every reachable state, so it is kept
+                # constant even in induction frames (sound and much cheaper).
+                constant_mems.add(name)
+            for addr in range(memory.size):
+                hold: E.Expr = E.mem_read(
+                    name, E.const(memory.addr_width, addr), memory.data_width
+                )
+                value = hold
+                for port in memory.write_ports:
+                    selected = E.band(
+                        port.enable, E.eq(port.addr, E.const(memory.addr_width, addr))
+                    )
+                    value = E.mux(selected, port.data, value)
+                state.append(
+                    StateVar(
+                        name=f"{name}[{addr}]",
+                        width=memory.data_width,
+                        init=memory.init.get(addr, 0),
+                        next=value,
+                    )
+                )
+        system = cls(state, dict(module.inputs), mem_shapes)
+        system.constant_mems = constant_mems
+        return system
+
+
+@dataclass
+class Frame:
+    """Literal vectors of one unrolled time frame."""
+
+    regs: dict[str, Vec]
+    mems: dict[str, list[Vec]]
+    inputs: dict[str, Vec]
+
+
+@dataclass
+class Counterexample:
+    """A concrete trace violating a property."""
+
+    length: int
+    states: list[dict[str, int]] = field(default_factory=list)
+    inputs: list[dict[str, int]] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        lines = [f"counterexample of length {self.length}:"]
+        for t, (state, ins) in enumerate(zip(self.states, self.inputs)):
+            lines.append(f"  frame {t}: inputs={ins} state={state}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a BMC or induction run."""
+
+    holds: bool | None  # True = proved/unviolated in bound, False = cex, None = unknown
+    bound: int
+    method: str
+    counterexample: Counterexample | None = None
+
+    def __bool__(self) -> bool:
+        return bool(self.holds)
+
+
+class Unroller:
+    """Unrolls a transition system into an AIG frame by frame.
+
+    ``support`` restricts the tracked state to a cone of influence: only
+    the listed state variables are materialised per frame (the set must be
+    closed under next-state dependencies, as produced by
+    :meth:`TransitionSystem.cone_of_influence`).
+    """
+
+    def __init__(
+        self,
+        system: TransitionSystem,
+        aig: Aig | None = None,
+        support: set[str] | None = None,
+    ) -> None:
+        self.system = system
+        self.aig = aig if aig is not None else Aig()
+        self.frames: list[Frame] = []
+        self.vars = [
+            var
+            for var in system.state
+            if support is None or var.name in support
+        ]
+        self._tracked = {var.name for var in self.vars}
+
+    def _split_state(self, vecs: Mapping[str, Vec], input_vecs: dict[str, Vec]) -> Frame:
+        regs: dict[str, Vec] = {}
+        mems: dict[str, list[Vec]] = {}
+        for mem, (addr_width, _dw) in self.system.mem_shapes.items():
+            if f"{mem}[0]" not in self._tracked:
+                continue
+            mems[mem] = [list(vecs[f"{mem}[{a}]"]) for a in range(1 << addr_width)]
+        for var in self.vars:
+            if var.name not in self.system.mem_word_names:
+                regs[var.name] = list(vecs[var.name])
+        return Frame(regs=regs, mems=mems, inputs=input_vecs)
+
+    def add_initial_frame(self, free: bool) -> Frame:
+        """Frame 0: constants from reset values, or fresh variables.
+
+        ROM contents stay constant even in free frames — they are constant
+        in every reachable state, so this is a sound strengthening.
+        """
+        vecs: dict[str, Vec] = {}
+        for var in self.vars:
+            rom = (
+                "[" in var.name
+                and var.name.split("[")[0] in self.system.constant_mems
+            )
+            if free and not rom:
+                vecs[var.name] = fresh_vec(self.aig, var.width)
+            else:
+                vecs[var.name] = [
+                    1 if (var.init >> i) & 1 else 0 for i in range(var.width)
+                ]
+        frame = self._split_state(vecs, self._fresh_inputs())
+        self.frames.append(frame)
+        return frame
+
+    def _fresh_inputs(self) -> dict[str, Vec]:
+        return {
+            name: fresh_vec(self.aig, width)
+            for name, width in self.system.inputs.items()
+        }
+
+    def _blaster(self, frame: Frame) -> BitBlaster:
+        return BitBlaster(
+            self.aig, regs=frame.regs, inputs=frame.inputs, mem_words=frame.mems
+        )
+
+    def add_step(self) -> Frame:
+        """Compute frame t+1 from the last frame."""
+        current = self.frames[-1]
+        blaster = self._blaster(current)
+        vecs = {var.name: blaster.blast(var.next) for var in self.vars}
+        frame = self._split_state(vecs, self._fresh_inputs())
+        self.frames.append(frame)
+        return frame
+
+    def blast_in_frame(self, index: int, expression: E.Expr) -> Vec:
+        """Evaluate an expression over the state/inputs of frame ``index``."""
+        return self._blaster(self.frames[index]).blast(expression)
+
+    def bit_in_frame(self, index: int, expression: E.Expr) -> int:
+        if expression.width != 1:
+            raise ValueError("property expressions must be 1 bit wide")
+        return self.blast_in_frame(index, expression)[0]
+
+    def decode(self, model: Mapping[int, bool], frames: int) -> Counterexample:
+        """Decode a SAT model into a concrete trace.
+
+        The model only constrains variables in the property's cone; nodes
+        that folded out of it (don't-care bits) would decode arbitrarily.
+        To make the trace *replayable* on the simulator, state values are
+        recomputed by evaluating the AIG from the model's input assignment
+        — the ground truth every downstream node follows.
+        """
+        assignment = {lit >> 1: bool(model.get(lit >> 1, False)) for lit in self.aig._inputs}
+
+        # one evaluation pass covers every literal of every frame
+        wanted: list[int] = []
+        index: dict[int, int] = {}
+
+        def want(lit: int) -> None:
+            if lit not in index:
+                index[lit] = len(wanted)
+                wanted.append(lit)
+
+        for t in range(frames):
+            frame = self.frames[t]
+            for vec in frame.regs.values():
+                for lit in vec:
+                    want(lit)
+            for words in frame.mems.values():
+                for word in words:
+                    for lit in word:
+                        want(lit)
+            for vec in frame.inputs.values():
+                for lit in vec:
+                    want(lit)
+        values = self.aig.evaluate(assignment, wanted)
+
+        def vec_of(vec: Vec) -> int:
+            return sum(1 << i for i, lit in enumerate(vec) if values[index[lit]])
+
+        cex = Counterexample(length=frames)
+        for t in range(frames):
+            frame = self.frames[t]
+            state = {name: vec_of(vec) for name, vec in frame.regs.items()}
+            for mem, words in frame.mems.items():
+                for addr, word in enumerate(words):
+                    state[f"{mem}[{addr}]"] = vec_of(word)
+            ins = {name: vec_of(vec) for name, vec in frame.inputs.items()}
+            cex.states.append(state)
+            cex.inputs.append(ins)
+        return cex
+
+
+def _solve(aig: Aig, roots: Sequence[int]) -> tuple[bool | None, dict[int, bool]]:
+    """SAT-check the conjunction of AIG literals ``roots``."""
+    folded = aig.and_many(list(roots))
+    if folded == 0:
+        return False, {}
+    if folded == 1:
+        return True, {}
+    clauses, (root_lit,) = to_cnf(aig, [folded])
+    solver = Solver()
+    solver.add_clauses(clauses)
+    solver.add_clause([root_lit])
+    result = solver.solve()
+    return result.satisfiable, result.model
+
+
+def bmc(
+    module_or_system: Module | TransitionSystem,
+    prop: E.Expr,
+    bound: int,
+    assume: Sequence[E.Expr] = (),
+) -> CheckResult:
+    """Check that 1-bit ``prop`` holds in every frame 0..bound from reset.
+
+    ``assume`` expressions are constrained to 1 in every frame (environment
+    assumptions, e.g. "no external stall").
+    """
+    system = (
+        module_or_system
+        if isinstance(module_or_system, TransitionSystem)
+        else TransitionSystem.from_module(module_or_system)
+    )
+    support = system.cone_of_influence([prop, *assume])
+    unroller = Unroller(system, support=support)
+    unroller.add_initial_frame(free=False)
+    aig = unroller.aig
+    assumptions: list[int] = []
+    for t in range(bound + 1):
+        if t > 0:
+            unroller.add_step()
+        assumptions.extend(
+            unroller.bit_in_frame(t, assumption) for assumption in assume
+        )
+        bad = aig.neg(unroller.bit_in_frame(t, prop))
+        sat, model = _solve(aig, assumptions + [bad])
+        if sat:
+            return CheckResult(
+                holds=False,
+                bound=t,
+                method="bmc",
+                counterexample=unroller.decode(model, t + 1),
+            )
+        if sat is None:
+            return CheckResult(holds=None, bound=t, method="bmc")
+    return CheckResult(holds=True, bound=bound, method="bmc")
+
+
+def k_induction(
+    module_or_system: Module | TransitionSystem,
+    prop: E.Expr,
+    k: int = 1,
+    assume: Sequence[E.Expr] = (),
+) -> CheckResult:
+    """Prove ``prop`` invariant by k-induction.
+
+    * base: ``prop`` holds in frames 0..k-1 from the initial state;
+    * step: from any state chain of length k in which ``prop`` (and the
+      assumptions) hold, ``prop`` holds in frame k.
+
+    Returns ``holds=True`` only if both checks pass.  A failing base check
+    returns the concrete counterexample; a failing step check returns
+    ``holds=None`` (the property may still hold but is not k-inductive).
+    Assumptions must themselves be invariants for the result to be sound.
+    """
+    system = (
+        module_or_system
+        if isinstance(module_or_system, TransitionSystem)
+        else TransitionSystem.from_module(module_or_system)
+    )
+    base = bmc(system, prop, bound=k - 1, assume=assume)
+    if base.holds is not True:
+        return CheckResult(
+            holds=base.holds,
+            bound=base.bound,
+            method="k-induction(base)",
+            counterexample=base.counterexample,
+        )
+
+    support = system.cone_of_influence([prop, *assume])
+    unroller = Unroller(system, support=support)
+    unroller.add_initial_frame(free=True)
+    aig = unroller.aig
+    constraints: list[int] = []
+    for t in range(k):
+        constraints.append(unroller.bit_in_frame(t, prop))
+        constraints.extend(
+            unroller.bit_in_frame(t, assumption) for assumption in assume
+        )
+        unroller.add_step()
+    constraints.extend(
+        unroller.bit_in_frame(k, assumption) for assumption in assume
+    )
+    bad = aig.neg(unroller.bit_in_frame(k, prop))
+    sat, _model = _solve(aig, constraints + [bad])
+    if sat is False:
+        return CheckResult(holds=True, bound=k, method="k-induction")
+    return CheckResult(holds=None, bound=k, method="k-induction(step)")
+
+
+def prove(
+    module_or_system: Module | TransitionSystem,
+    prop: E.Expr,
+    max_k: int = 4,
+    assume: Sequence[E.Expr] = (),
+) -> CheckResult:
+    """Try k-induction with increasing k until the step check passes or
+    ``max_k`` is exhausted."""
+    last = CheckResult(holds=None, bound=0, method="k-induction")
+    for k in range(1, max_k + 1):
+        last = k_induction(module_or_system, prop, k=k, assume=assume)
+        if last.holds is not None:
+            return last
+    return last

@@ -1,0 +1,380 @@
+"""A CDCL SAT solver.
+
+This replaces the decision procedures the paper drove through PVS: the
+bounded-model-checking and k-induction engines of :mod:`repro.formal.bmc`
+discharge hardware proof obligations by handing CNF to this solver.
+
+Implemented techniques: two-watched-literal propagation, first-UIP conflict
+analysis with clause learning, VSIDS-style activity decision heuristic with
+phase saving, Luby restarts, and learned-clause minimisation (self-subsuming
+resolution against reason clauses).
+
+Literals use the DIMACS convention: variables are positive integers, a
+negative integer denotes the negated variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class SatResult:
+    """Outcome of a solver run.
+
+    ``satisfiable`` is None when the conflict budget ran out (unknown).
+    ``model`` maps variable -> bool for satisfiable instances.
+    """
+
+    satisfiable: bool | None
+    model: dict[int, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.satisfiable)
+
+    def value(self, var: int) -> bool:
+        return self.model.get(var, False)
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ..."""
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+
+
+class Solver:
+    """CDCL solver over integer DIMACS literals."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        self._watches: dict[int, list[int]] = {}
+        # assignment: var -> bool, plus trail bookkeeping
+        self._assign: dict[int, bool] = {}
+        self._level: dict[int, int] = {}
+        self._reason: dict[int, int | None] = {}
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._activity: dict[int, float] = {}
+        self._var_inc = 1.0
+        self._phase: dict[int, bool] = {}
+        self._ok = True
+        self.stats = SatResult(satisfiable=None)
+
+    # -- problem construction -------------------------------------------------
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add a clause; duplicate literals are merged, tautologies dropped."""
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+            self.num_vars = max(self.num_vars, abs(lit))
+        if not clause:
+            self._ok = False
+            return
+        if len(clause) == 1:
+            # store as unit; applied at solve start
+            self.clauses.append(clause)
+            return
+        self._attach(clause)
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def _attach(self, clause: list[int]) -> int:
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        self._watches.setdefault(clause[0], []).append(index)
+        self._watches.setdefault(clause[1], []).append(index)
+        return index
+
+    # -- assignment helpers ----------------------------------------------------
+
+    def _lit_value(self, lit: int) -> bool | None:
+        value = self._assign.get(abs(lit))
+        if value is None:
+            return None
+        return value if lit > 0 else not value
+
+    def _enqueue(self, lit: int, reason: int | None) -> bool:
+        value = self._lit_value(lit)
+        if value is not None:
+            return value
+        var = abs(lit)
+        self._assign[var] = lit > 0
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        self.stats.propagations += 1
+        return True
+
+    def _propagate(self) -> int | None:
+        """Unit propagation; returns the index of a conflicting clause."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            false_lit = -lit
+            watch_list = self._watches.get(false_lit, [])
+            kept: list[int] = []
+            i = 0
+            while i < len(watch_list):
+                ci = watch_list[i]
+                i += 1
+                clause = self.clauses[ci]
+                # normalise: watched literals are clause[0], clause[1]
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) is True:
+                    kept.append(ci)
+                    continue
+                # search replacement watch
+                moved = False
+                for j in range(2, len(clause)):
+                    if self._lit_value(clause[j]) is not False:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        self._watches.setdefault(clause[1], []).append(ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(ci)
+                if self._lit_value(first) is False:
+                    # conflict
+                    kept.extend(watch_list[i:])
+                    self._watches[false_lit] = kept
+                    self._qhead = len(self._trail)
+                    return ci
+                self._enqueue(first, ci)
+            self._watches[false_lit] = kept
+        return None
+
+    # -- conflict analysis -----------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] = self._activity.get(var, 0.0) + self._var_inc
+        if self._activity[var] > 1e100:
+            for v in self._activity:
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        """First-UIP analysis; returns (learned clause, backjump level)."""
+        learned: list[int] = []
+        seen: set[int] = set()
+        counter = 0
+        lit = 0
+        clause = list(self.clauses[conflict])
+        index = len(self._trail) - 1
+        current_level = len(self._trail_lim)
+
+        while True:
+            for q in clause:
+                var = abs(q)
+                if var in seen or self._level.get(var, 0) == 0:
+                    continue
+                seen.add(var)
+                self._bump(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(q)
+            # pick next literal from trail at current level
+            while abs(self._trail[index]) not in seen:
+                index -= 1
+            lit = self._trail[index]
+            index -= 1
+            var = abs(lit)
+            seen.discard(var)
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var]
+            assert reason is not None
+            clause = [q for q in self.clauses[reason] if q != lit]
+
+        learned = self._minimize(learned, seen)
+        learned.insert(0, -lit)
+        if len(learned) == 1:
+            return learned, 0
+        # backjump to the second-highest level in the clause
+        levels = sorted((self._level[abs(q)] for q in learned[1:]), reverse=True)
+        back = levels[0]
+        # move a literal of that level into watch position 1
+        for i, q in enumerate(learned[1:], start=1):
+            if self._level[abs(q)] == back:
+                learned[1], learned[i] = learned[i], learned[1]
+                break
+        return learned, back
+
+    def _minimize(self, learned: list[int], seen: set[int]) -> list[int]:
+        """Drop literals implied by the rest of the clause (recursive
+        minimisation against reason clauses)."""
+        seen = set(seen) | {abs(q) for q in learned}
+        result = []
+        for q in learned:
+            reason = self._reason.get(abs(q))
+            if reason is None:
+                result.append(q)
+                continue
+            if any(
+                abs(r) not in seen and self._level.get(abs(r), 0) > 0
+                for r in self.clauses[reason]
+                if r != -q
+            ):
+                result.append(q)
+        return result
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in self._trail[limit:]:
+            var = abs(lit)
+            self._phase[var] = self._assign[var]
+            del self._assign[var]
+            del self._level[var]
+            self._reason.pop(var, None)
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self._trail))
+
+    def _decide(self) -> int | None:
+        best_var = None
+        best_act = -1.0
+        for var in range(1, self.num_vars + 1):
+            if var not in self._assign:
+                act = self._activity.get(var, 0.0)
+                if act > best_act:
+                    best_act = act
+                    best_var = var
+        if best_var is None:
+            return None
+        phase = self._phase.get(best_var, False)
+        return best_var if phase else -best_var
+
+    # -- main loop ---------------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: int | None = None,
+    ) -> SatResult:
+        """Solve the instance; ``assumptions`` are temporary unit literals."""
+        self.stats = SatResult(satisfiable=None)
+        if not self._ok:
+            return SatResult(satisfiable=False)
+        self._backtrack(0)
+
+        # apply stored unit clauses
+        for clause in self.clauses:
+            if len(clause) == 1:
+                if not self._enqueue(clause[0], None):
+                    return SatResult(satisfiable=False)
+        if self._propagate() is not None:
+            return SatResult(satisfiable=False)
+
+        restart_count = 0
+        conflicts_until_restart = 100 * _luby(restart_count + 1)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                if max_conflicts is not None and self.stats.conflicts > max_conflicts:
+                    self._backtrack(0)
+                    return SatResult(
+                        satisfiable=None,
+                        conflicts=self.stats.conflicts,
+                        decisions=self.stats.decisions,
+                        propagations=self.stats.propagations,
+                    )
+                if not self._trail_lim:
+                    return SatResult(
+                        satisfiable=False,
+                        conflicts=self.stats.conflicts,
+                        decisions=self.stats.decisions,
+                        propagations=self.stats.propagations,
+                    )
+                learned, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                self._var_inc *= 1.05
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        return SatResult(satisfiable=False)
+                else:
+                    ci = self._attach(learned)
+                    self._enqueue(learned[0], ci)
+                conflicts_until_restart -= 1
+                if conflicts_until_restart <= 0:
+                    restart_count += 1
+                    conflicts_until_restart = 100 * _luby(restart_count + 1)
+                    self._backtrack(0)
+                continue
+
+            # pick assumptions first
+            decided = False
+            for lit in assumptions:
+                value = self._lit_value(lit)
+                if value is False:
+                    self._backtrack(0)
+                    return SatResult(
+                        satisfiable=False,
+                        conflicts=self.stats.conflicts,
+                        decisions=self.stats.decisions,
+                        propagations=self.stats.propagations,
+                    )
+                if value is None:
+                    self._trail_lim.append(len(self._trail))
+                    self._enqueue(lit, None)
+                    decided = True
+                    break
+            if decided:
+                continue
+
+            lit = self._decide()
+            if lit is None:
+                model = dict(self._assign)
+                result = SatResult(
+                    satisfiable=True,
+                    model=model,
+                    conflicts=self.stats.conflicts,
+                    decisions=self.stats.decisions,
+                    propagations=self.stats.propagations,
+                )
+                self._backtrack(0)
+                return result
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+
+
+def solve_cnf(
+    clauses: Iterable[Sequence[int]],
+    assumptions: Sequence[int] = (),
+    max_conflicts: int | None = None,
+) -> SatResult:
+    """One-shot convenience wrapper around :class:`Solver`."""
+    solver = Solver()
+    solver.add_clauses(clauses)
+    return solver.solve(assumptions=assumptions, max_conflicts=max_conflicts)

@@ -1,0 +1,186 @@
+"""Structural analysis: unit-gate cost and delay estimation.
+
+The model follows the spirit of Mueller & Paul, *Computer Architecture:
+Complexity and Correctness* (the paper's reference [20]): every expression
+node is assigned a gate-equivalent cost and a gate-delay contribution, and
+the delay of a DAG is the longest path from any leaf to the root.
+
+The absolute numbers are a unit-gate abstraction, not a technology library;
+what the paper's remarks (and our experiment E4) rely on is the *asymptotic
+shape* — linear mux chains vs logarithmic trees — which this model captures
+because delays are computed over the real generated structure.
+
+Cost/delay table (w = operand width):
+
+=============  ==========================  =========================
+node           cost                        delay
+=============  ==========================  =========================
+NOT            w                           0 (folded into gates)
+AND/OR         2w                          1
+XOR            4w                          2
+EQ/NE          4w + 2(w-1)                 2 + ceil(log2 w) (+1 NE)
+ADD/SUB        10w (carry lookahead)       2*ceil(log2 w) + 4
+ULT/ULE/...    10w + 2                     2*ceil(log2 w) + 5
+SHL/LSHR/ASHR  3w*ceil(log2 w) (barrel)    2*ceil(log2 w)
+MUX            3w                          2
+REDOR/REDAND   2(w-1)                      ceil(log2 w)
+REDXOR         4(w-1)                      2*ceil(log2 w)
+MemRead        3w(2^a - 1) (mux tree)      2a
+Concat/Slice   0                           0
+=============  ==========================  =========================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from . import expr as E
+from .netlist import Module
+
+
+def _clog2(n: int) -> int:
+    return max(1, math.ceil(math.log2(n))) if n > 1 else 0
+
+
+def node_cost(node: E.Expr) -> float:
+    """Gate-equivalent cost of a single expression node."""
+    w = node.width
+    if isinstance(node, (E.Const, E.Input, E.RegRead, E.Slice, E.Concat)):
+        return 0.0
+    if isinstance(node, E.MemRead):
+        entries = 1 << node.addr.width
+        return 3.0 * w * (entries - 1)
+    if isinstance(node, E.Unary):
+        aw = node.a.width
+        return {
+            "NOT": 1.0 * aw,
+            "NEG": 10.0 * aw,
+            "REDOR": 2.0 * (aw - 1),
+            "REDAND": 2.0 * (aw - 1),
+            "REDXOR": 4.0 * (aw - 1),
+        }[node.op]
+    if isinstance(node, E.Binary):
+        aw = node.a.width
+        op = node.op
+        if op in ("AND", "OR"):
+            return 2.0 * aw
+        if op == "XOR":
+            return 4.0 * aw
+        if op in ("EQ", "NE"):
+            return 4.0 * aw + 2.0 * (aw - 1)
+        if op in ("ADD", "SUB"):
+            return 10.0 * aw
+        if op == "MUL":
+            return 12.0 * aw * aw  # array multiplier: w^2 cells
+        if op in ("ULT", "ULE", "SLT", "SLE"):
+            return 10.0 * aw + 2.0
+        if op in ("SHL", "LSHR", "ASHR"):
+            return 3.0 * aw * max(1, _clog2(aw))
+        raise AssertionError(op)
+    if isinstance(node, E.Mux):
+        return 3.0 * w
+    raise AssertionError(type(node).__name__)
+
+
+def node_delay(node: E.Expr) -> float:
+    """Gate-delay contribution of a single expression node."""
+    if isinstance(node, (E.Const, E.Input, E.RegRead, E.Slice, E.Concat)):
+        return 0.0
+    if isinstance(node, E.MemRead):
+        return 2.0 * node.addr.width
+    if isinstance(node, E.Unary):
+        aw = node.a.width
+        return {
+            "NOT": 0.0,
+            "NEG": 2.0 * _clog2(aw) + 4.0,
+            "REDOR": float(_clog2(aw)),
+            "REDAND": float(_clog2(aw)),
+            "REDXOR": 2.0 * _clog2(aw),
+        }[node.op]
+    if isinstance(node, E.Binary):
+        aw = node.a.width
+        op = node.op
+        if op in ("AND", "OR"):
+            return 1.0
+        if op == "XOR":
+            return 2.0
+        if op == "EQ":
+            return 2.0 + _clog2(aw)
+        if op == "NE":
+            return 3.0 + _clog2(aw)
+        if op in ("ADD", "SUB"):
+            return 2.0 * _clog2(aw) + 4.0
+        if op == "MUL":
+            return 4.0 * aw  # carry-save array depth
+        if op in ("ULT", "ULE", "SLT", "SLE"):
+            return 2.0 * _clog2(aw) + 5.0
+        if op in ("SHL", "LSHR", "ASHR"):
+            return 2.0 * _clog2(aw)
+        raise AssertionError(op)
+    if isinstance(node, E.Mux):
+        return 2.0
+    raise AssertionError(type(node).__name__)
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Aggregate structural statistics of an expression DAG."""
+
+    cost: float
+    delay: float
+    nodes: int
+    op_counts: dict[str, int]
+
+    def count(self, op: str) -> int:
+        return self.op_counts.get(op, 0)
+
+
+def _op_name(node: E.Expr) -> str:
+    if isinstance(node, (E.Unary, E.Binary)):
+        return node.op
+    return type(node).__name__.upper()
+
+
+def analyze(roots: Iterable[E.Expr]) -> CircuitStats:
+    """Compute cost (summed over unique nodes), critical-path delay, node
+    count and per-opcode counts for an expression DAG."""
+    roots = list(roots)
+    order = E.walk(roots)
+    arrival: dict[int, float] = {}
+    cost = 0.0
+    op_counts: dict[str, int] = {}
+    for node in order:
+        children_delay = max(
+            (arrival[id(c)] for c in node.children()), default=0.0
+        )
+        arrival[id(node)] = children_delay + node_delay(node)
+        cost += node_cost(node)
+        name = _op_name(node)
+        op_counts[name] = op_counts.get(name, 0) + 1
+    delay = max((arrival[id(r)] for r in roots), default=0.0)
+    return CircuitStats(cost=cost, delay=delay, nodes=len(order), op_counts=op_counts)
+
+
+def analyze_module(module: Module) -> CircuitStats:
+    """Analyze every combinational cone in a module (register inputs,
+    memory write ports and probes together).  Register and memory storage
+    cost is not included — this measures the combinational logic the
+    transformation adds or changes."""
+    return analyze(module.roots())
+
+
+def count_ops(roots: Iterable[E.Expr], op: str) -> int:
+    """Count occurrences of one opcode (e.g. ``"EQ"`` for the paper's ``=?``
+    comparators, ``"MUX"`` for forwarding multiplexers)."""
+    return analyze(roots).count(op)
+
+
+def storage_bits(module: Module) -> int:
+    """Total state bits: registers plus memory words."""
+    bits = sum(reg.width for reg in module.registers.values())
+    bits += sum(
+        mem.size * mem.data_width for mem in module.memories.values()
+    )
+    return bits

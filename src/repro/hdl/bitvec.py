@@ -1,0 +1,177 @@
+"""Fixed-width bit-vector values.
+
+Every value flowing through the HDL substrate is a :class:`BitVector`: an
+unsigned integer interpreted modulo ``2**width``.  Signed interpretations are
+provided as explicit conversions (two's complement), mirroring how hardware
+treats the same wires under signed and unsigned operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def mask(width: int) -> int:
+    """Return the bit mask ``2**width - 1``."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate ``value`` to ``width`` bits (unsigned)."""
+    return value & mask(width)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret a ``width``-bit unsigned ``value`` in two's complement."""
+    value = truncate(value, width)
+    if width > 0 and value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def from_signed(value: int, width: int) -> int:
+    """Encode a signed integer into ``width`` bits of two's complement."""
+    return truncate(value, width)
+
+
+def bit_length_for(count: int) -> int:
+    """Number of address bits needed to index ``count`` entries (min 1)."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    return max(1, (count - 1).bit_length())
+
+
+@dataclass(frozen=True, slots=True)
+class BitVector:
+    """An immutable ``width``-bit unsigned value.
+
+    Arithmetic wraps modulo ``2**width`` like hardware adders.  Mixed-width
+    arithmetic is rejected: hardware has no implicit width conversion, and
+    silent zero-extension is a classic source of netlist bugs.
+    """
+
+    width: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"BitVector width must be positive, got {self.width}")
+        if not 0 <= self.value <= mask(self.width):
+            object.__setattr__(self, "value", truncate(self.value, self.width))
+
+    # -- conversions --------------------------------------------------------
+
+    @property
+    def signed(self) -> int:
+        """Two's-complement interpretation of the value."""
+        return to_signed(self.value, self.width)
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def __repr__(self) -> str:
+        return f"BitVector({self.width}, 0x{self.value:x})"
+
+    def binary(self) -> str:
+        """Return the value as a binary string, MSB first."""
+        return format(self.value, f"0{self.width}b")
+
+    # -- structural helpers --------------------------------------------------
+
+    def bit(self, index: int) -> int:
+        """Return bit ``index`` (0 = LSB) as 0 or 1."""
+        if not 0 <= index < self.width:
+            raise IndexError(f"bit {index} out of range for width {self.width}")
+        return (self.value >> index) & 1
+
+    def slice(self, low: int, high: int) -> "BitVector":
+        """Return bits ``[high:low]`` inclusive as a new vector."""
+        if not 0 <= low <= high < self.width:
+            raise IndexError(
+                f"slice [{high}:{low}] out of range for width {self.width}"
+            )
+        return BitVector(high - low + 1, (self.value >> low) & mask(high - low + 1))
+
+    def concat(self, other: "BitVector") -> "BitVector":
+        """Return ``self`` in the high bits, ``other`` in the low bits."""
+        return BitVector(
+            self.width + other.width, (self.value << other.width) | other.value
+        )
+
+    def zero_extend(self, width: int) -> "BitVector":
+        if width < self.width:
+            raise ValueError(f"cannot zero-extend width {self.width} to {width}")
+        return BitVector(width, self.value)
+
+    def sign_extend(self, width: int) -> "BitVector":
+        if width < self.width:
+            raise ValueError(f"cannot sign-extend width {self.width} to {width}")
+        return BitVector(width, from_signed(self.signed, width))
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def _check(self, other: "BitVector") -> None:
+        if self.width != other.width:
+            raise ValueError(
+                f"width mismatch: {self.width} vs {other.width}"
+            )
+
+    def __add__(self, other: "BitVector") -> "BitVector":
+        self._check(other)
+        return BitVector(self.width, self.value + other.value)
+
+    def __sub__(self, other: "BitVector") -> "BitVector":
+        self._check(other)
+        return BitVector(self.width, self.value - other.value)
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check(other)
+        return BitVector(self.width, self.value & other.value)
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check(other)
+        return BitVector(self.width, self.value | other.value)
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        self._check(other)
+        return BitVector(self.width, self.value ^ other.value)
+
+    def __invert__(self) -> "BitVector":
+        return BitVector(self.width, ~self.value)
+
+    def __neg__(self) -> "BitVector":
+        return BitVector(self.width, -self.value)
+
+    def shift_left(self, amount: int) -> "BitVector":
+        if amount < 0:
+            raise ValueError("shift amount must be non-negative")
+        return BitVector(self.width, self.value << min(amount, self.width))
+
+    def shift_right(self, amount: int) -> "BitVector":
+        if amount < 0:
+            raise ValueError("shift amount must be non-negative")
+        return BitVector(self.width, self.value >> min(amount, self.width))
+
+    def shift_right_arith(self, amount: int) -> "BitVector":
+        if amount < 0:
+            raise ValueError("shift amount must be non-negative")
+        return BitVector(
+            self.width, from_signed(self.signed >> min(amount, self.width), self.width)
+        )
+
+
+def bv(width: int, value: int) -> BitVector:
+    """Shorthand constructor for a :class:`BitVector`."""
+    return BitVector(width, value)
+
+
+ZERO1 = BitVector(1, 0)
+ONE1 = BitVector(1, 1)

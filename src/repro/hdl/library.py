@@ -1,0 +1,181 @@
+"""Reusable combinational circuit generators.
+
+These builders produce expression DAGs for the structures the paper's
+forwarding synthesizer needs: priority multiplexer chains, find-first-one
+(priority encoder) circuits with balanced mux/OR trees, one-hot operand
+buses, and address decoders for register-file write ports (Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from . import expr as E
+from .bitvec import bit_length_for
+
+
+def priority_mux(
+    selects: Sequence[E.Expr], values: Sequence[E.Expr], fallback: E.Expr
+) -> E.Expr:
+    """Linear priority multiplexer chain.
+
+    Returns ``values[0]`` if ``selects[0]``, else ``values[1]`` if
+    ``selects[1]``, ..., else ``fallback``.  The first active select wins.
+    Delay grows linearly with the number of inputs — this is the default
+    forwarding structure of the paper's Figure 2, which the paper notes
+    "gets slow with larger pipelines".
+    """
+    if len(selects) != len(values):
+        raise ValueError("selects and values must have equal length")
+    result = fallback
+    for sel, value in zip(reversed(selects), reversed(values)):
+        result = E.mux(sel, value, result)
+    return result
+
+
+def prefix_any(bits_: Sequence[E.Expr]) -> list[E.Expr]:
+    """``out[i] = OR(bits[0..i])`` computed with a balanced (log-depth)
+    parallel-prefix network (Sklansky)."""
+    for b in bits_:
+        if b.width != 1:
+            raise ValueError("prefix_any operates on 1-bit signals")
+    prefix = list(bits_)
+    n = len(prefix)
+    distance = 1
+    while distance < n:
+        updated = list(prefix)
+        for i in range(distance, n):
+            updated[i] = E.bor(prefix[i], prefix[i - distance])
+        prefix = updated
+        distance *= 2
+    return prefix
+
+
+def find_first_one(bits_: Sequence[E.Expr]) -> list[E.Expr]:
+    """One-hot find-first-one: ``out[i] = bits[i] AND NOT any(bits[0..i-1])``.
+
+    Uses a log-depth prefix network, so the whole circuit has logarithmic
+    delay — the structure the paper recommends for deep pipelines.
+    """
+    if not bits_:
+        return []
+    prefix = prefix_any(bits_)
+    onehot = [bits_[0]]
+    for i in range(1, len(bits_)):
+        onehot.append(E.band(bits_[i], E.bnot(prefix[i - 1])))
+    return onehot
+
+
+def balanced_or(terms: Sequence[E.Expr]) -> E.Expr:
+    """OR-reduce a list of same-width expressions as a balanced tree."""
+    if not terms:
+        raise ValueError("balanced_or needs at least one term")
+    level = list(terms)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(E.bor(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def onehot_mux(onehot: Sequence[E.Expr], values: Sequence[E.Expr]) -> E.Expr:
+    """AND-OR multiplexer driven by a one-hot select vector.
+
+    Computes ``OR_i (replicate(onehot[i]) AND values[i])`` with a balanced OR
+    tree.  With a one-hot select this equals the selected value; with an
+    all-zero select it returns 0.  This models both the balanced mux tree
+    and (electrically) a tri-state operand bus.
+    """
+    if len(onehot) != len(values) or not values:
+        raise ValueError("onehot and values must be equal-length and non-empty")
+    width = values[0].width
+    terms = []
+    for sel, value in zip(onehot, values):
+        if sel.width != 1:
+            raise ValueError("onehot selects must be 1 bit")
+        if value.width != width:
+            raise ValueError("onehot_mux values must share a width")
+        terms.append(E.band(E.replicate(sel, width), value))
+    return balanced_or(terms)
+
+
+def tree_select(
+    selects: Sequence[E.Expr], values: Sequence[E.Expr], fallback: E.Expr
+) -> E.Expr:
+    """Priority select with logarithmic delay: find-first-one + one-hot mux.
+
+    Semantically identical to :func:`priority_mux` but with log-depth
+    structure (the paper's suggested alternative for larger pipelines).
+    """
+    if not selects:
+        return fallback
+    onehot = find_first_one(list(selects))
+    none_hit = E.bnot(E.any_of(selects))
+    return onehot_mux(list(onehot) + [none_hit], list(values) + [fallback])
+
+
+def decoder(addr: E.Expr) -> list[E.Expr]:
+    """Full binary decoder: ``out[i] = (addr == i)`` for all 2**width codes.
+
+    This is the write-address decoder of the paper's Figure 1 register-file
+    interface.
+    """
+    size = 1 << addr.width
+    return [E.eq(addr, E.const(addr.width, i)) for i in range(size)]
+
+
+def mux_tree(addr: E.Expr, values: Sequence[E.Expr]) -> E.Expr:
+    """Binary mux tree selecting ``values[addr]``; pads with the last value.
+
+    Used to model the read port of an explicitly register-built register
+    file (Figure 1 structure) and for bit-blasting memory reads.
+    """
+    if not values:
+        raise ValueError("mux_tree needs at least one value")
+    size = 1 << addr.width
+    padded = list(values) + [values[-1]] * (size - len(values))
+    level = padded[:size]
+    for bit_index in range(addr.width):
+        sel = E.bit(addr, bit_index)
+        level = [
+            E.mux(sel, level[i + 1], level[i]) for i in range(0, len(level) - 1, 2)
+        ]
+    assert len(level) == 1
+    return level[0]
+
+
+def build_explicit_regfile(
+    module,
+    name: str,
+    entries: int,
+    width: int,
+    write_enable: E.Expr,
+    write_addr: E.Expr,
+    write_data: E.Expr,
+) -> list[E.Expr]:
+    """Build a register file out of individual registers plus a write-address
+    decoder, exactly as in the paper's Figure 1: each register ``R_i`` has
+    clock enable ``w AND (Aw == i)`` and data input ``Din``.
+
+    Returns the list of per-entry read expressions.
+    """
+    if entries < 2:
+        raise ValueError("a register file needs at least 2 entries")
+    addr_width = bit_length_for(entries)
+    if write_addr.width != addr_width:
+        raise ValueError(
+            f"write_addr width {write_addr.width} != required {addr_width}"
+        )
+    select = decoder(write_addr)
+    reads = []
+    for i in range(entries):
+        enable = E.band(write_enable, select[i])
+        reads.append(
+            module.add_register(
+                f"{name}[{i}]", width, init=0, next=write_data, enable=enable
+            )
+        )
+    return reads

@@ -1,0 +1,293 @@
+"""Synchronous netlist container.
+
+A :class:`Module` is a complete synchronous circuit:
+
+* **inputs** — named external ports, driven fresh every cycle,
+* **registers** — edge-triggered flip-flops with a next-value expression and
+  a clock-enable expression,
+* **memories** — register files with asynchronous read (via
+  :class:`repro.hdl.expr.MemRead`) and synchronous, enabled write ports,
+* **probes** — named combinational signals exposed for tracing and
+  verification.
+
+The module is purely structural; simulation lives in
+:mod:`repro.hdl.sim` and formal reasoning in :mod:`repro.formal`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import expr as E
+from .bitvec import BitVector, mask
+
+
+class NetlistError(ValueError):
+    """Raised for structurally invalid netlists (unknown names, width
+    mismatches, duplicate definitions)."""
+
+
+@dataclass
+class Register:
+    """An edge-triggered register.
+
+    The register takes the value of ``next`` at the end of any cycle in which
+    ``enable`` evaluates to 1; otherwise it holds its value.
+    """
+
+    name: str
+    width: int
+    init: int
+    next: E.Expr
+    enable: E.Expr
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise NetlistError(f"register {self.name!r}: width must be positive")
+        self.init &= mask(self.width)
+        if self.next.width != self.width:
+            raise NetlistError(
+                f"register {self.name!r}: next width {self.next.width} != {self.width}"
+            )
+        if self.enable.width != 1:
+            raise NetlistError(
+                f"register {self.name!r}: enable must be 1 bit, got {self.enable.width}"
+            )
+
+
+@dataclass
+class WritePort:
+    """A synchronous memory write port: when ``enable`` is 1 at a clock edge,
+    ``data`` is stored at ``addr``."""
+
+    enable: E.Expr
+    addr: E.Expr
+    data: E.Expr
+
+
+@dataclass
+class Memory:
+    """A register file with ``2**addr_width`` words of ``data_width`` bits.
+
+    Reads are asynchronous (combinational) through
+    :func:`repro.hdl.expr.mem_read`; writes are synchronous through
+    :class:`WritePort`.  Multiple write ports are applied in list order
+    (later ports win on address collisions), matching priority-encoded
+    write logic.
+    """
+
+    name: str
+    addr_width: int
+    data_width: int
+    init: dict[int, int] = field(default_factory=dict)
+    write_ports: list[WritePort] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.addr_width <= 0 or self.data_width <= 0:
+            raise NetlistError(f"memory {self.name!r}: widths must be positive")
+        self.init = {
+            a & mask(self.addr_width): v & mask(self.data_width)
+            for a, v in self.init.items()
+        }
+
+    @property
+    def size(self) -> int:
+        return 1 << self.addr_width
+
+    def add_write_port(self, enable: E.Expr, addr: E.Expr, data: E.Expr) -> None:
+        if enable.width != 1:
+            raise NetlistError(f"memory {self.name!r}: write enable must be 1 bit")
+        if addr.width != self.addr_width:
+            raise NetlistError(
+                f"memory {self.name!r}: write addr width {addr.width}"
+                f" != {self.addr_width}"
+            )
+        if data.width != self.data_width:
+            raise NetlistError(
+                f"memory {self.name!r}: write data width {data.width}"
+                f" != {self.data_width}"
+            )
+        self.write_ports.append(WritePort(enable, addr, data))
+
+
+class Module:
+    """A named synchronous circuit: inputs, registers, memories and probes."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.inputs: dict[str, int] = {}
+        self.registers: dict[str, Register] = {}
+        self.memories: dict[str, Memory] = {}
+        self.probes: dict[str, E.Expr] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_input(self, name: str, width: int) -> E.Expr:
+        """Declare an input port and return an expression reading it."""
+        if name in self.inputs:
+            if self.inputs[name] != width:
+                raise NetlistError(f"input {name!r} redeclared with new width")
+            return E.input_port(name, width)
+        if width <= 0:
+            raise NetlistError(f"input {name!r}: width must be positive")
+        self.inputs[name] = width
+        return E.input_port(name, width)
+
+    def add_register(
+        self,
+        name: str,
+        width: int,
+        init: int = 0,
+        next: E.Expr | None = None,
+        enable: E.Expr | None = None,
+    ) -> E.Expr:
+        """Declare a register and return an expression reading it.
+
+        ``next``/``enable`` may be filled in later with :meth:`drive_register`
+        (useful for registers in feedback loops)."""
+        if name in self.registers:
+            raise NetlistError(f"register {name!r} already defined")
+        read = E.reg_read(name, width)
+        self.registers[name] = Register(
+            name=name,
+            width=width,
+            init=init,
+            next=next if next is not None else read,
+            enable=enable if enable is not None else E.const(1, 1),
+        )
+        return read
+
+    def drive_register(
+        self, name: str, next: E.Expr, enable: E.Expr | None = None
+    ) -> None:
+        """Set or replace the next-value (and optionally enable) expression of
+        an already-declared register."""
+        reg = self.registers.get(name)
+        if reg is None:
+            raise NetlistError(f"register {name!r} not defined")
+        self.registers[name] = Register(
+            name=reg.name,
+            width=reg.width,
+            init=reg.init,
+            next=next,
+            enable=enable if enable is not None else reg.enable,
+        )
+
+    def add_memory(
+        self,
+        name: str,
+        addr_width: int,
+        data_width: int,
+        init: dict[int, int] | None = None,
+    ) -> Memory:
+        if name in self.memories:
+            raise NetlistError(f"memory {name!r} already defined")
+        memory = Memory(name, addr_width, data_width, dict(init or {}))
+        self.memories[name] = memory
+        return memory
+
+    def read_memory(self, name: str, addr: E.Expr) -> E.Expr:
+        """Return an asynchronous read of memory ``name`` at ``addr``."""
+        memory = self.memories.get(name)
+        if memory is None:
+            raise NetlistError(f"memory {name!r} not defined")
+        if addr.width != memory.addr_width:
+            raise NetlistError(
+                f"memory {name!r}: read addr width {addr.width}"
+                f" != {memory.addr_width}"
+            )
+        return E.mem_read(name, addr, memory.data_width)
+
+    def add_probe(self, name: str, value: E.Expr) -> E.Expr:
+        if name in self.probes:
+            raise NetlistError(f"probe {name!r} already defined")
+        self.probes[name] = value
+        return value
+
+    def probe(self, name: str) -> E.Expr:
+        if name not in self.probes:
+            raise NetlistError(f"probe {name!r} not defined")
+        return self.probes[name]
+
+    # -- introspection -------------------------------------------------------
+
+    def roots(self) -> list[E.Expr]:
+        """All expression roots of the module (register nexts/enables, memory
+        write ports, probes)."""
+        roots: list[E.Expr] = []
+        for reg in self.registers.values():
+            roots.append(reg.next)
+            roots.append(reg.enable)
+        for memory in self.memories.values():
+            for port in memory.write_ports:
+                roots.extend((port.enable, port.addr, port.data))
+        roots.extend(self.probes.values())
+        return roots
+
+    def validate(self) -> None:
+        """Check that every name referenced by any expression is declared and
+        consistent in width.  Raises :class:`NetlistError` otherwise."""
+        for node in E.walk(self.roots()):
+            if isinstance(node, E.RegRead):
+                reg = self.registers.get(node.name)
+                if reg is None:
+                    raise NetlistError(f"undefined register {node.name!r}")
+                if reg.width != node.width:
+                    raise NetlistError(
+                        f"register {node.name!r}: read width {node.width}"
+                        f" != declared {reg.width}"
+                    )
+            elif isinstance(node, E.MemRead):
+                memory = self.memories.get(node.mem)
+                if memory is None:
+                    raise NetlistError(f"undefined memory {node.mem!r}")
+                if memory.data_width != node.width:
+                    raise NetlistError(
+                        f"memory {node.mem!r}: read width {node.width}"
+                        f" != declared {memory.data_width}"
+                    )
+                if memory.addr_width != node.addr.width:
+                    raise NetlistError(
+                        f"memory {node.mem!r}: read addr width {node.addr.width}"
+                        f" != declared {memory.addr_width}"
+                    )
+            elif isinstance(node, E.Input):
+                declared = self.inputs.get(node.name)
+                if declared is None:
+                    raise NetlistError(f"undefined input {node.name!r}")
+                if declared != node.width:
+                    raise NetlistError(
+                        f"input {node.name!r}: read width {node.width}"
+                        f" != declared {declared}"
+                    )
+
+    def initial_state(self) -> "ModuleState":
+        return ModuleState(
+            registers={
+                name: BitVector(reg.width, reg.init)
+                for name, reg in self.registers.items()
+            },
+            memories={
+                name: dict(memory.init) for name, memory in self.memories.items()
+            },
+        )
+
+
+@dataclass
+class ModuleState:
+    """A snapshot of all register and memory contents of a module."""
+
+    registers: dict[str, BitVector]
+    memories: dict[str, dict[int, int]]
+
+    def copy(self) -> "ModuleState":
+        return ModuleState(
+            registers=dict(self.registers),
+            memories={name: dict(words) for name, words in self.memories.items()},
+        )
+
+    def reg(self, name: str) -> int:
+        return self.registers[name].value
+
+    def mem(self, name: str, addr: int) -> int:
+        return self.memories[name].get(addr, 0)

@@ -1,0 +1,151 @@
+"""Structural substitution over expression DAGs.
+
+The pipeline transformation is, at its heart, a substitution: operand reads
+(``RegRead``/``MemRead``) in the stage data-path functions are replaced by
+the synthesized forwarding networks ``g^k_R``.  :func:`substitute` performs
+that rewrite with memoization, so shared sub-expressions are rewritten once
+and sharing is preserved in the output DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from . import expr as E
+
+RegMap = Mapping[str, E.Expr]
+MemMap = Mapping[str, Callable[[E.Expr], E.Expr]]
+InputMap = Mapping[str, E.Expr]
+
+
+def substitute(
+    root: E.Expr,
+    reg_map: RegMap | None = None,
+    mem_map: MemMap | None = None,
+    input_map: InputMap | None = None,
+    memo: dict[int, E.Expr] | None = None,
+) -> E.Expr:
+    """Rewrite ``root``, replacing leaf reads according to the maps.
+
+    * ``reg_map[name]`` replaces ``RegRead(name)``;
+    * ``mem_map[name]`` is a function from the (already rewritten) address
+      expression to the replacement for ``MemRead(name, addr)``;
+    * ``input_map[name]`` replaces ``Input(name)``.
+
+    Replacements must preserve widths.  Pass a shared ``memo`` dict to
+    rewrite many roots consistently.
+    """
+    reg_map = reg_map or {}
+    mem_map = mem_map or {}
+    input_map = input_map or {}
+    if memo is None:
+        memo = {}
+
+    for node in E.walk([root]):
+        if id(node) in memo:
+            continue
+        memo[id(node)] = _rewrite(node, reg_map, mem_map, input_map, memo)
+    return memo[id(root)]
+
+
+def _rewrite(
+    node: E.Expr,
+    reg_map: RegMap,
+    mem_map: MemMap,
+    input_map: InputMap,
+    memo: dict[int, E.Expr],
+) -> E.Expr:
+    if isinstance(node, E.RegRead):
+        replacement = reg_map.get(node.name)
+        if replacement is None:
+            return node
+        if replacement.width != node.width:
+            raise ValueError(
+                f"substitution for register {node.name!r} has width"
+                f" {replacement.width}, expected {node.width}"
+            )
+        return replacement
+    if isinstance(node, E.MemRead):
+        addr = memo[id(node.addr)]
+        builder = mem_map.get(node.mem)
+        if builder is None:
+            if addr is node.addr:
+                return node
+            return E.mem_read(node.mem, addr, node.width)
+        replacement = builder(addr)
+        if replacement.width != node.width:
+            raise ValueError(
+                f"substitution for memory {node.mem!r} has width"
+                f" {replacement.width}, expected {node.width}"
+            )
+        return replacement
+    if isinstance(node, E.Input):
+        replacement = input_map.get(node.name)
+        if replacement is None:
+            return node
+        if replacement.width != node.width:
+            raise ValueError(
+                f"substitution for input {node.name!r} has width"
+                f" {replacement.width}, expected {node.width}"
+            )
+        return replacement
+    if isinstance(node, (E.Const,)):
+        return node
+
+    children = node.children()
+    new_children = tuple(memo[id(child)] for child in children)
+    if all(new is old for new, old in zip(new_children, children)):
+        return node
+    return _rebuild(node, new_children)
+
+
+def _rebuild(node: E.Expr, children: tuple[E.Expr, ...]) -> E.Expr:
+    if isinstance(node, E.Unary):
+        (a,) = children
+        return {
+            "NOT": E.bnot,
+            "NEG": E.neg,
+            "REDOR": E.redor,
+            "REDAND": E.redand,
+            "REDXOR": E.redxor,
+        }[node.op](a)
+    if isinstance(node, E.Binary):
+        a, b = children
+        return {
+            "AND": E.band,
+            "OR": E.bor,
+            "XOR": E.bxor,
+            "ADD": E.add,
+            "SUB": E.sub,
+            "MUL": E.mul,
+            "EQ": E.eq,
+            "NE": E.ne,
+            "ULT": E.ult,
+            "ULE": E.ule,
+            "SLT": E.slt,
+            "SLE": E.sle,
+            "SHL": E.shl,
+            "LSHR": E.lshr,
+            "ASHR": E.ashr,
+        }[node.op](a, b)
+    if isinstance(node, E.Mux):
+        sel, then, els = children
+        return E.mux(sel, then, els)
+    if isinstance(node, E.Concat):
+        return E.concat(*children)
+    if isinstance(node, E.Slice):
+        (a,) = children
+        return E.bits(a, node.low, node.high)
+    raise AssertionError(f"cannot rebuild node type {type(node).__name__}")
+
+
+def rename_regs(root: E.Expr, renames: Mapping[str, str]) -> E.Expr:
+    """Rename register reads (``RegRead(old)`` becomes ``RegRead(new)``)."""
+    reg_map = {
+        name: E.reg_read(renames[name], node.width)
+        for node in E.walk([root])
+        if isinstance(node, E.RegRead)
+        for name in [node.name]
+        if name in renames
+    }
+    return substitute(root, reg_map=reg_map)

@@ -1,0 +1,86 @@
+"""VCD (Value Change Dump) export of simulation traces.
+
+Lets any waveform viewer (GTKWave etc.) inspect the probe signals of a
+run — indispensable when debugging a prepared machine or studying the
+generated stall/forwarding behaviour cycle by cycle.
+
+Only the probes recorded in a :class:`repro.hdl.sim.Trace` are dumped
+(inputs are included as well); widths are taken from the module.
+"""
+
+from __future__ import annotations
+
+from typing import IO
+
+from .netlist import Module
+from .sim import Trace
+
+# printable VCD identifier characters
+_ID_CHARS = [chr(c) for c in range(33, 127)]
+
+
+def _identifier(index: int) -> str:
+    """Short printable identifier for signal ``index``."""
+    digits = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        digits.append(_ID_CHARS[rem])
+    return "".join(digits)
+
+
+def _sanitize(name: str) -> str:
+    return name.replace(" ", "_")
+
+
+def write_vcd(
+    trace: Trace,
+    module: Module,
+    out: IO[str],
+    timescale: str = "1 ns",
+    scope: str | None = None,
+) -> None:
+    """Write the trace as VCD to a text stream.
+
+    One VCD time unit corresponds to one clock cycle.  Probe widths come
+    from the module's probe expressions, input widths from its ports.
+    """
+    signals: list[tuple[str, int, list[int]]] = []
+    for name, values in trace.probes.items():
+        signals.append((name, module.probes[name].width, values))
+    for name, values in trace.inputs.items():
+        signals.append((f"in.{name}", module.inputs[name], values))
+    signals.sort(key=lambda s: s[0])
+
+    out.write(f"$timescale {timescale} $end\n")
+    out.write(f"$scope module {_sanitize(scope or module.name)} $end\n")
+    idents = {}
+    for index, (name, width, _values) in enumerate(signals):
+        ident = _identifier(index)
+        idents[name] = ident
+        out.write(f"$var wire {width} {ident} {_sanitize(name)} $end\n")
+    out.write("$upscope $end\n$enddefinitions $end\n")
+
+    cycles = len(trace)
+    previous: dict[str, int | None] = {name: None for name, _w, _v in signals}
+    for cycle in range(cycles):
+        changes = []
+        for name, width, values in signals:
+            value = values[cycle]
+            if value != previous[name]:
+                previous[name] = value
+                if width == 1:
+                    changes.append(f"{value}{idents[name]}")
+                else:
+                    changes.append(f"b{value:b} {idents[name]}")
+        if changes or cycle == 0:
+            out.write(f"#{cycle}\n")
+            for change in changes:
+                out.write(change + "\n")
+    out.write(f"#{cycles}\n")
+
+
+def dump_vcd(trace: Trace, module: Module, path: str, **kwargs) -> None:
+    """Write the trace as VCD to a file."""
+    with open(path, "w") as handle:
+        write_vcd(trace, module, handle, **kwargs)

@@ -1,0 +1,40 @@
+"""Prepared sequential machine model and its sequential elaboration."""
+
+from .elaborate import (
+    elaborate_datapath,
+    identity_rewriter,
+    precomputed_wa,
+    precomputed_we,
+)
+from .prepared import (
+    ForwardingRegister,
+    MachineSpecError,
+    PipelineRegister,
+    PreparedMachine,
+    RegisterFile,
+    SpeculationSpec,
+    StageOutput,
+)
+from .deep import build_deep_machine, encode_deep
+from .sequential import STAGE_COUNTER, build_sequential, sequential_schedule
+from . import toy
+
+__all__ = [
+    "ForwardingRegister",
+    "MachineSpecError",
+    "PipelineRegister",
+    "PreparedMachine",
+    "RegisterFile",
+    "STAGE_COUNTER",
+    "SpeculationSpec",
+    "StageOutput",
+    "build_deep_machine",
+    "build_sequential",
+    "elaborate_datapath",
+    "encode_deep",
+    "toy",
+    "identity_rewriter",
+    "precomputed_wa",
+    "precomputed_we",
+    "sequential_schedule",
+]

@@ -1,0 +1,111 @@
+"""A parametric deep pipeline for scaling experiments.
+
+The paper (Section 4.2) notes that the generated forwarding "hardware gets
+slow with larger pipelines" and recommends a find-first-one circuit with a
+balanced multiplexer tree or a tri-state operand bus instead.  Experiment
+E4 quantifies that remark by synthesizing forwarding for pipelines of
+configurable depth and measuring the unit-gate cost/delay of each style.
+
+The machine generalises the 4-stage toy: stage 0 fetches, stage 1 reads
+two operands of a register file written by the last stage, stages
+2..n-2 are execute stages, each of which may produce the result (a
+one-hot stage select in the instruction decides where the value becomes
+available — so every forwarding path and every interlock distance is
+exercised), and stage n-1 writes back.
+"""
+
+from __future__ import annotations
+
+from ..hdl import expr as E
+
+from .prepared import PreparedMachine
+
+WORD = 16
+
+
+def encode_deep(
+    n_stages: int, produce_stage: int, dst: int, src1: int, src2: int, write: bool = True
+) -> int:
+    """Encode one instruction of the deep machine.
+
+    ``produce_stage`` (2..n-2) is the execute stage in which the result
+    (``RF[src1] + RF[src2] + stage``) becomes available; later stages pass
+    it along.  Layout: ``we(1) | stage(4) | dst(3) | src1(3) | src2(3)``.
+    """
+    if not 2 <= produce_stage <= n_stages - 2:
+        raise ValueError(f"produce stage {produce_stage} out of range")
+    for field, width in ((dst, 3), (src1, 3), (src2, 3)):
+        if not 0 <= field < (1 << width):
+            raise ValueError("register fields are 3 bits")
+    return (
+        (int(write) << 13) | (produce_stage << 9) | (dst << 6) | (src1 << 3) | src2
+    )
+
+
+def build_deep_machine(
+    n_stages: int, program: list[int] | None = None
+) -> PreparedMachine:
+    """Build a prepared deep machine with ``n_stages >= 4`` stages."""
+    if n_stages < 4:
+        raise ValueError("the deep machine needs at least 4 stages")
+    program = program or []
+    machine = PreparedMachine(f"deep{n_stages}", n_stages)
+    last = n_stages - 1
+    pc_width = 6
+    imem_size = 1 << pc_width
+    if len(program) > imem_size:
+        raise ValueError("program too long")
+
+    machine.add_register("PC", pc_width, first=1, visible=True)
+    machine.add_register("IR", 14, first=1, last=last)
+    machine.add_register("A", WORD, first=2, last=last - 1)
+    machine.add_register("B", WORD, first=2, last=last - 1)
+    machine.add_register("C", WORD, first=2, last=last)
+
+    machine.add_register_file("RF", addr_width=3, data_width=WORD, write_stage=last)
+    machine.add_register_file(
+        "IMem",
+        addr_width=pc_width,
+        data_width=14,
+        write_stage=0,
+        init={i: (program[i] if i < len(program) else 0) for i in range(imem_size)},
+        read_only=True,
+    )
+
+    # stage 0: fetch
+    pc = machine.read_last("PC")
+    machine.set_output(0, "IR", machine.read_file("IMem", pc))
+    machine.set_output(0, "PC", E.add(pc, E.const(pc_width, 1)))
+
+    # stage 1: operand read (+ early produce of the base value into C)
+    ir = machine.read("IR", 1)
+    src1 = E.bits(ir, 3, 5)
+    src2 = E.bits(ir, 0, 2)
+    machine.set_output(1, "A", machine.read_file("RF", src1))
+    machine.set_output(1, "B", machine.read_file("RF", src2))
+    machine.set_output(1, "C", E.const(WORD, 0), we=E.const(1, 0))
+
+    # stages 2..n-2: execute; the selected stage produces the result
+    # (A and B travel with the instruction, so the result is deterministic
+    # regardless of where it is produced)
+    for stage in range(2, n_stages - 1):
+        ir_k = machine.read("IR", stage)
+        produce = E.eq(E.bits(ir_k, 9, 12), E.const(4, stage))
+        value = E.add(
+            E.add(machine.read("A", stage), machine.read("B", stage)),
+            E.const(WORD, stage),
+        )
+        machine.set_output(stage, "C", value, we=produce)
+        machine.add_forwarding_register("RF", "C", stage)
+
+    # last stage: write back (we/wa precomputed in the read stage)
+    machine.set_regfile_write(
+        "RF",
+        data=machine.read("C", last),
+        we=E.bit(ir, 13),
+        wa=E.bits(ir, 6, 8),
+        compute_stage=1,
+    )
+
+    machine.validate()
+    return machine

@@ -1,0 +1,292 @@
+"""Shared elaboration: prepared machine description -> netlist datapath.
+
+Both the sequential machine (:mod:`repro.machine.sequential`) and the
+pipelined machine (:mod:`repro.core.transform`) instantiate the same
+datapath; they differ only in
+
+* where the update-enable signals ``ue_k`` come from (round-robin counter
+  vs stall engine), and
+* the input-generation functions ``g^k`` (identity vs forwarding networks),
+  realised here as a per-stage expression substitution.
+
+The register clocking rules follow the paper's Section 2 exactly:
+
+* instance ``R.k`` written by stage ``k-1`` with an instance ``R.(k-1)``
+  in the previous stage: next value is ``f^{k-1}_R`` if ``f^{k-1}_Rwe``
+  else the previous instance's value; clock enable is ``ue_{k-1}``;
+* instance without a predecessor: next value is always ``f^{k-1}_R``;
+  clock enable is ``f^{k-1}_Rwe AND ue_{k-1}``;
+* register files are written with enable ``Rwe AND ue_w`` at address
+  ``Rwa`` (Figure 1), where ``Rwe``/``Rwa`` are the precomputed versions
+  piped forward from their compute stage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..hdl import expr as E
+from ..hdl.netlist import Module
+
+from .prepared import MachineSpecError, PreparedMachine
+
+# A per-stage rewriter implementing the input-generation function g^k: it
+# receives the stage index and an expression over the prepared machine's
+# direct reads, and returns the expression with operand reads replaced.
+StageRewriter = Callable[[int, E.Expr], E.Expr]
+
+
+def identity_rewriter(stage: int, expression: E.Expr) -> E.Expr:
+    """The prepared sequential machine's g^k: pass register values through
+    unchanged (paper Section 2: "the function just passes the appropriate
+    register values and does not model any gates")."""
+    return expression
+
+
+def elaborate_datapath(
+    module: Module,
+    machine: PreparedMachine,
+    ue: list[E.Expr],
+    rewrite: StageRewriter = identity_rewriter,
+) -> None:
+    """Instantiate registers, register files, precompute pipes and commit
+    probes of ``machine`` into ``module``, clocked by the ``ue`` signals.
+    """
+    if len(ue) != machine.n_stages:
+        raise MachineSpecError(
+            f"need {machine.n_stages} update enables, got {len(ue)}"
+        )
+
+    declare_external_inputs(module, machine)
+    _declare_state(module, machine)
+    _build_precompute_pipes(module, machine, ue, rewrite)
+    _build_register_updates(module, machine, ue, rewrite)
+    _build_regfile_writes(module, machine, ue, rewrite)
+    _add_commit_probes(module, machine, ue, rewrite)
+
+
+def machine_expression_roots(machine: PreparedMachine) -> list[E.Expr]:
+    """Every designer-supplied expression of the machine description."""
+    roots: list[E.Expr] = []
+    for out in machine.outputs.values():
+        roots.append(out.value)
+        if out.we is not None:
+            roots.append(out.we)
+    for regfile in machine.regfiles.values():
+        if regfile.we is not None:
+            roots.extend((regfile.we, regfile.wa, regfile.data))
+    for spec in machine.speculations:
+        roots.extend((spec.guess, spec.actual))
+        if spec.check_if is not None:
+            roots.append(spec.check_if)
+        roots.extend(spec.repairs.values())
+    return roots
+
+
+def declare_external_inputs(module: Module, machine: PreparedMachine) -> None:
+    """Declare every external input port referenced anywhere in the machine
+    description (e.g. an interrupt line)."""
+    for node in E.walk(machine_expression_roots(machine)):
+        if isinstance(node, E.Input):
+            module.add_input(node.name, node.width)
+
+
+def drive_latency_counters(
+    module: Module,
+    machine: PreparedMachine,
+    ue: list[E.Expr],
+    occupied: list[E.Expr],
+) -> None:
+    """Instantiate the machine's latency counters.
+
+    A counter for ``stage`` is 0 when a new instruction arrives (``ue`` of
+    the stage above fired, or — for stage 0 — the stage's own ``ue``, since
+    a fresh fetch follows immediately) and increments each cycle the stage
+    stays occupied; otherwise it holds.
+    """
+    for counter in machine.latency_counters.values():
+        stage = counter.stage
+        arrive = ue[stage - 1] if stage > 0 else ue[0]
+        count = module.add_register(counter.name, counter.width, init=0)
+        module.drive_register(
+            counter.name,
+            E.mux(
+                arrive,
+                E.const(counter.width, 0),
+                E.mux(
+                    occupied[stage],
+                    E.add(count, E.const(counter.width, 1)),
+                    count,
+                ),
+            ),
+        )
+
+
+def _declare_state(module: Module, machine: PreparedMachine) -> None:
+    for reg in machine.registers.values():
+        for k in reg.instances():
+            module.add_register(reg.instance_name(k), reg.width, init=reg.init)
+    for regfile in machine.regfiles.values():
+        module.add_memory(
+            regfile.name, regfile.addr_width, regfile.data_width, init=regfile.init
+        )
+
+
+def _build_precompute_pipes(
+    module: Module,
+    machine: PreparedMachine,
+    ue: list[E.Expr],
+    rewrite: StageRewriter,
+) -> None:
+    """Pipe the precomputed ``Rwe``/``Rwa`` signals from their compute stage
+    to the write stage (paper: ``Rwe.j`` and ``Rwa.j``)."""
+    for regfile in machine.regfiles.values():
+        if regfile.we is None:
+            continue
+        p = regfile.compute_stage
+        assert p is not None
+        for j in range(p + 1, regfile.write_stage + 1):
+            module.add_register(regfile.we_name(j), 1)
+            module.add_register(regfile.wa_name(j), regfile.addr_width)
+        for j in range(p + 1, regfile.write_stage + 1):
+            module.drive_register(
+                regfile.we_name(j), precomputed_we(machine, regfile.name, j - 1, rewrite),
+                enable=ue[j - 1],
+            )
+            module.drive_register(
+                regfile.wa_name(j), precomputed_wa(machine, regfile.name, j - 1, rewrite),
+                enable=ue[j - 1],
+            )
+
+
+def precomputed_we(
+    machine: PreparedMachine,
+    regfile_name: str,
+    stage: int,
+    rewrite: StageRewriter = identity_rewriter,
+) -> E.Expr:
+    """``Rwe.{stage}`` as seen *by* stage ``stage``: the combinational
+    ``f^p_Rwe`` in the compute stage itself, the piped register after."""
+    regfile = machine.regfiles[regfile_name]
+    if regfile.we is None:
+        raise MachineSpecError(f"register file {regfile_name!r} has no writes")
+    p = regfile.compute_stage
+    assert p is not None
+    if stage < p or stage > regfile.write_stage:
+        raise MachineSpecError(
+            f"{regfile_name}we.{stage}: stage outside {p}..{regfile.write_stage}"
+        )
+    if stage == p:
+        return rewrite(p, regfile.we)
+    return E.reg_read(regfile.we_name(stage), 1)
+
+
+def precomputed_wa(
+    machine: PreparedMachine,
+    regfile_name: str,
+    stage: int,
+    rewrite: StageRewriter = identity_rewriter,
+) -> E.Expr:
+    """``Rwa.{stage}`` as seen by stage ``stage``; see :func:`precomputed_we`."""
+    regfile = machine.regfiles[regfile_name]
+    if regfile.wa is None:
+        raise MachineSpecError(f"register file {regfile_name!r} has no writes")
+    p = regfile.compute_stage
+    assert p is not None
+    if stage < p or stage > regfile.write_stage:
+        raise MachineSpecError(
+            f"{regfile_name}wa.{stage}: stage outside {p}..{regfile.write_stage}"
+        )
+    if stage == p:
+        return rewrite(p, regfile.wa)
+    return E.reg_read(regfile.wa_name(stage), regfile.addr_width)
+
+
+def _build_register_updates(
+    module: Module,
+    machine: PreparedMachine,
+    ue: list[E.Expr],
+    rewrite: StageRewriter,
+) -> None:
+    for reg in machine.registers.values():
+        for k in reg.instances():
+            writer = k - 1
+            out = machine.output_for(writer, reg.name)
+            prev = (
+                E.reg_read(reg.instance_name(k - 1), reg.width)
+                if k - 1 in reg.instances()
+                else None
+            )
+            if out is not None:
+                value = rewrite(writer, out.value)
+                we = rewrite(writer, out.we) if out.we is not None else None
+                if prev is not None:
+                    next_value = value if we is None else E.mux(we, value, prev)
+                    enable = ue[writer]
+                else:
+                    next_value = value
+                    enable = ue[writer] if we is None else E.band(we, ue[writer])
+            else:
+                assert prev is not None  # validated
+                next_value = prev
+                enable = ue[writer]
+            module.drive_register(reg.instance_name(k), next_value, enable=enable)
+
+
+def _build_regfile_writes(
+    module: Module,
+    machine: PreparedMachine,
+    ue: list[E.Expr],
+    rewrite: StageRewriter,
+) -> None:
+    for regfile in machine.regfiles.values():
+        if regfile.we is None:
+            continue
+        w = regfile.write_stage
+        enable = E.band(precomputed_we(machine, regfile.name, w, rewrite), ue[w])
+        addr = precomputed_wa(machine, regfile.name, w, rewrite)
+        data = rewrite(w, regfile.data)
+        module.memories[regfile.name].add_write_port(enable, addr, data)
+
+
+def _add_commit_probes(
+    module: Module,
+    machine: PreparedMachine,
+    ue: list[E.Expr],
+    rewrite: StageRewriter,
+) -> None:
+    """Probes observing architectural effects as they commit; the data
+    consistency checker compares these against the specification machine."""
+    for stage, enable in enumerate(ue):
+        module.add_probe(f"ue.{stage}", enable)
+    for regfile in machine.regfiles.values():
+        if regfile.we is None or not regfile.visible:
+            continue
+        w = regfile.write_stage
+        module.add_probe(
+            f"commit.{regfile.name}.we",
+            E.band(precomputed_we(machine, regfile.name, w, rewrite), ue[w]),
+        )
+        module.add_probe(
+            f"commit.{regfile.name}.wa", precomputed_wa(machine, regfile.name, w, rewrite)
+        )
+        module.add_probe(f"commit.{regfile.name}.data", rewrite(w, regfile.data))
+    for reg in machine.visible_registers():
+        writer = reg.last - 1
+        out = machine.output_for(writer, reg.name)
+        if out is None:
+            # pass-through into the architectural instance
+            value: E.Expr = E.reg_read(reg.instance_name(reg.last - 1), reg.width)
+            we: E.Expr = E.const(1, 1)
+        else:
+            value = rewrite(writer, out.value)
+            we = (
+                rewrite(writer, out.we) if out.we is not None else E.const(1, 1)
+            )
+            if reg.last - 1 in reg.instances():
+                value = E.mux(
+                    we, value, E.reg_read(reg.instance_name(reg.last - 1), reg.width)
+                )
+                we = E.const(1, 1)
+        module.add_probe(f"commit.{reg.name}.we", E.band(we, ue[writer]))
+        module.add_probe(f"commit.{reg.name}.data", value)

@@ -1,0 +1,553 @@
+"""The *prepared sequential machine* model (paper, Section 2).
+
+A prepared sequential machine is a sequential processor whose hardware has
+already been partitioned into ``n`` pipeline stages (steps 1 and 2 of the
+textbook pipelining recipe), but which still executes one instruction at a
+time and contains **no** forwarding or interlock hardware.  It is the input
+to the transformation tool.
+
+The designer provides:
+
+* the list of registers, their widths/domains, and the stages they belong
+  to — a register ``R`` written by stage ``k-1`` and read by stage ``k`` is
+  the *instance* ``R.k`` (paper notation ``R:k``);
+* register files with their address width ``alpha(R)`` and the stage ``w``
+  that writes them;
+* the data-path functions ``f^k`` of every stage, as expressions over the
+  stage's input registers, together with write-enable functions
+  ``f^k_Rwe`` and (for register files) write-address functions ``f^k_Rwa``
+  and read addresses ``f^k_Rra``;
+* for forwarded register files, the *forwarding registers* (paper,
+  Section 4.1: the designer names the registers holding intermediate
+  results, e.g. ``C.2``/``C.3`` in the five-stage DLX) — this is the only
+  manual input the forwarding synthesis needs;
+* optionally, speculation annotations (paper, Section 5).
+
+The model deliberately does not know anything about stalls, hazards or
+forwarding: those are synthesized by :mod:`repro.core.transform`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hdl import expr as E
+
+
+class MachineSpecError(ValueError):
+    """Raised for ill-formed prepared machine descriptions."""
+
+
+@dataclass
+class PipelineRegister:
+    """A register with instances ``R.first`` .. ``R.last``.
+
+    Instance ``R.k`` is written by stage ``k-1`` and is an input of stage
+    ``k``.  A *visible* (programmer-level) register is one whose last
+    instance is architectural state; in the paper's DLX, ``PC`` is visible
+    while ``IR`` is not.
+    """
+
+    name: str
+    width: int
+    first: int
+    last: int
+    init: int = 0
+    visible: bool = False
+
+    def instances(self) -> range:
+        return range(self.first, self.last + 1)
+
+    def instance_name(self, k: int) -> str:
+        if k not in self.instances():
+            raise MachineSpecError(f"register {self.name!r} has no instance .{k}")
+        return f"{self.name}.{k}"
+
+    @property
+    def write_stage(self) -> int:
+        """The stage that produces the final (architectural) value."""
+        return self.last - 1
+
+
+@dataclass
+class RegisterFile:
+    """An architectural register file ``R`` written by stage ``w``.
+
+    Following the paper's Figure 1, a write needs three signals: data
+    (``f^w_R``), write enable (``f^w_Rwe``) and write address (``f^w_Rwa``).
+    The enable/address pair may be *precomputed* in an earlier stage
+    ``compute_stage`` (paper: "the signals f^k_Rwe and f^k_Rwa are
+    precomputed"); the elaboration pipelines them forward as ``Rwe.j`` /
+    ``Rwa.j``, which the forwarding synthesis then compares against.
+    """
+
+    name: str
+    addr_width: int
+    data_width: int
+    write_stage: int
+    init: dict[int, int] = field(default_factory=dict)
+    visible: bool = True
+    read_only: bool = False
+    # Write signals (None until set via PreparedMachine.set_regfile_write):
+    compute_stage: int | None = None
+    we: E.Expr | None = None  # over compute_stage inputs
+    wa: E.Expr | None = None  # over compute_stage inputs
+    data: E.Expr | None = None  # over write_stage inputs
+
+    def we_name(self, j: int) -> str:
+        """Name of the piped precomputed write enable readable by stage j."""
+        return f"{self.name}we.{j}"
+
+    def wa_name(self, j: int) -> str:
+        """Name of the piped precomputed write address readable by stage j."""
+        return f"{self.name}wa.{j}"
+
+
+@dataclass
+class StageOutput:
+    """One entry of a stage function: stage ``stage`` computes the new value
+    of register instance ``reg.{stage+1}``.
+
+    ``we`` is the write-enable function ``f^k_Rwe``; when None the register
+    is written unconditionally (``f^k_Rwe == 1``).
+    """
+
+    stage: int
+    reg: str
+    value: E.Expr
+    we: E.Expr | None = None
+
+
+@dataclass
+class ForwardingRegister:
+    """Designer annotation: pipeline register ``reg`` holds, from stage
+    ``stage`` on, the final value that will be written into the forwarded
+    register file (paper Section 4.1: register ``Q``).
+
+    ``stage`` is the stage whose output instance ``reg.{stage+1}`` first
+    holds the value — i.e. ``f^{stage}_Qwe`` decides validity.
+    """
+
+    regfile: str
+    reg: str
+    stage: int
+
+
+@dataclass
+class LatencyCounter:
+    """A cycle counter tracking how long the current instruction has been
+    occupying ``stage`` — the building block for multi-cycle function
+    units.  It resets when a new instruction arrives and increments while
+    the stage is occupied; stall conditions read it by name."""
+
+    name: str
+    stage: int
+    width: int
+
+
+@dataclass
+class StallCondition:
+    """A designer-declared stall condition for ``stage`` (paper Section 3:
+    "the presence of any other external stall condition in the stage, e.g.,
+    caused by slow memory").  ``expr`` is a 1-bit expression over the
+    stage's inputs and latency counters; while it holds, the stage stalls
+    exactly like an external ``ext_k`` request — e.g. an iterative
+    multiplier holding EX for its latency."""
+
+    stage: int
+    expr: E.Expr
+
+
+@dataclass
+class SpeculationSpec:
+    """Designer annotation for speculative execution (paper, Section 5).
+
+    * ``guess`` — the speculative input value, evaluated in the context of
+      ``guess_stage`` (the stage that consumes the speculation);
+    * ``actual`` — the true value, evaluated in the context of
+      ``resolve_stage`` (where the truth is known at the latest);
+    * on mismatch the tool raises ``rollback_{resolve_stage}``, squashing
+      the instructions in stages 0..resolve_stage, and applies ``repairs``
+      (register-instance name -> expression over resolve-stage context) so
+      that "the correct value is used as input for subsequent calculations".
+
+    Correctness never depends on the guess: a bad guess only costs cycles.
+    """
+
+    name: str
+    guess_stage: int
+    guess: E.Expr
+    resolve_stage: int
+    actual: E.Expr
+    repairs: dict[str, E.Expr] = field(default_factory=dict)
+    # Only check while this holds (over resolve-stage context); e.g. gate
+    # interrupt detection on an enable bit.
+    check_if: E.Expr | None = None
+
+    def guess_name(self, j: int) -> str:
+        """Name of the piped guess value readable by stage j."""
+        return f"{self.name}.guess.{j}"
+
+
+class PreparedMachine:
+    """A complete prepared sequential machine description."""
+
+    def __init__(self, name: str, n_stages: int) -> None:
+        if n_stages < 1:
+            raise MachineSpecError("a machine needs at least one stage")
+        self.name = name
+        self.n_stages = n_stages
+        self.registers: dict[str, PipelineRegister] = {}
+        self.regfiles: dict[str, RegisterFile] = {}
+        self.outputs: dict[tuple[int, str], StageOutput] = {}
+        self.forwarding: list[ForwardingRegister] = []
+        self.speculations: list[SpeculationSpec] = []
+        # Stages that may receive an external stall request ``ext_k``
+        # (paper Section 3: "e.g., caused by slow memory").
+        self.external_stalls: set[int] = set()
+        # Designer-declared internal stall conditions (multi-cycle units)
+        # and the latency counters they may read.
+        self.stall_conditions: list[StallCondition] = []
+        self.latency_counters: dict[str, LatencyCounter] = {}
+
+    # -- declarations ---------------------------------------------------------
+
+    def _check_stage(self, stage: int) -> None:
+        if not 0 <= stage < self.n_stages:
+            raise MachineSpecError(
+                f"stage {stage} out of range 0..{self.n_stages - 1}"
+            )
+
+    def add_register(
+        self,
+        name: str,
+        width: int,
+        first: int,
+        last: int | None = None,
+        init: int = 0,
+        visible: bool = False,
+    ) -> PipelineRegister:
+        """Declare register ``name`` with instances ``.first`` .. ``.last``.
+
+        Instance ``.k`` is written by stage ``k-1``.  ``last`` defaults to
+        ``first`` (a single instance).
+        """
+        if name in self.registers or name in self.regfiles:
+            raise MachineSpecError(f"register {name!r} already declared")
+        last = first if last is None else last
+        if not 1 <= first <= last <= self.n_stages:
+            raise MachineSpecError(
+                f"register {name!r}: instance range .{first}..{last} invalid"
+                f" for {self.n_stages} stages"
+            )
+        reg = PipelineRegister(
+            name=name, width=width, first=first, last=last, init=init, visible=visible
+        )
+        self.registers[name] = reg
+        return reg
+
+    def add_register_file(
+        self,
+        name: str,
+        addr_width: int,
+        data_width: int,
+        write_stage: int,
+        init: dict[int, int] | None = None,
+        visible: bool = True,
+        read_only: bool = False,
+    ) -> RegisterFile:
+        """Declare a register file (or, with ``read_only``, a ROM)."""
+        if name in self.registers or name in self.regfiles:
+            raise MachineSpecError(f"register file {name!r} already declared")
+        if not read_only:
+            self._check_stage(write_stage)
+        regfile = RegisterFile(
+            name=name,
+            addr_width=addr_width,
+            data_width=data_width,
+            write_stage=write_stage,
+            init=dict(init or {}),
+            visible=visible,
+            read_only=read_only,
+        )
+        self.regfiles[name] = regfile
+        return regfile
+
+    # -- expression helpers ------------------------------------------------------
+
+    def read(self, name: str, instance: int) -> E.Expr:
+        """Read register instance ``name.instance`` (an input of stage
+        ``instance``)."""
+        reg = self.registers.get(name)
+        if reg is None:
+            raise MachineSpecError(f"unknown register {name!r}")
+        return E.reg_read(reg.instance_name(instance), reg.width)
+
+    def read_last(self, name: str) -> E.Expr:
+        """Read the last (architectural) instance of a register."""
+        reg = self.registers.get(name)
+        if reg is None:
+            raise MachineSpecError(f"unknown register {name!r}")
+        return E.reg_read(reg.instance_name(reg.last), reg.width)
+
+    def read_file(self, name: str, addr: E.Expr) -> E.Expr:
+        """Read register file ``name`` at ``addr`` (``addr`` is ``f^k_Rra``)."""
+        regfile = self.regfiles.get(name)
+        if regfile is None:
+            raise MachineSpecError(f"unknown register file {name!r}")
+        if addr.width != regfile.addr_width:
+            raise MachineSpecError(
+                f"register file {name!r}: address width {addr.width}"
+                f" != alpha = {regfile.addr_width}"
+            )
+        return E.mem_read(name, addr, regfile.data_width)
+
+    # -- stage functions -----------------------------------------------------------
+
+    def set_output(
+        self, stage: int, reg: str, value: E.Expr, we: E.Expr | None = None
+    ) -> None:
+        """Define ``f^stage_reg`` (and optionally ``f^stage_regwe``): stage
+        ``stage`` computes the new value of instance ``reg.{stage+1}``."""
+        self._check_stage(stage)
+        spec = self.registers.get(reg)
+        if spec is None:
+            raise MachineSpecError(f"unknown register {reg!r}")
+        if stage + 1 not in spec.instances():
+            raise MachineSpecError(
+                f"stage {stage} cannot write {reg!r}: no instance .{stage + 1}"
+            )
+        if (stage, reg) in self.outputs:
+            raise MachineSpecError(f"f^{stage}_{reg} already defined")
+        if value.width != spec.width:
+            raise MachineSpecError(
+                f"f^{stage}_{reg}: width {value.width} != {spec.width}"
+            )
+        if we is not None and we.width != 1:
+            raise MachineSpecError(f"f^{stage}_{reg}we must be 1 bit")
+        self.outputs[(stage, reg)] = StageOutput(stage=stage, reg=reg, value=value, we=we)
+
+    def set_regfile_write(
+        self,
+        name: str,
+        data: E.Expr,
+        we: E.Expr,
+        wa: E.Expr,
+        compute_stage: int | None = None,
+    ) -> None:
+        """Define the write interface of a register file (paper Figure 1).
+
+        ``data`` is ``f^w_R`` over the write stage's inputs; ``we``/``wa``
+        are ``f^w_Rwe``/``f^w_Rwa`` evaluated in ``compute_stage`` (default:
+        the write stage itself) and piped forward by the elaboration.
+        """
+        regfile = self.regfiles.get(name)
+        if regfile is None:
+            raise MachineSpecError(f"unknown register file {name!r}")
+        if regfile.read_only:
+            raise MachineSpecError(f"register file {name!r} is read-only")
+        if regfile.we is not None:
+            raise MachineSpecError(f"write interface of {name!r} already defined")
+        compute_stage = (
+            regfile.write_stage if compute_stage is None else compute_stage
+        )
+        self._check_stage(compute_stage)
+        if compute_stage > regfile.write_stage:
+            raise MachineSpecError(
+                f"register file {name!r}: compute stage {compute_stage} is after"
+                f" write stage {regfile.write_stage}"
+            )
+        if data.width != regfile.data_width:
+            raise MachineSpecError(
+                f"register file {name!r}: data width {data.width}"
+                f" != {regfile.data_width}"
+            )
+        if we.width != 1:
+            raise MachineSpecError(f"register file {name!r}: we must be 1 bit")
+        if wa.width != regfile.addr_width:
+            raise MachineSpecError(
+                f"register file {name!r}: wa width {wa.width}"
+                f" != alpha = {regfile.addr_width}"
+            )
+        regfile.compute_stage = compute_stage
+        regfile.we = we
+        regfile.wa = wa
+        regfile.data = data
+
+    # -- annotations ------------------------------------------------------------------
+
+    def add_forwarding_register(self, regfile: str, reg: str, stage: int) -> None:
+        """Name ``reg`` as the forwarding register used when the producing
+        instruction is in stage ``stage`` (the paper's register ``Q``).
+
+        The hit takes ``f^stage_reg`` if stage ``stage`` writes ``reg``
+        this cycle, else the instance ``reg.stage`` (the value produced by
+        an earlier stage) — so the instance ``reg.stage`` must exist, but
+        an ``f^stage`` entry is optional (a pure pass-through stage)."""
+        if regfile not in self.regfiles and regfile not in self.registers:
+            raise MachineSpecError(f"unknown forwarded state {regfile!r}")
+        spec = self.registers.get(reg)
+        if spec is None:
+            raise MachineSpecError(f"unknown register {reg!r}")
+        self._check_stage(stage)
+        if stage not in spec.instances():
+            raise MachineSpecError(
+                f"forwarding register {reg!r} has no instance .{stage}"
+                f" readable by stage {stage}"
+            )
+        self.forwarding.append(ForwardingRegister(regfile=regfile, reg=reg, stage=stage))
+
+    def add_speculation(self, spec: SpeculationSpec) -> None:
+        self._check_stage(spec.guess_stage)
+        self._check_stage(spec.resolve_stage)
+        if spec.guess_stage > spec.resolve_stage:
+            raise MachineSpecError(
+                f"speculation {spec.name!r}: guess stage after resolve stage"
+            )
+        if spec.guess.width != spec.actual.width:
+            raise MachineSpecError(
+                f"speculation {spec.name!r}: guess/actual width mismatch"
+            )
+        if any(s.name == spec.name for s in self.speculations):
+            raise MachineSpecError(f"speculation {spec.name!r} already declared")
+        for target in spec.repairs:
+            if not any(
+                target == reg.instance_name(k)
+                for reg in self.registers.values()
+                for k in reg.instances()
+            ):
+                raise MachineSpecError(
+                    f"speculation {spec.name!r}: repair target {target!r}"
+                    " is not a register instance"
+                )
+        self.speculations.append(spec)
+
+    def allow_external_stall(self, stage: int) -> None:
+        """Declare that stage ``stage`` has an external stall input ``ext_k``."""
+        self._check_stage(stage)
+        self.external_stalls.add(stage)
+
+    def add_latency_counter(self, name: str, stage: int, width: int) -> E.Expr:
+        """Declare a cycle counter for multi-cycle operations in ``stage``
+        and return an expression reading it.
+
+        The counter is 0 in the cycle an instruction enters the stage and
+        increments each further cycle the instruction occupies it.
+        """
+        self._check_stage(stage)
+        if name in self.latency_counters or name in self.registers:
+            raise MachineSpecError(f"latency counter {name!r} already declared")
+        if width <= 0:
+            raise MachineSpecError("latency counter width must be positive")
+        self.latency_counters[name] = LatencyCounter(name=name, stage=stage, width=width)
+        return E.reg_read(name, width)
+
+    def add_stall_condition(self, stage: int, expr: E.Expr) -> None:
+        """Declare that ``stage`` must stall while ``expr`` holds (a
+        multi-cycle function unit, a busy memory port, ...).  The condition
+        enters the stall chain exactly like an external ``ext_k`` request.
+        """
+        self._check_stage(stage)
+        if expr.width != 1:
+            raise MachineSpecError("stall conditions must be 1 bit wide")
+        self.stall_conditions.append(StallCondition(stage=stage, expr=expr))
+
+    def stall_conditions_for(self, stage: int) -> list[E.Expr]:
+        return [c.expr for c in self.stall_conditions if c.stage == stage]
+
+    # -- derived views --------------------------------------------------------------
+
+    def output_for(self, stage: int, reg: str) -> StageOutput | None:
+        return self.outputs.get((stage, reg))
+
+    def writes_of_stage(self, stage: int) -> list[StageOutput]:
+        return [out for (s, _r), out in self.outputs.items() if s == stage]
+
+    def instance_names(self) -> list[str]:
+        return [
+            reg.instance_name(k)
+            for reg in self.registers.values()
+            for k in reg.instances()
+        ]
+
+    def forwarding_for(self, regfile: str) -> list[ForwardingRegister]:
+        return sorted(
+            (f for f in self.forwarding if f.regfile == regfile),
+            key=lambda f: f.stage,
+        )
+
+    def visible_registers(self) -> list[PipelineRegister]:
+        return [r for r in self.registers.values() if r.visible]
+
+    def visible_regfiles(self) -> list[RegisterFile]:
+        return [r for r in self.regfiles.values() if r.visible and not r.read_only]
+
+    # -- validation --------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural consistency of the description.
+
+        * every register instance is driven (computed by its writing stage
+          or passed through from the previous instance);
+        * stage functions only read legal inputs: the stage's own input
+          instances, architectural (last) instances, or register files;
+        * register files with writers have a complete write interface.
+        """
+        for reg in self.registers.values():
+            for k in reg.instances():
+                writer = k - 1
+                has_f = (writer, reg.name) in self.outputs
+                has_prev = k - 1 in reg.instances()
+                if not has_f and not has_prev:
+                    raise MachineSpecError(
+                        f"instance {reg.instance_name(k)} is never driven:"
+                        f" stage {writer} has no f^{writer}_{reg.name} and"
+                        f" there is no instance .{k - 1} to pass through"
+                    )
+                out = self.outputs.get((writer, reg.name))
+                if out is not None and out.we is not None and not has_prev:
+                    # ce = f_Rwe AND ue; fine — conditional write of a
+                    # head instance is allowed (holds its old value).
+                    pass
+        for regfile in self.regfiles.values():
+            if not regfile.read_only and regfile.we is None:
+                raise MachineSpecError(
+                    f"register file {regfile.name!r} has no write interface"
+                )
+        for (stage, reg_name), out in self.outputs.items():
+            roots = [out.value] + ([out.we] if out.we is not None else [])
+            self._check_stage_reads(stage, roots, f"f^{stage}_{reg_name}")
+        for condition in self.stall_conditions:
+            self._check_stage_reads(
+                condition.stage,
+                [condition.expr],
+                f"stall condition of stage {condition.stage}",
+            )
+        for regfile in self.regfiles.values():
+            if regfile.we is None:
+                continue
+            self._check_stage_reads(
+                regfile.compute_stage,
+                [regfile.we, regfile.wa],
+                f"{regfile.name} write enable/address",
+            )
+            self._check_stage_reads(
+                regfile.write_stage, [regfile.data], f"f^{regfile.write_stage}_{regfile.name}"
+            )
+
+    def _check_stage_reads(self, stage: int, roots: list[E.Expr], what: str) -> None:
+        legal: set[str] = set()
+        for reg in self.registers.values():
+            if stage in reg.instances():
+                legal.add(reg.instance_name(stage))
+            # architectural instance readable anywhere (subject to forwarding)
+            legal.add(reg.instance_name(reg.last))
+        legal.update(self.latency_counters)
+        for name in E.reg_reads(roots):
+            if name in legal:
+                continue
+            # piped write-enable/-address and guess registers are created by
+            # elaboration; allow references of the form "<rf>we.<stage>" etc.
+            raise MachineSpecError(
+                f"{what}: illegal register read {name!r} from stage {stage}"
+            )

@@ -1,0 +1,135 @@
+"""Elaboration of the prepared machine into a *sequential* implementation.
+
+Paper, Section 2: "By enabling the update enable signals ue_k round robin
+(table 1), one gets a sequential machine."  A stage counter walks through
+the stages; exactly one stage is enabled each cycle, so exactly one
+instruction is in flight.  This machine is the correctness reference for
+the transformation (its behaviour is assumed/verified to match the ISA).
+
+External stall conditions (``ext_k`` inputs, e.g. slow memory) hold the
+counter, so the sequential machine honours the same memory-interface
+contract as the pipelined one.
+
+Speculation annotations collapse to their sequential meaning: when the
+single in-flight instruction reaches the resolve stage and the actual
+value differs from the guess, the instruction is aborted (no further
+stage executes its writes), the repairs are applied, and fetch restarts —
+e.g. an interrupt annotation suppresses the interrupted instruction and
+redirects to the handler, exactly as the ISA reference does.
+"""
+
+from __future__ import annotations
+
+from ..hdl import expr as E
+from ..hdl.bitvec import bit_length_for
+from ..hdl.netlist import Module
+from .elaborate import drive_latency_counters, elaborate_datapath, identity_rewriter
+from .prepared import PreparedMachine
+
+STAGE_COUNTER = "seq.stage"
+
+
+def build_sequential(machine: PreparedMachine) -> Module:
+    """Build the sequential netlist with round-robin update enables.
+
+    Probes: ``ue.{k}`` per stage, ``seq.stage`` (the active stage),
+    ``seq.instr_done`` (the last stage fired — one instruction retired),
+    and the commit probes shared with the pipelined elaboration.
+    """
+    machine.validate()
+    module = Module(f"{machine.name}.sequential")
+    n = machine.n_stages
+
+    counter_width = bit_length_for(max(n, 2))
+    counter = module.add_register(STAGE_COUNTER, counter_width, init=0)
+
+    ext = {
+        stage: module.add_input(f"ext.{stage}", 1)
+        for stage in sorted(machine.external_stalls)
+    }
+
+    at_stage = [E.eq(counter, E.const(counter_width, k)) for k in range(n)]
+    hold_terms = [
+        E.band(at_stage[k], ext[k]) for k in sorted(machine.external_stalls)
+    ]
+    # designer-declared stall conditions (multi-cycle units) hold the
+    # counter exactly like external stall requests
+    hold_terms.extend(
+        E.band(at_stage[condition.stage], condition.expr)
+        for condition in machine.stall_conditions
+    )
+    stalled = E.any_of(hold_terms)
+    advance = E.bnot(stalled)
+
+    # ---- sequential speculation resolution ---------------------------------
+    mispredicts: list[E.Expr] = []
+    for spec in machine.speculations:
+        for j in range(spec.guess_stage + 1, spec.resolve_stage + 1):
+            module.add_register(spec.guess_name(j), spec.guess.width)
+        guessed: E.Expr = (
+            spec.guess
+            if spec.resolve_stage == spec.guess_stage
+            else E.reg_read(spec.guess_name(spec.resolve_stage), spec.guess.width)
+        )
+        mispredict = E.band(
+            E.band(at_stage[spec.resolve_stage], advance),
+            E.ne(guessed, spec.actual),
+        )
+        if spec.check_if is not None:
+            mispredict = E.band(mispredict, spec.check_if)
+        mispredicts.append(mispredict)
+        module.add_probe(f"spec.{spec.name}.mispredict", mispredict)
+    any_mispredict = E.any_of(mispredicts)
+    no_mispredict = E.bnot(any_mispredict)
+
+    wrap = E.eq(counter, E.const(counter_width, n - 1))
+    next_counter = E.mux(
+        wrap, E.const(counter_width, 0), E.add(counter, E.const(counter_width, 1))
+    )
+    module.drive_register(
+        STAGE_COUNTER,
+        E.mux(any_mispredict, E.const(counter_width, 0), next_counter),
+        enable=E.bor(advance, any_mispredict),
+    )
+
+    ue = [E.band(E.band(at_stage[k], advance), no_mispredict) for k in range(n)]
+
+    elaborate_datapath(module, machine, ue, rewrite=identity_rewriter)
+    drive_latency_counters(module, machine, ue, occupied=at_stage)
+
+    for spec, mispredict in zip(machine.speculations, mispredicts):
+        for j in range(spec.guess_stage + 1, spec.resolve_stage + 1):
+            source: E.Expr = (
+                spec.guess
+                if j - 1 == spec.guess_stage
+                else E.reg_read(spec.guess_name(j - 1), spec.guess.width)
+            )
+            module.drive_register(spec.guess_name(j), source, enable=ue[j - 1])
+        for target, value in spec.repairs.items():
+            reg = module.registers[target]
+            module.drive_register(
+                target,
+                E.mux(mispredict, value, reg.next),
+                enable=E.bor(reg.enable, mispredict),
+            )
+
+    module.add_probe("seq.stage", counter)
+    module.add_probe("seq.instr_done", ue[n - 1])
+    module.validate()
+    return module
+
+
+def sequential_schedule(n_stages: int, cycles: int) -> list[dict[str, int]]:
+    """The paper's Table 1: the round-robin ``ue`` pattern of an ``n``-stage
+    sequential machine in the absence of stalls.
+
+    Returns one row per cycle ``T`` = 1..cycles, mapping ``"ue_k"`` to 0/1.
+    (The paper indexes cycles from 1 with ``ue_0`` active in cycle 1.)
+    """
+    rows = []
+    for t in range(cycles):
+        active = t % n_stages
+        rows.append(
+            {"T": t + 1, **{f"ue_{k}": int(k == active) for k in range(n_stages)}}
+        )
+    return rows

@@ -1,0 +1,190 @@
+"""A minimal 4-stage worked example machine ("toy").
+
+A tiny accumulator-style RISC used throughout the tests, docs and the
+quickstart example.  It is deliberately small enough to model-check
+exhaustively, yet exercises every feature of the transformation:
+
+* a register file read three stages before it is written (forwarding),
+* a forwarding register (``C``) produced in *two* different stages
+  (immediate in RD, ALU result in EX) — exercising the valid-bit chain,
+* a load whose result only exists at write-back (interlock/data hazard),
+* precomputed write enable/address piped from the decode stage.
+
+Pipeline stages::
+
+    0 IF   fetch:      IR.1 := IMem[PC];  PC.1 := PC + 1
+    1 RD   read:       A.2 := RF[src1];  B.2 := RF[src2];
+                       C.2 := imm        (write-enabled for LI)
+                       RFwe/RFwa precomputed here
+    2 EX   execute:    C.3 := A.2 + B.2  (write-enabled for ADD)
+                       A.3 := A.2        (address for LD)
+    3 WB   write-back: RF[RFwa] := is_ld ? DM[A.3] : C.3
+
+Instruction encoding (8 bits)::
+
+    op(2) | dst(2) | src1(2) | src2(2)
+    op: 0 = ADD dst, src1, src2
+        1 = LI  dst, imm4          (imm4 = src1:src2)
+        2 = NOP
+        3 = LD  dst, [src1]        (DM address = RF[src1] mod 16)
+"""
+
+from __future__ import annotations
+
+from ..hdl import expr as E
+from .prepared import PreparedMachine
+
+WORD = 8
+PC_WIDTH = 5
+IMEM_SIZE = 1 << PC_WIDTH
+
+OP_ADD = 0
+OP_LI = 1
+OP_NOP = 2
+OP_LD = 3
+
+
+def encode(op: int, dst: int = 0, src1: int = 0, src2: int = 0) -> int:
+    """Encode one toy instruction."""
+    for field, width in ((op, 2), (dst, 2), (src1, 2), (src2, 2)):
+        if not 0 <= field < (1 << width):
+            raise ValueError(f"field value {field} does not fit in {width} bits")
+    return (op << 6) | (dst << 4) | (src1 << 2) | src2
+
+
+def add(dst: int, src1: int, src2: int) -> int:
+    return encode(OP_ADD, dst, src1, src2)
+
+
+def li(dst: int, imm: int) -> int:
+    if not 0 <= imm < 16:
+        raise ValueError("toy immediates are 4 bits")
+    return encode(OP_LI, dst, imm >> 2, imm & 3)
+
+
+def nop() -> int:
+    return encode(OP_NOP)
+
+
+def ld(dst: int, src1: int) -> int:
+    return encode(OP_LD, dst, src1)
+
+
+def build_toy_machine(
+    program: list[int],
+    dmem: dict[int, int] | None = None,
+) -> PreparedMachine:
+    """Build the prepared sequential toy machine for a program."""
+    if len(program) > IMEM_SIZE:
+        raise ValueError(f"program too long ({len(program)} > {IMEM_SIZE})")
+    machine = PreparedMachine("toy", 4)
+
+    machine.add_register("PC", PC_WIDTH, first=1, visible=True)
+    machine.add_register("IR", WORD, first=1, init=nop())
+    machine.add_register("OP", 2, first=2, last=3, init=OP_NOP)
+    machine.add_register("A", WORD, first=2, last=3)
+    machine.add_register("B", WORD, first=2)
+    machine.add_register("C", WORD, first=2, last=3)
+
+    rf = machine.add_register_file("RF", addr_width=2, data_width=WORD, write_stage=3)
+    machine.add_register_file(
+        "IMem",
+        addr_width=PC_WIDTH,
+        data_width=WORD,
+        write_stage=0,
+        init={
+            i: (program[i] if i < len(program) else nop())
+            for i in range(IMEM_SIZE)
+        },
+        read_only=True,
+    )
+    machine.add_register_file(
+        "DM",
+        addr_width=4,
+        data_width=WORD,
+        write_stage=0,
+        init=dict(dmem or {}),
+        read_only=True,
+    )
+
+    # ---- stage 0: fetch -------------------------------------------------------
+    pc = machine.read_last("PC")
+    machine.set_output(0, "IR", machine.read_file("IMem", pc))
+    machine.set_output(0, "PC", E.add(pc, E.const(PC_WIDTH, 1)))
+
+    # ---- stage 1: operand read -------------------------------------------------
+    ir = machine.read("IR", 1)
+    op = E.bits(ir, 6, 7)
+    dst = E.bits(ir, 4, 5)
+    src1 = E.bits(ir, 2, 3)
+    src2 = E.bits(ir, 0, 1)
+    imm = E.zext(E.bits(ir, 0, 3), WORD)
+    is_li = E.eq(op, E.const(2, OP_LI))
+    writes_rf = E.ne(op, E.const(2, OP_NOP))
+
+    machine.set_output(1, "OP", op)
+    machine.set_output(1, "A", machine.read_file("RF", src1))
+    machine.set_output(1, "B", machine.read_file("RF", src2))
+    machine.set_output(1, "C", imm, we=is_li)
+
+    # ---- stage 2: execute --------------------------------------------------------
+    op2 = machine.read("OP", 2)
+    a2 = machine.read("A", 2)
+    b2 = machine.read("B", 2)
+    is_add = E.eq(op2, E.const(2, OP_ADD))
+    machine.set_output(2, "C", E.add(a2, b2), we=is_add)
+
+    # ---- stage 3: write-back ---------------------------------------------------------
+    op3 = machine.read("OP", 3)
+    a3 = machine.read("A", 3)
+    c3 = machine.read("C", 3)
+    is_ld = E.eq(op3, E.const(2, OP_LD))
+    load_value = machine.read_file("DM", E.bits(a3, 0, 3))
+    machine.set_regfile_write(
+        "RF",
+        data=E.mux(is_ld, load_value, c3),
+        we=writes_rf,
+        wa=dst,
+        compute_stage=1,
+    )
+
+    # C holds the final RF value from EX on (and from RD on, for LI):
+    machine.add_forwarding_register("RF", "C", stage=2)
+
+    machine.validate()
+    return machine
+
+
+def reference_execution(
+    program: list[int], dmem: dict[int, int] | None = None, max_steps: int = 10_000
+) -> tuple[list[int], list[tuple[int, int]]]:
+    """ISA-level reference: returns (final RF contents, write sequence).
+
+    The write sequence lists ``(addr, value)`` per retiring instruction
+    that writes RF — the specification the pipelined commits must match.
+    Execution stops when PC runs off the end of the program (instructions
+    beyond it read as NOP and write nothing).
+    """
+    dmem = dict(dmem or {})
+    rf = [0, 0, 0, 0]
+    writes: list[tuple[int, int]] = []
+    pc = 0
+    steps = 0
+    while pc < len(program) and steps < max_steps:
+        word = program[pc]
+        op = (word >> 6) & 3
+        dst = (word >> 4) & 3
+        src1 = (word >> 2) & 3
+        src2 = word & 3
+        pc = (pc + 1) % IMEM_SIZE
+        steps += 1
+        if op == OP_ADD:
+            rf[dst] = (rf[src1] + rf[src2]) % 256
+            writes.append((dst, rf[dst]))
+        elif op == OP_LI:
+            rf[dst] = (src1 << 2) | src2
+            writes.append((dst, rf[dst]))
+        elif op == OP_LD:
+            rf[dst] = dmem.get(rf[src1] % 16, 0)
+            writes.append((dst, rf[dst]))
+    return rf, writes

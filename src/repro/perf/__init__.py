@@ -1,0 +1,19 @@
+"""Performance measurement and hardware-cost reporting."""
+
+from .cost import ForwardingCost, cost_versus_depth, forwarding_cost, machine_cost
+from .metrics import Comparison, PerfReport, format_table, run_to_completion
+from .pipeview import dlx_labels, occupancy, render
+
+__all__ = [
+    "Comparison",
+    "ForwardingCost",
+    "PerfReport",
+    "cost_versus_depth",
+    "dlx_labels",
+    "format_table",
+    "forwarding_cost",
+    "machine_cost",
+    "occupancy",
+    "render",
+    "run_to_completion",
+]

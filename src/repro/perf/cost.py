@@ -1,0 +1,92 @@
+"""Hardware-cost reporting for the synthesized forwarding logic.
+
+Wraps the unit-gate model of :mod:`repro.hdl.analyze` to produce the
+per-style, per-depth tables of experiment E4 (the paper's Section 4.2
+remark about mux chains vs find-first-one trees vs operand buses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.transform import PipelinedMachine, TransformOptions, transform
+from ..hdl.analyze import analyze
+from ..machine.deep import build_deep_machine
+from ..machine.prepared import PreparedMachine
+
+
+@dataclass(frozen=True)
+class ForwardingCost:
+    """Unit-gate statistics of one machine's forwarding networks."""
+
+    style: str
+    n_stages: int
+    networks: int
+    comparators: int
+    muxes: int
+    cost: float
+    delay: float
+
+    def row(self) -> dict:
+        return {
+            "stages": self.n_stages,
+            "style": self.style,
+            "networks": self.networks,
+            "=?": self.comparators,
+            "MUX": self.muxes,
+            "gates": int(self.cost),
+            "delay": round(self.delay, 1),
+        }
+
+
+def forwarding_cost(pipelined: PipelinedMachine) -> ForwardingCost:
+    """Measure the generated forwarding value paths (the ``g`` networks)."""
+    roots = [network.g for network in pipelined.networks]
+    stats = analyze(roots)
+    return ForwardingCost(
+        style=pipelined.options.forwarding_style,
+        n_stages=pipelined.n_stages,
+        networks=len(pipelined.networks),
+        comparators=stats.count("EQ"),
+        muxes=stats.count("MUX"),
+        cost=stats.cost,
+        delay=stats.delay,
+    )
+
+
+def cost_versus_depth(
+    depths: list[int] | None = None,
+    styles: tuple[str, ...] = ("chain", "tree", "bus"),
+) -> list[ForwardingCost]:
+    """Synthesize the deep machine at several pipeline depths and styles
+    and measure each forwarding implementation (experiment E4)."""
+    depths = depths or [4, 6, 8, 12, 16]
+    results: list[ForwardingCost] = []
+    for depth in depths:
+        machine = build_deep_machine(depth)
+        for style in styles:
+            pipelined = transform(
+                machine, TransformOptions(forwarding_style=style)
+            )
+            results.append(forwarding_cost(pipelined))
+    return results
+
+
+def machine_cost(machine: PreparedMachine, style: str = "chain") -> dict:
+    """Whole-machine structural statistics before/after transformation."""
+    from ..hdl.analyze import analyze_module, storage_bits
+    from ..machine.sequential import build_sequential
+
+    sequential = build_sequential(machine)
+    pipelined = transform(machine, TransformOptions(forwarding_style=style))
+    seq_stats = analyze_module(sequential)
+    pipe_stats = analyze_module(pipelined.module)
+    return {
+        "sequential_gates": int(seq_stats.cost),
+        "pipelined_gates": int(pipe_stats.cost),
+        "sequential_state_bits": storage_bits(sequential),
+        "pipelined_state_bits": storage_bits(pipelined.module),
+        "added_gates": int(pipe_stats.cost - seq_stats.cost),
+        "added_state_bits": storage_bits(pipelined.module)
+        - storage_bits(sequential),
+    }

@@ -1,0 +1,139 @@
+"""Pipeline occupancy diagrams.
+
+Renders the classic instruction-by-cycle pipeline chart from a recorded
+trace — the picture every architecture textbook draws next to the stall
+discussion::
+
+    addr    instruction              0    1    2    3    4    5    6
+    0x0000  lw r1, 0(r0)             IF   ID   EX   MEM  WB
+    0x0004  add r2, r1, r1                IF   ID   ID   ID   EX   ...
+
+Stage occupancy is reconstructed from the scheduling function (``ue``
+probes), so the view works for any machine the elaborations produce; for
+the DLX, instructions are disassembled via the fetch-address stream.
+
+Only non-speculative machines are supported (squashed instructions make
+the scheduling function partial — the paper makes the same restriction).
+"""
+
+from __future__ import annotations
+
+from ..core.scheduling import compute_schedule
+from ..hdl.sim import Trace
+
+DEFAULT_STAGE_NAMES = {
+    3: ["F", "X", "W"],
+    4: ["IF", "RD", "EX", "WB"],
+    5: ["IF", "ID", "EX", "MEM", "WB"],
+}
+
+
+def stage_names_for(n_stages: int) -> list[str]:
+    return DEFAULT_STAGE_NAMES.get(
+        n_stages, [f"S{k}" for k in range(n_stages)]
+    )
+
+
+def occupancy(
+    trace: Trace, n_stages: int, max_instructions: int | None = None
+) -> list[dict[int, int]]:
+    """Per-instruction cycle->stage occupancy maps.
+
+    ``result[i][cycle] = stage`` whenever instruction ``i`` occupies
+    ``stage`` during ``cycle``.  Stage 0 is always considered occupied by
+    the instruction being fetched; later stages only when their full bit
+    is set (bubbles are skipped).
+    """
+    schedule = compute_schedule(trace, n_stages)
+    full = {
+        k: trace.probes.get(f"full.{k}") for k in range(n_stages)
+    }
+    count = schedule.instructions_fetched()
+    if max_instructions is not None:
+        count = min(count, max_instructions)
+    rows: list[dict[int, int]] = [dict() for _ in range(count)]
+    for cycle in range(len(trace)):
+        for stage in range(n_stages):
+            is_full = True if stage == 0 else bool(
+                full[stage][cycle] if full[stage] is not None else True
+            )
+            if not is_full:
+                continue
+            instruction = schedule(stage, cycle)
+            if 0 <= instruction < count:
+                rows[instruction][cycle] = stage
+    return rows
+
+
+def render(
+    trace: Trace,
+    n_stages: int,
+    labels: list[str] | None = None,
+    max_instructions: int | None = None,
+    max_cycles: int | None = None,
+) -> str:
+    """Render the pipeline diagram as fixed-width text.
+
+    ``labels[i]`` annotates instruction ``i`` (e.g. its disassembly);
+    repeated occupancy of the same stage (a stall) repeats the stage name,
+    so interlocks are immediately visible.
+    """
+    rows = occupancy(trace, n_stages, max_instructions)
+    names = stage_names_for(n_stages)
+    cycles = len(trace) if max_cycles is None else min(len(trace), max_cycles)
+    cell = max(len(name) for name in names) + 1
+
+    label_width = max(
+        [len(labels[i]) for i in range(len(rows)) if labels and i < len(labels)]
+        + [11],
+    )
+    header = "instruction".ljust(label_width) + " " + "".join(
+        str(cycle).ljust(cell) for cycle in range(cycles)
+    )
+    lines = [header]
+    for index, row in enumerate(rows):
+        if not row or min(row) >= cycles:
+            continue
+        label = (
+            labels[index]
+            if labels and index < len(labels)
+            else f"I{index}"
+        )
+        cells = []
+        for cycle in range(cycles):
+            stage = row.get(cycle)
+            cells.append((names[stage] if stage is not None else "").ljust(cell))
+        lines.append(label.ljust(label_width) + " " + "".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def dlx_labels(trace: Trace, program: list[int], n_stages: int = 5) -> list[str]:
+    """Disassembly labels for a (non-speculative) DLX run.
+
+    The fetch-address stream is reconstructed from the committed ``DPC``
+    values; instruction ``i``'s label is the disassembly of the word it
+    was fetched from.
+    """
+    from ..dlx import isa
+    from ..dlx.disassemble import disassemble_word
+
+    schedule = compute_schedule(trace, n_stages)
+    # DPC commits once per instruction (written in decode): commit i holds
+    # the fetch address of instruction i+1; instruction 0 fetches from 0.
+    addresses = [0]
+    we = trace.probes.get("commit.DPC.we")
+    data = trace.probes.get("commit.DPC.data")
+    if we is not None and data is not None:
+        for cycle in range(len(trace)):
+            if we[cycle]:
+                addresses.append(data[cycle])
+    labels = []
+    for i in range(schedule.instructions_fetched()):
+        if i < len(addresses):
+            address = addresses[i]
+            index = (address >> 2) % max(len(program), 1)
+            word = program[index] if index < len(program) else isa.NOP
+            labels.append(f"{address:#06x}  {disassemble_word(word)}")
+        else:
+            labels.append(f"I{i}")
+    return labels

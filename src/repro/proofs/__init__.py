@@ -1,0 +1,23 @@
+"""Generated proof obligations and their mechanical discharge."""
+
+from .discharge import DischargeRecord, DischargeReport, Status, discharge
+from .instrument import counter_name, instrument_scheduling
+from .obligations import (
+    Obligation,
+    ObligationKind,
+    ObligationSet,
+    generate_obligations,
+)
+
+__all__ = [
+    "DischargeRecord",
+    "DischargeReport",
+    "Obligation",
+    "ObligationKind",
+    "ObligationSet",
+    "Status",
+    "counter_name",
+    "discharge",
+    "generate_obligations",
+    "instrument_scheduling",
+]

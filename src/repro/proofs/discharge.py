@@ -1,0 +1,269 @@
+"""Mechanical discharge of generated proof obligations.
+
+Invariant obligations go to the SAT-based engines (k-induction first, then
+bounded model checking as a fallback); trace obligations run the named
+dynamic checker against the sequential reference.  Every outcome is
+recorded with the method that produced it, so a report distinguishes
+*proved* (inductive) from *bounded* (no violation within k steps) from
+*tested* (holds on the exercised runs) — the same epistemic levels the
+paper's PVS proofs vs. simulations occupy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Mapping
+
+from ..core.consistency import (
+    check_data_consistency,
+    check_liveness,
+    compare_commit_streams,
+)
+from ..core.scheduling import check_lemma1
+from ..formal.equiv import check_equivalence
+from ..core.transform import PipelinedMachine
+from ..formal.bmc import TransitionSystem, bmc, k_induction
+from ..hdl.sim import Simulator
+from .instrument import instrument_scheduling
+from .obligations import Obligation, ObligationKind, ObligationSet
+
+InputProvider = Callable[[int], Mapping[str, int]]
+
+
+class Status(Enum):
+    PROVED = "proved"  # k-inductive on the netlist
+    BOUNDED = "bounded"  # no violation within the BMC bound
+    TRACE_OK = "trace-ok"  # dynamic checker passed
+    FAILED = "failed"  # concrete counterexample / checker violation
+    UNKNOWN = "unknown"  # engines exhausted without a verdict
+
+
+@dataclass
+class DischargeRecord:
+    """Outcome of discharging one obligation."""
+
+    oid: str
+    title: str
+    status: Status
+    method: str
+    detail: str = ""
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (Status.PROVED, Status.BOUNDED, Status.TRACE_OK)
+
+
+@dataclass
+class DischargeReport:
+    """All discharge outcomes for one machine."""
+
+    machine_name: str
+    records: list[DischargeRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(record.ok for record in self.records)
+
+    def counts(self) -> dict[str, int]:
+        result: dict[str, int] = {}
+        for record in self.records:
+            result[record.status.value] = result.get(record.status.value, 0) + 1
+        return result
+
+    def failed(self) -> list[DischargeRecord]:
+        return [record for record in self.records if not record.ok]
+
+    def summary(self) -> str:
+        counts = ", ".join(f"{k}: {v}" for k, v in sorted(self.counts().items()))
+        return (
+            f"{self.machine_name}: {len(self.records)} obligations ({counts})"
+        )
+
+
+def discharge(
+    pipelined: PipelinedMachine,
+    obligations: ObligationSet,
+    max_k: int = 2,
+    bmc_bound: int = 8,
+    trace_cycles: int = 200,
+    liveness_bound: int | None = None,
+    inputs: InputProvider | None = None,
+    seq_inputs: InputProvider | None = None,
+    conjoin: bool = True,
+) -> DischargeReport:
+    """Discharge every obligation; see module docstring for the strategy.
+
+    ``inputs``/``seq_inputs`` provide stimulus (external stalls etc.) for
+    the trace checks on the pipelined/sequential machine respectively.
+
+    With ``conjoin`` (default), all invariant obligations are first tried
+    as a single conjoined k-induction — one unrolling instead of dozens,
+    and a conjunction is at least as inductive as its parts (stronger
+    induction hypothesis).  Individual discharge is the fallback, so a
+    failing obligation is still pinpointed.
+    """
+    report = DischargeReport(machine_name=obligations.machine_name)
+
+    # Resolve the instrumented Lemma 1 property before extracting the
+    # transition system, so the counters are part of it.
+    for obligation in obligations.invariants():
+        if obligation.oid == "lemma1.full_iff_diff" and obligation.prop is None:
+            obligation.prop = instrument_scheduling(pipelined)
+
+    system = TransitionSystem.from_module(pipelined.module)
+    invariants = obligations.invariants()
+    conjoined_done = False
+    if conjoin and len(invariants) > 1 and not any(o.assume for o in invariants):
+        from ..hdl import expr as E
+
+        start = time.perf_counter()
+        combined = E.all_of(o.prop for o in invariants)
+        result = k_induction(system, combined, k=1)
+        if result.holds is True:
+            elapsed = (time.perf_counter() - start) / len(invariants)
+            for obligation in invariants:
+                report.records.append(
+                    DischargeRecord(
+                        oid=obligation.oid,
+                        title=obligation.title,
+                        status=Status.PROVED,
+                        method="1-induction (conjoined)",
+                        seconds=elapsed,
+                    )
+                )
+            conjoined_done = True
+    if not conjoined_done:
+        for obligation in invariants:
+            report.records.append(
+                _discharge_invariant(
+                    system, obligation, max_k=max_k, bmc_bound=bmc_bound
+                )
+            )
+
+    for obligation in obligations.equivalences():
+        start = time.perf_counter()
+        assert obligation.equiv is not None
+        result = check_equivalence(*obligation.equiv)
+        report.records.append(
+            DischargeRecord(
+                oid=obligation.oid,
+                title=obligation.title,
+                status=Status.PROVED if result.equivalent else Status.FAILED,
+                method="sat-equivalence",
+                detail=""
+                if result.equivalent
+                else f"witness: regs={result.witness_regs}",
+                seconds=time.perf_counter() - start,
+            )
+        )
+
+    trace = None
+    if obligations.trace_checks():
+        sim = Simulator(pipelined.module)
+        for _ in range(trace_cycles):
+            stimulus = inputs(sim.cycle) if inputs is not None else {}
+            sim.step(stimulus)
+        trace = sim.trace
+
+    n = pipelined.n_stages
+    bound = liveness_bound if liveness_bound is not None else 8 * n
+    for obligation in obligations.trace_checks():
+        start = time.perf_counter()
+        if obligation.checker == "lemma1":
+            result = check_lemma1(trace, n)
+            ok, detail = result.ok, "; ".join(result.violations[:3])
+        elif obligation.checker == "consistency":
+            consistency = check_data_consistency(
+                pipelined.machine,
+                pipelined.module,
+                cycles=trace_cycles,
+                inputs=inputs,
+                seq_inputs=seq_inputs,
+            )
+            ok, detail = consistency.ok, "; ".join(consistency.violations[:3])
+        elif obligation.checker == "commit_streams":
+            streams = compare_commit_streams(
+                pipelined.machine,
+                pipelined.module,
+                cycles=trace_cycles,
+                inputs=inputs,
+                seq_inputs=seq_inputs,
+            )
+            ok, detail = streams.ok, "; ".join(streams.violations[:3])
+        elif obligation.checker == "liveness":
+            liveness = check_liveness(trace, n, bound=bound)
+            ok = liveness.ok
+            detail = (
+                f"worst latency {liveness.worst_latency} of bound {bound}"
+                f" over {liveness.instructions_checked} instructions"
+            )
+        else:
+            raise ValueError(f"unknown trace checker {obligation.checker!r}")
+        report.records.append(
+            DischargeRecord(
+                oid=obligation.oid,
+                title=obligation.title,
+                status=Status.TRACE_OK if ok else Status.FAILED,
+                method=f"trace({trace_cycles} cycles)",
+                detail=detail,
+                seconds=time.perf_counter() - start,
+            )
+        )
+    return report
+
+
+def _discharge_invariant(
+    system: TransitionSystem,
+    obligation: Obligation,
+    max_k: int,
+    bmc_bound: int,
+) -> DischargeRecord:
+    assert obligation.kind is ObligationKind.INVARIANT and obligation.prop is not None
+    start = time.perf_counter()
+    for k in range(1, max_k + 1):
+        result = k_induction(system, obligation.prop, k=k, assume=list(obligation.assume))
+        if result.holds is True:
+            return DischargeRecord(
+                oid=obligation.oid,
+                title=obligation.title,
+                status=Status.PROVED,
+                method=f"{k}-induction",
+                seconds=time.perf_counter() - start,
+            )
+        if result.holds is False:
+            return DischargeRecord(
+                oid=obligation.oid,
+                title=obligation.title,
+                status=Status.FAILED,
+                method=result.method,
+                detail=str(result.counterexample),
+                seconds=time.perf_counter() - start,
+            )
+    result = bmc(system, obligation.prop, bound=bmc_bound, assume=list(obligation.assume))
+    if result.holds is True:
+        return DischargeRecord(
+            oid=obligation.oid,
+            title=obligation.title,
+            status=Status.BOUNDED,
+            method=f"bmc({bmc_bound})",
+            seconds=time.perf_counter() - start,
+        )
+    if result.holds is False:
+        return DischargeRecord(
+            oid=obligation.oid,
+            title=obligation.title,
+            status=Status.FAILED,
+            method=f"bmc({result.bound})",
+            detail=str(result.counterexample),
+            seconds=time.perf_counter() - start,
+        )
+    return DischargeRecord(
+        oid=obligation.oid,
+        title=obligation.title,
+        status=Status.UNKNOWN,
+        method="exhausted",
+        seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,72 @@
+"""Scheduling-counter instrumentation for Lemma 1 model checking.
+
+The paper's Lemma 1 speaks about the scheduling function ``I(k, T)`` — a
+quantity that does not exist in the hardware.  To model-check it, the
+module is instrumented with auxiliary counters ``isched.k`` implementing
+the paper's inductive definition in hardware:
+
+* ``isched.0 := isched.0 + 1``  when ``ue_0``;
+* ``isched.k := isched.(k-1)`` when ``ue_k``.
+
+The counters wrap at ``2**width``; the lemma's statements only involve
+differences of adjoining counters, which are correct modulo ``2**width``
+as long as at most ``2**width - 1`` instructions separate two stages —
+trivially true since the difference is 0 or 1 (which is exactly what the
+property asserts, so the wrap introduces no unsoundness: a violated
+difference would be detected as not-in-{0,1}).
+
+Auxiliary state never feeds the real datapath, so instrumentation cannot
+change machine behaviour.
+"""
+
+from __future__ import annotations
+
+from ..hdl import expr as E
+from ..core.transform import PipelinedMachine
+
+
+def counter_name(stage: int) -> str:
+    return f"isched.{stage}"
+
+
+def instrument_scheduling(pipelined: PipelinedMachine, width: int = 8) -> E.Expr:
+    """Add scheduling counters to the pipelined module (idempotent) and
+    return the Lemma 1.2+1.3 property:
+
+    for every stage ``k >= 1``:
+    ``diff_k = isched.(k-1) - isched.k`` is 1 if ``full_k`` else 0.
+    """
+    module = pipelined.module
+    engine = pipelined.engine
+    n = pipelined.n_stages
+    if counter_name(0) not in module.registers:
+        for k in range(n):
+            module.add_register(counter_name(k), width, init=0)
+        module.drive_register(
+            counter_name(0),
+            E.add(E.reg_read(counter_name(0), width), E.const(width, 1)),
+            enable=engine.ue[0],
+        )
+        for k in range(1, n):
+            module.drive_register(
+                counter_name(k),
+                E.reg_read(counter_name(k - 1), width),
+                enable=engine.ue[k],
+            )
+        for k in range(n):
+            module.add_probe(f"isched.{k}.value", E.reg_read(counter_name(k), width))
+
+    terms: list[E.Expr] = []
+    for k in range(1, n):
+        diff = E.sub(
+            E.reg_read(counter_name(k - 1), width),
+            E.reg_read(counter_name(k), width),
+        )
+        terms.append(
+            E.mux(
+                engine.full[k],
+                E.eq(diff, E.const(width, 1)),
+                E.eq(diff, E.const(width, 0)),
+            )
+        )
+    return E.all_of(terms)

@@ -1,0 +1,280 @@
+"""Proof obligations emitted by the transformation tool.
+
+The paper's tool generates, besides the hardware, "the proofs necessary in
+order to verify the forwarding and interlock hardware".  Our counterpart:
+the transformation emits a structured set of *obligations*, each of which
+is discharged mechanically (:mod:`repro.proofs.discharge`) by
+
+* **k-induction / BMC** on the generated netlist (invariant obligations) —
+  the role PVS's decision procedures played, here via the from-scratch
+  CDCL SAT solver; or
+* **trace checking** over simulation runs against the sequential
+  reference (data consistency, Lemma 1, liveness) — complete for each
+  concrete run, the dynamic counterpart of the paper's inductive proofs.
+
+Obligation identifiers reference the paper's structure (``stall.*`` for
+Section 3, ``fwd.*`` for Section 4, ``lemma1.*`` for Section 6.1,
+``consistency``/``liveness`` for Sections 6.2/6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..hdl import expr as E
+from ..core.transform import PipelinedMachine
+
+
+class ObligationKind(Enum):
+    """How an obligation is discharged."""
+
+    INVARIANT = "invariant"  # 1-bit property over the netlist state; BMC/induction
+    TRACE = "trace"  # checked over simulation runs by a named checker
+    EQUIVALENCE = "equivalence"  # two combinational functions must agree
+
+
+@dataclass
+class Obligation:
+    """One generated proof obligation."""
+
+    oid: str
+    title: str
+    kind: ObligationKind
+    # INVARIANT obligations: the property and environment assumptions.
+    prop: E.Expr | None = None
+    assume: tuple[E.Expr, ...] = ()
+    # TRACE obligations: the checker to run ("lemma1", "consistency",
+    # "liveness", "commit_streams").
+    checker: str | None = None
+    # EQUIVALENCE obligations: the two expressions that must agree.
+    equiv: tuple[E.Expr, E.Expr] | None = None
+    notes: str = ""
+
+
+@dataclass
+class ObligationSet:
+    """All obligations for one transformed machine."""
+
+    machine_name: str
+    obligations: list[Obligation] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.obligations)
+
+    def __len__(self) -> int:
+        return len(self.obligations)
+
+    def invariants(self) -> list[Obligation]:
+        return [o for o in self.obligations if o.kind is ObligationKind.INVARIANT]
+
+    def trace_checks(self) -> list[Obligation]:
+        return [o for o in self.obligations if o.kind is ObligationKind.TRACE]
+
+    def equivalences(self) -> list[Obligation]:
+        return [o for o in self.obligations if o.kind is ObligationKind.EQUIVALENCE]
+
+    def by_id(self, oid: str) -> Obligation:
+        for obligation in self.obligations:
+            if obligation.oid == oid:
+                return obligation
+        raise KeyError(oid)
+
+
+def generate_obligations(pipelined: PipelinedMachine) -> ObligationSet:
+    """Emit the proof obligations for a transformed machine."""
+    engine = pipelined.engine
+    n = pipelined.n_stages
+    obligations: list[Obligation] = []
+
+    # ---- stall engine (Section 3) -------------------------------------------
+    for k in range(n):
+        obligations.append(
+            Obligation(
+                oid=f"stall.ue_implies_full.{k}",
+                title=f"ue_{k} -> full_{k}",
+                kind=ObligationKind.INVARIANT,
+                prop=E.implies(engine.ue[k], engine.full[k]),
+                notes="a stage only updates when it holds an instruction",
+            )
+        )
+        obligations.append(
+            Obligation(
+                oid=f"stall.stall_implies_full.{k}",
+                title=f"stall_{k} -> full_{k}",
+                kind=ObligationKind.INVARIANT,
+                prop=E.implies(engine.stall[k], engine.full[k]),
+                notes="empty stages never stall (enables bubble removal)",
+            )
+        )
+        obligations.append(
+            Obligation(
+                oid=f"stall.no_ue_when_stalled.{k}",
+                title=f"not (ue_{k} and stall_{k})",
+                kind=ObligationKind.INVARIANT,
+                prop=E.bnot(E.band(engine.ue[k], engine.stall[k])),
+            )
+        )
+        obligations.append(
+            Obligation(
+                oid=f"stall.hazard_blocks_update.{k}",
+                title=f"full_{k} and dhaz_{k} -> not ue_{k}",
+                kind=ObligationKind.INVARIANT,
+                prop=E.implies(
+                    E.band(engine.full[k], engine.dhaz[k]), E.bnot(engine.ue[k])
+                ),
+                notes="the interlock: a data hazard stops the instruction",
+            )
+        )
+        obligations.append(
+            Obligation(
+                oid=f"stall.squash_blocks_update.{k}",
+                title=f"rollback'_{k} -> not ue_{k}",
+                kind=ObligationKind.INVARIANT,
+                prop=E.implies(engine.rollback_prime[k], E.bnot(engine.ue[k])),
+                notes="squashed instructions never commit effects",
+            )
+        )
+    for k in range(n - 1):
+        obligations.append(
+            Obligation(
+                oid=f"stall.propagates.{k}",
+                title=f"full_{k} and stall_{k + 1} -> stall_{k}",
+                kind=ObligationKind.INVARIANT,
+                prop=E.implies(
+                    E.band(engine.full[k], engine.stall[k + 1]), engine.stall[k]
+                ),
+                notes="a stalled stage stalls the (full) stage above it,"
+                " so in-flight instructions are never overwritten",
+            )
+        )
+        obligations.append(
+            Obligation(
+                oid=f"stall.no_overwrite.{k + 1}",
+                title=f"ue_{k} and full_{k + 1} -> ue_{k + 1} or rollback'_{k + 1}",
+                kind=ObligationKind.INVARIANT,
+                prop=E.implies(
+                    E.band(engine.ue[k], engine.full[k + 1]),
+                    E.bor(engine.ue[k + 1], engine.rollback_prime[k + 1]),
+                ),
+                notes="stage k only hands an instruction down if stage k+1"
+                " drains (or its content is being squashed)",
+            )
+        )
+
+    # ---- forwarding / interlock (Section 4) -----------------------------------
+    for index, network in enumerate(pipelined.networks):
+        for j in network.hit_stages:
+            obligations.append(
+                Obligation(
+                    oid=f"fwd.hit_implies_full.{network.regfile}.{network.stage}.{index}.{j}",
+                    title=f"{network.regfile}^{network.stage}_hit[{j}] -> full_{j}",
+                    kind=ObligationKind.INVARIANT,
+                    prop=E.implies(network.hits[j], engine.full[j]),
+                    notes="hits only against stages holding an instruction",
+                )
+            )
+        obligations.append(
+            Obligation(
+                oid=f"fwd.dhaz_feeds_stall.{network.regfile}.{network.stage}.{index}",
+                title=(
+                    f"full_{network.stage} and this read's hazard ->"
+                    f" stall_{network.stage}"
+                ),
+                kind=ObligationKind.INVARIANT,
+                prop=E.implies(
+                    E.band(engine.full[network.stage], network.dhaz),
+                    engine.stall[network.stage],
+                ),
+            )
+        )
+
+    # ---- forwarding-style equivalence (Section 4.2) -----------------------------
+    # A non-chain style (find-first-one tree / operand bus) must compute the
+    # same selection function as the reference priority mux chain.
+    if (
+        pipelined.options.forwarding_style != "chain"
+        and not pipelined.options.interlock_only
+    ):
+        from ..hdl.library import priority_mux
+
+        for index, network in enumerate(pipelined.networks):
+            if network.fallback is None:
+                continue
+            reference = priority_mux(
+                [network.hits[j] for j in network.hit_stages],
+                [network.values[j] for j in network.hit_stages],
+                network.fallback,
+            )
+            obligations.append(
+                Obligation(
+                    oid=f"fwd.style_equivalent.{network.regfile}.{network.stage}.{index}",
+                    title=f"{pipelined.options.forwarding_style} selection ==="
+                    " priority mux chain",
+                    kind=ObligationKind.EQUIVALENCE,
+                    equiv=(network.g, reference),
+                )
+            )
+
+    # ---- scheduling-function lemma (Section 6.1) -------------------------------
+    if not pipelined.machine.speculations and n >= 2:
+        # Requires the instrumented module (see repro.proofs.instrument);
+        # the property reads the isched counters added there.
+        obligations.append(
+            Obligation(
+                oid="lemma1.full_iff_diff",
+                title="Lemma 1.2+1.3: I(k-1,T) - I(k,T) in {0,1} and"
+                " full_k <-> diff = 1",
+                kind=ObligationKind.INVARIANT,
+                prop=None,  # built by instrument_scheduling
+                notes="conjunction over all stages; inductive with the"
+                " generated stall engine",
+            )
+        )
+
+    # ---- trace obligations (Sections 6.1-6.3) --------------------------------------
+    # Lemma 1 describes machines without rollback (the paper: "for sake of
+    # simplicity, we omit rollback in the following arguments"); squashing
+    # legitimately breaks the scheduling recurrence, so the obligation is
+    # only emitted for non-speculative machines.
+    if not pipelined.machine.speculations:
+        obligations.append(
+            Obligation(
+                oid="lemma1.trace",
+                title="Lemma 1 holds over concrete runs",
+                kind=ObligationKind.TRACE,
+                checker="lemma1",
+            )
+        )
+    if pipelined.machine.speculations:
+        obligations.append(
+            Obligation(
+                oid="consistency.commits",
+                title="architectural commit streams equal the sequential"
+                " reference (speculative machine)",
+                kind=ObligationKind.TRACE,
+                checker="commit_streams",
+            )
+        )
+    else:
+        obligations.append(
+            Obligation(
+                oid="consistency.scheduling",
+                title="R_I^T = R_S^{I(k,T)} for all visible state"
+                " (data consistency, Section 6.2)",
+                kind=ObligationKind.TRACE,
+                checker="consistency",
+            )
+        )
+    obligations.append(
+        Obligation(
+            oid="liveness.bounded",
+            title="every instruction retires within a finite bound"
+            " (Section 6.3)",
+            kind=ObligationKind.TRACE,
+            checker="liveness",
+        )
+    )
+    return ObligationSet(
+        machine_name=pipelined.machine.name, obligations=obligations
+    )

@@ -1,0 +1,35 @@
+"""Shared fixtures: cached machines (building/transforming is the slow
+part, and the machines are immutable from the tests' point of view)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PipelinedMachine, TransformOptions, transform
+from repro.machine import toy
+from repro.machine.prepared import PreparedMachine
+
+TOY_PROGRAM = [
+    toy.li(1, 5),
+    toy.li(2, 7),
+    toy.add(3, 1, 2),
+    toy.add(0, 3, 3),
+    toy.ld(1, 3),
+    toy.add(2, 1, 1),
+]
+TOY_DMEM = {12: 99}
+
+
+@pytest.fixture(scope="session")
+def toy_machine() -> PreparedMachine:
+    return toy.build_toy_machine(TOY_PROGRAM, TOY_DMEM)
+
+
+@pytest.fixture(scope="session")
+def toy_pipelined(toy_machine) -> PipelinedMachine:
+    return transform(toy_machine)
+
+
+@pytest.fixture(scope="session")
+def toy_interlock_only(toy_machine) -> PipelinedMachine:
+    return transform(toy_machine, TransformOptions(interlock_only=True))

@@ -1,0 +1,100 @@
+"""Tests for the unit-gate cost/delay model."""
+
+import pytest
+
+from repro.hdl import expr as E
+from repro.hdl.analyze import analyze, analyze_module, count_ops, node_cost, node_delay, storage_bits
+from repro.hdl.library import priority_mux, tree_select
+from repro.hdl.netlist import Module
+
+
+class TestNodeModel:
+    def test_free_nodes(self):
+        x = E.input_port("x", 8)
+        for node in (x, E.const(8, 0), E.reg_read("r", 8), E.bits(x, 0, 3)):
+            assert node_cost(node) == 0.0
+            assert node_delay(node) == 0.0
+
+    def test_and_cost_scales_with_width(self):
+        a8 = E.band(E.input_port("x", 8), E.input_port("y", 8))
+        a32 = E.band(E.input_port("x32", 32), E.input_port("y32", 32))
+        assert node_cost(a32) == 4 * node_cost(a8)
+        assert node_delay(a32) == node_delay(a8) == 1.0
+
+    def test_adder_delay_logarithmic(self):
+        add8 = E.add(E.input_port("x", 8), E.input_port("y", 8))
+        add32 = E.add(E.input_port("x32", 32), E.input_port("y32", 32))
+        # carry-lookahead: delay grows with log2, not linearly
+        assert node_delay(add32) == node_delay(add8) + 4.0
+
+    def test_eq_has_comparator_shape(self):
+        cmp8 = E.eq(E.input_port("x", 8), E.input_port("y", 8))
+        assert node_delay(cmp8) == 2.0 + 3  # 2 + ceil(log2 8)
+
+    def test_mux_constant_delay(self):
+        m = E.mux(E.input_port("s", 1), E.input_port("x", 32), E.input_port("y", 32))
+        assert node_delay(m) == 2.0
+        assert node_cost(m) == 3.0 * 32
+
+    def test_memread_model(self):
+        mr = E.mem_read("m", E.input_port("a", 4), 8)
+        assert node_cost(mr) == 3.0 * 8 * 15
+        assert node_delay(mr) == 8.0
+
+
+class TestAggregate:
+    def test_delay_is_longest_path(self):
+        x = E.input_port("x", 8)
+        y = E.input_port("y", 8)
+        shallow = E.band(x, y)
+        deep = E.band(E.band(E.band(x, y), x), y)
+        assert analyze([deep]).delay == 3.0
+        assert analyze([shallow, deep]).delay == 3.0
+
+    def test_cost_counts_unique_nodes_once(self):
+        x = E.input_port("x", 8)
+        shared = E.add(x, E.const(8, 1))
+        expression = E.band(shared, shared)  # folds to shared
+        both = E.bxor(shared, E.bnot(shared))
+        stats = analyze([both])
+        assert stats.count("ADD") == 1
+
+    def test_op_counts(self):
+        x = E.input_port("x", 8)
+        y = E.input_port("y", 8)
+        expression = E.mux(E.eq(x, y), E.add(x, y), E.sub(x, y))
+        stats = analyze([expression])
+        assert stats.count("EQ") == 1
+        assert stats.count("ADD") == 1
+        assert stats.count("SUB") == 1
+        assert stats.count("MUX") == 1
+        assert count_ops([expression], "EQ") == 1
+
+    def test_empty(self):
+        stats = analyze([])
+        assert stats.cost == 0 and stats.delay == 0 and stats.nodes == 0
+
+    def test_chain_linear_tree_log(self):
+        """The asymptotic shape behind the paper's Section 4.2 remark."""
+        def delays(n):
+            selects = [E.input_port(f"s{i}", 1) for i in range(n)]
+            values = [E.input_port(f"v{i}", 16) for i in range(n)]
+            fallback = E.input_port("fb", 16)
+            chain = analyze([priority_mux(selects, values, fallback)]).delay
+            tree = analyze([tree_select(selects, values, fallback)]).delay
+            return chain, tree
+
+        chain4, tree4 = delays(4)
+        chain16, tree16 = delays(16)
+        assert chain16 - chain4 >= 20  # ~2 gate delays per extra stage
+        # tree growth is logarithmic: far less than half the chain's growth
+        assert tree16 - tree4 <= (chain16 - chain4) / 2
+
+    def test_module_aggregate_and_storage(self):
+        module = Module("m")
+        reg = module.add_register("r", 8, init=0)
+        module.drive_register("r", E.add(reg, E.const(8, 1)))
+        module.add_memory("mem", 2, 16)
+        stats = analyze_module(module)
+        assert stats.cost > 0
+        assert storage_bits(module) == 8 + 4 * 16

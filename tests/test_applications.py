@@ -1,0 +1,114 @@
+"""Application-kernel tests: the pipelined DLX runs real programs
+(hundreds of dynamic instructions) to the architecturally correct result."""
+
+import pytest
+
+from repro.core import TransformOptions, compare_commit_streams, transform
+from repro.dlx import DlxConfig, DlxReference, build_dlx_machine
+from repro.dlx.programs import bubble_sort, extended_suite, matmul
+from repro.hdl.compile import CompiledSimulator
+
+
+def run_reference(workload, delay_slot=True, limit=8000):
+    reference = DlxReference(
+        workload.program, data=workload.data, delay_slot=delay_slot
+    )
+    count = 0
+    while reference.state.dpc != workload.halt_address and count < limit:
+        reference.step()
+        count += 1
+    assert reference.state.dpc == workload.halt_address, workload.name
+    return reference, count
+
+
+class TestBubbleSort:
+    def test_reference_sorts(self):
+        workload = bubble_sort(n=6, seed=11)
+        reference, _count = run_reference(workload)
+        values = [reference.state.dmem.get(i, 0) for i in range(6)]
+        assert values == sorted(workload.data[i] for i in range(6))
+
+    def test_pipelined_sorts(self):
+        workload = bubble_sort(n=5, seed=4)
+        reference, count = run_reference(workload)
+        machine = build_dlx_machine(workload.program, data=workload.data)
+        pipelined = transform(machine)
+        sim = CompiledSimulator(pipelined.module)
+        for _ in range(count * 3):
+            sim.step()
+        for i in range(5):
+            assert sim.mem("DMem", i) == reference.state.dmem.get(i, 0)
+
+    def test_commit_streams(self):
+        workload = bubble_sort(n=4, seed=2)
+        machine = build_dlx_machine(workload.program, data=workload.data)
+        pipelined = transform(machine)
+        report = compare_commit_streams(
+            machine, pipelined.module, cycles=500, seq_cycles=2500
+        )
+        assert report.ok, report.first_violation()
+
+
+class TestMatmul:
+    def _expected(self, workload, n=3):
+        a = [[workload.data[i * n + j] for j in range(n)] for i in range(n)]
+        b = [[workload.data[16 + i * n + j] for j in range(n)] for i in range(n)]
+        return [
+            [sum(a[i][k] * b[k][j] for k in range(n)) for j in range(n)]
+            for i in range(n)
+        ]
+
+    def test_reference_multiplies(self):
+        workload = matmul(n=3, seed=5)
+        reference, _count = run_reference(workload)
+        expected = self._expected(workload)
+        for i in range(3):
+            for j in range(3):
+                assert reference.state.dmem.get(32 + 3 * i + j, 0) == expected[i][j]
+
+    @pytest.mark.parametrize("latency", [1, 4])
+    def test_pipelined_with_multicycle_multiplier(self, latency):
+        workload = matmul(n=2, seed=6)
+        reference, count = run_reference(workload)
+        machine = build_dlx_machine(
+            workload.program,
+            data=workload.data,
+            config=DlxConfig(multiplier_latency=latency),
+        )
+        pipelined = transform(machine)
+        sim = CompiledSimulator(pipelined.module)
+        for _ in range(count * (2 + latency)):
+            sim.step()
+        for i in range(2):
+            for j in range(2):
+                assert sim.mem("DMem", 32 + 2 * i + j) == reference.state.dmem.get(
+                    32 + 2 * i + j, 0
+                ), (latency, i, j)
+
+    def test_longer_latency_costs_more_cycles(self):
+        workload = matmul(n=2, seed=6)
+        _reference, count = run_reference(workload)
+
+        def cycles(latency):
+            machine = build_dlx_machine(
+                workload.program,
+                data=workload.data,
+                config=DlxConfig(multiplier_latency=latency),
+            )
+            from repro.perf import run_to_completion
+
+            return run_to_completion(
+                transform(machine).module, count, 5
+            ).cycles
+
+        assert cycles(6) > cycles(1)
+
+
+class TestExtendedSuite:
+    def test_suite_contents(self):
+        names = {workload.name for workload in extended_suite()}
+        assert names == {"bubble-sort", "matmul"}
+
+    def test_no_delay_slot_variants_terminate(self):
+        for workload in extended_suite(delay_slots=False):
+            run_reference(workload, delay_slot=False)

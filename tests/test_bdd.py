@@ -1,0 +1,154 @@
+"""Tests for the ROBDD package."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formal.aig import Aig, BitBlaster, fresh_vec
+from repro.formal.bdd import Bdd, bdd_from_aig
+from repro.hdl import expr as E
+
+
+class TestBasics:
+    def test_terminals(self):
+        bdd = Bdd()
+        assert bdd.true == 1
+        assert bdd.false == 0
+        assert bdd.is_tautology(bdd.true)
+        assert not bdd.is_tautology(bdd.false)
+
+    def test_variable(self):
+        bdd = Bdd()
+        x = bdd.new_var()
+        assert bdd.evaluate(x, {0: True})
+        assert not bdd.evaluate(x, {0: False})
+
+    def test_not(self):
+        bdd = Bdd()
+        x = bdd.new_var()
+        assert bdd.not_(bdd.not_(x)) == x
+        assert bdd.not_(bdd.true) == bdd.false
+
+    def test_and_or(self):
+        bdd = Bdd()
+        x = bdd.new_var()
+        y = bdd.new_var()
+        conj = bdd.and_(x, y)
+        disj = bdd.or_(x, y)
+        for a in (False, True):
+            for b in (False, True):
+                env = {0: a, 1: b}
+                assert bdd.evaluate(conj, env) == (a and b)
+                assert bdd.evaluate(disj, env) == (a or b)
+
+    def test_xor_xnor(self):
+        bdd = Bdd()
+        x = bdd.new_var()
+        y = bdd.new_var()
+        for a in (False, True):
+            for b in (False, True):
+                env = {0: a, 1: b}
+                assert bdd.evaluate(bdd.xor_(x, y), env) == (a ^ b)
+                assert bdd.evaluate(bdd.xnor_(x, y), env) == (a == b)
+
+    def test_canonicity(self):
+        """Structurally different constructions of the same function share
+        the same node (reduced & ordered => canonical)."""
+        bdd = Bdd()
+        x = bdd.new_var()
+        y = bdd.new_var()
+        demorgan_a = bdd.not_(bdd.and_(x, y))
+        demorgan_b = bdd.or_(bdd.not_(x), bdd.not_(y))
+        assert bdd.equivalent(demorgan_a, demorgan_b)
+
+    def test_implies(self):
+        bdd = Bdd()
+        x = bdd.new_var()
+        assert bdd.implies_(x, x) == bdd.true
+
+
+class TestQueries:
+    def test_satisfy_one(self):
+        bdd = Bdd()
+        x = bdd.new_var()
+        y = bdd.new_var()
+        f = bdd.and_(x, bdd.not_(y))
+        assignment = bdd.satisfy_one(f)
+        assert assignment == {0: True, 1: False}
+        assert bdd.satisfy_one(bdd.false) is None
+
+    def test_count_sat(self):
+        bdd = Bdd()
+        x = bdd.new_var()
+        y = bdd.new_var()
+        z = bdd.new_var()
+        assert bdd.count_sat(bdd.true) == 8
+        assert bdd.count_sat(bdd.false) == 0
+        assert bdd.count_sat(x) == 4
+        assert bdd.count_sat(bdd.and_(x, y)) == 2
+        assert bdd.count_sat(bdd.or_(x, bdd.and_(y, z))) == 5
+
+    def test_size(self):
+        bdd = Bdd()
+        x = bdd.new_var()
+        y = bdd.new_var()
+        assert bdd.size(bdd.true) == 0
+        assert bdd.size(x) == 1
+        assert bdd.size(bdd.xor_(x, y)) >= 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=255))
+    def test_majority_function(self, pattern):
+        """Majority-of-3 evaluated against a truth table."""
+        bdd = Bdd()
+        variables = [bdd.new_var() for _ in range(3)]
+        x, y, z = variables
+        maj = bdd.or_(bdd.or_(bdd.and_(x, y), bdd.and_(y, z)), bdd.and_(x, z))
+        bits = [(pattern >> i) & 1 for i in range(3)]
+        env = {i: bool(bits[i]) for i in range(3)}
+        assert bdd.evaluate(maj, env) == (sum(bits) >= 2)
+
+
+class TestFromAig:
+    def test_adder_equivalence(self):
+        """x + y == y + x, proved on BDDs built from the bit-blasted AIG."""
+        aig = Aig()
+        regs = {"x": fresh_vec(aig, 4), "y": fresh_vec(aig, 4)}
+        blaster = BitBlaster(aig, regs=regs)
+        x = E.reg_read("x", 4)
+        y = E.reg_read("y", 4)
+        left = blaster.blast(E.add(x, y))
+        right = blaster.blast(E.add(y, x))
+
+        bdd = Bdd()
+        var_map = {lit >> 1: bdd.new_var() for lit in aig._inputs}
+        node_of = bdd_from_aig(bdd, aig.ands, var_map)
+
+        def lit_node(lit):
+            base = node_of[lit >> 1]
+            return bdd.not_(base) if lit & 1 else base
+
+        for a, b in zip(left, right):
+            assert bdd.equivalent(lit_node(a), lit_node(b))
+
+    def test_detects_inequivalence(self):
+        aig = Aig()
+        regs = {"x": fresh_vec(aig, 4)}
+        blaster = BitBlaster(aig, regs=regs)
+        x = E.reg_read("x", 4)
+        left = blaster.blast(E.add(x, E.const(4, 1)))
+        right = blaster.blast(x)
+
+        bdd = Bdd()
+        var_map = {lit >> 1: bdd.new_var() for lit in aig._inputs}
+        node_of = bdd_from_aig(bdd, aig.ands, var_map)
+
+        def lit_node(lit):
+            base = node_of[lit >> 1]
+            return bdd.not_(base) if lit & 1 else base
+
+        different = any(
+            not bdd.equivalent(lit_node(a), lit_node(b))
+            for a, b in zip(left, right)
+        )
+        assert different

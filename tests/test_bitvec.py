@@ -1,0 +1,192 @@
+"""Unit and property tests for repro.hdl.bitvec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hdl.bitvec import (
+    BitVector,
+    bit_length_for,
+    bv,
+    from_signed,
+    mask,
+    to_signed,
+    truncate,
+)
+
+words = st.integers(min_value=0, max_value=(1 << 32) - 1)
+widths = st.integers(min_value=1, max_value=64)
+
+
+class TestHelpers:
+    def test_mask(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(32) == 0xFFFFFFFF
+
+    def test_mask_negative_width(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    def test_truncate(self):
+        assert truncate(0x1FF, 8) == 0xFF
+        assert truncate(-1, 4) == 0xF
+
+    def test_to_signed(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x7F, 8) == 127
+        assert to_signed(0x80, 8) == -128
+        assert to_signed(0, 8) == 0
+
+    def test_from_signed(self):
+        assert from_signed(-1, 8) == 0xFF
+        assert from_signed(-128, 8) == 0x80
+        assert from_signed(5, 8) == 5
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_signed_roundtrip(self, value):
+        assert to_signed(from_signed(value, 32), 32) == value
+
+    def test_bit_length_for(self):
+        assert bit_length_for(1) == 1
+        assert bit_length_for(2) == 1
+        assert bit_length_for(3) == 2
+        assert bit_length_for(4) == 2
+        assert bit_length_for(5) == 3
+        assert bit_length_for(1024) == 10
+
+    def test_bit_length_for_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bit_length_for(0)
+
+
+class TestConstruction:
+    def test_truncates_on_construction(self):
+        assert BitVector(8, 0x1FF).value == 0xFF
+
+    def test_negative_value_wraps(self):
+        assert BitVector(8, -1).value == 0xFF
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(0, 0)
+
+    def test_bool(self):
+        assert not BitVector(4, 0)
+        assert BitVector(4, 1)
+
+    def test_int_conversion(self):
+        assert int(bv(8, 42)) == 42
+
+    def test_binary(self):
+        assert bv(4, 5).binary() == "0101"
+
+
+class TestStructural:
+    def test_bit(self):
+        value = bv(8, 0b1010_0001)
+        assert value.bit(0) == 1
+        assert value.bit(1) == 0
+        assert value.bit(7) == 1
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            bv(8, 0).bit(8)
+
+    def test_slice(self):
+        value = bv(8, 0xAB)
+        assert value.slice(0, 3).value == 0xB
+        assert value.slice(4, 7).value == 0xA
+        assert value.slice(0, 7) == value
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(IndexError):
+            bv(8, 0).slice(4, 8)
+
+    def test_concat(self):
+        high = bv(4, 0xA)
+        low = bv(4, 0xB)
+        joined = high.concat(low)
+        assert joined.width == 8
+        assert joined.value == 0xAB
+
+    @given(words, words)
+    def test_concat_slice_roundtrip(self, a, b):
+        high = bv(32, a)
+        low = bv(32, b)
+        joined = high.concat(low)
+        assert joined.slice(32, 63) == high
+        assert joined.slice(0, 31) == low
+
+    def test_zero_extend(self):
+        assert bv(4, 0xF).zero_extend(8).value == 0x0F
+
+    def test_sign_extend(self):
+        assert bv(4, 0x8).sign_extend(8).value == 0xF8
+        assert bv(4, 0x7).sign_extend(8).value == 0x07
+
+    def test_extend_shrink_rejected(self):
+        with pytest.raises(ValueError):
+            bv(8, 0).zero_extend(4)
+        with pytest.raises(ValueError):
+            bv(8, 0).sign_extend(4)
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        assert (bv(8, 0xFF) + bv(8, 1)).value == 0
+
+    def test_sub_wraps(self):
+        assert (bv(8, 0) - bv(8, 1)).value == 0xFF
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            bv(8, 0) + bv(4, 0)
+
+    def test_logic(self):
+        assert (bv(4, 0b1100) & bv(4, 0b1010)).value == 0b1000
+        assert (bv(4, 0b1100) | bv(4, 0b1010)).value == 0b1110
+        assert (bv(4, 0b1100) ^ bv(4, 0b1010)).value == 0b0110
+        assert (~bv(4, 0b1100)).value == 0b0011
+
+    def test_neg(self):
+        assert (-bv(8, 1)).value == 0xFF
+        assert (-bv(8, 0)).value == 0
+
+    def test_shifts(self):
+        assert bv(8, 0b1).shift_left(3).value == 0b1000
+        assert bv(8, 0b1000).shift_right(3).value == 0b1
+        assert bv(8, 0x80).shift_right_arith(7).value == 0xFF
+        assert bv(8, 0x40).shift_right_arith(6).value == 0x01
+
+    def test_shift_saturates_at_width(self):
+        assert bv(8, 0xFF).shift_left(100).value == 0
+        assert bv(8, 0xFF).shift_right(100).value == 0
+        assert bv(8, 0x80).shift_right_arith(100).value == 0xFF
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            bv(8, 1).shift_left(-1)
+        with pytest.raises(ValueError):
+            bv(8, 1).shift_right(-1)
+        with pytest.raises(ValueError):
+            bv(8, 1).shift_right_arith(-1)
+
+    @given(words, words)
+    def test_add_matches_python(self, a, b):
+        assert (bv(32, a) + bv(32, b)).value == (a + b) % (1 << 32)
+
+    @given(words, words)
+    def test_sub_add_inverse(self, a, b):
+        x = bv(32, a)
+        y = bv(32, b)
+        assert (x + y) - y == x
+
+    @given(words)
+    def test_double_negation(self, a):
+        assert -(-bv(32, a)) == bv(32, a)
+
+    @given(words)
+    def test_invert_involution(self, a):
+        assert ~~bv(32, a) == bv(32, a)

@@ -1,0 +1,165 @@
+"""The compiled simulator must be observationally identical to the
+interpreting reference simulator — property-tested across machines,
+operators, inputs and memory traffic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TransformOptions, transform
+from repro.dlx import DlxConfig, assemble, build_dlx_machine
+from repro.hdl import expr as E
+from repro.hdl.compile import CompiledSimulator, compile_module
+from repro.hdl.netlist import Module
+from repro.hdl.sim import Simulator
+from repro.machine import build_sequential, toy
+
+
+def lockstep(module, cycles, inputs=None):
+    """Run both simulators and require identical traces and final state."""
+    interpreted = Simulator(module)
+    compiled = CompiledSimulator(module)
+    for cycle in range(cycles):
+        stimulus = inputs(cycle) if inputs is not None else {}
+        assert interpreted.step(stimulus) == compiled.step(stimulus), cycle
+    assert interpreted.state.registers == compiled.state.registers
+    assert interpreted.state.memories == compiled.state.memories
+
+
+class TestOperatorEquivalence:
+    def test_every_operator_kind(self):
+        """One module exercising every expression node type."""
+        module = Module("allops")
+        x = module.add_input("x", 8)
+        y = module.add_input("y", 8)
+        acc = module.add_register("acc", 8, init=3)
+        memory = module.add_memory("mem", 2, 8, init={1: 7})
+        addr = E.bits(x, 0, 1)
+        memory.add_write_port(E.bit(y, 0), addr, x)
+        probes = {
+            "not": E.bnot(x),
+            "neg": E.neg(x),
+            "redor": E.redor(x),
+            "redand": E.redand(x),
+            "redxor": E.redxor(x),
+            "and": E.band(x, y),
+            "or": E.bor(x, y),
+            "xor": E.bxor(x, y),
+            "add": E.add(x, y),
+            "sub": E.sub(x, y),
+            "mul": E.mul(x, y),
+            "eq": E.eq(x, y),
+            "ne": E.ne(x, y),
+            "ult": E.ult(x, y),
+            "ule": E.ule(x, y),
+            "slt": E.slt(x, y),
+            "sle": E.sle(x, y),
+            "shl": E.shl(x, y),
+            "lshr": E.lshr(x, y),
+            "ashr": E.ashr(x, y),
+            "mux": E.mux(E.bit(x, 7), x, y),
+            "concat": E.concat(E.bits(x, 0, 3), E.bits(y, 4, 7)),
+            "slice": E.bits(x, 2, 5),
+            "sext": E.sext(E.bits(x, 0, 3), 8),
+            "memread": E.mem_read("mem", addr, 8),
+            "regread": acc,
+        }
+        for name, expression in probes.items():
+            module.add_probe(name, expression)
+        module.drive_register("acc", E.add(acc, E.bxor(x, y)))
+        rng = random.Random(13)
+        lockstep(
+            module,
+            200,
+            inputs=lambda cycle: {"x": rng.randrange(256), "y": rng.randrange(256)},
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_random_stimulus(self, seed):
+        module = Module("stim")
+        x = module.add_input("x", 16)
+        acc = module.add_register("acc", 16, init=0)
+        module.drive_register(
+            "acc", E.add(E.mul(acc, E.const(16, 3)), x), enable=E.redor(x)
+        )
+        module.add_probe("acc", acc)
+        rng = random.Random(seed)
+        lockstep(module, 30, inputs=lambda cycle: {"x": rng.randrange(1 << 16)})
+
+
+class TestMachineEquivalence:
+    def test_toy_pipelined(self, toy_pipelined):
+        lockstep(toy_pipelined.module, 60)
+
+    def test_toy_sequential(self, toy_machine):
+        lockstep(build_sequential(toy_machine), 60)
+
+    def test_dlx_pipelined_with_stalls(self):
+        source = """
+        addi r1, r0, 3
+        mult r2, r1, r1
+        add  r3, r2, r1
+        lw   r4, 0(r0)
+        add  r5, r4, r4
+        beqz r0, halt
+        nop
+halt:   j halt
+        nop
+        """
+        machine = build_dlx_machine(
+            assemble(source),
+            data={0: 11},
+            config=DlxConfig(multiplier_latency=3, ext_stall_mem=True),
+        )
+        pipelined = transform(machine)
+        rng = random.Random(5)
+        pattern = [rng.randint(0, 1) for _ in range(100)]
+        lockstep(
+            pipelined.module,
+            100,
+            inputs=lambda cycle: {"ext.3": pattern[cycle % 100]},
+        )
+
+    def test_speculative_dlx(self):
+        from repro.dlx.speculative import DlxSpecConfig, build_dlx_spec_machine
+
+        source = """
+        addi r1, r0, 4
+loop:   subi r1, r1, 1
+        bnez r1, loop
+halt:   j halt
+        """
+        machine = build_dlx_spec_machine(
+            assemble(source), config=DlxSpecConfig(predictor="not_taken")
+        )
+        lockstep(transform(machine).module, 80)
+
+
+class TestCompiledApi:
+    def test_initial_state_respected(self, toy_machine):
+        module = build_sequential(toy_machine)
+        state = module.initial_state()
+        state.registers["PC.1"] = state.registers["PC.1"].__class__(5, 3)
+        sim = CompiledSimulator(module, state)
+        assert sim.reg("PC.1") == 3
+
+    def test_run_with_stop(self):
+        module = Module("c")
+        count = module.add_register("c", 8, init=0)
+        module.drive_register("c", E.add(count, E.const(8, 1)))
+        module.add_probe("c", count)
+        sim = CompiledSimulator(module)
+        sim.run(100, stop=lambda values: values["c"] == 5)
+        assert sim.trace.probe("c")[-1] == 5
+
+    def test_compile_module_signature(self):
+        module = Module("m")
+        x = module.add_input("x", 4)
+        module.add_probe("y", E.add(x, E.const(4, 1)))
+        step = compile_module(module)
+        out: dict = {}
+        step({}, {}, {"x": 3}, out)
+        assert out == {"y": 4}

@@ -1,0 +1,163 @@
+"""Tests for DLX instruction encoding and the assembler."""
+
+import pytest
+
+from repro.dlx import assemble, isa, labels_of
+from repro.dlx.assemble import AssemblerError
+
+
+class TestEncoding:
+    def test_rtype_fields(self):
+        word = isa.encode_r(isa.F_ADD, rd=3, rs1=1, rs2=2)
+        decoded = isa.Decoded(word)
+        assert decoded.opcode == isa.OP_SPECIAL
+        assert decoded.rs1 == 1
+        assert decoded.rs2 == 2
+        assert decoded.rd_r == 3
+        assert decoded.funct == isa.F_ADD
+        assert decoded.is_rtype
+
+    def test_itype_fields(self):
+        word = isa.encode_i(isa.OP_ADDI, rd=5, rs1=2, imm=-7)
+        decoded = isa.Decoded(word)
+        assert decoded.opcode == isa.OP_ADDI
+        assert decoded.rd_i == 5
+        assert decoded.rs1 == 2
+        assert decoded.imm16_signed == -7
+
+    def test_jtype_offset(self):
+        word = isa.encode_j(isa.OP_J, -8)
+        assert isa.Decoded(word).imm26_signed == -8
+
+    def test_field_range_checks(self):
+        with pytest.raises(ValueError):
+            isa.encode_r(isa.F_ADD, 32, 0, 0)
+        with pytest.raises(ValueError):
+            isa.encode_i(isa.OP_ADDI, 0, 0, 1 << 16)
+        with pytest.raises(ValueError):
+            isa.encode_i(isa.OP_ADDI, 0, 0, -(1 << 15) - 1)
+
+    def test_classification(self):
+        assert isa.Decoded(isa.encode_i(isa.OP_LW, 1, 0, 0)).is_load
+        assert isa.Decoded(isa.encode_i(isa.OP_SW, 1, 0, 0)).is_store
+        assert isa.Decoded(isa.encode_i(isa.OP_BEQZ, 0, 1, 4)).is_branch
+        assert isa.Decoded(isa.encode_j(isa.OP_JAL, 8)).is_link
+        assert isa.Decoded(isa.encode_i(isa.OP_TRAP, 0, 0, 0)).is_trap
+        assert isa.Decoded(isa.encode_i(isa.OP_RFE, 0, 0, 0)).is_rfe
+
+    def test_gpr_dest(self):
+        assert isa.Decoded(isa.encode_r(isa.F_ADD, 7, 1, 2)).gpr_dest == 7
+        assert isa.Decoded(isa.encode_i(isa.OP_ADDI, 9, 0, 0)).gpr_dest == 9
+        assert isa.Decoded(isa.encode_j(isa.OP_JAL, 0)).gpr_dest == 31
+        assert isa.Decoded(isa.encode_i(isa.OP_SW, 3, 0, 0)).gpr_dest == 0
+
+    def test_writes_to_r0_suppressed(self):
+        assert not isa.Decoded(isa.encode_i(isa.OP_ADDI, 0, 0, 5)).writes_gpr
+        assert isa.Decoded(isa.encode_i(isa.OP_ADDI, 1, 0, 5)).writes_gpr
+
+    def test_nop_is_architectural_noop(self):
+        decoded = isa.Decoded(isa.NOP)
+        assert decoded.is_alu_imm
+        assert not decoded.writes_gpr
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        words = assemble("addi r1, r0, 10\nadd r2, r1, r1\n")
+        assert words[0] == isa.encode_i(isa.OP_ADDI, 1, 0, 10)
+        assert words[1] == isa.encode_r(isa.F_ADD, 2, 1, 1)
+
+    def test_comments_and_blanks(self):
+        words = assemble("""
+        ; full-line comment
+        addi r1, r0, 1   # trailing comment
+
+        """)
+        assert len(words) == 1
+
+    def test_labels_and_branches(self):
+        source = """
+start:  addi r1, r0, 2
+loop:   subi r1, r1, 1
+        bnez r1, loop
+        nop
+        """
+        words = assemble(source)
+        labels = labels_of(source)
+        assert labels == {"start": 0, "loop": 4}
+        branch = isa.Decoded(words[2])
+        # branch at byte 8; delay-slot-relative: 4 - (8 + 4) = -8
+        assert branch.imm16_signed == -8
+
+    def test_forward_reference(self):
+        words = assemble("""
+        j done
+        nop
+        addi r1, r0, 1
+done:   addi r2, r0, 2
+        """)
+        jump = isa.Decoded(words[0])
+        assert jump.imm26_signed == 12 - 4  # target 12, relative to 0+4
+
+    def test_memory_operands(self):
+        words = assemble("lw r3, 8(r2)\nsw -4(r5), r6\n")
+        load = isa.Decoded(words[0])
+        assert load.opcode == isa.OP_LW
+        assert load.rd_i == 3 and load.rs1 == 2 and load.imm16_signed == 8
+        store = isa.Decoded(words[1])
+        assert store.opcode == isa.OP_SW
+        assert store.rd_i == 6 and store.rs1 == 5
+        assert store.imm16_signed == -4
+
+    def test_org_and_word(self):
+        words = assemble(""".org 0x10\n.word 0xdeadbeef\n""")
+        assert len(words) == 5
+        assert words[:4] == [isa.NOP] * 4
+        assert words[4] == 0xDEADBEEF
+
+    def test_li_expansion(self):
+        small = assemble("li r1, 100\n")
+        assert len(small) == 1
+        big = assemble("li r1, 0x12345678\n")
+        assert len(big) == 2
+        assert isa.Decoded(big[0]).opcode == isa.OP_LHI
+        assert isa.Decoded(big[1]).opcode == isa.OP_ORI
+        high_only = assemble("li r1, 0xffff0000\n")
+        assert len(high_only) == 1
+
+    def test_pseudo_ops(self):
+        words = assemble("nop\nmove r2, r3\n")
+        assert words[0] == isa.NOP
+        move = isa.Decoded(words[1])
+        assert move.opcode == isa.OP_ADDI and move.rd_i == 2 and move.rs1 == 3
+
+    def test_jump_register_ops(self):
+        words = assemble("jr r31\njalr r4\n")
+        assert isa.Decoded(words[0]).opcode == isa.OP_JR
+        assert isa.Decoded(words[0]).rs1 == 31
+        assert isa.Decoded(words[1]).opcode == isa.OP_JALR
+
+    def test_trap_rfe(self):
+        words = assemble("trap 3\nrfe\n")
+        assert isa.Decoded(words[0]).is_trap
+        assert isa.Decoded(words[1]).is_rfe
+
+    def test_errors(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate r1, r2\n")
+        with pytest.raises(AssemblerError):
+            assemble("addi r99, r0, 1\n")
+        with pytest.raises(AssemblerError):
+            assemble("addi rx, r0, 1\n")
+        with pytest.raises(AssemblerError):
+            assemble("lw r1, nonsense\n")
+        with pytest.raises(AssemblerError):
+            assemble("x: addi r0,r0,0\nx: nop\n")  # duplicate label
+        with pytest.raises(AssemblerError):
+            assemble(".org 3\n")  # unaligned
+        with pytest.raises(AssemblerError):
+            assemble("addi r1, r0, zzz\n")
+
+    def test_multiple_labels_one_line(self):
+        labels = labels_of("a: b: nop\n")
+        assert labels == {"a": 0, "b": 0}

@@ -1,0 +1,262 @@
+"""Per-instruction semantics tests for the DLX ISA reference simulator."""
+
+import pytest
+
+from repro.dlx import DlxReference, assemble, isa
+
+
+def run(source, steps=None, data=None, **kwargs):
+    program = assemble(source)
+    reference = DlxReference(program, data=data, **kwargs)
+    reference.run(steps if steps is not None else len(program) + 4)
+    return reference
+
+
+class TestAluOps:
+    def test_add_sub(self):
+        ref = run("addi r1, r0, 7\naddi r2, r0, 3\nadd r3, r1, r2\nsub r4, r1, r2\n")
+        assert ref.state.gpr[3] == 10
+        assert ref.state.gpr[4] == 4
+
+    def test_sub_wraps(self):
+        ref = run("addi r1, r0, 0\nsubi r2, r1, 1\n")
+        assert ref.state.gpr[2] == 0xFFFFFFFF
+
+    def test_logic(self):
+        ref = run(
+            "addi r1, r0, 0xff\naddi r2, r0, 0x0f\n"
+            "and r3, r1, r2\nor r4, r1, r2\nxor r5, r1, r2\n"
+        )
+        assert ref.state.gpr[3] == 0x0F
+        assert ref.state.gpr[4] == 0xFF
+        assert ref.state.gpr[5] == 0xF0
+
+    def test_logical_immediates_zero_extend(self):
+        ref = run("addi r1, r0, 0\nori r2, r1, 0x8000\n")
+        assert ref.state.gpr[2] == 0x8000  # not sign-extended
+
+    def test_arith_immediates_sign_extend(self):
+        ref = run("addi r1, r0, 0\naddi r2, r1, -1\n")
+        assert ref.state.gpr[2] == 0xFFFFFFFF
+
+    def test_shifts(self):
+        ref = run(
+            "addi r1, r0, 1\naddi r2, r0, 4\nsll r3, r1, r2\n"
+            "lhi r4, 0x8000\nsrl r5, r4, r2\nsra r6, r4, r2\n"
+        )
+        assert ref.state.gpr[3] == 16
+        assert ref.state.gpr[5] == 0x08000000
+        assert ref.state.gpr[6] == 0xF8000000
+
+    def test_shift_amount_masked_to_5_bits(self):
+        ref = run("addi r1, r0, 1\naddi r2, r0, 33\nsll r3, r1, r2\n")
+        assert ref.state.gpr[3] == 2  # 33 & 31 == 1
+
+    def test_comparisons(self):
+        ref = run(
+            "addi r1, r0, -1\naddi r2, r0, 1\n"
+            "slt r3, r1, r2\nsltu r4, r1, r2\nseq r5, r1, r1\nsne r6, r1, r2\n"
+        )
+        assert ref.state.gpr[3] == 1  # signed: -1 < 1
+        assert ref.state.gpr[4] == 0  # unsigned: 0xffffffff > 1
+        assert ref.state.gpr[5] == 1
+        assert ref.state.gpr[6] == 1
+
+    def test_lhi(self):
+        ref = run("lhi r1, 0x1234\n")
+        assert ref.state.gpr[1] == 0x12340000
+
+    def test_r0_stays_zero(self):
+        ref = run("addi r0, r0, 5\nadd r1, r0, r0\n")
+        assert ref.state.gpr[0] == 0
+        assert ref.state.gpr[1] == 0
+
+
+class TestMemory:
+    def test_word_roundtrip(self):
+        ref = run("addi r1, r0, 0x55\nsw 8(r0), r1\nlw r2, 8(r0)\n")
+        assert ref.state.gpr[2] == 0x55
+        assert ref.state.dmem[2] == 0x55
+
+    def test_byte_lanes(self):
+        ref = run(
+            "li r1, 0xAABBCCDD\nsw 0(r0), r1\n"
+            "lb r2, 0(r0)\nlbu r3, 0(r0)\nlb r4, 3(r0)\nlbu r5, 3(r0)\n"
+        )
+        assert ref.state.gpr[2] == 0xFFFFFFDD  # sign-extended
+        assert ref.state.gpr[3] == 0xDD
+        assert ref.state.gpr[4] == 0xFFFFFFAA
+        assert ref.state.gpr[5] == 0xAA
+
+    def test_half_lanes(self):
+        ref = run(
+            "li r1, 0x8001\nsw 0(r0), r1\nlh r2, 0(r0)\nlhu r3, 0(r0)\n"
+        )
+        assert ref.state.gpr[2] == 0xFFFF8001
+        assert ref.state.gpr[3] == 0x8001
+
+    def test_sb_merges(self):
+        ref = run(
+            "li r1, 0x11223344\nsw 0(r0), r1\naddi r2, r0, 0xAA\nsb 1(r0), r2\n"
+            "lw r3, 0(r0)\n"
+        )
+        assert ref.state.gpr[3] == 0x1122AA44
+
+    def test_sh_merges(self):
+        ref = run(
+            "li r1, 0x11223344\nsw 0(r0), r1\nli r2, 0xBEEF\nsh 2(r0), r2\n"
+            "lw r3, 0(r0)\n",
+            steps=12,
+        )
+        assert ref.state.gpr[3] == 0xBEEF3344
+
+    def test_initial_data(self):
+        ref = run("lw r1, 4(r0)\n", data={1: 77})
+        assert ref.state.gpr[1] == 77
+
+    def test_write_stream_recorded(self):
+        ref = run("addi r1, r0, 9\nsw 0(r0), r1\n")
+        assert (0, 9) in ref.dmem_writes
+        assert (1, 9) in ref.gpr_writes
+
+
+class TestControlFlowDelaySlot:
+    def test_taken_branch_executes_delay_slot(self):
+        ref = run(
+            """
+        addi r1, r0, 1
+        beqz r0, target
+        addi r2, r0, 11   ; delay slot: executes
+        addi r3, r0, 22   ; skipped
+target: addi r4, r0, 33
+        """
+        )
+        assert ref.state.gpr[2] == 11
+        assert ref.state.gpr[3] == 0
+        assert ref.state.gpr[4] == 33
+
+    def test_untaken_branch_falls_through(self):
+        ref = run(
+            """
+        addi r1, r0, 1
+        bnez r0, away
+        nop
+        addi r2, r0, 5
+away:   addi r3, r0, 6
+        """
+        )
+        assert ref.state.gpr[2] == 5
+
+    def test_jal_links_past_delay_slot(self):
+        ref = run(
+            """
+        jal func
+        nop
+        addi r1, r0, 1    ; return lands here (byte 8)
+halt:   j halt
+        nop
+func:   jr r31
+        nop
+        """,
+            steps=10,
+        )
+        assert ref.state.gpr[31] == 8
+        assert ref.state.gpr[1] == 1
+
+    def test_branch_in_delay_slot_free_code_loops(self):
+        ref = run(
+            """
+        addi r1, r0, 3
+loop:   subi r1, r1, 1
+        bnez r1, loop
+        nop
+        addi r2, r0, 99
+        """,
+            steps=20,
+        )
+        assert ref.state.gpr[1] == 0
+        assert ref.state.gpr[2] == 99
+
+
+class TestControlFlowNoDelaySlot:
+    def test_branch_immediate_effect(self):
+        ref = run(
+            """
+        beqz r0, target
+        addi r2, r0, 11   ; skipped (no delay slot)
+target: addi r3, r0, 22
+        """,
+            delay_slot=False,
+        )
+        assert ref.state.gpr[2] == 0
+        assert ref.state.gpr[3] == 22
+
+    def test_link_is_pc_plus_4(self):
+        ref = run(
+            """
+        jal func
+        addi r1, r0, 1    ; return target (byte 4)
+halt:   j halt
+func:   jr r31
+        """,
+            steps=8,
+            delay_slot=False,
+        )
+        assert ref.state.gpr[31] == 4
+        assert ref.state.gpr[1] == 1
+
+
+class TestInterrupts:
+    def test_trap_redirects_and_saves_state(self):
+        ref = run(
+            """
+        addi r1, r0, 1
+        trap 0
+        addi r2, r0, 2    ; not reached before handler
+.org 0x400
+        addi r20, r0, 5
+        """,
+            steps=4,
+            interrupts=True,
+        )
+        assert ref.state.edpc == 4  # the trap's address
+        assert ref.state.gpr[20] == 5
+        assert ref.state.gpr[2] == 0
+
+    def test_rfe_reexecutes_interrupted_instruction(self):
+        program = assemble(
+            """
+        addi r1, r0, 1
+        trap 0
+.org 0x400
+        rfe
+        """
+        )
+        calls = []
+
+        reference = DlxReference(program, interrupts=True)
+        reference.run(6)
+        # trap -> handler -> rfe -> trap again: ping-pong
+        assert reference.state.dpc in (4, 0x400, 0x404)
+
+    def test_external_interrupt_callback(self):
+        fired = []
+
+        def irq(index, state):
+            return index == 2  # interrupt the third instruction
+
+        ref_program = assemble(
+            """
+        addi r1, r0, 1
+        addi r2, r0, 2
+        addi r3, r0, 3
+        addi r4, r0, 4
+.org 0x400
+        addi r20, r0, 9
+        """
+        )
+        reference = DlxReference(ref_program, interrupts=True, irq=irq)
+        reference.run(5)
+        assert reference.state.gpr[3] == 0  # interrupted before executing
+        assert reference.state.edpc == 8
+        assert reference.state.gpr[20] == 9

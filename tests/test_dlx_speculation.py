@@ -1,0 +1,255 @@
+"""Tests for the speculative DLX machines: precise interrupts (paper,
+Section 5 / Smith & Pleszkun) and branch-predicted fetch."""
+
+import pytest
+
+from repro.core import TransformOptions, compare_commit_streams, transform
+from repro.dlx import DlxConfig, DlxReference, assemble, build_dlx_machine
+from repro.dlx.prepared import SISR_DEFAULT
+from repro.dlx.speculative import PREDICTORS, DlxSpecConfig, build_dlx_spec_machine
+from repro.hdl.sim import Simulator
+from repro.machine import build_sequential
+
+TRAP_SOURCE = f"""
+        addi r1, r0, 5
+        addi r2, r0, 7
+        add  r3, r1, r2
+        trap 0
+        addi r4, r0, 99     ; younger than the trap: must be squashed
+        add  r5, r3, r3
+halt:   j halt
+        nop
+.org {SISR_DEFAULT:#x}
+handler:
+        addi r20, r0, 1
+        addi r21, r3, 100
+hloop:  j hloop
+        nop
+"""
+
+
+@pytest.fixture(scope="module")
+def trap_setup():
+    program = assemble(TRAP_SOURCE)
+    machine = build_dlx_machine(program, config=DlxConfig(interrupts=True))
+    pipelined = transform(machine)
+    reference = DlxReference(program, interrupts=True)
+    reference.run(40)
+    return program, machine, pipelined, reference
+
+
+class TestPreciseInterrupts:
+    def test_trap_squashes_younger_instructions(self, trap_setup):
+        _program, _machine, pipelined, reference = trap_setup
+        sim = Simulator(pipelined.module)
+        for _ in range(80):
+            sim.step()
+        assert sim.mem("GPR", 4) == 0  # squashed
+        assert sim.mem("GPR", 3) == 12  # older write survived
+        assert reference.state.gpr[4] == 0
+
+    def test_edpc_saved_precisely(self, trap_setup):
+        _program, _machine, pipelined, reference = trap_setup
+        sim = Simulator(pipelined.module)
+        for _ in range(80):
+            sim.step()
+        assert sim.reg("EDPC.4") == 0xC == reference.state.edpc
+        assert sim.reg("EPCP.4") == 0x10 == reference.state.epcp
+
+    def test_handler_sees_older_results(self, trap_setup):
+        _program, _machine, pipelined, reference = trap_setup
+        sim = Simulator(pipelined.module)
+        for _ in range(80):
+            sim.step()
+        assert sim.mem("GPR", 21) == 112 == reference.state.gpr[21]
+
+    def test_exactly_one_rollback(self, trap_setup):
+        _program, _machine, pipelined, _reference = trap_setup
+        sim = Simulator(pipelined.module)
+        rollbacks = sum(
+            sim.step()["spec.interrupt.mispredict"] for _ in range(80)
+        )
+        assert rollbacks == 1
+
+    def test_commit_streams_match_sequential(self, trap_setup):
+        _program, machine, pipelined, _reference = trap_setup
+        report = compare_commit_streams(
+            machine, pipelined.module, cycles=80, seq_cycles=400
+        )
+        assert report.ok, report.first_violation()
+
+    def test_store_before_trap_commits_store_after_does_not(self):
+        program = assemble(
+            f"""
+        addi r1, r0, 5
+        sw   0(r0), r1      ; older: commits
+        trap 0
+        sw   4(r0), r1      ; younger: squashed
+halt:   j halt
+        nop
+.org {SISR_DEFAULT:#x}
+hloop:  j hloop
+        nop
+        """
+        )
+        machine = build_dlx_machine(program, config=DlxConfig(interrupts=True))
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        for _ in range(60):
+            sim.step()
+        assert sim.mem("DMem", 0) == 5
+        assert sim.mem("DMem", 1) == 0
+
+    def test_external_interrupt_line(self):
+        """Pulse irq while an instruction is in MEM: it is squashed and the
+        machine redirects to the handler with its address in EDPC."""
+        program = assemble(
+            f"""
+        addi r1, r0, 1
+        addi r2, r0, 2
+        addi r3, r0, 3
+        addi r4, r0, 4
+halt:   j halt
+        nop
+.org {SISR_DEFAULT:#x}
+        addi r20, r0, 9
+hloop:  j hloop
+        nop
+        """
+        )
+        machine = build_dlx_machine(program, config=DlxConfig(interrupts=True))
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        fired_at = None
+        for cycle in range(60):
+            stimulus = {"irq": 1 if cycle == 5 else 0}
+            values = sim.step(stimulus)
+            if values["spec.interrupt.mispredict"]:
+                fired_at = cycle
+        assert fired_at == 5
+        assert sim.mem("GPR", 20) == 9  # handler ran
+        # the interrupted instruction (in MEM at cycle 5: fetched at cycle 2)
+        assert sim.reg("EDPC.4") == 8
+        assert sim.mem("GPR", 3) == 0  # it never committed
+
+
+class TestSpeculativeFetch:
+    SOURCE = """
+        addi r1, r0, 5
+        addi r2, r0, 0
+loop:   add  r2, r2, r1
+        subi r1, r1, 1
+        bnez r1, loop
+        sw   0(r0), r2
+        lw   r3, 0(r0)
+        add  r4, r3, r3
+        jal  func
+        addi r5, r0, 77
+halt:   j halt
+func:   addi r6, r0, 9
+        jr   r31
+    """
+
+    @pytest.fixture(scope="class")
+    def program(self):
+        return assemble(self.SOURCE)
+
+    @pytest.fixture(scope="class")
+    def reference(self, program):
+        reference = DlxReference(program, delay_slot=False)
+        reference.run(60)
+        return reference
+
+    @pytest.mark.parametrize("predictor", PREDICTORS)
+    def test_consistent_with_any_predictor(self, program, reference, predictor):
+        machine = build_dlx_spec_machine(
+            program, config=DlxSpecConfig(predictor=predictor)
+        )
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        for _ in range(160):
+            sim.step()
+        for reg in range(32):
+            assert sim.mem("GPR", reg) == reference.state.gpr[reg], (
+                predictor,
+                reg,
+            )
+
+    @pytest.mark.parametrize("predictor", PREDICTORS)
+    def test_commit_streams(self, program, predictor):
+        machine = build_dlx_spec_machine(
+            program, config=DlxSpecConfig(predictor=predictor)
+        )
+        pipelined = transform(machine)
+        report = compare_commit_streams(
+            machine, pipelined.module, cycles=140, seq_cycles=1600
+        )
+        assert report.ok, (predictor, report.first_violation())
+
+    def test_prediction_quality_orders_performance(self, program):
+        """Better prediction => fewer rollbacks and earlier completion —
+        but never a different result (Section 5: performance, not
+        correctness)."""
+        results = {}
+        for predictor in PREDICTORS:
+            machine = build_dlx_spec_machine(
+                program, config=DlxSpecConfig(predictor=predictor)
+            )
+            pipelined = transform(machine)
+            sim = Simulator(pipelined.module)
+            mispredicts = 0
+            done_cycle = None
+            for cycle in range(200):
+                values = sim.step()
+                mispredicts += values["spec.fetch.mispredict"]
+                if done_cycle is None and sim.mem("GPR", 6) == 9 and sim.mem("GPR", 5) == 77:
+                    done_cycle = cycle
+            results[predictor] = (mispredicts, done_cycle)
+        # backward-taken loop: taken/btfn beat not_taken
+        assert results["btfn"][0] < results["not_taken"][0]
+        assert results["taken"][0] < results["not_taken"][0]
+        assert results["btfn"][1] <= results["not_taken"][1]
+
+    def test_adversarial_predictor_on_never_taken_branches(self):
+        """Predict-taken on branches that never go: maximal mispredicts,
+        still consistent."""
+        source = """
+        addi r1, r0, 1
+        bnez r0, away      ; never taken
+        addi r2, r0, 2
+        bnez r0, away      ; never taken
+        addi r3, r0, 3
+halt:   j halt
+away:   addi r4, r0, 99
+        j halt
+        """
+        program = assemble(source)
+        machine = build_dlx_spec_machine(
+            program, config=DlxSpecConfig(predictor="taken")
+        )
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        mispredicts = 0
+        for _ in range(80):
+            mispredicts += sim.step()["spec.fetch.mispredict"]
+        assert mispredicts >= 2  # both bogus predictions rolled back
+        assert sim.mem("GPR", 2) == 2
+        assert sim.mem("GPR", 3) == 3
+        assert sim.mem("GPR", 4) == 0
+
+    def test_mispredict_penalty_is_bounded(self, program):
+        """Every rollback costs a bounded number of cycles (resolve depth)."""
+        machine = build_dlx_spec_machine(
+            program, config=DlxSpecConfig(predictor="not_taken")
+        )
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        retired = mispredicts = cycles = 0
+        while retired < 25 and cycles < 300:
+            values = sim.step()
+            retired += values["ue.4"]
+            mispredicts += values["spec.fetch.mispredict"]
+            cycles += 1
+        assert retired == 25
+        # cycles ≈ fill + instructions + penalty * mispredicts (+ stalls)
+        assert cycles <= 5 + retired + 3 * mispredicts + 10

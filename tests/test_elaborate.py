@@ -1,0 +1,169 @@
+"""Direct tests for the shared datapath elaboration (clocking rules,
+precompute pipes, commit probes) and counterexample replay through the
+whole formal stack."""
+
+import pytest
+
+from repro.core import transform
+from repro.formal import bmc
+from repro.hdl import expr as E
+from repro.hdl.sim import Simulator
+from repro.machine import build_sequential
+from repro.machine.elaborate import precomputed_wa, precomputed_we
+from repro.machine.prepared import MachineSpecError, PreparedMachine
+
+
+class TestClockingRules:
+    """Paper Section 2's register clocking rules, checked structurally."""
+
+    def _machine(self):
+        machine = PreparedMachine("clk", 3)
+        # R has instances R.1 and R.2: stage 0 computes it (conditionally),
+        # stage 1 may overwrite it (conditionally)
+        machine.add_register("R", 8, first=1, last=3)
+        machine.add_register("S", 8, first=2)  # no predecessor instance
+        machine.set_output(0, "R", E.const(8, 1))
+        machine.set_output(1, "R", E.const(8, 2), we=E.bit(E.reg_read("R.1", 8), 0))
+        machine.set_output(1, "S", E.const(8, 3), we=E.bit(E.reg_read("R.1", 8), 1))
+        return machine
+
+    def test_instance_with_predecessor_muxes_and_uses_ue(self):
+        module = build_sequential(self._machine())
+        reg = module.registers["R.2"]
+        # next = mux(we, f, R.1); enable = ue_1 (not gated by we)
+        assert isinstance(reg.next, E.Mux)
+
+    def test_instance_without_predecessor_gates_enable(self):
+        module = build_sequential(self._machine())
+        reg = module.registers["S.2"]
+        # ce = f_Swe AND ue_1 — the enable is an AND, next is the raw value
+        assert isinstance(reg.next, E.Const)
+        assert isinstance(reg.enable, E.Binary) and reg.enable.op == "AND"
+
+    def test_pass_through_instance(self):
+        module = build_sequential(self._machine())
+        reg = module.registers["R.3"]
+        assert reg.next is E.reg_read("R.2", 8)
+
+    def test_conditional_write_semantics(self):
+        """R.2 keeps the stage-0 value when stage 1's we is off."""
+        module = build_sequential(self._machine())
+        sim = Simulator(module)
+        for _ in range(6):  # two instructions' worth
+            sim.step()
+        # R.1 = 1 (odd): stage 1 overwrites R.2 with 2
+        assert sim.reg("R.2") == 2
+
+
+class TestPrecomputePipes:
+    def _machine(self, compute_stage):
+        machine = PreparedMachine("pipes", 4)
+        machine.add_register("IR", 4, first=1, last=4)
+        machine.set_output(0, "IR", E.const(4, 0b1010))
+        machine.add_register_file("RF", 2, 8, write_stage=3)
+        ir = machine.read("IR", compute_stage)
+        machine.set_regfile_write(
+            "RF",
+            data=E.const(8, 7),
+            we=E.bit(ir, 0),
+            wa=E.bits(ir, 1, 2),
+            compute_stage=compute_stage,
+        )
+        return machine
+
+    def test_pipe_registers_created(self):
+        machine = self._machine(1)
+        module = build_sequential(machine)
+        for stage in (2, 3):
+            assert f"RFwe.{stage}" in module.registers
+            assert f"RFwa.{stage}" in module.registers
+
+    def test_no_pipes_when_computed_at_write_stage(self):
+        machine = self._machine(3)
+        module = build_sequential(machine)
+        assert "RFwe.2" not in module.registers
+        assert "RFwe.3" not in module.registers
+
+    def test_precomputed_accessors(self):
+        machine = self._machine(1)
+        # at the compute stage: the combinational expression
+        assert isinstance(precomputed_we(machine, "RF", 1), E.Expr)
+        # later: the piped register
+        assert precomputed_we(machine, "RF", 3) is E.reg_read("RFwe.3", 1)
+        assert precomputed_wa(machine, "RF", 2) is E.reg_read("RFwa.2", 2)
+        with pytest.raises(MachineSpecError):
+            precomputed_we(machine, "RF", 0)  # before the compute stage
+
+    def test_piped_values_track_the_instruction(self):
+        machine = self._machine(1)
+        module = build_sequential(machine)
+        sim = Simulator(module)
+        for _ in range(16):
+            sim.step()
+        # IR = 0b1010: we = 0, wa = 0b01; the pipes carry those to stage 3
+        assert sim.reg("RFwe.3") == 0
+        assert sim.reg("RFwa.3") == 0b01
+
+
+class TestCommitProbes:
+    def test_pass_through_visible_register(self):
+        """A visible register whose last instance is a pure pass-through
+        still gets a commit probe (unconditional write)."""
+        machine = PreparedMachine("vis", 3)
+        machine.add_register("V", 8, first=1, last=3, visible=True)
+        machine.set_output(0, "V", E.const(8, 9))
+        module = build_sequential(machine)
+        assert "commit.V.we" in module.probes
+        sim = Simulator(module)
+        commits = 0
+        for _ in range(9):
+            commits += sim.step()["commit.V.we"]
+        assert commits == 3  # once per instruction (stage 2 fires)
+
+    def test_invisible_state_has_no_commit_probe(self, toy_machine):
+        module = build_sequential(toy_machine)
+        assert "commit.IR.we" not in module.probes
+        assert "commit.DM.we" not in module.probes  # read-only
+
+
+class TestCounterexampleReplay:
+    """A BMC counterexample's inputs, replayed on the simulator, must
+    actually violate the property — closing the loop between the formal
+    stack and the interpreter."""
+
+    def test_replay(self):
+        from repro.hdl.netlist import Module
+
+        module = Module("cex")
+        x = module.add_input("x", 4)
+        acc = module.add_register("acc", 8, init=0)
+        module.drive_register("acc", E.add(acc, E.zext(x, 8)))
+        module.add_probe("acc", acc)
+        prop = E.ult(acc, E.const(8, 20))
+
+        result = bmc(module, prop, bound=6)
+        assert result.holds is False
+        cex = result.counterexample
+
+        sim = Simulator(module)
+        for frame in range(cex.length - 1):
+            sim.step(cex.inputs[frame])
+        # the final frame's state must violate the property
+        assert sim.reg("acc") == cex.states[-1]["acc"]
+        assert sim.reg("acc") >= 20
+
+    def test_replay_with_memory(self):
+        from repro.hdl.netlist import Module
+
+        module = Module("cexmem")
+        data = module.add_input("d", 8)
+        memory = module.add_memory("m", 1, 8)
+        memory.add_write_port(E.const(1, 1), E.const(1, 0), data)
+        prop = E.ne(E.mem_read("m", E.const(1, 0), 8), E.const(8, 0x5A))
+        result = bmc(module, prop, bound=3)
+        assert result.holds is False
+        cex = result.counterexample
+        sim = Simulator(module)
+        for frame in range(cex.length - 1):
+            sim.step(cex.inputs[frame])
+        assert sim.mem("m", 0) == 0x5A

@@ -1,0 +1,38 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Each example ends with its own assertions, so a zero exit status means
+the walkthrough's claims hold, not just that it didn't crash.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_all_examples_present():
+    names = {script.stem for script in EXAMPLES}
+    assert {
+        "quickstart",
+        "dlx_pipeline",
+        "branch_prediction",
+        "precise_interrupts",
+        "forwarding_styles",
+        "verify_pipeline",
+    } <= names

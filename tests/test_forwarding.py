@@ -1,0 +1,167 @@
+"""Tests for the forwarding synthesis (paper, Section 4)."""
+
+import pytest
+
+from repro.core import TransformOptions, transform, check_data_consistency
+from repro.core.forwarding import FORWARDING_STYLES, valid_bit_name
+from repro.hdl import expr as E
+from repro.hdl.analyze import analyze
+from repro.hdl.sim import Simulator
+from repro.machine import toy
+from repro.machine.prepared import MachineSpecError, PreparedMachine
+
+
+class TestNetworkStructure:
+    def test_hit_stage_range(self, toy_pipelined):
+        networks = toy_pipelined.networks_for("RF", 1)
+        assert len(networks) == 2  # two operand reads (A and B)
+        for network in networks:
+            # read in stage 1, written by stage 3: hits in {2, 3}
+            assert network.hit_stages == [2, 3]
+            assert network.comparators == 2
+
+    def test_comparator_count_in_netlist(self, toy_pipelined):
+        """One =? per hit stage per operand network (Figure 2 structure)."""
+        for network in toy_pipelined.networks_for("RF", 1):
+            stats = analyze(list(network.hits.values()))
+            assert stats.count("EQ") == len(network.hit_stages)
+
+    def test_interlock_only_has_no_value_muxes(self, toy_interlock_only):
+        for network in toy_interlock_only.networks:
+            assert network.g is not None
+            stats = analyze([network.g])
+            assert stats.count("MUX") == 0  # plain architectural read
+
+    def test_valid_bit_registers_exist(self, toy_pipelined):
+        # toy: producers at stages 1 (LI) and 2 (ADD); annotation at 2
+        assert valid_bit_name("RF", 2) in toy_pipelined.module.registers
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            TransformOptions(forwarding_style="quantum")
+
+
+class TestStyleEquivalence:
+    """All three hardware styles compute the same input values."""
+
+    @pytest.mark.parametrize("style", FORWARDING_STYLES)
+    def test_style_consistent(self, toy_machine, style):
+        pipelined = transform(toy_machine, TransformOptions(forwarding_style=style))
+        report = check_data_consistency(toy_machine, pipelined.module, cycles=30)
+        assert report.ok, report.first_violation()
+
+    def test_g_values_agree_cycle_by_cycle(self, toy_machine):
+        machines = {
+            style: transform(toy_machine, TransformOptions(forwarding_style=style))
+            for style in FORWARDING_STYLES
+        }
+        sims = {
+            style: Simulator(machine.module) for style, machine in machines.items()
+        }
+        probe_names = [
+            name
+            for name in machines["chain"].module.probes
+            if name.startswith("fwd.") and name.endswith(".g")
+        ]
+        for _ in range(30):
+            rows = {style: sim.step() for style, sim in sims.items()}
+            reference_ue = [rows["chain"][f"ue.{k}"] for k in range(4)]
+            for style in ("tree", "bus"):
+                assert [rows[style][f"ue.{k}"] for k in range(4)] == reference_ue
+                for name in probe_names:
+                    assert rows[style][name] == rows["chain"][name], (style, name)
+
+
+class TestForwardingBehaviour:
+    def test_forwards_from_execute(self, toy_machine):
+        """li r1; add r2, r1, r1 — the add's operands come from the hit in
+        the EX stage (C written there), with no stall."""
+        program = [toy.li(1, 6), toy.add(2, 1, 1)]
+        machine = toy.build_toy_machine(program)
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        stall_cycles = 0
+        for _ in range(12):
+            values = sim.step()
+            stall_cycles += values["dhaz.1"]
+        assert sim.mem("RF", 2) == 12
+        assert stall_cycles == 0
+
+    def test_load_use_interlocks_exactly_one_cycle(self):
+        program = [toy.li(1, 12), toy.ld(2, 1), toy.add(3, 2, 2)]
+        machine = toy.build_toy_machine(program, {12: 9})
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        hazard_cycles = 0
+        for _ in range(14):
+            values = sim.step()
+            hazard_cycles += values["dhaz.1"] and values["full.1"]
+        assert sim.mem("RF", 3) == 18
+        assert hazard_cycles == 1
+
+    def test_no_false_hazards_between_independent_registers(self):
+        program = [toy.li(1, 1), toy.add(2, 3, 3), toy.add(0, 3, 3)]
+        machine = toy.build_toy_machine(program)
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        for _ in range(14):
+            values = sim.step()
+            assert values["dhaz.1"] == 0  # different addresses never hit
+
+    def test_fallback_reads_architectural_file(self):
+        """Distance >= pipeline depth: operands come from RF itself."""
+        program = [toy.li(1, 4), toy.nop(), toy.nop(), toy.nop(), toy.add(2, 1, 1)]
+        machine = toy.build_toy_machine(program)
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        for _ in range(16):
+            sim.step()
+        assert sim.mem("RF", 2) == 8
+
+    def test_hit_probe_fires_on_dependence(self):
+        program = [toy.li(1, 6), toy.add(2, 1, 1)]
+        machine = toy.build_toy_machine(program)
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        hit_probes = [
+            name for name in pipelined.module.probes if ".hit." in name
+        ]
+        fired = {name: 0 for name in hit_probes}
+        for _ in range(10):
+            values = sim.step()
+            for name in hit_probes:
+                fired[name] += values[name]
+        assert any(fired.values())
+
+
+class TestErrorCases:
+    def test_reading_older_stage_regfile_rejected(self):
+        """A register file written by an earlier stage than the reader
+        cannot be forwarded (younger writes already landed)."""
+        machine = PreparedMachine("bad", 4)
+        machine.add_register("R", 8, first=1, last=4)
+        machine.add_register_file("RF", 2, 8, write_stage=1)
+        machine.set_output(0, "R", E.const(8, 0))
+        machine.set_regfile_write(
+            "RF", E.const(8, 0), E.const(1, 1), E.const(2, 0), compute_stage=1
+        )
+        # stage 3 reads RF (write stage 1 < 3 - 1)
+        machine.outputs.clear()
+        machine.add_register("S", 8, first=4)
+        machine.set_output(0, "R", E.const(8, 0))
+        machine.set_output(3, "S", machine.read_file("RF", E.const(2, 0)))
+        with pytest.raises(MachineSpecError, match="pipe the value forward"):
+            transform(machine)
+
+    def test_late_precompute_rejected(self):
+        """we/wa only known after the hit stages need them."""
+        machine = PreparedMachine("late", 4)
+        machine.add_register("R", 8, first=1, last=4)
+        machine.add_register_file("RF", 2, 8, write_stage=3)
+        machine.set_output(0, "R", machine.read_file("RF", E.const(2, 0)))
+        machine.set_regfile_write(
+            "RF", E.const(8, 0), E.const(1, 1), E.const(2, 0), compute_stage=3
+        )
+        # read at stage 0, compute stage 3 > 0 + 1
+        with pytest.raises(MachineSpecError, match="precompute"):
+            transform(machine)

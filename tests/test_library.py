@@ -1,0 +1,243 @@
+"""Tests for the combinational circuit library (mux chains, trees, buses,
+decoders, find-first-one) — including Figure 1's explicit register file."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.formal import exprs_equal_on
+from repro.hdl import expr as E
+from repro.hdl.analyze import analyze
+from repro.hdl.library import (
+    balanced_or,
+    build_explicit_regfile,
+    decoder,
+    find_first_one,
+    mux_tree,
+    onehot_mux,
+    prefix_any,
+    priority_mux,
+    tree_select,
+)
+from repro.hdl.netlist import Module, ModuleState
+from repro.hdl.sim import Simulator, evaluate
+
+
+def _selects(n):
+    return [E.input_port(f"sel{i}", 1) for i in range(n)]
+
+
+def _values(n, width=8):
+    return [E.const(width, 10 + i) for i in range(n)]
+
+
+def _eval(expression, **inputs):
+    return evaluate([expression], ModuleState({}, {}), inputs)[0]
+
+
+class TestPrioritySelection:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_first_hit_wins(self, n):
+        selects = _selects(n)
+        values = _values(n)
+        fallback = E.const(8, 99)
+        chain = priority_mux(selects, values, fallback)
+        for first in range(n):
+            inputs = {f"sel{i}": int(i >= first) for i in range(n)}
+            assert _eval(chain, **inputs) == 10 + first
+
+    def test_no_hit_falls_back(self):
+        chain = priority_mux(_selects(4), _values(4), E.const(8, 99))
+        assert _eval(chain, **{f"sel{i}": 0 for i in range(4)}) == 99
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            priority_mux(_selects(2), _values(3), E.const(8, 0))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8])
+    def test_tree_equals_chain_by_sat(self, n):
+        """The log-depth tree computes the same function as the chain —
+        checked exhaustively by the equivalence engine."""
+        selects = _selects(n)
+        values = [E.input_port(f"val{i}", 4) for i in range(n)]
+        fallback = E.input_port("fb", 4)
+        chain = priority_mux(selects, values, fallback)
+        tree = tree_select(selects, values, fallback)
+        assert exprs_equal_on(chain, tree)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_tree_equals_chain_random(self, pattern):
+        n = 8
+        selects = _selects(n)
+        values = _values(n)
+        fallback = E.const(8, 99)
+        inputs = {f"sel{i}": (pattern >> i) & 1 for i in range(n)}
+        assert _eval(priority_mux(selects, values, fallback), **inputs) == _eval(
+            tree_select(selects, values, fallback), **inputs
+        )
+
+    def test_tree_is_shallower(self):
+        n = 12
+        selects = _selects(n)
+        values = [E.input_port(f"val{i}", 16) for i in range(n)]
+        fallback = E.input_port("fb", 16)
+        chain_delay = analyze([priority_mux(selects, values, fallback)]).delay
+        tree_delay = analyze([tree_select(selects, values, fallback)]).delay
+        assert tree_delay < chain_delay
+
+
+class TestOnehotAndFindFirstOne:
+    @pytest.mark.parametrize("pattern", range(16))
+    def test_find_first_one(self, pattern):
+        bits = _selects(4)
+        onehot = find_first_one(bits)
+        inputs = {f"sel{i}": (pattern >> i) & 1 for i in range(4)}
+        got = [_eval(o, **inputs) for o in onehot]
+        expected = [0] * 4
+        for i in range(4):
+            if (pattern >> i) & 1:
+                expected[i] = 1
+                break
+        assert got == expected
+
+    def test_find_first_one_empty(self):
+        assert find_first_one([]) == []
+
+    @pytest.mark.parametrize("pattern", range(16))
+    def test_prefix_any(self, pattern):
+        bits = _selects(4)
+        prefixes = prefix_any(bits)
+        inputs = {f"sel{i}": (pattern >> i) & 1 for i in range(4)}
+        for i, prefix in enumerate(prefixes):
+            expected = int(any((pattern >> j) & 1 for j in range(i + 1)))
+            assert _eval(prefix, **inputs) == expected
+
+    def test_prefix_any_rejects_wide(self):
+        with pytest.raises(ValueError):
+            prefix_any([E.const(2, 0)])
+
+    def test_onehot_mux_selects(self):
+        onehot = _selects(3)
+        values = _values(3)
+        bus = onehot_mux(onehot, values)
+        assert _eval(bus, sel0=0, sel1=1, sel2=0) == 11
+        assert _eval(bus, sel0=0, sel1=0, sel2=0) == 0  # floating bus reads 0
+
+    def test_onehot_mux_validation(self):
+        with pytest.raises(ValueError):
+            onehot_mux([], [])
+        with pytest.raises(ValueError):
+            onehot_mux(_selects(2), _values(3))
+        with pytest.raises(ValueError):
+            onehot_mux([E.const(2, 0)], [E.const(8, 0)])
+
+    def test_balanced_or(self):
+        terms = [E.input_port(f"t{i}", 4) for i in range(5)]
+        reduced = balanced_or(terms)
+        inputs = {f"t{i}": 1 << (i % 4) for i in range(5)}
+        assert _eval(reduced, **inputs) == 0b1111
+
+    def test_balanced_or_empty(self):
+        with pytest.raises(ValueError):
+            balanced_or([])
+
+
+class TestDecoderAndMuxTree:
+    def test_decoder_onehot(self):
+        addr = E.input_port("addr", 2)
+        outs = decoder(addr)
+        assert len(outs) == 4
+        for code in range(4):
+            got = [_eval(o, addr=code) for o in outs]
+            assert got == [int(i == code) for i in range(4)]
+
+    @pytest.mark.parametrize("code", range(8))
+    def test_mux_tree_selects(self, code):
+        addr = E.input_port("addr", 3)
+        values = _values(8)
+        tree = mux_tree(addr, values)
+        assert _eval(tree, addr=code) == 10 + code
+
+    def test_mux_tree_pads_short_lists(self):
+        addr = E.input_port("addr", 2)
+        tree = mux_tree(addr, _values(3))
+        assert _eval(tree, addr=3) == 12  # padded with the last value
+
+    def test_mux_tree_empty(self):
+        with pytest.raises(ValueError):
+            mux_tree(E.input_port("addr", 2), [])
+
+
+class TestExplicitRegfileFigure1:
+    """The paper's Figure 1: Din / Aw / w write interface built from a
+    decoder and per-register clock enables."""
+
+    def _build(self):
+        module = Module("fig1")
+        we = module.add_input("w", 1)
+        wa = module.add_input("Aw", 2)
+        din = module.add_input("Din", 8)
+        reads = build_explicit_regfile(module, "R", 4, 8, we, wa, din)
+        for i, read in enumerate(reads):
+            module.add_probe(f"R{i}", read)
+        return module
+
+    def test_structure(self):
+        module = self._build()
+        # four registers R[0..3], each enabled by w AND (Aw == i)
+        assert [f"R[{i}]" in module.registers for i in range(4)] == [True] * 4
+        for i in range(4):
+            stats = analyze([module.registers[f"R[{i}]"].enable])
+            assert stats.count("EQ") == 1  # one =? per register
+
+    def test_write_semantics(self):
+        module = self._build()
+        sim = Simulator(module)
+        sim.step({"w": 1, "Aw": 2, "Din": 0xAA})
+        sim.step({"w": 0, "Aw": 1, "Din": 0x55})  # disabled: no write
+        sim.step({"w": 1, "Aw": 0, "Din": 0x11})
+        values = sim.step({})
+        assert values["R0"] == 0x11
+        assert values["R1"] == 0
+        assert values["R2"] == 0xAA
+        assert values["R3"] == 0
+
+    def test_equivalent_to_memory(self):
+        """The explicit register file behaves exactly like a Memory."""
+        module = self._build()
+        memory_module = Module("memref")
+        we = memory_module.add_input("w", 1)
+        wa = memory_module.add_input("Aw", 2)
+        din = memory_module.add_input("Din", 8)
+        memory = memory_module.add_memory("mem", 2, 8)
+        memory.add_write_port(we, wa, din)
+        for i in range(4):
+            memory_module.add_probe(
+                f"R{i}", memory_module.read_memory("mem", E.const(2, i))
+            )
+        sim_a = Simulator(module)
+        sim_b = Simulator(memory_module)
+        import random
+
+        rng = random.Random(7)
+        for _ in range(50):
+            stimulus = {
+                "w": rng.randint(0, 1),
+                "Aw": rng.randrange(4),
+                "Din": rng.randrange(256),
+            }
+            assert sim_a.step(stimulus) == sim_b.step(stimulus)
+
+    def test_rejects_tiny_files(self):
+        module = Module("m")
+        with pytest.raises(ValueError):
+            build_explicit_regfile(
+                module, "R", 1, 8, E.const(1, 1), E.const(1, 0), E.const(8, 0)
+            )
+
+    def test_rejects_wrong_addr_width(self):
+        module = Module("m")
+        with pytest.raises(ValueError):
+            build_explicit_regfile(
+                module, "R", 4, 8, E.const(1, 1), E.const(3, 0), E.const(8, 0)
+            )

@@ -1,0 +1,213 @@
+"""Tests for multi-cycle function units: the MUL operator, latency
+counters, stall conditions, and the iterative-multiplier DLX."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import check_data_consistency, transform
+from repro.dlx import DlxConfig, DlxReference, assemble, build_dlx_machine
+from repro.formal import exprs_equal_on
+from repro.hdl import expr as E
+from repro.hdl.netlist import ModuleState
+from repro.hdl.sim import Simulator, evaluate
+from repro.machine.prepared import MachineSpecError, PreparedMachine
+
+words8 = st.integers(min_value=0, max_value=255)
+
+
+class TestMulOperator:
+    @given(words8, words8)
+    def test_fold_matches_python(self, a, b):
+        assert E.mul(E.const(8, a), E.const(8, b)).value == (a * b) & 0xFF
+
+    def test_identities(self):
+        x = E.input_port("mulx", 8)
+        assert E.mul(x, E.const(8, 1)) is x
+        assert isinstance(E.mul(x, E.const(8, 0)), E.Const)
+
+    @given(words8, words8)
+    def test_simulator_semantics(self, a, b):
+        expression = E.mul(E.reg_read("ma", 8), E.reg_read("mb", 8))
+        from repro.hdl.bitvec import bv
+
+        state = ModuleState({"ma": bv(8, a), "mb": bv(8, b)}, {})
+        assert evaluate([expression], state)[0] == (a * b) & 0xFF
+
+    def test_bitblast_commutative_by_sat(self):
+        x = E.input_port("bx", 5)
+        y = E.input_port("by", 5)
+        assert exprs_equal_on(E.mul(x, y), E.mul(y, x))
+
+    def test_bitblast_distributes_by_sat(self):
+        x = E.input_port("dx", 4)
+        y = E.input_port("dy", 4)
+        z = E.input_port("dz", 4)
+        assert exprs_equal_on(
+            E.mul(x, E.add(y, z)), E.add(E.mul(x, y), E.mul(x, z))
+        )
+
+    def test_width_checked(self):
+        with pytest.raises(ValueError):
+            E.mul(E.input_port("wa", 8), E.input_port("wb", 4))
+
+
+class TestLatencyCounterModel:
+    def test_declaration_checks(self):
+        machine = PreparedMachine("m", 3)
+        machine.add_register("R", 4, first=1, last=3)
+        machine.set_output(0, "R", E.const(4, 1))
+        counter = machine.add_latency_counter("cnt", stage=1, width=4)
+        assert counter is E.reg_read("cnt", 4)
+        with pytest.raises(MachineSpecError):
+            machine.add_latency_counter("cnt", stage=1, width=4)
+        with pytest.raises(MachineSpecError):
+            machine.add_latency_counter("bad", stage=9, width=4)
+        with pytest.raises(MachineSpecError):
+            machine.add_latency_counter("bad", stage=1, width=0)
+
+    def test_stall_condition_checks(self):
+        machine = PreparedMachine("m", 3)
+        machine.add_register("R", 4, first=1, last=3)
+        machine.set_output(0, "R", E.const(4, 1))
+        with pytest.raises(MachineSpecError):
+            machine.add_stall_condition(1, E.const(4, 0))  # not 1 bit
+        with pytest.raises(MachineSpecError):
+            machine.add_stall_condition(7, E.const(1, 0))
+        machine.add_stall_condition(1, E.const(1, 0))
+        assert machine.stall_conditions_for(1)
+
+    def test_counter_counts_occupancy(self):
+        """Every instruction occupies stage 1 for 3 cycles (counter < 2)."""
+        machine = PreparedMachine("m", 3)
+        machine.add_register("R", 4, first=1, last=3)
+        machine.set_output(0, "R", E.const(4, 1))
+        count = machine.add_latency_counter("cnt", stage=1, width=4)
+        machine.add_stall_condition(1, E.ult(count, E.const(4, 2)))
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        ue1 = []
+        for _ in range(20):
+            values = sim.step()
+            ue1.append(values["ue.1"])
+        # after fill, stage 1 fires every third cycle
+        tail = ue1[4:19]
+        assert sum(tail) == pytest.approx(len(tail) / 3, abs=1)
+
+
+MULT_SOURCE = """
+        addi r1, r0, 6
+        addi r2, r0, 7
+        mult r3, r1, r2
+        add  r4, r3, r1      ; immediate use of the product
+        mult r5, r3, r3
+        sw   0(r0), r5
+halt:   j halt
+        nop
+"""
+
+
+class TestMultiCycleDlx:
+    def test_reference_mult(self):
+        reference = DlxReference(assemble(MULT_SOURCE))
+        reference.run(20)
+        assert reference.state.gpr[3] == 42
+        assert reference.state.gpr[4] == 48
+        assert reference.state.gpr[5] == 1764
+
+    @pytest.mark.parametrize("latency", [1, 2, 4, 7])
+    def test_consistent_at_any_latency(self, latency):
+        machine = build_dlx_machine(
+            assemble(MULT_SOURCE),
+            config=DlxConfig(multiplier_latency=latency),
+        )
+        pipelined = transform(machine)
+        report = check_data_consistency(machine, pipelined.module, cycles=120)
+        assert report.ok, (latency, report.first_violation())
+
+    def test_latency_config_validated(self):
+        with pytest.raises(ValueError):
+            DlxConfig(multiplier_latency=0)
+
+    def test_latency_costs_cycles_linearly(self):
+        program = assemble(MULT_SOURCE)
+
+        def cycles(latency):
+            machine = build_dlx_machine(
+                program, config=DlxConfig(multiplier_latency=latency)
+            )
+            pipelined = transform(machine)
+            sim = Simulator(pipelined.module)
+            for cycle in range(200):
+                sim.step()
+                if sim.mem("DMem", 0) == 1764:
+                    return cycle
+            raise AssertionError("never finished")
+
+        c1, c4, c8 = cycles(1), cycles(4), cycles(8)
+        # two MULTs, each pays (latency - 1) extra EX cycles
+        assert c4 - c1 == 2 * 3
+        assert c8 - c4 == 2 * 4
+
+    def test_product_not_forwarded_early(self):
+        """While the multiplier is busy, a consumer must interlock — the
+        paper's validity rule extended to multi-cycle producers."""
+        machine = build_dlx_machine(
+            assemble(MULT_SOURCE), config=DlxConfig(multiplier_latency=5)
+        )
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        hazard_with_busy = 0
+        for _ in range(80):
+            values = sim.step()
+            if values["dhaz.1"] and values["ext.2"] if "ext.2" in values else 0:
+                hazard_with_busy += 1
+        # the dependent add (r4 = r3 + r1) waited for the multiplier
+        assert sim.mem("GPR", 4) == 48
+
+    def test_independent_work_proceeds_below_the_multiplier(self):
+        """Instructions *older* than the MULT drain while EX is held."""
+        source = """
+        addi r1, r0, 3
+        addi r2, r0, 4
+        mult r3, r1, r2
+        addi r4, r0, 9
+halt:   j halt
+        nop
+        """
+        machine = build_dlx_machine(
+            assemble(source), config=DlxConfig(multiplier_latency=6)
+        )
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        r2_done_cycle = mult_done_cycle = None
+        for cycle in range(60):
+            sim.step()
+            if r2_done_cycle is None and sim.mem("GPR", 2) == 4:
+                r2_done_cycle = cycle
+            if mult_done_cycle is None and sim.mem("GPR", 3) == 12:
+                mult_done_cycle = cycle
+        assert r2_done_cycle < mult_done_cycle  # older work unblocked
+
+    def test_random_mult_programs_consistent(self):
+        rng = random.Random(7)
+        for trial in range(3):
+            lines = ["        addi r1, r0, %d" % rng.randrange(1, 30),
+                     "        addi r2, r0, %d" % rng.randrange(1, 30)]
+            for _ in range(8):
+                dst = rng.randrange(3, 8)
+                a = rng.randrange(1, 8)
+                b = rng.randrange(1, 8)
+                op = rng.choice(["mult", "add", "mult"])
+                lines.append(f"        {op} r{dst}, r{a}, r{b}")
+            lines.append("halt:   j halt")
+            lines.append("        nop")
+            program = assemble("\n".join(lines) + "\n")
+            machine = build_dlx_machine(
+                program, config=DlxConfig(multiplier_latency=3)
+            )
+            pipelined = transform(machine)
+            report = check_data_consistency(machine, pipelined.module, cycles=140)
+            assert report.ok, (trial, report.first_violation())

@@ -1,0 +1,227 @@
+"""Tests for the netlist container and the two-phase simulator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hdl import expr as E
+from repro.hdl.netlist import Memory, Module, NetlistError
+from repro.hdl.sim import SimulationError, Simulator, simulate
+
+
+def make_counter(width=8, step=1):
+    module = Module("counter")
+    count = module.add_register("c", width, init=0)
+    module.drive_register("c", E.add(count, E.const(width, step)))
+    module.add_probe("count", count)
+    return module
+
+
+class TestModuleConstruction:
+    def test_duplicate_register(self):
+        module = Module("m")
+        module.add_register("r", 8)
+        with pytest.raises(NetlistError):
+            module.add_register("r", 8)
+
+    def test_duplicate_probe(self):
+        module = Module("m")
+        reg = module.add_register("r", 8)
+        module.add_probe("p", reg)
+        with pytest.raises(NetlistError):
+            module.add_probe("p", reg)
+
+    def test_drive_undeclared_register(self):
+        module = Module("m")
+        with pytest.raises(NetlistError):
+            module.drive_register("nope", E.const(8, 0))
+
+    def test_register_width_mismatch(self):
+        module = Module("m")
+        module.add_register("r", 8)
+        with pytest.raises(NetlistError):
+            module.drive_register("r", E.const(4, 0))
+
+    def test_enable_must_be_one_bit(self):
+        module = Module("m")
+        module.add_register("r", 8)
+        with pytest.raises(NetlistError):
+            module.drive_register("r", E.const(8, 0), enable=E.const(2, 1))
+
+    def test_input_redeclared_same_width_ok(self):
+        module = Module("m")
+        first = module.add_input("x", 8)
+        second = module.add_input("x", 8)
+        assert first is second
+
+    def test_input_redeclared_new_width(self):
+        module = Module("m")
+        module.add_input("x", 8)
+        with pytest.raises(NetlistError):
+            module.add_input("x", 4)
+
+    def test_validate_undefined_register(self):
+        module = Module("m")
+        module.add_probe("p", E.reg_read("ghost", 8))
+        with pytest.raises(NetlistError):
+            module.validate()
+
+    def test_validate_undefined_memory(self):
+        module = Module("m")
+        module.add_probe("p", E.mem_read("ghost", E.const(2, 0), 8))
+        with pytest.raises(NetlistError):
+            module.validate()
+
+    def test_validate_width_mismatch(self):
+        module = Module("m")
+        module.add_register("r", 8)
+        module.add_probe("p", E.reg_read("r", 4))
+        with pytest.raises(NetlistError):
+            module.validate()
+
+    def test_memory_port_width_checks(self):
+        module = Module("m")
+        memory = module.add_memory("mem", 2, 8)
+        with pytest.raises(NetlistError):
+            memory.add_write_port(E.const(2, 1), E.const(2, 0), E.const(8, 0))
+        with pytest.raises(NetlistError):
+            memory.add_write_port(E.const(1, 1), E.const(3, 0), E.const(8, 0))
+        with pytest.raises(NetlistError):
+            memory.add_write_port(E.const(1, 1), E.const(2, 0), E.const(4, 0))
+
+    def test_read_memory_checks_addr_width(self):
+        module = Module("m")
+        module.add_memory("mem", 2, 8)
+        with pytest.raises(NetlistError):
+            module.read_memory("mem", E.const(3, 0))
+
+    def test_memory_init_masked(self):
+        memory = Memory("m", 2, 8, init={5: 0x1FF})
+        assert memory.init == {1: 0xFF}
+
+
+class TestSimulator:
+    def test_counter(self):
+        trace, state = simulate(make_counter(), 5)
+        assert trace.probe("count") == [0, 1, 2, 3, 4]
+        assert state.registers["c"].value == 5
+
+    def test_register_holds_without_enable(self):
+        module = Module("m")
+        enable = module.add_input("en", 1)
+        reg = module.add_register("r", 8, init=3)
+        module.drive_register("r", E.add(reg, E.const(8, 1)), enable=enable)
+        module.add_probe("r", reg)
+        sim = Simulator(module)
+        sim.step({"en": 0})
+        sim.step({"en": 1})
+        sim.step({"en": 0})
+        assert sim.trace.probe("r") == [3, 3, 4]
+        assert sim.reg("r") == 4
+
+    def test_two_phase_swap(self):
+        """Register-to-register exchange must read pre-edge values."""
+        module = Module("swap")
+        a = module.add_register("a", 8, init=1)
+        b = module.add_register("b", 8, init=2)
+        module.drive_register("a", b)
+        module.drive_register("b", a)
+        sim = Simulator(module)
+        sim.step()
+        assert (sim.reg("a"), sim.reg("b")) == (2, 1)
+        sim.step()
+        assert (sim.reg("a"), sim.reg("b")) == (1, 2)
+
+    def test_memory_write_and_read(self):
+        module = Module("m")
+        memory = module.add_memory("mem", 2, 8)
+        addr = module.add_input("addr", 2)
+        data = module.add_input("data", 8)
+        we = module.add_input("we", 1)
+        memory.add_write_port(we, addr, data)
+        module.add_probe("read", module.read_memory("mem", addr))
+        sim = Simulator(module)
+        values = sim.step({"addr": 2, "data": 0xAB, "we": 1})
+        assert values["read"] == 0  # async read sees pre-edge contents
+        values = sim.step({"addr": 2, "data": 0, "we": 0})
+        assert values["read"] == 0xAB
+
+    def test_later_write_port_wins(self):
+        module = Module("m")
+        memory = module.add_memory("mem", 2, 8)
+        memory.add_write_port(E.const(1, 1), E.const(2, 0), E.const(8, 1))
+        memory.add_write_port(E.const(1, 1), E.const(2, 0), E.const(8, 2))
+        sim = Simulator(module)
+        sim.step()
+        assert sim.mem("mem", 0) == 2
+
+    def test_missing_input_defaults_to_zero_in_step(self):
+        module = Module("m")
+        x = module.add_input("x", 8)
+        module.add_probe("x", x)
+        sim = Simulator(module)
+        assert sim.step()["x"] == 0
+
+    def test_oversized_input_rejected(self):
+        module = Module("m")
+        x = module.add_input("x", 4)
+        module.add_probe("x", x)
+        sim = Simulator(module)
+        with pytest.raises(SimulationError):
+            sim.step({"x": 16})
+
+    def test_peek_does_not_step(self):
+        module = make_counter()
+        sim = Simulator(module)
+        assert sim.peek("count") == 0
+        assert sim.peek("count") == 0
+        assert sim.cycle == 0
+
+    def test_run_with_stop(self):
+        module = make_counter()
+        sim = Simulator(module)
+        trace = sim.run(100, stop=lambda v: v["count"] == 3)
+        assert trace.probe("count")[-1] == 3
+        assert len(trace) == 4
+
+    def test_run_with_input_function(self):
+        module = Module("m")
+        x = module.add_input("x", 8)
+        acc = module.add_register("acc", 8, init=0)
+        module.drive_register("acc", E.add(acc, x))
+        module.add_probe("acc", acc)
+        sim = Simulator(module)
+        sim.run(4, inputs=lambda cycle: {"x": cycle})
+        assert sim.reg("acc") == 0 + 1 + 2 + 3
+
+    def test_trace_at(self):
+        module = make_counter()
+        sim = Simulator(module)
+        sim.run(3)
+        assert sim.trace.at(2) == {"count": 2}
+
+    def test_initial_state_copy_isolated(self):
+        module = make_counter()
+        state = module.initial_state()
+        sim = Simulator(module, state)
+        sim.step()
+        assert state.registers["c"].value == 0  # outer state untouched
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), max_size=20))
+    def test_accumulator_matches_python(self, stimulus):
+        module = Module("m")
+        x = module.add_input("x", 16)
+        acc = module.add_register("acc", 16, init=0)
+        module.drive_register("acc", E.add(acc, x))
+        sim = Simulator(module)
+        for value in stimulus:
+            sim.step({"x": value})
+        assert sim.reg("acc") == sum(stimulus) % (1 << 16)
+
+    def test_wide_registers(self):
+        module = Module("m")
+        reg = module.add_register("wide", 128, init=(1 << 127) | 1)
+        module.drive_register("wide", E.add(reg, E.const(128, 1)))
+        sim = Simulator(module)
+        sim.step()
+        assert sim.reg("wide") == ((1 << 127) | 2)

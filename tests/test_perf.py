@@ -1,0 +1,166 @@
+"""Tests for the performance/cost measurement layer and workloads."""
+
+import pytest
+
+from repro.core import TransformOptions, transform
+from repro.dlx import DlxReference, build_dlx_machine
+from repro.dlx.programs import (
+    Workload,
+    alu_dependent,
+    alu_independent,
+    branchy,
+    dot_product,
+    fibonacci,
+    load_use,
+    memcpy,
+    random_program,
+    standard_suite,
+)
+from repro.machine import build_sequential
+from repro.perf import (
+    cost_versus_depth,
+    format_table,
+    forwarding_cost,
+    machine_cost,
+    run_to_completion,
+)
+
+
+def reference_instruction_count(workload, max_steps=3000):
+    reference = DlxReference(workload.program, data=workload.data)
+    count = 0
+    while reference.state.dpc != workload.halt_address and count < max_steps:
+        reference.step()
+        count += 1
+    assert reference.state.dpc == workload.halt_address, workload.name
+    return count
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("workload", standard_suite(), ids=lambda w: w.name)
+    def test_assembles_and_halts(self, workload):
+        assert workload.program
+        assert workload.halt_address % 4 == 0
+        assert reference_instruction_count(workload) > 0
+
+    def test_workload_requires_halt_label(self):
+        with pytest.raises(ValueError):
+            Workload.from_source("broken", "addi r1, r0, 1\n")
+
+    def test_random_program_deterministic(self):
+        a = random_program(seed=5)
+        b = random_program(seed=5)
+        assert a.program == b.program
+        assert a.program != random_program(seed=6).program
+
+    def test_no_delay_slot_variants(self):
+        for factory in (memcpy, dot_product, branchy, fibonacci):
+            workload = factory(delay_slots=False)
+            reference = DlxReference(
+                workload.program, data=workload.data, delay_slot=False
+            )
+            steps = 0
+            while reference.state.dpc != workload.halt_address and steps < 3000:
+                reference.step()
+                steps += 1
+            assert reference.state.dpc == workload.halt_address, workload.name
+
+    def test_fibonacci_result(self):
+        workload = fibonacci(10)
+        reference = DlxReference(workload.program, data=workload.data)
+        reference.run(reference_instruction_count(workload))
+        assert reference.state.dmem[0] == 89  # F(11) with this recurrence
+
+    def test_memcpy_copies(self):
+        workload = memcpy(4)
+        reference = DlxReference(workload.program, data=workload.data)
+        reference.run(reference_instruction_count(workload))
+        for i in range(4):
+            assert reference.state.dmem[64 + i] == 0x1000 + i
+
+
+class TestRunToCompletion:
+    def test_counts_and_cpi(self):
+        workload = alu_independent(n=10)
+        count = reference_instruction_count(workload)
+        machine = build_dlx_machine(workload.program, data=workload.data)
+        pipelined = transform(machine)
+        report = run_to_completion(pipelined.module, count, 5, name="x")
+        assert report.completed
+        assert report.instructions == count
+        assert report.cycles >= count  # CPI >= 1
+        assert 1.0 <= report.cpi <= 2.0
+        row = report.row()
+        assert row["workload"] == "x"
+
+    def test_sequential_cpi_is_n(self):
+        workload = alu_independent(n=8)
+        count = reference_instruction_count(workload)
+        machine = build_dlx_machine(workload.program, data=workload.data)
+        module = build_sequential(machine)
+        report = run_to_completion(module, count, 5)
+        assert report.cpi == pytest.approx(5.0, abs=0.2)
+
+    def test_incomplete_flagged(self):
+        workload = alu_independent(n=8)
+        machine = build_dlx_machine(workload.program, data=workload.data)
+        pipelined = transform(machine)
+        report = run_to_completion(pipelined.module, 10_000, 5, max_cycles=20)
+        assert not report.completed
+
+    def test_stall_accounting(self):
+        workload = load_use(n=6)
+        count = reference_instruction_count(workload)
+        machine = build_dlx_machine(workload.program, data=workload.data)
+        pipelined = transform(machine)
+        report = run_to_completion(pipelined.module, count, 5)
+        assert report.hazard_cycles >= 6  # every use interlocks
+
+    def test_cpi_ordering_fwd_vs_interlock(self):
+        workload = alu_dependent(n=12)
+        count = reference_instruction_count(workload)
+        machine = build_dlx_machine(workload.program, data=workload.data)
+        fwd = run_to_completion(transform(machine).module, count, 5)
+        il = run_to_completion(
+            transform(machine, TransformOptions(interlock_only=True)).module,
+            count,
+            5,
+        )
+        seq = run_to_completion(build_sequential(machine), count, 5)
+        assert fwd.cpi < il.cpi < seq.cpi
+
+
+class TestCost:
+    def test_forwarding_cost_fields(self, toy_pipelined):
+        cost = forwarding_cost(toy_pipelined)
+        assert cost.networks == 2
+        assert cost.comparators >= 2
+        assert cost.cost > 0
+        assert cost.delay > 0
+        assert cost.row()["style"] == "chain"
+
+    def test_cost_versus_depth_shapes(self):
+        results = cost_versus_depth(depths=[4, 8], styles=("chain", "tree"))
+        by_key = {(r.n_stages, r.style): r for r in results}
+        # chain delay grows much faster with depth than tree delay
+        chain_growth = by_key[(8, "chain")].delay - by_key[(4, "chain")].delay
+        tree_growth = by_key[(8, "tree")].delay - by_key[(4, "tree")].delay
+        assert chain_growth > tree_growth
+        # cost grows with depth for every style
+        assert by_key[(8, "chain")].cost > by_key[(4, "chain")].cost
+
+    def test_machine_cost_reports_added_hardware(self, toy_machine):
+        report = machine_cost(toy_machine)
+        assert report["pipelined_gates"] > report["sequential_gates"]
+        assert report["added_state_bits"] > 0  # full bits, valid bits, pipes
+
+
+class TestFormatTable:
+    def test_renders_columns(self):
+        text = format_table([{"a": 1, "bb": "xy"}, {"a": 22, "bb": "z"}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert "22" in lines[3]
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"

@@ -1,0 +1,99 @@
+"""Tests for the pipeline occupancy diagram renderer."""
+
+import pytest
+
+from repro.core import TransformOptions, transform
+from repro.dlx import assemble, build_dlx_machine
+from repro.hdl.sim import Simulator
+from repro.machine import toy
+from repro.perf.pipeview import dlx_labels, occupancy, render, stage_names_for
+
+
+@pytest.fixture(scope="module")
+def dlx_trace():
+    source = """
+        addi r1, r0, 3
+        lw   r2, 0(r0)
+        add  r3, r2, r2
+        add  r4, r3, r1
+halt:   j halt
+        nop
+    """
+    program = assemble(source)
+    machine = build_dlx_machine(program, data={0: 9})
+    pipelined = transform(machine)
+    sim = Simulator(pipelined.module)
+    for _ in range(18):
+        sim.step()
+    return sim.trace, program
+
+
+class TestOccupancy:
+    def test_steady_state_progression(self, dlx_trace):
+        trace, _program = dlx_trace
+        rows = occupancy(trace, 5)
+        # instruction 0 flows one stage per cycle
+        first = rows[0]
+        assert [first[c] for c in sorted(first)][:5] == [0, 1, 2, 3, 4]
+
+    def test_stall_repeats_stage(self, dlx_trace):
+        trace, _program = dlx_trace
+        rows = occupancy(trace, 5)
+        # instruction 2 (load-use consumer) occupies ID for 3 cycles
+        stages = [rows[2][c] for c in sorted(rows[2])]
+        assert stages.count(1) == 3
+
+    def test_bubbles_not_attributed(self, dlx_trace):
+        trace, _program = dlx_trace
+        rows = occupancy(trace, 5)
+        # every (cycle, stage>0) pair appears for at most one instruction
+        seen = set()
+        for row in rows:
+            for cycle, stage in row.items():
+                if stage > 0:
+                    assert (cycle, stage) not in seen
+                    seen.add((cycle, stage))
+
+    def test_max_instructions(self, dlx_trace):
+        trace, _program = dlx_trace
+        assert len(occupancy(trace, 5, max_instructions=3)) == 3
+
+
+class TestRender:
+    def test_contains_stage_names_and_labels(self, dlx_trace):
+        trace, program = dlx_trace
+        labels = dlx_labels(trace, program)
+        text = render(trace, 5, labels=labels, max_instructions=5)
+        assert "IF" in text and "MEM" in text and "WB" in text
+        assert "lw r2, 0(r0)" in text
+        assert "add r3, r2, r2" in text
+
+    def test_stall_visible_as_repeated_cell(self, dlx_trace):
+        trace, program = dlx_trace
+        labels = dlx_labels(trace, program)
+        text = render(trace, 5, labels=labels, max_instructions=4)
+        consumer_line = next(
+            line for line in text.splitlines() if "add r3" in line
+        )
+        assert consumer_line.count("ID") == 3
+
+    def test_generic_stage_names(self):
+        assert stage_names_for(5) == ["IF", "ID", "EX", "MEM", "WB"]
+        assert stage_names_for(7) == [f"S{k}" for k in range(7)]
+
+    def test_works_for_toy_machine(self):
+        program = [toy.li(1, 5), toy.add(2, 1, 1), toy.ld(3, 2)]
+        machine = toy.build_toy_machine(program, {10: 4})
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        for _ in range(12):
+            sim.step()
+        text = render(sim.trace, 4, max_instructions=4)
+        assert "RD" in text and "WB" in text
+        assert "I0" in text  # default labels
+
+    def test_max_cycles_truncates(self, dlx_trace):
+        trace, _program = dlx_trace
+        text = render(trace, 5, max_cycles=6)
+        header = text.splitlines()[0]
+        assert " 5" in header and " 7" not in header

@@ -1,0 +1,211 @@
+"""Tests for the prepared machine description model."""
+
+import pytest
+
+from repro.hdl import expr as E
+from repro.machine.prepared import (
+    MachineSpecError,
+    PreparedMachine,
+    SpeculationSpec,
+)
+
+
+def minimal_machine():
+    """A well-formed 3-stage machine for mutation in tests."""
+    machine = PreparedMachine("m", 3)
+    machine.add_register("PC", 4, first=1, visible=True)
+    machine.add_register("X", 8, first=2, last=3)
+    machine.add_register_file("RF", addr_width=2, data_width=8, write_stage=2)
+    pc = machine.read_last("PC")
+    machine.set_output(0, "PC", E.add(pc, E.const(4, 1)))
+    machine.set_output(1, "X", machine.read_file("RF", E.bits(pc, 0, 1)))
+    return machine
+
+
+class TestDeclarations:
+    def test_needs_a_stage(self):
+        with pytest.raises(MachineSpecError):
+            PreparedMachine("m", 0)
+
+    def test_duplicate_register(self):
+        machine = PreparedMachine("m", 3)
+        machine.add_register("R", 8, first=1)
+        with pytest.raises(MachineSpecError):
+            machine.add_register("R", 8, first=2)
+        with pytest.raises(MachineSpecError):
+            machine.add_register_file("R", 2, 8, 1)
+
+    def test_instance_range_validation(self):
+        machine = PreparedMachine("m", 3)
+        with pytest.raises(MachineSpecError):
+            machine.add_register("R", 8, first=0)
+        with pytest.raises(MachineSpecError):
+            machine.add_register("R", 8, first=2, last=5)
+        with pytest.raises(MachineSpecError):
+            machine.add_register("R", 8, first=3, last=2)
+
+    def test_instances_and_names(self):
+        machine = PreparedMachine("m", 4)
+        reg = machine.add_register("IR", 8, first=2, last=3)
+        assert list(reg.instances()) == [2, 3]
+        assert reg.instance_name(2) == "IR.2"
+        with pytest.raises(MachineSpecError):
+            reg.instance_name(1)
+        assert reg.write_stage == 2
+
+    def test_read_helpers(self):
+        machine = minimal_machine()
+        assert machine.read("X", 2) is E.reg_read("X.2", 8)
+        assert machine.read_last("X") is E.reg_read("X.3", 8)
+        with pytest.raises(MachineSpecError):
+            machine.read("nope", 1)
+        with pytest.raises(MachineSpecError):
+            machine.read_file("nope", E.const(2, 0))
+
+    def test_read_file_addr_width(self):
+        machine = minimal_machine()
+        with pytest.raises(MachineSpecError):
+            machine.read_file("RF", E.const(3, 0))
+
+
+class TestStageFunctions:
+    def test_output_width_check(self):
+        machine = PreparedMachine("m", 2)
+        machine.add_register("R", 8, first=1)
+        with pytest.raises(MachineSpecError):
+            machine.set_output(0, "R", E.const(4, 0))
+
+    def test_output_we_must_be_bit(self):
+        machine = PreparedMachine("m", 2)
+        machine.add_register("R", 8, first=1)
+        with pytest.raises(MachineSpecError):
+            machine.set_output(0, "R", E.const(8, 0), we=E.const(2, 1))
+
+    def test_output_wrong_stage(self):
+        machine = PreparedMachine("m", 3)
+        machine.add_register("R", 8, first=2)
+        with pytest.raises(MachineSpecError):
+            machine.set_output(0, "R", E.const(8, 0))  # no instance R.1
+
+    def test_duplicate_output(self):
+        machine = PreparedMachine("m", 2)
+        machine.add_register("R", 8, first=1)
+        machine.set_output(0, "R", E.const(8, 0))
+        with pytest.raises(MachineSpecError):
+            machine.set_output(0, "R", E.const(8, 1))
+
+    def test_regfile_write_interface_checks(self):
+        machine = PreparedMachine("m", 3)
+        machine.add_register_file("RF", 2, 8, write_stage=2)
+        with pytest.raises(MachineSpecError):  # bad data width
+            machine.set_regfile_write("RF", E.const(4, 0), E.const(1, 1), E.const(2, 0))
+        with pytest.raises(MachineSpecError):  # bad we width
+            machine.set_regfile_write("RF", E.const(8, 0), E.const(2, 1), E.const(2, 0))
+        with pytest.raises(MachineSpecError):  # bad wa width
+            machine.set_regfile_write("RF", E.const(8, 0), E.const(1, 1), E.const(3, 0))
+        with pytest.raises(MachineSpecError):  # compute after write stage
+            machine.set_regfile_write(
+                "RF", E.const(8, 0), E.const(1, 1), E.const(2, 0), compute_stage=2 + 1
+            )
+        machine.set_regfile_write("RF", E.const(8, 0), E.const(1, 1), E.const(2, 0))
+        with pytest.raises(MachineSpecError):  # already defined
+            machine.set_regfile_write("RF", E.const(8, 0), E.const(1, 1), E.const(2, 0))
+
+    def test_read_only_regfile_rejects_writes(self):
+        machine = PreparedMachine("m", 2)
+        machine.add_register_file("ROM", 2, 8, write_stage=0, read_only=True)
+        with pytest.raises(MachineSpecError):
+            machine.set_regfile_write("ROM", E.const(8, 0), E.const(1, 1), E.const(2, 0))
+
+
+class TestAnnotations:
+    def test_forwarding_register_checks(self):
+        machine = minimal_machine()
+        machine.set_regfile_write("RF", E.const(8, 0), E.const(1, 1), E.const(2, 0))
+        with pytest.raises(MachineSpecError):
+            machine.add_forwarding_register("nope", "X", 2)
+        with pytest.raises(MachineSpecError):
+            machine.add_forwarding_register("RF", "nope", 2)
+        with pytest.raises(MachineSpecError):
+            machine.add_forwarding_register("RF", "X", 1)  # no instance X.1
+        machine.add_forwarding_register("RF", "X", 2)
+        assert machine.forwarding_for("RF")[0].reg == "X"
+
+    def test_speculation_checks(self):
+        machine = minimal_machine()
+        with pytest.raises(MachineSpecError):  # guess after resolve
+            machine.add_speculation(
+                SpeculationSpec("s", 2, E.const(1, 0), 1, E.const(1, 0))
+            )
+        with pytest.raises(MachineSpecError):  # width mismatch
+            machine.add_speculation(
+                SpeculationSpec("s", 0, E.const(1, 0), 2, E.const(2, 0))
+            )
+        with pytest.raises(MachineSpecError):  # bad repair target
+            machine.add_speculation(
+                SpeculationSpec(
+                    "s", 0, E.const(1, 0), 2, E.const(1, 0), repairs={"nope": E.const(4, 0)}
+                )
+            )
+        machine.add_speculation(
+            SpeculationSpec(
+                "s", 0, E.const(1, 0), 2, E.const(1, 0), repairs={"PC.1": E.const(4, 0)}
+            )
+        )
+        with pytest.raises(MachineSpecError):  # duplicate name
+            machine.add_speculation(
+                SpeculationSpec("s", 0, E.const(1, 0), 2, E.const(1, 0))
+            )
+
+    def test_external_stall_stage_check(self):
+        machine = minimal_machine()
+        with pytest.raises(MachineSpecError):
+            machine.allow_external_stall(5)
+        machine.allow_external_stall(1)
+        assert machine.external_stalls == {1}
+
+
+class TestValidation:
+    def test_minimal_machine_validates(self):
+        machine = minimal_machine()
+        machine.set_regfile_write("RF", E.const(8, 0), E.const(1, 1), E.const(2, 0))
+        machine.validate()
+
+    def test_undriven_instance_detected(self):
+        machine = PreparedMachine("m", 3)
+        machine.add_register("R", 8, first=2)  # written by stage 1, no f^1_R
+        with pytest.raises(MachineSpecError, match="never driven"):
+            machine.validate()
+
+    def test_regfile_without_write_interface(self):
+        machine = minimal_machine()  # RF writes never defined
+        with pytest.raises(MachineSpecError, match="write interface"):
+            machine.validate()
+
+    def test_illegal_cross_stage_read(self):
+        machine = PreparedMachine("m", 3)
+        machine.add_register("Q", 8, first=1, last=3)
+        machine.add_register("R", 8, first=1)
+        machine.set_output(0, "Q", E.const(8, 0))
+        # stage 0 reads Q.2 — neither its own input instance (Q.1 would be
+        # readable only by stage 1 anyway) nor the architectural Q.3
+        machine.set_output(0, "R", machine.read("Q", 2))
+        with pytest.raises(MachineSpecError, match="illegal register read"):
+            machine.validate()
+
+    def test_pass_through_chain_validates(self):
+        machine = PreparedMachine("m", 4)
+        machine.add_register("R", 8, first=1, last=4)
+        machine.set_output(0, "R", E.const(8, 7))
+        machine.validate()  # instances 2..4 pass through implicitly
+
+    def test_views(self):
+        machine = minimal_machine()
+        machine.set_regfile_write("RF", E.const(8, 0), E.const(1, 1), E.const(2, 0))
+        assert [reg.name for reg in machine.visible_registers()] == ["PC"]
+        assert [rf.name for rf in machine.visible_regfiles()] == ["RF"]
+        names = machine.instance_names()
+        assert "PC.1" in names and "X.2" in names and "X.3" in names
+        assert machine.output_for(0, "PC") is not None
+        assert machine.output_for(2, "PC") is None
+        assert len(machine.writes_of_stage(0)) == 1

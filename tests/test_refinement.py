@@ -1,0 +1,91 @@
+"""The sequential-step theorem: one round-robin pass of the sequential toy
+machine implements the toy ISA step, for ALL register files, data
+memories, PCs and programs — proved by SAT (the formal version of the
+paper's "we easily verify a sequential DLX")."""
+
+import pytest
+
+from repro.formal.refinement import StepRefinement
+from repro.hdl import expr as E
+from repro.machine import build_sequential, toy
+
+
+def toy_isa_spec():
+    """The toy ISA step as expressions over the architectural state:
+    returns (per-RF-word spec expressions, next-PC expression)."""
+    pc = E.reg_read("PC.1", toy.PC_WIDTH)
+    word = E.mem_read("IMem", pc, 8)
+    op = E.bits(word, 6, 7)
+    dst = E.bits(word, 4, 5)
+    s1 = E.bits(word, 2, 3)
+    imm = E.zext(E.bits(word, 0, 3), 8)
+
+    def rf(addr):
+        return E.mem_read("RF", addr, 8)
+
+    s2 = E.bits(word, 0, 1)
+    result = E.add(rf(s1), rf(s2))  # ADD
+    result = E.mux(E.eq(op, E.const(2, toy.OP_LI)), imm, result)
+    result = E.mux(
+        E.eq(op, E.const(2, toy.OP_LD)),
+        E.mem_read("DM", E.bits(rf(s1), 0, 3), 8),
+        result,
+    )
+    writes = E.ne(op, E.const(2, toy.OP_NOP))
+
+    words = []
+    for i in range(4):
+        selected = E.band(writes, E.eq(dst, E.const(2, i)))
+        words.append(E.mux(selected, result, rf(E.const(2, i))))
+    next_pc = E.add(pc, E.const(toy.PC_WIDTH, 1))
+    return words, next_pc
+
+
+@pytest.fixture(scope="module")
+def theorem():
+    machine = toy.build_toy_machine([toy.nop()])
+    module = build_sequential(machine)
+    proof = StepRefinement(module, steps=machine.n_stages)
+    counter = E.reg_read("seq.stage", 2)
+    proof.assume(0, E.eq(counter, E.const(2, 0)))
+
+    spec_words, next_pc = toy_isa_spec()
+    for i, spec in enumerate(spec_words):
+        proof.require_equal(spec, E.mem_read("RF", E.const(2, i), 8))
+    proof.require_equal(next_pc, E.reg_read("PC.1", toy.PC_WIDTH))
+    proof.require(machine.n_stages, E.eq(counter, E.const(2, 0)))
+    return proof
+
+
+def test_sequential_step_theorem(theorem):
+    result = theorem.prove()
+    assert result.proved is True, (
+        result.counterexample and str(result.counterexample)[:400]
+    )
+    assert result.aig_nodes > 1000  # a non-trivial instance
+
+
+def test_wrong_spec_is_refuted():
+    """Sanity: a deliberately wrong specification yields a concrete
+    counterexample (the engine does not prove everything)."""
+    machine = toy.build_toy_machine([toy.nop()])
+    module = build_sequential(machine)
+    proof = StepRefinement(module, steps=machine.n_stages)
+    counter = E.reg_read("seq.stage", 2)
+    proof.assume(0, E.eq(counter, E.const(2, 0)))
+    # wrong: claim PC' == PC + 2
+    pc = E.reg_read("PC.1", toy.PC_WIDTH)
+    proof.require_equal(
+        E.add(pc, E.const(toy.PC_WIDTH, 2)), pc
+    )
+    result = proof.prove()
+    assert result.proved is False
+    assert result.counterexample is not None
+
+
+def test_width_mismatch_rejected():
+    machine = toy.build_toy_machine([toy.nop()])
+    module = build_sequential(machine)
+    proof = StepRefinement(module, steps=4)
+    with pytest.raises(ValueError):
+        proof.require_equal(E.const(4, 0), E.const(8, 0))

@@ -1,0 +1,155 @@
+"""Tests for the CDCL SAT solver."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formal.sat import Solver, _luby, solve_cnf
+
+
+def brute_force(clauses, num_vars):
+    """Reference decision procedure for small instances."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {i + 1: bits[i] for i in range(num_vars)}
+        if all(
+            any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            return assignment
+    return None
+
+
+def check_model(clauses, model):
+    return all(
+        any(model.get(abs(lit), False) == (lit > 0) for lit in clause)
+        for clause in clauses
+    )
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [_luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+
+class TestBasics:
+    def test_empty_instance_is_sat(self):
+        assert solve_cnf([]).satisfiable is True
+
+    def test_single_unit(self):
+        result = solve_cnf([[3]])
+        assert result.satisfiable
+        assert result.value(3) is True
+
+    def test_contradiction(self):
+        assert solve_cnf([[1], [-1]]).satisfiable is False
+
+    def test_empty_clause_unsat(self):
+        assert solve_cnf([[1], []]).satisfiable is False
+
+    def test_zero_literal_rejected(self):
+        solver = Solver()
+        with pytest.raises(ValueError):
+            solver.add_clause([0])
+
+    def test_tautology_dropped(self):
+        assert solve_cnf([[1, -1]]).satisfiable is True
+
+    def test_duplicate_literals_merged(self):
+        result = solve_cnf([[2, 2, 2]])
+        assert result.satisfiable
+        assert result.value(2)
+
+    def test_simple_implication_chain(self):
+        # 1 -> 2 -> 3 -> 4, and 1
+        result = solve_cnf([[1], [-1, 2], [-2, 3], [-3, 4]])
+        assert result.satisfiable
+        assert all(result.value(v) for v in (1, 2, 3, 4))
+
+    def test_xor_chain_unsat(self):
+        # x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 is unsatisfiable
+        clauses = [
+            [1, 2], [-1, -2],
+            [2, 3], [-2, -3],
+            [1, 3], [-1, -3],
+        ]
+        assert solve_cnf(clauses).satisfiable is False
+
+    def test_assumptions_sat_then_unsat(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]).satisfiable is True
+        assert solver.solve(assumptions=[-1, -2]).satisfiable is False
+        # the solver is reusable after assumption-based calls
+        assert solver.solve().satisfiable is True
+
+    def test_conflict_budget(self):
+        clauses = pigeonhole(5, 4)
+        result = solve_cnf(clauses, max_conflicts=1)
+        assert result.satisfiable is None
+
+
+def pigeonhole(pigeons, holes):
+    """PHP(p, h): p pigeons in h holes, unsatisfiable when p > h."""
+    def var(p, h):
+        return p * holes + h + 1
+
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return clauses
+
+
+class TestHardInstances:
+    def test_pigeonhole_4_3_unsat(self):
+        assert solve_cnf(pigeonhole(4, 3)).satisfiable is False
+
+    def test_pigeonhole_5_4_unsat(self):
+        assert solve_cnf(pigeonhole(5, 4)).satisfiable is False
+
+    def test_pigeonhole_4_4_sat(self):
+        result = solve_cnf(pigeonhole(4, 4))
+        assert result.satisfiable is True
+        assert check_model(pigeonhole(4, 4), result.model)
+
+
+class TestRandomInstances:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_3sat_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        num_vars = 8
+        num_clauses = rng.randint(20, 40)
+        clauses = []
+        for _ in range(num_clauses):
+            lits = rng.sample(range(1, num_vars + 1), 3)
+            clauses.append([lit if rng.random() < 0.5 else -lit for lit in lits])
+        expected = brute_force(clauses, num_vars)
+        result = solve_cnf(clauses)
+        assert result.satisfiable is (expected is not None)
+        if result.satisfiable:
+            assert check_model(clauses, result.model)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=-6, max_value=6).filter(lambda x: x != 0),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_hypothesis_cnf(self, clauses):
+        expected = brute_force(clauses, 6)
+        result = solve_cnf(clauses)
+        assert result.satisfiable is (expected is not None)
+        if result.satisfiable:
+            assert check_model(clauses, result.model)

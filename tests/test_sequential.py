@@ -1,0 +1,118 @@
+"""Tests for the sequential elaboration (Table 1 behaviour)."""
+
+import pytest
+
+from repro.hdl import expr as E
+from repro.hdl.sim import Simulator
+from repro.machine import build_sequential, sequential_schedule, toy
+from repro.machine.prepared import PreparedMachine
+
+
+class TestTable1:
+    """The paper's Table 1: round-robin ue pattern of a 3-stage machine."""
+
+    def test_reference_table(self):
+        rows = sequential_schedule(3, 6)
+        expected = [
+            {"T": 1, "ue_0": 1, "ue_1": 0, "ue_2": 0},
+            {"T": 2, "ue_0": 0, "ue_1": 1, "ue_2": 0},
+            {"T": 3, "ue_0": 0, "ue_1": 0, "ue_2": 1},
+            {"T": 4, "ue_0": 1, "ue_1": 0, "ue_2": 0},
+            {"T": 5, "ue_0": 0, "ue_1": 1, "ue_2": 0},
+            {"T": 6, "ue_0": 0, "ue_1": 0, "ue_2": 1},
+        ]
+        assert rows == expected
+
+    def test_elaborated_machine_matches_table(self):
+        """The hardware's ue probes reproduce Table 1 exactly."""
+        machine = PreparedMachine("tiny", 3)
+        machine.add_register("R", 4, first=1, last=3)
+        machine.set_output(0, "R", E.const(4, 1))
+        module = build_sequential(machine)
+        sim = Simulator(module)
+        for _ in range(6):
+            sim.step()
+        for t, row in enumerate(sequential_schedule(3, 6)):
+            for k in range(3):
+                assert sim.trace.probe(f"ue.{k}")[t] == row[f"ue_{k}"], (t, k)
+
+    def test_exactly_one_stage_enabled(self):
+        machine = PreparedMachine("tiny", 4)
+        machine.add_register("R", 4, first=1, last=4)
+        machine.set_output(0, "R", E.const(4, 1))
+        module = build_sequential(machine)
+        sim = Simulator(module)
+        for _ in range(13):
+            values = sim.step()
+            assert sum(values[f"ue.{k}"] for k in range(4)) == 1
+
+    def test_instr_done_every_n_cycles(self):
+        machine = PreparedMachine("tiny", 3)
+        machine.add_register("R", 4, first=1, last=3)
+        machine.set_output(0, "R", E.const(4, 1))
+        module = build_sequential(machine)
+        sim = Simulator(module)
+        done = [sim.step()["seq.instr_done"] for _ in range(9)]
+        assert done == [0, 0, 1, 0, 0, 1, 0, 0, 1]
+
+
+class TestExternalStall:
+    def _machine(self):
+        machine = PreparedMachine("stallable", 3)
+        machine.add_register("R", 4, first=1, last=3)
+        machine.set_output(0, "R", E.const(4, 1))
+        machine.allow_external_stall(1)
+        return machine
+
+    def test_stall_freezes_the_stalled_stage(self):
+        module = build_sequential(self._machine())
+        sim = Simulator(module)
+        sim.step()  # stage 0 fires
+        values = sim.step({"ext.1": 1})  # stage 1 requested but stalled
+        assert values["ue.1"] == 0
+        values = sim.step({"ext.1": 0})
+        assert values["ue.1"] == 1  # resumes at the same stage
+
+    def test_stall_does_not_affect_other_stages(self):
+        module = build_sequential(self._machine())
+        sim = Simulator(module)
+        values = sim.step({"ext.1": 1})  # stage 0 active; ext.1 irrelevant
+        assert values["ue.0"] == 1
+
+
+class TestToySequential:
+    def test_matches_isa_reference(self):
+        program = [
+            toy.li(1, 5),
+            toy.li(2, 7),
+            toy.add(3, 1, 2),
+            toy.ld(0, 3),
+            toy.add(2, 0, 3),
+        ]
+        dmem = {12: 42}
+        machine = toy.build_toy_machine(program, dmem)
+        module = build_sequential(machine)
+        sim = Simulator(module)
+        for _ in range(4 * (len(program) + 2)):
+            sim.step()
+        rf_expected, _writes = toy.reference_execution(program, dmem)
+        assert [sim.mem("RF", i) for i in range(4)] == rf_expected
+
+    def test_commit_probes_present(self):
+        machine = toy.build_toy_machine([toy.li(1, 1)])
+        module = build_sequential(machine)
+        for probe in ("commit.RF.we", "commit.RF.wa", "commit.RF.data",
+                      "commit.PC.we", "commit.PC.data"):
+            assert probe in module.probes
+
+    def test_write_enable_gating(self):
+        """A NOP must not write the register file."""
+        machine = toy.build_toy_machine([toy.nop(), toy.li(1, 3)])
+        module = build_sequential(machine)
+        sim = Simulator(module)
+        writes = []
+        for _ in range(12):
+            values = sim.step()
+            if values["commit.RF.we"]:
+                writes.append((values["commit.RF.wa"], values["commit.RF.data"]))
+        assert writes == [(1, 3)]

@@ -1,0 +1,145 @@
+"""Tests for structural substitution (the g^k rewrite mechanism)."""
+
+import pytest
+
+from repro.hdl import expr as E
+from repro.hdl.netlist import ModuleState
+from repro.hdl.sim import evaluate
+from repro.hdl.subst import rename_regs, substitute
+
+
+class TestRegisterSubstitution:
+    def test_simple_replace(self):
+        expression = E.add(E.reg_read("a", 8), E.const(8, 1))
+        replaced = substitute(expression, reg_map={"a": E.const(8, 4)})
+        assert isinstance(replaced, E.Const)
+        assert replaced.value == 5
+
+    def test_untouched_registers_stay(self):
+        expression = E.add(E.reg_read("a", 8), E.reg_read("b", 8))
+        replaced = substitute(expression, reg_map={"a": E.const(8, 0)})
+        assert replaced is E.reg_read("b", 8)  # a+0 folds to b
+
+    def test_identity_returns_same_object(self):
+        expression = E.add(E.reg_read("a", 8), E.reg_read("b", 8))
+        assert substitute(expression, reg_map={}) is expression
+
+    def test_width_mismatch_rejected(self):
+        expression = E.reg_read("a", 8)
+        with pytest.raises(ValueError):
+            substitute(expression, reg_map={"a": E.const(4, 0)})
+
+    def test_sharing_preserved(self):
+        shared = E.add(E.reg_read("a", 8), E.const(8, 3))
+        expression = E.bxor(shared, E.bnot(shared))
+        replaced = substitute(expression, reg_map={"a": E.reg_read("z", 8)})
+        # both occurrences of the rewritten shared node must be one object
+        assert isinstance(replaced, E.Binary)
+        xor_a, xor_b = replaced.a, replaced.b
+        assert isinstance(xor_b, E.Unary)
+        assert xor_a is xor_b.a
+
+    def test_shared_memo_across_roots(self):
+        memo: dict = {}
+        a = E.add(E.reg_read("a", 8), E.const(8, 1))
+        b = E.sub(E.reg_read("a", 8), E.const(8, 1))
+        ra = substitute(a, reg_map={"a": E.reg_read("x", 8)}, memo=memo)
+        rb = substitute(b, reg_map={"a": E.reg_read("x", 8)}, memo=memo)
+        assert E.reg_reads([ra, rb]) == {"x"}
+
+
+class TestMemorySubstitution:
+    def test_mem_replaced_with_function_of_addr(self):
+        addr = E.reg_read("ptr", 2)
+        expression = E.mem_read("mem", addr, 8)
+        replaced = substitute(
+            expression, mem_map={"mem": lambda a: E.zext(a, 8)}
+        )
+        assert E.mem_reads([replaced]) == set()
+        state = ModuleState({"ptr": __import__("repro.hdl.bitvec", fromlist=["bv"]).bv(2, 3)}, {})
+        assert evaluate([replaced], state)[0] == 3
+
+    def test_mem_addr_rewritten_before_callback(self):
+        addr = E.reg_read("ptr", 2)
+        expression = E.mem_read("mem", addr, 8)
+        seen = []
+
+        def build(rewritten_addr):
+            seen.append(rewritten_addr)
+            return E.const(8, 0)
+
+        substitute(
+            expression,
+            reg_map={"ptr": E.const(2, 1)},
+            mem_map={"mem": build},
+        )
+        assert seen == [E.const(2, 1)]
+
+    def test_mem_width_mismatch_rejected(self):
+        expression = E.mem_read("mem", E.const(2, 0), 8)
+        with pytest.raises(ValueError):
+            substitute(expression, mem_map={"mem": lambda a: E.const(4, 0)})
+
+    def test_untouched_memory_kept(self):
+        expression = E.mem_read("mem", E.reg_read("ptr", 2), 8)
+        replaced = substitute(expression, reg_map={"ptr": E.const(2, 0)})
+        assert isinstance(replaced, E.MemRead)
+        assert replaced.mem == "mem"
+
+
+class TestInputSubstitution:
+    def test_input_replaced(self):
+        expression = E.bnot(E.input_port("irq", 1))
+        replaced = substitute(expression, input_map={"irq": E.const(1, 1)})
+        assert isinstance(replaced, E.Const)
+        assert replaced.value == 0
+
+
+class TestRename:
+    def test_rename_regs(self):
+        expression = E.add(E.reg_read("old", 8), E.reg_read("keep", 8))
+        renamed = rename_regs(expression, {"old": "new"})
+        assert E.reg_reads([renamed]) == {"new", "keep"}
+
+
+class TestAllNodeKinds:
+    def test_rebuild_every_operator(self):
+        """Substitution must rebuild each node type correctly."""
+        x = E.reg_read("x", 8)
+        y = E.reg_read("y", 8)
+        s = E.reg_read("s", 1)
+        expressions = [
+            E.bnot(x),
+            E.neg(x),
+            E.redor(x),
+            E.redand(x),
+            E.redxor(x),
+            E.band(x, y),
+            E.bor(x, y),
+            E.bxor(x, y),
+            E.add(x, y),
+            E.sub(x, y),
+            E.eq(x, y),
+            E.ne(x, y),
+            E.ult(x, y),
+            E.ule(x, y),
+            E.slt(x, y),
+            E.sle(x, y),
+            E.shl(x, y),
+            E.lshr(x, y),
+            E.ashr(x, y),
+            E.mux(s, x, y),
+            E.concat(x, y),
+            E.bits(x, 2, 5),
+        ]
+        from repro.hdl.bitvec import bv
+
+        reg_map = {"x": E.const(8, 0xA5), "y": E.const(8, 0x3C), "s": E.const(1, 1)}
+        state = ModuleState(
+            {"x": bv(8, 0xA5), "y": bv(8, 0x3C), "s": bv(1, 1)}, {}
+        )
+        for expression in expressions:
+            replaced = substitute(expression, reg_map=reg_map)
+            direct = evaluate([expression], state)[0]
+            via_subst = evaluate([replaced], ModuleState({}, {}))[0]
+            assert direct == via_subst, expression

@@ -1,0 +1,138 @@
+"""Tests for the superpipelined DLX (configurable EX/MEM depth)."""
+
+import pytest
+
+from repro.core import TransformOptions, check_data_consistency, transform
+from repro.dlx import DlxReference, assemble
+from repro.dlx.programs import alu_dependent, fibonacci, load_use
+from repro.dlx.superpipe import SuperPipeConfig, build_superpipelined_dlx
+from repro.hdl.compile import CompiledSimulator
+from repro.perf import forwarding_cost, run_to_completion
+
+
+def instructions_until_halt(workload, imem_bits=8, dmem_bits=6, limit=3000):
+    reference = DlxReference(
+        workload.program,
+        data=workload.data,
+        imem_addr_width=imem_bits,
+        dmem_addr_width=dmem_bits,
+    )
+    count = 0
+    while reference.state.dpc != workload.halt_address and count < limit:
+        reference.step()
+        count += 1
+    assert reference.state.dpc == workload.halt_address
+    return reference, count
+
+
+class TestConfig:
+    def test_depth_arithmetic(self):
+        config = SuperPipeConfig(ex_stages=3, mem_stages=2)
+        assert config.n_stages == 8
+        assert config.ex_last == 4
+        assert config.mem_last == 6
+        assert config.wb == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SuperPipeConfig(ex_stages=0)
+        with pytest.raises(ValueError):
+            SuperPipeConfig(mem_stages=0)
+
+    def test_depth_five_matches_classic_shape(self):
+        """EX=1, MEM=1 reproduces the 5-stage structure: hits at 2..4."""
+        machine = build_superpipelined_dlx(
+            [], config=SuperPipeConfig(ex_stages=1, mem_stages=1)
+        )
+        pipelined = transform(machine)
+        for network in pipelined.networks_for("GPR", 1):
+            assert network.hit_stages == [2, 3, 4]
+
+
+class TestDepthScaling:
+    @pytest.mark.parametrize("ex,mem", [(1, 1), (2, 1), (2, 2), (3, 2)])
+    def test_consistent_at_depth(self, ex, mem):
+        config = SuperPipeConfig(ex_stages=ex, mem_stages=mem)
+        workload = fibonacci(5)
+        machine = build_superpipelined_dlx(
+            workload.program, data=workload.data, config=config
+        )
+        pipelined = transform(machine)
+        report = check_data_consistency(
+            machine, pipelined.module, cycles=config.n_stages * 25
+        )
+        assert report.ok, (ex, mem, report.first_violation())
+
+    def test_hit_stages_grow_with_depth(self):
+        for ex, mem in [(1, 1), (3, 2)]:
+            config = SuperPipeConfig(ex_stages=ex, mem_stages=mem)
+            machine = build_superpipelined_dlx([], config=config)
+            pipelined = transform(machine)
+            network = pipelined.networks_for("GPR", 1)[0]
+            assert network.hit_stages == list(range(2, config.wb + 1))
+            assert network.comparators == config.n_stages - 2
+
+    def test_dependent_alu_latency_grows(self):
+        """An immediately dependent ALU chain stalls ex_stages-1 cycles per
+        dependence: deeper EX means higher CPI on the dependent workload."""
+        workload = alu_dependent(n=10)
+        _reference, count = instructions_until_halt(workload)
+        cpis = {}
+        for ex in (1, 2, 3):
+            config = SuperPipeConfig(ex_stages=ex, mem_stages=1)
+            machine = build_superpipelined_dlx(
+                workload.program, data=workload.data, config=config
+            )
+            perf = run_to_completion(
+                transform(machine).module, count, config.n_stages
+            )
+            assert perf.completed
+            cpis[ex] = perf.cpi
+        assert cpis[1] < cpis[2] < cpis[3]
+        # each extra EX stage costs about one extra cycle per instruction
+        assert cpis[2] - cpis[1] == pytest.approx(1.0, abs=0.3)
+
+    def test_load_use_penalty_grows(self):
+        workload = load_use(n=6)
+        _reference, count = instructions_until_halt(workload)
+
+        def hazard_cycles(config):
+            machine = build_superpipelined_dlx(
+                workload.program, data=workload.data, config=config
+            )
+            perf = run_to_completion(
+                transform(machine).module, count, config.n_stages
+            )
+            assert perf.completed
+            return perf.hazard_cycles
+
+        shallow = hazard_cycles(SuperPipeConfig(ex_stages=1, mem_stages=1))
+        deep = hazard_cycles(SuperPipeConfig(ex_stages=2, mem_stages=2))
+        assert deep > shallow
+
+    def test_results_correct_at_depth_eight(self):
+        workload = fibonacci(7)
+        reference, count = instructions_until_halt(workload)
+        config = SuperPipeConfig(ex_stages=3, mem_stages=2)
+        machine = build_superpipelined_dlx(
+            workload.program, data=workload.data, config=config
+        )
+        pipelined = transform(machine)
+        sim = CompiledSimulator(pipelined.module)
+        for _ in range(count * 4):
+            sim.step()
+        for reg in range(32):
+            assert sim.mem("GPR", reg) == reference.state.gpr[reg], reg
+
+    def test_tree_style_cheaper_at_depth(self):
+        """On the deep real DLX, the find-first-one tree beats the chain's
+        delay — the paper's recommendation, on the case study itself."""
+        config = SuperPipeConfig(ex_stages=4, mem_stages=3)
+        machine = build_superpipelined_dlx([], config=config)
+        chain = forwarding_cost(
+            transform(machine, TransformOptions(forwarding_style="chain"))
+        )
+        tree = forwarding_cost(
+            transform(machine, TransformOptions(forwarding_style="tree"))
+        )
+        assert tree.delay < chain.delay

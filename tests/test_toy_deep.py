@@ -1,0 +1,146 @@
+"""Tests for the worked example machines (toy and deep)."""
+
+import pytest
+
+from repro.core import TransformOptions, check_data_consistency, transform
+from repro.hdl.sim import Simulator
+from repro.machine import build_sequential, toy
+from repro.machine.deep import build_deep_machine, encode_deep
+
+
+class TestToyEncoding:
+    def test_encode_fields(self):
+        word = toy.encode(toy.OP_ADD, 3, 1, 2)
+        assert (word >> 6) & 3 == toy.OP_ADD
+        assert (word >> 4) & 3 == 3
+        assert (word >> 2) & 3 == 1
+        assert word & 3 == 2
+
+    def test_field_range_checks(self):
+        with pytest.raises(ValueError):
+            toy.encode(4, 0, 0, 0)
+        with pytest.raises(ValueError):
+            toy.li(0, 16)
+
+    def test_li_packs_immediate(self):
+        word = toy.li(2, 0b1101)
+        assert (word >> 2) & 3 == 0b11
+        assert word & 3 == 0b01
+
+
+class TestToyReference:
+    def test_add_li(self):
+        rf, writes = toy.reference_execution([toy.li(1, 3), toy.add(2, 1, 1)])
+        assert rf[1] == 3 and rf[2] == 6
+        assert writes == [(1, 3), (2, 6)]
+
+    def test_load(self):
+        rf, _ = toy.reference_execution([toy.li(1, 9), toy.ld(2, 1)], {9: 42})
+        assert rf[2] == 42
+
+    def test_nop_writes_nothing(self):
+        _, writes = toy.reference_execution([toy.nop(), toy.nop()])
+        assert writes == []
+
+    def test_wraparound_addition(self):
+        rf, _ = toy.reference_execution(
+            [toy.li(1, 15), toy.add(1, 1, 1)] + [toy.add(1, 1, 1)] * 4
+        )
+        assert rf[1] == (15 << 5) % 256
+
+
+class TestToyMachines:
+    def test_program_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            toy.build_toy_machine([toy.nop()] * 33)
+
+    @pytest.mark.parametrize("program,dmem", [
+        ([toy.li(1, 5)], {}),
+        ([toy.li(1, 5), toy.add(2, 1, 1), toy.add(3, 2, 1)], {}),
+        ([toy.li(1, 8), toy.ld(2, 1), toy.add(3, 2, 2)], {8: 13}),
+        ([toy.nop()] * 4 + [toy.li(1, 1)], {}),
+    ])
+    def test_sequential_matches_reference(self, program, dmem):
+        machine = toy.build_toy_machine(program, dmem)
+        module = build_sequential(machine)
+        sim = Simulator(module)
+        for _ in range(4 * (len(program) + 3)):
+            sim.step()
+        rf_expected, _ = toy.reference_execution(program, dmem)
+        assert [sim.mem("RF", i) for i in range(4)] == rf_expected
+
+    def test_pipelined_matches_reference(self):
+        program = [
+            toy.li(1, 3),
+            toy.li(2, 4),
+            toy.add(3, 1, 2),
+            toy.ld(0, 3),
+            toy.add(2, 0, 0),
+        ]
+        dmem = {7: 17}
+        machine = toy.build_toy_machine(program, dmem)
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        for _ in range(24):
+            sim.step()
+        rf_expected, _ = toy.reference_execution(program, dmem)
+        assert [sim.mem("RF", i) for i in range(4)] == rf_expected
+
+
+class TestDeepMachine:
+    def test_requires_four_stages(self):
+        with pytest.raises(ValueError):
+            build_deep_machine(3)
+
+    def test_encode_validation(self):
+        with pytest.raises(ValueError):
+            encode_deep(6, 1, 0, 0, 0)  # produce stage too early
+        with pytest.raises(ValueError):
+            encode_deep(6, 5, 0, 0, 0)  # too late
+        with pytest.raises(ValueError):
+            encode_deep(6, 2, 8, 0, 0)  # register out of range
+
+    @pytest.mark.parametrize("n_stages", [4, 5, 7, 10])
+    def test_consistency_at_depth(self, n_stages):
+        program = [
+            encode_deep(n_stages, 2, 1, 0, 0),
+            encode_deep(n_stages, min(3, n_stages - 2), 2, 1, 1),
+            encode_deep(n_stages, n_stages - 2, 3, 2, 1),
+            encode_deep(n_stages, 2, 4, 3, 3),
+        ]
+        machine = build_deep_machine(n_stages, program)
+        pipelined = transform(machine)
+        report = check_data_consistency(
+            machine, pipelined.module, cycles=n_stages * 8
+        )
+        assert report.ok, report.first_violation()
+
+    def test_hit_chain_length_scales_with_depth(self):
+        for n_stages in (5, 8):
+            machine = build_deep_machine(n_stages)
+            pipelined = transform(machine)
+            networks = pipelined.networks_for("RF", 1)
+            assert networks
+            for network in networks:
+                assert network.hit_stages == list(range(2, n_stages))
+
+    def test_late_producer_stalls_more(self):
+        """A consumer right after a late producer interlocks longer than
+        after an early producer."""
+        n = 8
+
+        def cycles_for(produce_stage):
+            program = [
+                encode_deep(n, produce_stage, 1, 0, 0),
+                encode_deep(n, 2, 2, 1, 1),  # immediate consumer
+            ]
+            machine = build_deep_machine(n, program)
+            pipelined = transform(machine)
+            sim = Simulator(pipelined.module)
+            for cycle in range(200):
+                values = sim.step()
+                if values["commit.RF.we"] and values["commit.RF.wa"] == 2:
+                    return cycle
+            raise AssertionError("consumer never committed")
+
+        assert cycles_for(n - 2) > cycles_for(2)

@@ -1,0 +1,198 @@
+"""Tests for the full transformation (stall engine + forwarding +
+interlock + speculation wired together)."""
+
+import pytest
+
+from repro.core import (
+    TransformOptions,
+    check_data_consistency,
+    check_lemma1,
+    check_liveness,
+    compare_commit_streams,
+    transform,
+)
+from repro.hdl import expr as E
+from repro.hdl.sim import Simulator
+from repro.machine import build_sequential, toy
+from repro.machine.prepared import PreparedMachine, SpeculationSpec
+
+
+class TestBasicTransform:
+    def test_probe_inventory(self, toy_pipelined):
+        module = toy_pipelined.module
+        for k in range(4):
+            for family in ("ue", "full", "stall", "dhaz", "rollback"):
+                assert f"{family}.{k}" in module.probes
+
+    def test_module_validates(self, toy_pipelined):
+        toy_pipelined.module.validate()
+
+    def test_full_bits_start_empty(self, toy_pipelined):
+        module = toy_pipelined.module
+        for stage in range(1, 4):
+            assert module.registers[f"fullb.{stage}"].init == 0
+
+    def test_networks_recorded(self, toy_pipelined):
+        assert len(toy_pipelined.networks) == 2
+        assert toy_pipelined.networks_for("RF") == toy_pipelined.networks
+        assert toy_pipelined.networks_for("RF", stage=2) == []
+
+    def test_consistency_and_lemmas(self, toy_machine, toy_pipelined):
+        report = check_data_consistency(toy_machine, toy_pipelined.module, cycles=40)
+        assert report.ok
+        sim = Simulator(toy_pipelined.module)
+        for _ in range(40):
+            sim.step()
+        assert check_lemma1(sim.trace, 4).ok
+        liveness = check_liveness(sim.trace, 4, bound=16)
+        assert liveness.ok
+        assert liveness.worst_latency >= 4  # pipe depth is a lower bound
+
+    def test_interlock_only_slower_but_consistent(
+        self, toy_machine, toy_pipelined, toy_interlock_only
+    ):
+        def cycles_to_finish(module, commits_needed):
+            sim = Simulator(module)
+            commits = 0
+            for cycle in range(200):
+                values = sim.step()
+                commits += values["commit.RF.we"]
+                if commits == commits_needed:
+                    return cycle + 1
+            raise AssertionError("did not finish")
+
+        _rf, writes = toy.reference_execution(
+            list(__import__("tests.conftest", fromlist=["TOY_PROGRAM"]).TOY_PROGRAM),
+            dict(__import__("tests.conftest", fromlist=["TOY_DMEM"]).TOY_DMEM),
+        )
+        fwd = cycles_to_finish(toy_pipelined.module, len(writes))
+        interlock = cycles_to_finish(toy_interlock_only.module, len(writes))
+        assert fwd < interlock
+        report = check_data_consistency(
+            toy_machine, toy_interlock_only.module, cycles=60
+        )
+        assert report.ok
+
+    def test_pipelined_faster_than_sequential(self, toy_machine, toy_pipelined):
+        sequential = build_sequential(toy_machine)
+
+        def commits(module, cycles):
+            sim = Simulator(module)
+            total = 0
+            for _ in range(cycles):
+                total += sim.step()["commit.RF.we"]
+            return total
+
+        assert commits(toy_pipelined.module, 40) > commits(sequential, 40)
+
+
+class TestExternalStalls:
+    def _machine(self):
+        program = [toy.li(1, 5), toy.add(2, 1, 1), toy.ld(3, 1), toy.add(0, 3, 3)]
+        machine = toy.build_toy_machine(program, {5: 77})
+        machine.allow_external_stall(3)
+        return machine
+
+    def test_ext_input_declared(self):
+        pipelined = transform(self._machine())
+        assert "ext.3" in pipelined.module.inputs
+
+    def test_consistent_under_random_external_stalls(self):
+        import random
+
+        machine = self._machine()
+        pipelined = transform(machine)
+        rng = random.Random(3)
+        pattern = [rng.randint(0, 1) for _ in range(200)]
+
+        def stimulus(cycle):
+            return {"ext.3": pattern[cycle % len(pattern)]}
+
+        report = check_data_consistency(
+            machine, pipelined.module, cycles=80,
+            inputs=stimulus, seq_inputs=stimulus,
+        )
+        assert report.ok, report.first_violation()
+
+    def test_ext_stall_blocks_stage(self):
+        pipelined = transform(self._machine())
+        sim = Simulator(pipelined.module)
+        for _ in range(4):
+            sim.step({"ext.3": 0})
+        values = sim.step({"ext.3": 1})
+        assert values["stall.3"] == 1
+        assert values["ue.3"] == 0
+
+
+class TestSpeculationPlumbing:
+    def _spec_machine(self):
+        """Toy machine + a pointless always-correct speculation: guess the
+        constant 0 at stage 0, resolve against constant 0 at stage 2."""
+        program = [toy.li(1, 2), toy.add(2, 1, 1)]
+        machine = toy.build_toy_machine(program)
+        machine.add_speculation(
+            SpeculationSpec(
+                name="noop",
+                guess_stage=0,
+                guess=E.const(4, 0),
+                resolve_stage=2,
+                actual=E.const(4, 0),
+            )
+        )
+        return machine
+
+    def test_never_mispredicts(self):
+        machine = self._spec_machine()
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        for _ in range(30):
+            values = sim.step()
+            assert values["spec.noop.mispredict"] == 0
+        report = compare_commit_streams(machine, pipelined.module, cycles=30)
+        assert report.ok
+
+    def test_guess_pipe_registers_created(self):
+        pipelined = transform(self._spec_machine())
+        assert "noop.guess.1" in pipelined.module.registers
+        assert "noop.guess.2" in pipelined.module.registers
+
+    def test_trap_style_speculation_consistent(self):
+        """A "trap on load" speculation (the paper's interrupt pattern in
+        miniature): guess "no load", detect loads in EX, squash and redirect
+        fetch to a handler address.  Both elaborations implement the same
+        semantics, so the commit streams must agree while rollbacks occur."""
+        handler = 20
+        program = [
+            toy.li(1, 2),
+            toy.add(2, 1, 1),
+            toy.ld(3, 1),  # triggers the "trap"
+            toy.add(0, 2, 2),
+        ]
+        program += [toy.nop()] * (handler - len(program))
+        program += [toy.li(3, 9), toy.add(0, 3, 3)]  # the handler
+        machine = toy.build_toy_machine(program, {2: 55})
+        machine.add_speculation(
+            SpeculationSpec(
+                name="trap",
+                guess_stage=0,
+                guess=E.const(1, 0),
+                resolve_stage=2,
+                actual=E.eq(machine.read("OP", 2), E.const(2, toy.OP_LD)),
+                repairs={"PC.1": E.const(5, handler)},
+            )
+        )
+        pipelined = transform(machine)
+        sim = Simulator(pipelined.module)
+        mispredicts = 0
+        loads_committed = 0
+        for _ in range(80):
+            values = sim.step()
+            mispredicts += values["spec.trap.mispredict"]
+            if values["commit.RF.we"] and values["commit.RF.wa"] == 3:
+                loads_committed += values["commit.RF.data"] == 55
+        assert mispredicts > 0  # the load was detected and squashed...
+        assert loads_committed == 0  # ...and never committed its write
+        report = compare_commit_streams(
+            machine, pipelined.module, cycles=80, seq_cycles=400
+        )
+        assert report.ok, report.first_violation()

@@ -1,0 +1,111 @@
+"""Tests for the VCD exporter and the command-line front end."""
+
+import io
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.hdl import expr as E
+from repro.hdl.netlist import Module
+from repro.hdl.sim import Simulator
+from repro.hdl.vcd import _identifier, dump_vcd, write_vcd
+
+
+def counter_module():
+    module = Module("m")
+    count = module.add_register("c", 4, init=0)
+    module.drive_register("c", E.add(count, E.const(4, 1)))
+    module.add_probe("count", count)
+    module.add_probe("lsb", E.bit(count, 0))
+    module.add_input("enable", 1)
+    return module
+
+
+class TestVcd:
+    def test_identifier_uniqueness(self):
+        idents = {_identifier(i) for i in range(500)}
+        assert len(idents) == 500
+
+    def test_header_and_changes(self):
+        module = counter_module()
+        sim = Simulator(module)
+        for cycle in range(4):
+            sim.step({"enable": cycle % 2})
+        out = io.StringIO()
+        write_vcd(sim.trace, module, out)
+        text = out.getvalue()
+        assert "$timescale 1 ns $end" in text
+        assert "$var wire 4" in text and "count" in text
+        assert "$var wire 1" in text and "lsb" in text
+        assert "in.enable" in text
+        assert "#0" in text and "#3" in text
+        # multi-bit changes use the b-prefix form
+        assert any(line.startswith("b") for line in text.splitlines())
+
+    def test_only_changes_emitted(self):
+        module = Module("m")
+        module.add_probe("constant", E.const(4, 5))
+        sim = Simulator(module)
+        for _ in range(5):
+            sim.step()
+        out = io.StringIO()
+        write_vcd(sim.trace, module, out)
+        # the constant changes exactly once (initial value)
+        assert out.getvalue().count("b101 ") == 1
+
+    def test_dump_to_file(self, tmp_path):
+        module = counter_module()
+        sim = Simulator(module)
+        sim.step({"enable": 1})
+        path = tmp_path / "wave.vcd"
+        dump_vcd(sim.trace, module, str(path))
+        assert path.read_text().startswith("$timescale")
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    source = """
+        addi r1, r0, 6
+        add  r2, r1, r1
+        sw   0(r0), r2
+halt:   j halt
+        nop
+"""
+    path = tmp_path / "prog.s"
+    path.write_text(source)
+    return str(path)
+
+
+class TestCli:
+    def test_run_pipelined(self, program_file, capsys):
+        assert cli_main(["run", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "CPI" in out
+        assert "r2" in out and "0x0000000c" in out
+
+    def test_run_sequential(self, program_file, capsys):
+        assert cli_main(["run", program_file, "--machine", "seq"]) == 0
+        out = capsys.readouterr().out
+        assert "0x0000000c" in out
+
+    def test_run_with_vcd(self, program_file, tmp_path, capsys):
+        vcd_path = tmp_path / "out.vcd"
+        assert cli_main(["run", program_file, "--vcd", str(vcd_path)]) == 0
+        assert vcd_path.read_text().startswith("$timescale")
+
+    def test_run_fixed_cycles(self, program_file, capsys):
+        assert cli_main(["run", program_file, "--cycles", "30"]) == 0
+
+    def test_verify(self, program_file, capsys):
+        assert cli_main(["verify", program_file, "--cycles", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "obligations" in out
+        assert "OK" in out
+
+    def test_cost(self, capsys):
+        assert cli_main(["cost", "--depths", "4", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "chain" in out and "tree" in out and "bus" in out
+
+    def test_interlock_machine(self, program_file, capsys):
+        assert cli_main(["run", program_file, "--machine", "interlock"]) == 0
