@@ -3,16 +3,38 @@
 Regenerated tables are printed immediately (visible with ``-s``) and
 queued; the conftest emits them in the terminal summary so they always
 appear in captured benchmark output.
+
+Exhibits that feed the measurement trajectory are also written as
+machine-readable JSON documents (``BENCH_<name>.json`` at the repo root)
+via :func:`report_json` — the text section stays the human-readable view
+of the same payload.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 _SECTIONS: list[tuple[str, str]] = []
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def report(title: str, text: str) -> None:
     print(f"\n{title}\n{text}")
     _SECTIONS.append((title, text))
+
+
+def report_json(name: str, payload: dict, title: str | None = None) -> Path:
+    """Write ``BENCH_<name>.json`` and queue a text rendering of it.
+
+    Returns the path written, so benches can mention it in assertions.
+    """
+    path = _REPO_ROOT / f"BENCH_{name}.json"
+    text = json.dumps(payload, indent=1, sort_keys=True)
+    path.write_text(text + "\n")
+    report(title or f"BENCH_{name}.json", text)
+    return path
 
 
 def sections() -> list[tuple[str, str]]:

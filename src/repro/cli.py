@@ -6,6 +6,7 @@ Usage examples::
     python -m repro.cli run program.s --machine seq   # sequential reference
     python -m repro.cli run program.s --vcd out.vcd   # dump waveforms
     python -m repro.cli verify program.s              # obligations + traces
+    python -m repro.cli discharge program.s -j 4      # parallel cached proofs
     python -m repro.cli cost --depths 4 8 12          # forwarding-cost table
 
 The program file is DLX assembly (see :mod:`repro.dlx.assemble` for the
@@ -155,6 +156,35 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_discharge(args: argparse.Namespace) -> int:
+    from .jobs import EngineParams, ResultCache, discharge_jobs
+
+    _source, program, _labels = _load(args.program)
+    machine = build_dlx_machine(program, config=_config_for(program, args.dmem_bits))
+    pipelined = transform(machine)
+    obligations = generate_obligations(pipelined)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    report = discharge_jobs(
+        pipelined,
+        obligations,
+        params=EngineParams(
+            max_k=args.max_k,
+            bmc_bound=args.bmc_bound,
+            trace_cycles=args.cycles,
+        ),
+        jobs=args.jobs,
+        timeout=args.timeout,
+        cache=cache,
+    )
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+    print(report.format_text())
+    # unknowns (timeouts, budget exhaustion) are inconclusive, not failures
+    return 1 if report.failed else 0
+
+
 def cmd_cost(args: argparse.Namespace) -> int:
     results = cost_versus_depth(depths=args.depths)
     print(format_table([r.row() for r in results]))
@@ -205,6 +235,42 @@ def main(argv: list[str] | None = None) -> int:
         help="data memory size in address bits (words)",
     )
     verify_parser.set_defaults(func=cmd_verify)
+
+    discharge_parser = sub.add_parser(
+        "discharge",
+        aliases=["jobs"],
+        help="discharge the proof obligations with caching and a worker pool",
+    )
+    discharge_parser.add_argument("program", help="DLX assembly file")
+    discharge_parser.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes (default: all CPUs)",
+    )
+    discharge_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-obligation wall-clock budget; overruns become 'unknown'",
+    )
+    discharge_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk result cache entirely",
+    )
+    discharge_parser.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="cache location (default: %(default)s)",
+    )
+    discharge_parser.add_argument(
+        "--json", metavar="FILE", help="also write the structured report here"
+    )
+    discharge_parser.add_argument("--max-k", type=int, default=2)
+    discharge_parser.add_argument("--bmc-bound", type=int, default=8)
+    discharge_parser.add_argument(
+        "--cycles", type=int, default=150, help="trace-check stimulus length"
+    )
+    discharge_parser.add_argument(
+        "--dmem-bits", type=int, default=6,
+        help="data memory size in address bits (words)",
+    )
+    discharge_parser.set_defaults(func=cmd_discharge)
 
     cost_parser = sub.add_parser("cost", help="forwarding cost vs pipeline depth")
     cost_parser.add_argument(

@@ -59,10 +59,9 @@ def disassemble_word(word: int) -> str:
     op = instr.opcode
     if word == isa.NOP:
         return "nop"
-    if instr.is_rtype:
+    if instr.is_rtype and instr.funct in _R_NAMES and instr.sa == 0:
         name = _R_NAMES[instr.funct]
-        if instr.sa == 0:
-            return f"{name} r{instr.rd_r}, r{instr.rs1}, r{instr.rs2}"
+        return f"{name} r{instr.rd_r}, r{instr.rs1}, r{instr.rs2}"
     if op in _I_NAMES:
         return f"{_I_NAMES[op]} r{instr.rd_i}, r{instr.rs1}, {instr.imm16_signed}"
     if op == isa.OP_LHI and instr.rs1 == 0:

@@ -305,8 +305,15 @@ class Unroller:
         return cex
 
 
-def _solve(aig: Aig, roots: Sequence[int]) -> tuple[bool | None, dict[int, bool]]:
-    """SAT-check the conjunction of AIG literals ``roots``."""
+def _solve(
+    aig: Aig, roots: Sequence[int], max_conflicts: int | None = None
+) -> tuple[bool | None, dict[int, bool]]:
+    """SAT-check the conjunction of AIG literals ``roots``.
+
+    ``max_conflicts`` is a deterministic step budget: the solver gives up
+    with verdict ``None`` once it is exceeded, so a caller can bound the
+    work of a single obligation instead of hanging on a hard instance.
+    """
     folded = aig.and_many(list(roots))
     if folded == 0:
         return False, {}
@@ -316,7 +323,7 @@ def _solve(aig: Aig, roots: Sequence[int]) -> tuple[bool | None, dict[int, bool]
     solver = Solver()
     solver.add_clauses(clauses)
     solver.add_clause([root_lit])
-    result = solver.solve()
+    result = solver.solve(max_conflicts=max_conflicts)
     return result.satisfiable, result.model
 
 
@@ -325,11 +332,13 @@ def bmc(
     prop: E.Expr,
     bound: int,
     assume: Sequence[E.Expr] = (),
+    max_conflicts: int | None = None,
 ) -> CheckResult:
     """Check that 1-bit ``prop`` holds in every frame 0..bound from reset.
 
     ``assume`` expressions are constrained to 1 in every frame (environment
-    assumptions, e.g. "no external stall").
+    assumptions, e.g. "no external stall").  ``max_conflicts`` bounds each
+    SAT call; an exhausted budget returns ``holds=None``.
     """
     system = (
         module_or_system
@@ -348,7 +357,7 @@ def bmc(
             unroller.bit_in_frame(t, assumption) for assumption in assume
         )
         bad = aig.neg(unroller.bit_in_frame(t, prop))
-        sat, model = _solve(aig, assumptions + [bad])
+        sat, model = _solve(aig, assumptions + [bad], max_conflicts=max_conflicts)
         if sat:
             return CheckResult(
                 holds=False,
@@ -366,6 +375,7 @@ def k_induction(
     prop: E.Expr,
     k: int = 1,
     assume: Sequence[E.Expr] = (),
+    max_conflicts: int | None = None,
 ) -> CheckResult:
     """Prove ``prop`` invariant by k-induction.
 
@@ -383,7 +393,7 @@ def k_induction(
         if isinstance(module_or_system, TransitionSystem)
         else TransitionSystem.from_module(module_or_system)
     )
-    base = bmc(system, prop, bound=k - 1, assume=assume)
+    base = bmc(system, prop, bound=k - 1, assume=assume, max_conflicts=max_conflicts)
     if base.holds is not True:
         return CheckResult(
             holds=base.holds,
@@ -407,7 +417,7 @@ def k_induction(
         unroller.bit_in_frame(k, assumption) for assumption in assume
     )
     bad = aig.neg(unroller.bit_in_frame(k, prop))
-    sat, _model = _solve(aig, constraints + [bad])
+    sat, _model = _solve(aig, constraints + [bad], max_conflicts=max_conflicts)
     if sat is False:
         return CheckResult(holds=True, bound=k, method="k-induction")
     return CheckResult(holds=None, bound=k, method="k-induction(step)")
@@ -418,12 +428,15 @@ def prove(
     prop: E.Expr,
     max_k: int = 4,
     assume: Sequence[E.Expr] = (),
+    max_conflicts: int | None = None,
 ) -> CheckResult:
     """Try k-induction with increasing k until the step check passes or
     ``max_k`` is exhausted."""
     last = CheckResult(holds=None, bound=0, method="k-induction")
     for k in range(1, max_k + 1):
-        last = k_induction(module_or_system, prop, k=k, assume=assume)
+        last = k_induction(
+            module_or_system, prop, k=k, assume=assume, max_conflicts=max_conflicts
+        )
         if last.holds is not None:
             return last
     return last

@@ -11,12 +11,23 @@ resolution against reason clauses).
 
 Literals use the DIMACS convention: variables are positive integers, a
 negative integer denotes the negated variable.
+
+The solver is fully deterministic — no randomness, no wall-clock dependence,
+insertion-ordered data structures throughout — so the same clause set always
+produces the same verdict, model and statistics.  Runs are interruptible in
+two ways: a ``max_conflicts`` budget (the discharge engines degrade an
+exhausted budget to an *unknown* verdict instead of hanging) and an
+``interrupt`` callback polled between conflicts, which lets a cooperative
+scheduler cancel an in-flight solve without killing the process.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
+
+# how many conflicts pass between polls of the `interrupt` callback
+_INTERRUPT_GRANULARITY = 64
 
 
 @dataclass
@@ -279,8 +290,14 @@ class Solver:
         self,
         assumptions: Sequence[int] = (),
         max_conflicts: int | None = None,
+        interrupt: Callable[[], bool] | None = None,
     ) -> SatResult:
-        """Solve the instance; ``assumptions`` are temporary unit literals."""
+        """Solve the instance; ``assumptions`` are temporary unit literals.
+
+        ``max_conflicts`` caps the search (result ``satisfiable=None`` when
+        exhausted); ``interrupt`` is polled every few conflicts and aborts
+        the run with ``satisfiable=None`` when it returns True.
+        """
         self.stats = SatResult(satisfiable=None)
         if not self._ok:
             return SatResult(satisfiable=False)
@@ -301,7 +318,16 @@ class Solver:
             conflict = self._propagate()
             if conflict is not None:
                 self.stats.conflicts += 1
-                if max_conflicts is not None and self.stats.conflicts > max_conflicts:
+                out_of_budget = (
+                    max_conflicts is not None
+                    and self.stats.conflicts > max_conflicts
+                )
+                if not out_of_budget and (
+                    interrupt is not None
+                    and self.stats.conflicts % _INTERRUPT_GRANULARITY == 0
+                ):
+                    out_of_budget = interrupt()
+                if out_of_budget:
                     self._backtrack(0)
                     return SatResult(
                         satisfiable=None,
@@ -373,8 +399,11 @@ def solve_cnf(
     clauses: Iterable[Sequence[int]],
     assumptions: Sequence[int] = (),
     max_conflicts: int | None = None,
+    interrupt: Callable[[], bool] | None = None,
 ) -> SatResult:
     """One-shot convenience wrapper around :class:`Solver`."""
     solver = Solver()
     solver.add_clauses(clauses)
-    return solver.solve(assumptions=assumptions, max_conflicts=max_conflicts)
+    return solver.solve(
+        assumptions=assumptions, max_conflicts=max_conflicts, interrupt=interrupt
+    )

@@ -21,7 +21,7 @@ from typing import Callable, Mapping
 from . import expr as E
 from .bitvec import BitVector, mask
 from .netlist import Module, ModuleState
-from .sim import Trace
+from .sim import Evaluator, SimulationError, Trace
 
 
 def _signed(width: int, name: str) -> str:
@@ -234,8 +234,22 @@ class CompiledSimulator:
     def mem(self, name: str, addr: int) -> int:
         return self._mems[name].get(addr, 0)
 
+    def peek(self, probe: str, inputs: Mapping[str, int] | None = None) -> int:
+        """Evaluate a probe against the current state without stepping."""
+        evaluator = Evaluator(self.state, inputs or {})
+        return evaluator.eval(self.module.probe(probe))
+
     def step(self, inputs: Mapping[str, int] | None = None) -> dict[str, int]:
         stimulus = dict(inputs or {})
+        # identical input semantics to Simulator.step: absent inputs read
+        # as 0, out-of-range values are rejected before any state changes
+        for name, width in self.module.inputs.items():
+            value = stimulus.setdefault(name, 0)
+            if not 0 <= value <= mask(width):
+                raise SimulationError(
+                    f"input {name!r}: value {value} does not fit"
+                    f" in {width} bits"
+                )
         values: dict[str, int] = {}
         self._step(self._regs, self._mems, stimulus, values)
         for name, value in values.items():

@@ -1,0 +1,152 @@
+"""On-disk result cache for discharged proof obligations.
+
+One JSON record per obligation fingerprint, under ``.repro-cache/discharge/``
+(two-level fan-out on the first fingerprint byte to keep directories small).
+A record stores the verdict, the method that produced it, the engine
+parameters and the original compute time — enough to reconstruct a
+:class:`repro.proofs.DischargeRecord` on a warm run without touching the
+solver.
+
+Only *successful* verdicts (proved / bounded / trace-ok) are persisted:
+failures and unknowns are exactly the outcomes a developer reruns after a
+change, and a changed design changes the fingerprint anyway.  Records are
+written atomically (temp file + rename) so a killed run never leaves a
+half-written record; unreadable or version-mismatched records read as
+misses and are overwritten on the next store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from ..proofs.discharge import DischargeRecord, Status
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_CACHEABLE = (Status.PROVED, Status.BOUNDED, Status.TRACE_OK)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class ResultCache:
+    """Fingerprint-keyed persistent store of discharge verdicts."""
+
+    root: str | os.PathLike = DEFAULT_CACHE_DIR
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    @property
+    def directory(self) -> Path:
+        return Path(self.root) / "discharge"
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.directory / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> DischargeRecord | None:
+        """Look up a verdict; corrupt or stale records count as misses."""
+        path = self._path(fingerprint)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            if payload.get("version") != CACHE_VERSION:
+                raise ValueError("cache version mismatch")
+            record = DischargeRecord(
+                oid=payload["oid"],
+                title=payload["title"],
+                status=Status(payload["status"]),
+                method=payload["method"],
+                detail=payload.get("detail", ""),
+                seconds=float(payload.get("seconds", 0.0)),
+            )
+        except (OSError, ValueError, KeyError):
+            self.stats.misses += 1
+            return None
+        if not record.ok:  # defensive: never reuse a non-verdict
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(
+        self,
+        fingerprint: str,
+        record: DischargeRecord,
+        params: Mapping[str, object] | None = None,
+    ) -> bool:
+        """Persist a verdict; returns False for non-cacheable statuses."""
+        if record.status not in _CACHEABLE:
+            return False
+        path = self._path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_VERSION,
+            "fingerprint": fingerprint,
+            "oid": record.oid,
+            "title": record.title,
+            "status": record.status.value,
+            "method": record.method,
+            "detail": record.detail,
+            "seconds": record.seconds,
+            "params": dict(params or {}),
+            "created": time.time(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{fingerprint[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=1)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        self.stats.stores += 1
+        return True
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def snapshot_stats(self) -> dict[str, float]:
+        return {**asdict(self.stats), "hit_rate": self.stats.hit_rate}

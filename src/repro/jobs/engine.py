@@ -1,0 +1,521 @@
+"""Parallel, cached discharge orchestrator.
+
+:func:`discharge_jobs` drives a machine's proof-obligation set through
+
+1. **fingerprinting** — each obligation is content-hashed over its property,
+   the cone-of-influence slice of the transition system and the engine
+   parameters (:mod:`repro.proofs.fingerprint`);
+2. **cache lookup** — obligations whose fingerprint has a stored verdict in
+   the on-disk cache (:mod:`repro.jobs.cache`) are skipped outright;
+3. **parallel discharge** — cache misses fan out over a pool of forked
+   worker processes, each running the pure per-obligation functions of
+   :mod:`repro.proofs.discharge`.  A per-obligation wall-clock timeout
+   terminates stuck workers and degrades the obligation to
+   ``Status.UNKNOWN`` — one hard instance never hangs or aborts the run;
+4. **reporting** — per-obligation timing and provenance (cache / worker /
+   inline / timeout), cache hit rate, per-worker busy time and aggregate
+   status counts, as human-readable text and as a JSON document.
+
+Trace obligations run inline in the orchestrator: they share one stimulus
+simulation and may close over arbitrary input-provider callables, which do
+not cross process boundaries.  Everything SAT-shaped (invariants,
+equivalences) is parallel-safe and timeout-guarded.
+
+Worker processes use the ``fork`` start method, so the transition system
+and expression DAGs are inherited copy-on-write — nothing is pickled on the
+way in; only the small result record crosses the pipe on the way out.
+Where ``fork`` is unavailable the engine falls back to in-process
+sequential discharge (timeouts then degrade to solver conflict budgets).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+from dataclasses import asdict, dataclass, field, replace
+
+from ..core.transform import PipelinedMachine
+from ..formal.bmc import TransitionSystem
+from ..proofs.discharge import (
+    DischargeRecord,
+    DischargeReport,
+    InputProvider,
+    Status,
+    build_trace,
+    discharge_equivalence,
+    discharge_invariant,
+    discharge_trace,
+    resolve_properties,
+)
+from ..proofs.obligations import Obligation, ObligationKind, ObligationSet
+from .cache import ResultCache
+
+
+@dataclass(frozen=True)
+class EngineParams:
+    """Engine knobs that are part of every obligation's fingerprint."""
+
+    max_k: int = 2
+    bmc_bound: int = 8
+    trace_cycles: int = 200
+    liveness_bound: int | None = None
+    max_conflicts: int | None = None
+
+    def invariant_params(self) -> dict[str, object]:
+        return {
+            "max_k": self.max_k,
+            "bmc_bound": self.bmc_bound,
+            "max_conflicts": self.max_conflicts,
+        }
+
+    def trace_params(self, checker: str, n_stages: int) -> dict[str, object]:
+        params: dict[str, object] = {"trace_cycles": self.trace_cycles}
+        if checker == "liveness":
+            bound = (
+                self.liveness_bound
+                if self.liveness_bound is not None
+                else 8 * n_stages
+            )
+            params["bound"] = bound
+        return params
+
+
+@dataclass
+class JobOutcome:
+    """One obligation's discharge record plus its provenance."""
+
+    record: DischargeRecord
+    fingerprint: str | None
+    source: str  # "cache" | "worker" | "inline" | "timeout"
+    worker: int = -1
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "oid": self.record.oid,
+            "title": self.record.title,
+            "status": self.record.status.value,
+            "method": self.record.method,
+            "detail": self.record.detail,
+            "seconds": round(self.record.seconds, 6),
+            "source": self.source,
+            "worker": self.worker,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class JobReport:
+    """Structured outcome of one orchestrated discharge run."""
+
+    machine_name: str
+    jobs: int
+    timeout: float | None
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    uncacheable: int = 0
+    worker_seconds: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def records(self) -> list[DischargeRecord]:
+        return [outcome.record for outcome in self.outcomes]
+
+    @property
+    def ok(self) -> bool:
+        return all(record.ok for record in self.records)
+
+    @property
+    def failed(self) -> list[DischargeRecord]:
+        return [r for r in self.records if r.status is Status.FAILED]
+
+    @property
+    def unknown(self) -> list[DischargeRecord]:
+        return [r for r in self.records if r.status is Status.UNKNOWN]
+
+    def counts(self) -> dict[str, int]:
+        result: dict[str, int] = {}
+        for record in self.records:
+            result[record.status.value] = result.get(record.status.value, 0) + 1
+        return result
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def utilisation(self) -> float:
+        """Busy worker-seconds over available worker-seconds."""
+        if not self.wall_seconds or not self.jobs:
+            return 0.0
+        busy = sum(self.worker_seconds.values())
+        return min(1.0, busy / (self.jobs * self.wall_seconds))
+
+    def as_discharge_report(self) -> DischargeReport:
+        """The classic sequential-report view of this run."""
+        return DischargeReport(
+            machine_name=self.machine_name, records=list(self.records)
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "machine": self.machine_name,
+            "ok": self.ok,
+            "jobs": self.jobs,
+            "timeout": self.timeout,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "counts": self.counts(),
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "uncacheable": self.uncacheable,
+                "hit_rate": round(self.hit_rate, 4),
+            },
+            "workers": {
+                "count": self.jobs,
+                "busy_seconds": {
+                    str(slot): round(seconds, 6)
+                    for slot, seconds in sorted(self.worker_seconds.items())
+                },
+                "utilisation": round(self.utilisation, 4),
+            },
+            "obligations": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def format_text(self) -> str:
+        counts = ", ".join(f"{k}: {v}" for k, v in sorted(self.counts().items()))
+        lines = [
+            f"{self.machine_name}: {len(self.outcomes)} obligations"
+            f" ({counts}) in {self.wall_seconds:.2f}s wall",
+            f"  cache: {self.cache_hits} hits / {self.cache_misses} misses"
+            f" ({self.hit_rate:.0%} hit rate,"
+            f" {self.uncacheable} uncacheable)",
+            f"  workers: {self.jobs} x"
+            f" {self.utilisation:.0%} utilised"
+            + (f", timeout {self.timeout:g}s/obligation" if self.timeout else ""),
+        ]
+        for record in self.failed:
+            lines.append(f"  FAILED  {record.oid}: {record.detail[:100]}")
+        for record in self.unknown:
+            lines.append(f"  UNKNOWN {record.oid} ({record.method})")
+        slowest = sorted(
+            (o for o in self.outcomes if o.source != "cache"),
+            key=lambda o: -o.record.seconds,
+        )[:3]
+        for outcome in slowest:
+            record = outcome.record
+            lines.append(
+                f"  slowest: {record.oid} {record.seconds:.2f}s"
+                f" ({record.method}, {outcome.source})"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class _SolverTask:
+    """One cache miss headed for a worker process."""
+
+    position: int
+    obligation: Obligation
+    fingerprint: str | None
+
+
+@dataclass
+class _Running:
+    task: _SolverTask
+    process: multiprocessing.process.BaseProcess
+    connection: multiprocessing.connection.Connection
+    started: float
+    slot: int
+
+
+def default_jobs() -> int:
+    """Worker count: the CPUs this process may actually run on."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _solver_record(
+    system: TransitionSystem, obligation: Obligation, params: EngineParams
+) -> DischargeRecord:
+    if obligation.kind is ObligationKind.INVARIANT:
+        return discharge_invariant(
+            system,
+            obligation,
+            max_k=params.max_k,
+            bmc_bound=params.bmc_bound,
+            max_conflicts=params.max_conflicts,
+        )
+    return discharge_equivalence(obligation)
+
+
+def _worker_main(
+    system: TransitionSystem,
+    obligation: Obligation,
+    params: EngineParams,
+    connection: multiprocessing.connection.Connection,
+) -> None:
+    """Child-process entry: discharge one obligation, ship the record back."""
+    try:
+        record = _solver_record(system, obligation, params)
+    except Exception as exc:  # a crashed obligation must not kill the run
+        record = DischargeRecord(
+            oid=obligation.oid,
+            title=obligation.title,
+            status=Status.UNKNOWN,
+            method="worker-error",
+            detail=repr(exc),
+        )
+    try:
+        connection.send(record)
+    finally:
+        connection.close()
+
+
+def _timeout_record(task: _SolverTask, timeout: float, elapsed: float) -> DischargeRecord:
+    return DischargeRecord(
+        oid=task.obligation.oid,
+        title=task.obligation.title,
+        status=Status.UNKNOWN,
+        method=f"timeout({timeout:g}s)",
+        detail="worker terminated at the per-obligation deadline",
+        seconds=elapsed,
+    )
+
+
+def _run_pool(
+    tasks: list[_SolverTask],
+    system: TransitionSystem,
+    params: EngineParams,
+    jobs: int,
+    timeout: float | None,
+) -> tuple[dict[int, JobOutcome], dict[int, float]]:
+    """Fan tasks out over forked workers.
+
+    Returns outcomes keyed by task position plus per-slot busy seconds.
+    """
+    ctx = multiprocessing.get_context("fork")
+    outcomes: dict[int, JobOutcome] = {}
+    pending = list(reversed(tasks))  # pop() preserves obligation order
+    in_flight: list[_Running] = []
+    busy: dict[int, float] = {}
+    free_slots = list(reversed(range(jobs)))
+
+    def finish(running: _Running, record: DischargeRecord, source: str) -> None:
+        elapsed = time.perf_counter() - running.started
+        busy[running.slot] = busy.get(running.slot, 0.0) + elapsed
+        outcomes[running.task.position] = JobOutcome(
+            record=record,
+            fingerprint=running.task.fingerprint,
+            source=source,
+            worker=running.slot,
+        )
+        running.connection.close()
+        running.process.join()
+        free_slots.append(running.slot)
+
+    while pending or in_flight:
+        while pending and free_slots:
+            task = pending.pop()
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_worker_main,
+                args=(system, task.obligation, params, child_conn),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            in_flight.append(
+                _Running(
+                    task=task,
+                    process=process,
+                    connection=parent_conn,
+                    started=time.perf_counter(),
+                    slot=free_slots.pop(),
+                )
+            )
+
+        now = time.perf_counter()
+        wait_for: float | None = None
+        if timeout is not None:
+            deadlines = [r.started + timeout for r in in_flight]
+            wait_for = max(0.0, min(deadlines) - now)
+        ready = multiprocessing.connection.wait(
+            [running.connection for running in in_flight], timeout=wait_for
+        )
+
+        still_running: list[_Running] = []
+        for running in in_flight:
+            if running.connection in ready:
+                try:
+                    record = running.connection.recv()
+                    source = "worker"
+                except (EOFError, OSError):
+                    record = DischargeRecord(
+                        oid=running.task.obligation.oid,
+                        title=running.task.obligation.title,
+                        status=Status.UNKNOWN,
+                        method="worker-died",
+                        detail="worker exited without a verdict",
+                        seconds=time.perf_counter() - running.started,
+                    )
+                    source = "inline"
+                finish(running, record, source)
+            elif (
+                timeout is not None
+                and time.perf_counter() - running.started >= timeout
+            ):
+                running.process.terminate()
+                running.process.join(1.0)
+                if running.process.is_alive():  # pragma: no cover - stuck kill
+                    running.process.kill()
+                finish(
+                    running,
+                    _timeout_record(
+                        running.task, timeout, time.perf_counter() - running.started
+                    ),
+                    "timeout",
+                )
+            else:
+                still_running.append(running)
+        in_flight = still_running
+
+    return outcomes, busy
+
+
+def discharge_jobs(
+    pipelined: PipelinedMachine,
+    obligations: ObligationSet,
+    params: EngineParams | None = None,
+    jobs: int | None = None,
+    timeout: float | None = None,
+    cache: ResultCache | None = None,
+    inputs: InputProvider | None = None,
+    seq_inputs: InputProvider | None = None,
+) -> JobReport:
+    """Discharge an obligation set with caching and a worker pool.
+
+    ``jobs=None`` uses every available CPU; ``timeout`` is the wall-clock
+    budget of a single obligation (``None`` = unbounded); ``cache=None``
+    disables the on-disk cache.  Custom stimulus providers make the trace
+    obligations uncacheable (their verdict depends on the callables), but
+    never affect the solver-side obligations.
+    """
+    params = params or EngineParams()
+    jobs = max(1, jobs if jobs is not None else default_jobs())
+    started = time.perf_counter()
+
+    resolve_properties(pipelined, obligations)
+    system = TransitionSystem.from_module(pipelined.module)
+    custom_stimulus = inputs is not None or seq_inputs is not None
+    n = pipelined.n_stages
+
+    report = JobReport(
+        machine_name=obligations.machine_name, jobs=jobs, timeout=timeout
+    )
+    ordered: list[Obligation] = list(obligations)
+    outcome_by_position: dict[int, JobOutcome] = {}
+    solver_tasks: list[_SolverTask] = []
+    inline_trace: list[tuple[int, Obligation, str | None]] = []
+
+    for position, obligation in enumerate(ordered):
+        if obligation.kind is ObligationKind.TRACE:
+            fingerprint = None
+            if cache is not None and not custom_stimulus:
+                fingerprint = obligation.fingerprint(
+                    module=pipelined.module,
+                    params=params.trace_params(obligation.checker or "", n),
+                )
+            else:
+                report.uncacheable += 1
+        else:
+            fingerprint = obligation.fingerprint(
+                system=system,
+                params=params.invariant_params()
+                if obligation.kind is ObligationKind.INVARIANT
+                else None,
+            )
+
+        cached = cache.get(fingerprint) if cache and fingerprint else None
+        if cached is not None:
+            report.cache_hits += 1
+            outcome_by_position[position] = JobOutcome(
+                # content-identical obligations share a fingerprint; the
+                # verdict transfers but the identity must be this one's
+                record=replace(
+                    cached, oid=obligation.oid, title=obligation.title
+                ),
+                fingerprint=fingerprint,
+                source="cache",
+            )
+            continue
+        if cache is not None and fingerprint is not None:
+            report.cache_misses += 1
+
+        if obligation.kind is ObligationKind.TRACE:
+            inline_trace.append((position, obligation, fingerprint))
+        else:
+            solver_tasks.append(_SolverTask(position, obligation, fingerprint))
+
+    # -- solver obligations: worker pool (or inline fallback) ------------------
+    use_pool = (
+        solver_tasks
+        and "fork" in multiprocessing.get_all_start_methods()
+        and (jobs > 1 or timeout is not None)
+    )
+    if use_pool:
+        pooled, busy = _run_pool(solver_tasks, system, params, jobs, timeout)
+        outcome_by_position.update(pooled)
+        report.worker_seconds = busy
+    else:
+        for task in solver_tasks:
+            start = time.perf_counter()
+            record = _solver_record(system, task.obligation, params)
+            report.worker_seconds[0] = report.worker_seconds.get(0, 0.0) + (
+                time.perf_counter() - start
+            )
+            outcome_by_position[task.position] = JobOutcome(
+                record=record, fingerprint=task.fingerprint, source="inline"
+            )
+
+    # -- trace obligations: inline, sharing one stimulus run -------------------
+    shared_trace = None
+    if any(
+        obligation.checker in ("lemma1", "liveness")
+        for _, obligation, _ in inline_trace
+    ):
+        shared_trace = build_trace(pipelined, params.trace_cycles, inputs)
+    for position, obligation, fingerprint in inline_trace:
+        record = discharge_trace(
+            pipelined,
+            obligation,
+            trace=shared_trace,
+            trace_cycles=params.trace_cycles,
+            liveness_bound=params.liveness_bound,
+            inputs=inputs,
+            seq_inputs=seq_inputs,
+        )
+        outcome_by_position[position] = JobOutcome(
+            record=record, fingerprint=fingerprint, source="inline"
+        )
+
+    # -- persist fresh verdicts -------------------------------------------------
+    if cache is not None:
+        for outcome in outcome_by_position.values():
+            if outcome.source in ("worker", "inline") and outcome.fingerprint:
+                cache.put(
+                    outcome.fingerprint, outcome.record, params=asdict(params)
+                )
+
+    report.outcomes = [outcome_by_position[i] for i in range(len(ordered))]
+    report.wall_seconds = time.perf_counter() - started
+    return report

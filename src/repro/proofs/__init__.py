@@ -1,6 +1,23 @@
 """Generated proof obligations and their mechanical discharge."""
 
-from .discharge import DischargeRecord, DischargeReport, Status, discharge
+from .discharge import (
+    DischargeRecord,
+    DischargeReport,
+    Status,
+    build_trace,
+    discharge,
+    discharge_equivalence,
+    discharge_invariant,
+    discharge_trace,
+    resolve_properties,
+)
+from .fingerprint import (
+    fingerprint_equivalence,
+    fingerprint_exprs,
+    fingerprint_invariant,
+    fingerprint_module,
+    fingerprint_trace,
+)
 from .instrument import counter_name, instrument_scheduling
 from .obligations import (
     Obligation,
@@ -16,8 +33,18 @@ __all__ = [
     "ObligationKind",
     "ObligationSet",
     "Status",
+    "build_trace",
     "counter_name",
     "discharge",
+    "discharge_equivalence",
+    "discharge_invariant",
+    "discharge_trace",
+    "fingerprint_equivalence",
+    "fingerprint_exprs",
+    "fingerprint_invariant",
+    "fingerprint_module",
+    "fingerprint_trace",
     "generate_obligations",
     "instrument_scheduling",
+    "resolve_properties",
 ]

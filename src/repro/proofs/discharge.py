@@ -7,6 +7,13 @@ recorded with the method that produced it, so a report distinguishes
 *proved* (inductive) from *bounded* (no violation within k steps) from
 *tested* (holds on the exercised runs) — the same epistemic levels the
 paper's PVS proofs vs. simulations occupy.
+
+The per-obligation work is exposed as pure functions
+(:func:`discharge_invariant`, :func:`discharge_equivalence`,
+:func:`discharge_trace`): they depend only on their arguments, so the
+parallel orchestrator in :mod:`repro.jobs` can run them in worker
+processes.  :func:`discharge` is the sequential in-process driver built on
+the same functions.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from ..core.scheduling import check_lemma1
 from ..formal.equiv import check_equivalence
 from ..core.transform import PipelinedMachine
 from ..formal.bmc import TransitionSystem, bmc, k_induction
-from ..hdl.sim import Simulator
+from ..hdl.sim import Simulator, Trace
 from .instrument import instrument_scheduling
 from .obligations import Obligation, ObligationKind, ObligationSet
 
@@ -83,6 +90,32 @@ class DischargeReport:
         )
 
 
+def resolve_properties(
+    pipelined: PipelinedMachine, obligations: ObligationSet
+) -> None:
+    """Materialise obligations whose property needs the machine at hand.
+
+    The instrumented Lemma 1 property must exist before the transition
+    system is extracted, so the scheduling counters are part of it.
+    """
+    for obligation in obligations.invariants():
+        if obligation.oid == "lemma1.full_iff_diff" and obligation.prop is None:
+            obligation.prop = instrument_scheduling(pipelined)
+
+
+def build_trace(
+    pipelined: PipelinedMachine,
+    trace_cycles: int,
+    inputs: InputProvider | None = None,
+) -> Trace:
+    """The shared stimulus run all trace obligations of a machine check."""
+    sim = Simulator(pipelined.module)
+    for _ in range(trace_cycles):
+        stimulus = inputs(sim.cycle) if inputs is not None else {}
+        sim.step(stimulus)
+    return sim.trace
+
+
 def discharge(
     pipelined: PipelinedMachine,
     obligations: ObligationSet,
@@ -93,6 +126,7 @@ def discharge(
     inputs: InputProvider | None = None,
     seq_inputs: InputProvider | None = None,
     conjoin: bool = True,
+    max_conflicts: int | None = None,
 ) -> DischargeReport:
     """Discharge every obligation; see module docstring for the strategy.
 
@@ -104,14 +138,12 @@ def discharge(
     and a conjunction is at least as inductive as its parts (stronger
     induction hypothesis).  Individual discharge is the fallback, so a
     failing obligation is still pinpointed.
+
+    ``max_conflicts`` bounds every SAT call (see :mod:`repro.formal.sat`);
+    an exhausted budget degrades the obligation to ``Status.UNKNOWN``.
     """
     report = DischargeReport(machine_name=obligations.machine_name)
-
-    # Resolve the instrumented Lemma 1 property before extracting the
-    # transition system, so the counters are part of it.
-    for obligation in obligations.invariants():
-        if obligation.oid == "lemma1.full_iff_diff" and obligation.prop is None:
-            obligation.prop = instrument_scheduling(pipelined)
+    resolve_properties(pipelined, obligations)
 
     system = TransitionSystem.from_module(pipelined.module)
     invariants = obligations.invariants()
@@ -121,7 +153,7 @@ def discharge(
 
         start = time.perf_counter()
         combined = E.all_of(o.prop for o in invariants)
-        result = k_induction(system, combined, k=1)
+        result = k_induction(system, combined, k=1, max_conflicts=max_conflicts)
         if result.holds is True:
             elapsed = (time.perf_counter() - start) / len(invariants)
             for obligation in invariants:
@@ -138,93 +170,54 @@ def discharge(
     if not conjoined_done:
         for obligation in invariants:
             report.records.append(
-                _discharge_invariant(
-                    system, obligation, max_k=max_k, bmc_bound=bmc_bound
+                discharge_invariant(
+                    system,
+                    obligation,
+                    max_k=max_k,
+                    bmc_bound=bmc_bound,
+                    max_conflicts=max_conflicts,
                 )
             )
 
     for obligation in obligations.equivalences():
-        start = time.perf_counter()
-        assert obligation.equiv is not None
-        result = check_equivalence(*obligation.equiv)
-        report.records.append(
-            DischargeRecord(
-                oid=obligation.oid,
-                title=obligation.title,
-                status=Status.PROVED if result.equivalent else Status.FAILED,
-                method="sat-equivalence",
-                detail=""
-                if result.equivalent
-                else f"witness: regs={result.witness_regs}",
-                seconds=time.perf_counter() - start,
-            )
-        )
+        report.records.append(discharge_equivalence(obligation))
 
     trace = None
     if obligations.trace_checks():
-        sim = Simulator(pipelined.module)
-        for _ in range(trace_cycles):
-            stimulus = inputs(sim.cycle) if inputs is not None else {}
-            sim.step(stimulus)
-        trace = sim.trace
-
-    n = pipelined.n_stages
-    bound = liveness_bound if liveness_bound is not None else 8 * n
+        trace = build_trace(pipelined, trace_cycles, inputs)
     for obligation in obligations.trace_checks():
-        start = time.perf_counter()
-        if obligation.checker == "lemma1":
-            result = check_lemma1(trace, n)
-            ok, detail = result.ok, "; ".join(result.violations[:3])
-        elif obligation.checker == "consistency":
-            consistency = check_data_consistency(
-                pipelined.machine,
-                pipelined.module,
-                cycles=trace_cycles,
-                inputs=inputs,
-                seq_inputs=seq_inputs,
-            )
-            ok, detail = consistency.ok, "; ".join(consistency.violations[:3])
-        elif obligation.checker == "commit_streams":
-            streams = compare_commit_streams(
-                pipelined.machine,
-                pipelined.module,
-                cycles=trace_cycles,
-                inputs=inputs,
-                seq_inputs=seq_inputs,
-            )
-            ok, detail = streams.ok, "; ".join(streams.violations[:3])
-        elif obligation.checker == "liveness":
-            liveness = check_liveness(trace, n, bound=bound)
-            ok = liveness.ok
-            detail = (
-                f"worst latency {liveness.worst_latency} of bound {bound}"
-                f" over {liveness.instructions_checked} instructions"
-            )
-        else:
-            raise ValueError(f"unknown trace checker {obligation.checker!r}")
         report.records.append(
-            DischargeRecord(
-                oid=obligation.oid,
-                title=obligation.title,
-                status=Status.TRACE_OK if ok else Status.FAILED,
-                method=f"trace({trace_cycles} cycles)",
-                detail=detail,
-                seconds=time.perf_counter() - start,
+            discharge_trace(
+                pipelined,
+                obligation,
+                trace=trace,
+                trace_cycles=trace_cycles,
+                liveness_bound=liveness_bound,
+                inputs=inputs,
+                seq_inputs=seq_inputs,
             )
         )
     return report
 
 
-def _discharge_invariant(
+def discharge_invariant(
     system: TransitionSystem,
     obligation: Obligation,
-    max_k: int,
-    bmc_bound: int,
+    max_k: int = 2,
+    bmc_bound: int = 8,
+    max_conflicts: int | None = None,
 ) -> DischargeRecord:
+    """Discharge one invariant obligation by k-induction, then BMC."""
     assert obligation.kind is ObligationKind.INVARIANT and obligation.prop is not None
     start = time.perf_counter()
     for k in range(1, max_k + 1):
-        result = k_induction(system, obligation.prop, k=k, assume=list(obligation.assume))
+        result = k_induction(
+            system,
+            obligation.prop,
+            k=k,
+            assume=list(obligation.assume),
+            max_conflicts=max_conflicts,
+        )
         if result.holds is True:
             return DischargeRecord(
                 oid=obligation.oid,
@@ -242,7 +235,13 @@ def _discharge_invariant(
                 detail=str(result.counterexample),
                 seconds=time.perf_counter() - start,
             )
-    result = bmc(system, obligation.prop, bound=bmc_bound, assume=list(obligation.assume))
+    result = bmc(
+        system,
+        obligation.prop,
+        bound=bmc_bound,
+        assume=list(obligation.assume),
+        max_conflicts=max_conflicts,
+    )
     if result.holds is True:
         return DischargeRecord(
             oid=obligation.oid,
@@ -265,5 +264,83 @@ def _discharge_invariant(
         title=obligation.title,
         status=Status.UNKNOWN,
         method="exhausted",
+        seconds=time.perf_counter() - start,
+    )
+
+
+def discharge_equivalence(obligation: Obligation) -> DischargeRecord:
+    """Discharge one combinational-equivalence obligation with the SAT miter."""
+    assert obligation.kind is ObligationKind.EQUIVALENCE
+    assert obligation.equiv is not None
+    start = time.perf_counter()
+    result = check_equivalence(*obligation.equiv)
+    return DischargeRecord(
+        oid=obligation.oid,
+        title=obligation.title,
+        status=Status.PROVED if result.equivalent else Status.FAILED,
+        method="sat-equivalence",
+        detail=""
+        if result.equivalent
+        else f"witness: regs={result.witness_regs}",
+        seconds=time.perf_counter() - start,
+    )
+
+
+def discharge_trace(
+    pipelined: PipelinedMachine,
+    obligation: Obligation,
+    trace: Trace | None = None,
+    trace_cycles: int = 200,
+    liveness_bound: int | None = None,
+    inputs: InputProvider | None = None,
+    seq_inputs: InputProvider | None = None,
+) -> DischargeRecord:
+    """Discharge one trace obligation by running its dynamic checker.
+
+    ``trace`` lets callers share one stimulus run across the trace
+    obligations of a machine; it is rebuilt on demand when omitted.
+    """
+    assert obligation.kind is ObligationKind.TRACE
+    start = time.perf_counter()
+    n = pipelined.n_stages
+    bound = liveness_bound if liveness_bound is not None else 8 * n
+    if trace is None and obligation.checker in ("lemma1", "liveness"):
+        trace = build_trace(pipelined, trace_cycles, inputs)
+    if obligation.checker == "lemma1":
+        result = check_lemma1(trace, n)
+        ok, detail = result.ok, "; ".join(result.violations[:3])
+    elif obligation.checker == "consistency":
+        consistency = check_data_consistency(
+            pipelined.machine,
+            pipelined.module,
+            cycles=trace_cycles,
+            inputs=inputs,
+            seq_inputs=seq_inputs,
+        )
+        ok, detail = consistency.ok, "; ".join(consistency.violations[:3])
+    elif obligation.checker == "commit_streams":
+        streams = compare_commit_streams(
+            pipelined.machine,
+            pipelined.module,
+            cycles=trace_cycles,
+            inputs=inputs,
+            seq_inputs=seq_inputs,
+        )
+        ok, detail = streams.ok, "; ".join(streams.violations[:3])
+    elif obligation.checker == "liveness":
+        liveness = check_liveness(trace, n, bound=bound)
+        ok = liveness.ok
+        detail = (
+            f"worst latency {liveness.worst_latency} of bound {bound}"
+            f" over {liveness.instructions_checked} instructions"
+        )
+    else:
+        raise ValueError(f"unknown trace checker {obligation.checker!r}")
+    return DischargeRecord(
+        oid=obligation.oid,
+        title=obligation.title,
+        status=Status.TRACE_OK if ok else Status.FAILED,
+        method=f"trace({trace_cycles} cycles)",
+        detail=detail,
         seconds=time.perf_counter() - start,
     )

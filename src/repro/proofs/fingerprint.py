@@ -1,0 +1,169 @@
+"""Stable content fingerprints for proof obligations.
+
+The discharge cache (:mod:`repro.jobs`) must recognise an obligation it has
+already proved — across process boundaries and across runs — without trusting
+the obligation *id* (ids are stable names, but the hardware behind them
+changes whenever the machine or the transformation does).  A fingerprint is a
+SHA-256 over a canonical serialization of everything the verdict depends on:
+
+* the expression DAG(s) of the obligation (property + assumptions, or the
+  two sides of an equivalence),
+* the slice of the transition system in the property's cone of influence
+  (state element names, widths, reset values and next-state functions),
+* the engine parameters (induction depth, BMC bound, conflict budget, ...).
+
+Two obligations with equal fingerprints are guaranteed to produce the same
+verdict, so a cached result may be reused; anything outside the cone —
+renamed probes, unrelated datapath edits — leaves the fingerprint unchanged,
+which is what makes warm-cache runs useful during development.
+
+Expressions are hash-consed (identity-shared DAGs), so serialization assigns
+each distinct node an index in one post-order walk and references children by
+index; the encoding is linear in DAG size and independent of Python hash
+randomisation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from ..hdl import expr as E
+from ..hdl.netlist import Module
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (bmc imports hdl)
+    from ..formal.bmc import TransitionSystem
+
+
+def _serialize_nodes(roots: Iterable[E.Expr]) -> tuple[list[str], dict[int, int]]:
+    """Canonical lines for every node under ``roots`` plus the id->index map."""
+    order = E.walk(roots)
+    index = {id(node): i for i, node in enumerate(order)}
+    lines: list[str] = []
+    for node in order:
+        if isinstance(node, E.Const):
+            lines.append(f"C{node.width}:{node.value}")
+        elif isinstance(node, E.Input):
+            lines.append(f"I{node.width}:{node.name}")
+        elif isinstance(node, E.RegRead):
+            lines.append(f"R{node.width}:{node.name}")
+        elif isinstance(node, E.MemRead):
+            lines.append(f"M{node.width}:{node.mem}@{index[id(node.addr)]}")
+        elif isinstance(node, E.Unary):
+            lines.append(f"U:{node.op}({index[id(node.a)]})")
+        elif isinstance(node, E.Binary):
+            lines.append(f"B:{node.op}({index[id(node.a)]},{index[id(node.b)]})")
+        elif isinstance(node, E.Mux):
+            lines.append(
+                f"X({index[id(node.sel)]},{index[id(node.then)]},{index[id(node.els)]})"
+            )
+        elif isinstance(node, E.Concat):
+            parts = ",".join(str(index[id(p)]) for p in node.parts)
+            lines.append(f"K({parts})")
+        elif isinstance(node, E.Slice):
+            lines.append(f"S({index[id(node.a)]},{node.low},{node.high})")
+        else:  # pragma: no cover - exhaustive over the IR
+            raise AssertionError(type(node).__name__)
+    return lines, index
+
+
+def _digest(parts: Iterable[str]) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def _params_lines(params: Mapping[str, object] | None) -> list[str]:
+    if not params:
+        return []
+    return [f"param:{key}={params[key]!r}" for key in sorted(params)]
+
+
+def fingerprint_exprs(
+    roots: Iterable[E.Expr], params: Mapping[str, object] | None = None
+) -> str:
+    """Fingerprint a set of expressions (plus optional engine parameters)."""
+    roots = list(roots)
+    lines, index = _serialize_nodes(roots)
+    lines.append("roots:" + ",".join(str(index[id(r)]) for r in roots))
+    lines.extend(_params_lines(params))
+    return _digest(lines)
+
+
+def fingerprint_invariant(
+    system: "TransitionSystem",
+    prop: E.Expr,
+    assume: Iterable[E.Expr] = (),
+    params: Mapping[str, object] | None = None,
+) -> str:
+    """Fingerprint an invariant obligation: property + assumptions + the
+    cone-of-influence slice of the transition system + engine parameters."""
+    assume = list(assume)
+    support = sorted(system.cone_of_influence([prop, *assume]))
+    roots: list[E.Expr] = [prop, *assume]
+    var_nexts = [system.var(name).next for name in support]
+    lines, index = _serialize_nodes(roots + var_nexts)
+    lines.append("prop:" + str(index[id(prop)]))
+    lines.append("assume:" + ",".join(str(index[id(a)]) for a in assume))
+    for name in support:
+        var = system.var(name)
+        lines.append(
+            f"state:{name}:{var.width}:{var.init}:{index[id(var.next)]}"
+        )
+    # constant (ROM) memories are treated specially by the induction engine
+    mems_in_cone = {name.split("[")[0] for name in support if "[" in name}
+    for mem in sorted(mems_in_cone & system.constant_mems):
+        lines.append(f"rom:{mem}")
+    lines.extend(_params_lines(params))
+    return _digest(lines)
+
+
+def fingerprint_equivalence(
+    a: E.Expr, b: E.Expr, params: Mapping[str, object] | None = None
+) -> str:
+    """Fingerprint an equivalence obligation over two combinational DAGs."""
+    lines, index = _serialize_nodes([a, b])
+    lines.append(f"equiv:{index[id(a)]},{index[id(b)]}")
+    lines.extend(_params_lines(params))
+    return _digest(lines)
+
+
+def fingerprint_trace(
+    module: Module, checker: str, params: Mapping[str, object] | None = None
+) -> str:
+    """Fingerprint a trace obligation: the whole simulated module plus the
+    checker name and run parameters.  Only valid for the default stimulus —
+    callers supplying custom input providers must not cache."""
+    lines = [f"trace:{checker}", f"module:{fingerprint_module(module)}"]
+    lines.extend(_params_lines(params))
+    return _digest(lines)
+
+
+def fingerprint_module(module: Module) -> str:
+    """Fingerprint a whole module (used for trace obligations, whose verdict
+    depends on the entire simulated netlist, not a property cone)."""
+    roots = module.roots()
+    lines, index = _serialize_nodes(roots)
+    lines.append(f"module:{module.name}")
+    for name in sorted(module.inputs):
+        lines.append(f"input:{name}:{module.inputs[name]}")
+    for name in sorted(module.registers):
+        reg = module.registers[name]
+        lines.append(
+            f"reg:{name}:{reg.width}:{reg.init}"
+            f":{index[id(reg.next)]}:{index[id(reg.enable)]}"
+        )
+    for name in sorted(module.memories):
+        memory = module.memories[name]
+        init = ",".join(f"{a}={v}" for a, v in sorted(memory.init.items()))
+        lines.append(f"mem:{name}:{memory.addr_width}:{memory.data_width}:{init}")
+        for port in memory.write_ports:
+            lines.append(
+                f"port:{name}:{index[id(port.enable)]}"
+                f":{index[id(port.addr)]}:{index[id(port.data)]}"
+            )
+    for name in sorted(module.probes):
+        lines.append(f"probe:{name}:{index[id(module.probes[name])]}")
+    return _digest(lines)

@@ -21,9 +21,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import TYPE_CHECKING, Mapping
 
 from ..hdl import expr as E
 from ..core.transform import PipelinedMachine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..formal.bmc import TransitionSystem
+    from ..hdl.netlist import Module
 
 
 class ObligationKind(Enum):
@@ -51,6 +56,38 @@ class Obligation:
     equiv: tuple[E.Expr, E.Expr] | None = None
     notes: str = ""
 
+    def fingerprint(
+        self,
+        system: "TransitionSystem | None" = None,
+        module: "Module | None" = None,
+        params: Mapping[str, object] | None = None,
+    ) -> str:
+        """Stable content hash of everything this obligation's verdict
+        depends on (see :mod:`repro.proofs.fingerprint`).
+
+        Invariants need the transition system (cone-of-influence slice),
+        trace checks need the simulated module; equivalences are
+        self-contained.  The id is deliberately *not* part of the hash —
+        renaming an obligation must not invalidate its cached verdict.
+        """
+        from . import fingerprint as fp
+
+        if self.kind is ObligationKind.INVARIANT:
+            if system is None:
+                raise ValueError("invariant fingerprints need the transition system")
+            if self.prop is None:
+                raise ValueError(f"obligation {self.oid!r} has no property yet")
+            return fp.fingerprint_invariant(
+                system, self.prop, self.assume, params=params
+            )
+        if self.kind is ObligationKind.EQUIVALENCE:
+            assert self.equiv is not None
+            return fp.fingerprint_equivalence(*self.equiv, params=params)
+        if module is None:
+            raise ValueError("trace fingerprints need the simulated module")
+        assert self.checker is not None
+        return fp.fingerprint_trace(module, self.checker, params=params)
+
 
 @dataclass
 class ObligationSet:
@@ -58,6 +95,17 @@ class ObligationSet:
 
     machine_name: str
     obligations: list[Obligation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.validate_ids()
+
+    def validate_ids(self) -> None:
+        """Obligation ids must be unique — they key reports and caches."""
+        seen: set[str] = set()
+        for obligation in self.obligations:
+            if obligation.oid in seen:
+                raise ValueError(f"duplicate obligation id {obligation.oid!r}")
+            seen.add(obligation.oid)
 
     def __iter__(self):
         return iter(self.obligations)

@@ -138,6 +138,81 @@ halt:   j halt
         lockstep(transform(machine).module, 80)
 
 
+class TestErrorParity:
+    """The compiled simulator must reject bad stimulus exactly like the
+    interpreter — same exception, same message, no partial state update."""
+
+    @staticmethod
+    def _module():
+        module = Module("err")
+        x = module.add_input("x", 4)
+        acc = module.add_register("acc", 8, init=0)
+        module.drive_register("acc", E.add(acc, E.zext(x, 8)))
+        module.add_probe("acc", acc)
+        return module
+
+    def test_overwide_input_rejected_identically(self):
+        from repro.hdl.sim import SimulationError
+
+        module = self._module()
+        interpreted, compiled = Simulator(module), CompiledSimulator(module)
+        with pytest.raises(SimulationError) as interp_err:
+            interpreted.step({"x": 16})
+        with pytest.raises(SimulationError) as comp_err:
+            compiled.step({"x": 16})
+        assert str(comp_err.value) == str(interp_err.value)
+        assert "does not fit in 4 bits" in str(comp_err.value)
+
+    def test_negative_input_rejected_identically(self):
+        from repro.hdl.sim import SimulationError
+
+        module = self._module()
+        interpreted, compiled = Simulator(module), CompiledSimulator(module)
+        with pytest.raises(SimulationError) as interp_err:
+            interpreted.step({"x": -1})
+        with pytest.raises(SimulationError) as comp_err:
+            compiled.step({"x": -1})
+        assert str(comp_err.value) == str(interp_err.value)
+
+    def test_rejected_step_leaves_state_untouched(self):
+        module = self._module()
+        compiled = CompiledSimulator(module)
+        compiled.step({"x": 5})
+        from repro.hdl.sim import SimulationError
+
+        with pytest.raises(SimulationError):
+            compiled.step({"x": 99})
+        assert compiled.reg("acc") == 5
+        assert len(compiled.trace) == 1  # the bad cycle was never recorded
+
+    def test_missing_input_defaults_to_zero_like_interpreter(self):
+        module = self._module()
+        interpreted, compiled = Simulator(module), CompiledSimulator(module)
+        assert interpreted.step({}) == compiled.step({})
+        assert interpreted.step() == compiled.step()
+        assert compiled.trace.inputs["x"] == [0, 0]
+
+    def test_peek_parity(self, toy_pipelined):
+        from repro.hdl.sim import SimulationError
+
+        module = toy_pipelined.module
+        interpreted, compiled = Simulator(module), CompiledSimulator(module)
+        probe = next(iter(module.probes))
+        assert interpreted.peek(probe) == compiled.peek(probe)
+        # peek, unlike step, does NOT default missing inputs -- on both
+        module = Module("peek")
+        x = module.add_input("x", 4)
+        module.add_probe("x_now", x)
+        interpreted, compiled = Simulator(module), CompiledSimulator(module)
+        assert interpreted.peek("x_now", {"x": 7}) == compiled.peek(
+            "x_now", {"x": 7}
+        )
+        with pytest.raises(SimulationError, match="no value supplied"):
+            interpreted.peek("x_now")
+        with pytest.raises(SimulationError, match="no value supplied"):
+            compiled.peek("x_now")
+
+
 class TestCompiledApi:
     def test_initial_state_respected(self, toy_machine):
         module = build_sequential(toy_machine)

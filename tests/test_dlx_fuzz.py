@@ -4,6 +4,7 @@ identical architectural state."""
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -40,6 +41,7 @@ def random_straightline(rng: random.Random, length: int) -> list[int]:
     return words
 
 
+@pytest.mark.slow
 @settings(max_examples=10, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=100_000))
 def test_random_straightline_programs(seed):
@@ -72,6 +74,7 @@ def test_random_straightline_programs(seed):
         )
 
 
+@pytest.mark.slow
 @settings(max_examples=6, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=100_000))
 def test_random_programs_with_multicycle_multiplier(seed):
