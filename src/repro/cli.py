@@ -171,6 +171,7 @@ def cmd_discharge(args: argparse.Namespace) -> int:
             max_k=args.max_k,
             bmc_bound=args.bmc_bound,
             trace_cycles=args.cycles,
+            incremental=not args.scratch,
         ),
         jobs=args.jobs,
         timeout=args.timeout,
@@ -181,6 +182,8 @@ def cmd_discharge(args: argparse.Namespace) -> int:
             handle.write(report.to_json())
             handle.write("\n")
     print(report.format_text())
+    if args.profile:
+        print(report.format_profile())
     # unknowns (timeouts, budget exhaustion) are inconclusive, not failures
     return 1 if report.failed else 0
 
@@ -260,6 +263,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     discharge_parser.add_argument(
         "--json", metavar="FILE", help="also write the structured report here"
+    )
+    discharge_parser.add_argument(
+        "--profile", action="store_true",
+        help="print a per-obligation table of wall-clock, solver conflicts"
+        " and peak unrolled frames (hottest first)",
+    )
+    discharge_parser.add_argument(
+        "--scratch", action="store_true",
+        help="use the from-scratch (non-incremental) formal engines",
     )
     discharge_parser.add_argument("--max-k", type=int, default=2)
     discharge_parser.add_argument("--bmc-bound", type=int, default=8)

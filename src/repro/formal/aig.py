@@ -6,15 +6,30 @@ AND nodes are structurally hashed and constant-folded at construction.
 
 :class:`BitBlaster` lowers :mod:`repro.hdl.expr` DAGs to vectors of AIG
 literals (LSB first): ripple-carry adders, borrow-chain comparators, barrel
-shifters and mux trees for memory reads.  :func:`to_cnf` then produces a
-Tseitin encoding for the CDCL solver.
+shifters and mux trees for memory reads.  :func:`to_cnf` produces a one-shot
+Tseitin encoding for the CDCL solver; :class:`CnfEmitter` is its incremental
+counterpart, feeding new nodes of a growing AIG into one persistent solver
+so unrollings can extend a query instead of restarting it.
+
+:func:`sweep` is a fraiging-style rewrite pass: deterministic random
+simulation buckets nodes by their signature, candidate equivalences
+(including constants) are confirmed with bounded SAT checks, and confirmed
+nodes are mapped onto their oldest representative.  Structural hashing
+already merges *structurally* identical nodes; the sweep additionally
+collapses nodes that are semantically equal but built differently — the
+case that arises when successive unrolled frames recompute the same
+function along different paths.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from ..hdl import expr as E
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .sat import SatResult, Solver
 
 FALSE = 0
 TRUE = 1
@@ -164,6 +179,272 @@ def to_cnf(aig: Aig, roots: Sequence[int]) -> tuple[list[list[int]], list[int]]:
     return clauses, [dimacs(lit) for lit in roots]
 
 
+class CnfEmitter:
+    """Incremental Tseitin encoding of a growing :class:`Aig` into one solver.
+
+    DIMACS variable ``v+1`` stands for AIG variable ``v``; DIMACS variable 1
+    is the constant (constrained true once at construction).  :meth:`encode`
+    walks the cone of a literal and emits clauses only for AND nodes not yet
+    encoded, so extending an unrolling by a frame costs exactly that frame's
+    new logic.  The emitter assumes exclusive ownership of the solver's
+    variable space.
+    """
+
+    def __init__(self, aig: Aig, solver: "Solver") -> None:
+        self.aig = aig
+        self.solver = solver
+        self._and_of: dict[int, tuple[int, int]] = {}
+        self._scanned = 0
+        self._encoded: set[int] = set()
+        solver.add_clause([1])  # DIMACS var 1 == AIG constant TRUE
+
+    @staticmethod
+    def to_dimacs(lit: int) -> int:
+        """The solver literal for an AIG literal."""
+        var = lit >> 1
+        if var == 0:
+            return 1 if lit & 1 else -1
+        return -(var + 1) if lit & 1 else var + 1
+
+    def encode(self, lit: int) -> int:
+        """Ensure the cone of ``lit`` is in the solver; return its literal."""
+        ands = self.aig.ands
+        and_of = self._and_of
+        while self._scanned < len(ands):
+            var, a, b = ands[self._scanned]
+            and_of[var] = (a, b)
+            self._scanned += 1
+        add = self.solver.add_clause
+        encoded = self._encoded
+        stack = [lit >> 1]
+        while stack:
+            var = stack.pop()
+            if var == 0 or var in encoded:
+                continue
+            encoded.add(var)
+            node = and_of.get(var)
+            if node is None:
+                continue  # a free input: no defining clauses
+            a, b = node
+            v = var + 1
+            da = self.to_dimacs(a)
+            db = self.to_dimacs(b)
+            add([-v, da])
+            add([-v, db])
+            add([v, -da, -db])
+            stack.append(a >> 1)
+            stack.append(b >> 1)
+        return self.to_dimacs(lit)
+
+    def model_to_aig(self, model: Mapping[int, bool]) -> dict[int, bool]:
+        """Translate a solver model back to AIG variable space."""
+        return {var - 1: value for var, value in model.items() if var >= 2}
+
+
+# ---------------------------------------------------------------------------
+# Simulation-hash sweeping (fraig-style rewrite)
+# ---------------------------------------------------------------------------
+
+_SIM_WORDS = 4  # 4 x 64 deterministic input patterns per signature
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def simulation_signatures(aig: Aig, words: int = _SIM_WORDS) -> dict[int, int]:
+    """Per-variable simulation signatures under deterministic random input.
+
+    Each input variable is driven with ``words`` x 64 pseudo-random
+    (splitmix64-derived, platform-independent) patterns; AND nodes combine
+    their children bitwise.  Two variables with different signatures are
+    definitely inequivalent; equal signatures make an equivalence
+    *candidate* for :func:`sweep` to confirm.
+    """
+    nbits = 64 * words
+    mask = (1 << nbits) - 1
+    sigs: dict[int, int] = {0: 0}
+    for lit in aig._inputs:
+        var = lit >> 1
+        sig = 0
+        for w in range(words):
+            sig = (sig << 64) | _splitmix64(var * words + w)
+        sigs[var] = sig
+    for var, a, b in aig.ands:
+        sa = sigs[a >> 1] ^ (mask if a & 1 else 0)
+        sb = sigs[b >> 1] ^ (mask if b & 1 else 0)
+        sigs[var] = sa & sb
+    return sigs
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a :func:`sweep` pass."""
+
+    subst: dict[int, int] = field(default_factory=dict)  # literal -> literal
+    merged: int = 0  # nodes redirected to an equivalent representative
+    constants: int = 0  # of which: proved constant TRUE/FALSE
+    sat_checks: int = 0  # bounded SAT confirmations attempted
+
+    def apply(self, lit: int) -> int:
+        """The representative literal for ``lit`` (identity when unmerged)."""
+        return self.subst.get(lit, lit)
+
+    def apply_vec(self, vec: Vec) -> Vec:
+        subst = self.subst
+        return [subst.get(lit, lit) for lit in vec]
+
+
+def sweep(
+    aig: Aig,
+    roots: Sequence[int],
+    max_conflicts: int = 64,
+    max_checks: int = 128,
+) -> SweepResult:
+    """Find nodes in the cones of ``roots`` equal to an older node/constant.
+
+    Candidates are bucketed by simulation signature (polarity-canonical, so
+    a node equal to the *negation* of an older one is found too), then each
+    candidate pair is confirmed by a bounded SAT miter — only proven merges
+    enter the substitution, so applying it is always sound.  A SAT refutation
+    refines the bucket with the discovered counterexample pattern before the
+    pass continues; an exhausted budget simply skips the pair.  At most
+    ``max_checks`` SAT calls are spent.
+    """
+    from .sat import Solver
+
+    sigs = simulation_signatures(aig)
+    nbits = 64 * _SIM_WORDS
+    mask = (1 << nbits) - 1
+
+    # cone of the roots
+    and_of = {var: (a, b) for var, a, b in aig.ands}
+    cone: set[int] = set()
+    stack = [lit >> 1 for lit in roots]
+    while stack:
+        var = stack.pop()
+        if var in cone:
+            continue
+        cone.add(var)
+        node = and_of.get(var)
+        if node is not None:
+            stack.append(node[0] >> 1)
+            stack.append(node[1] >> 1)
+    cone.add(0)  # the constant seeds its bucket, so constants sweep too
+
+    # polarity-canonical buckets: var -> (key, negated?)
+    buckets: dict[int, list[tuple[int, bool]]] = {}
+    for var in sorted(cone):
+        sig = sigs[var]
+        inv = sig ^ mask
+        if sig <= inv:
+            buckets.setdefault(sig, []).append((var, False))
+        else:
+            buckets.setdefault(inv, []).append((var, True))
+
+    result = SweepResult()
+
+    def differ_sat(lit_a: int, lit_b: int) -> "SatResult":
+        """SAT iff the two AIG literals can take different values."""
+        clauses, (da, db) = to_cnf(aig, [lit_a, lit_b])
+        solver = Solver()
+        solver.add_clauses(clauses)
+        solver.add_clause([da, db])
+        solver.add_clause([-da, -db])
+        return solver.solve(max_conflicts=max_conflicts)
+
+    for members in buckets.values():
+        # oldest node is the representative; members are var-ascending
+        pending = list(members)
+        while len(pending) > 1:
+            rep_var, rep_neg = pending[0]
+            rep_lit = 2 * rep_var + (1 if rep_neg else 0)
+            survivors: list[tuple[int, bool]] = [pending[0]]
+            refine: Mapping[int, bool] | None = None
+            for var, neg in pending[1:]:
+                if result.sat_checks >= max_checks:
+                    return result
+                if refine is not None:
+                    survivors.append((var, neg))
+                    continue
+                cand_lit = 2 * var + (1 if neg else 0)
+                result.sat_checks += 1
+                verdict = differ_sat(rep_lit, cand_lit)
+                if verdict.satisfiable is False:
+                    # proven: cand_lit == rep_lit for all inputs
+                    result.subst[2 * var] = rep_lit ^ (1 if neg else 0)
+                    result.subst[2 * var + 1] = rep_lit ^ (0 if neg else 1)
+                    result.merged += 1
+                    if rep_var == 0:
+                        result.constants += 1
+                elif verdict.satisfiable is True:
+                    # counterexample: split the bucket on this pattern and
+                    # retry the disagreeing members among themselves
+                    refine = {
+                        lit >> 1: verdict.model.get(lit >> 1, False)
+                        for lit in aig._inputs
+                    }
+                    survivors.append((var, neg))
+                # budget exhausted (None): no merge, no refinement
+            if refine is None:
+                break
+            values = aig.evaluate(
+                refine, [2 * v for v, _neg in survivors]
+            )
+            rep_value = values[0] ^ survivors[0][1]
+            agree = [
+                member
+                for member, value in zip(survivors, values)
+                if (value ^ member[1]) == rep_value
+            ]
+            disagree = [
+                member
+                for member, value in zip(survivors, values)
+                if (value ^ member[1]) != rep_value
+            ]
+            if len(agree) > 1 and agree[0] == survivors[0]:
+                # keep refining against the same representative
+                pending = agree
+                # the disagreeing side forms its own candidate bucket
+                if len(disagree) > 1:
+                    buckets_extra = disagree
+                    _sweep_subgroup(
+                        aig, buckets_extra, differ_sat, result, max_checks
+                    )
+            else:
+                pending = disagree
+        # singleton buckets need no work
+    return result
+
+
+def _sweep_subgroup(
+    aig: Aig,
+    members: list[tuple[int, bool]],
+    differ_sat: Callable[[int, int], "SatResult"],
+    result: SweepResult,
+    max_checks: int,
+) -> None:
+    """Confirm merges within a refined sub-bucket (no further splitting)."""
+    rep_var, rep_neg = members[0]
+    rep_lit = 2 * rep_var + (1 if rep_neg else 0)
+    for var, neg in members[1:]:
+        if result.sat_checks >= max_checks:
+            return
+        cand_lit = 2 * var + (1 if neg else 0)
+        result.sat_checks += 1
+        verdict = differ_sat(rep_lit, cand_lit)
+        if verdict.satisfiable is False:
+            result.subst[2 * var] = rep_lit ^ (1 if neg else 0)
+            result.subst[2 * var + 1] = rep_lit ^ (0 if neg else 1)
+            result.merged += 1
+            if rep_var == 0:
+                result.constants += 1
+
+
 # ---------------------------------------------------------------------------
 # Bit-blasting
 # ---------------------------------------------------------------------------
@@ -182,7 +463,12 @@ class BitBlaster:
 
     The environment supplies vectors for ``RegRead`` and ``Input`` leaves
     and, via ``mem_words``, the per-word vectors of each memory (used to
-    build mux trees for ``MemRead``).
+    build mux trees for ``MemRead``).  ``mem_words`` values may be dense
+    sequences (index = address; shorter-than-memory lists read as zero
+    beyond the end) or sparse ``{address: vector}`` mappings as produced by
+    cone-of-influence slicing — sparse memories may only be read at constant
+    addresses that are actually materialised (anything else is a slicing
+    bug and raises :class:`BlastError`).
     """
 
     def __init__(
@@ -190,12 +476,19 @@ class BitBlaster:
         aig: Aig,
         regs: Mapping[str, Vec] | None = None,
         inputs: Mapping[str, Vec] | None = None,
-        mem_words: Mapping[str, Sequence[Vec]] | None = None,
+        mem_words: Mapping[str, Sequence[Vec] | Mapping[int, Vec]] | None = None,
     ) -> None:
         self.aig = aig
         self.regs = dict(regs or {})
         self.inputs = dict(inputs or {})
-        self.mem_words = {k: [list(w) for w in v] for k, v in (mem_words or {}).items()}
+        self.mem_words: dict[str, dict[int, Vec]] = {}
+        self._mem_sparse: set[str] = set()
+        for name, words in (mem_words or {}).items():
+            if isinstance(words, Mapping):
+                self.mem_words[name] = {a: list(w) for a, w in words.items()}
+                self._mem_sparse.add(name)
+            else:
+                self.mem_words[name] = {a: list(w) for a, w in enumerate(words)}
         self._memo: dict[int, Vec] = {}
 
     def blast(self, root: E.Expr) -> Vec:
@@ -273,13 +566,31 @@ class BitBlaster:
         big = g.or_many(amount[used_bits:])
         return [g.mux_(big, fill, bitlit) for bitlit in result]
 
-    def _mem_mux(self, words: Sequence[Vec], addr: Vec, width: int) -> Vec:
+    def _mem_mux(self, mem: str, addr: Vec, width: int) -> Vec:
         g = self.aig
+        words = self.mem_words[mem]
+        if all(lit in (FALSE, TRUE) for lit in addr):
+            # constant address: select the word directly, no mux tree
+            index = sum(1 << i for i, lit in enumerate(addr) if lit == TRUE)
+            word = words.get(index)
+            if word is not None:
+                return list(word)
+            if mem in self._mem_sparse:
+                raise BlastError(
+                    f"memory {mem!r}: word {index} not materialised"
+                    " (cone-of-influence slicing bug)"
+                )
+            return self._const_vec(width, 0)
         size = 1 << len(addr)
-        padded = [list(w) for w in words] + [
-            self._const_vec(width, 0) for _ in range(size - len(words))
+        if mem in self._mem_sparse and any(a not in words for a in range(size)):
+            raise BlastError(
+                f"memory {mem!r}: symbolic read of a sparsely materialised"
+                " memory (cone-of-influence slicing bug)"
+            )
+        level = [
+            list(words[a]) if a in words else self._const_vec(width, 0)
+            for a in range(size)
         ]
-        level = padded[:size]
         for addr_bit in addr:
             level = [
                 [
@@ -312,10 +623,9 @@ class BitBlaster:
                 raise BlastError(f"input {node.name!r}: vector width mismatch")
             return list(vec)
         if isinstance(node, E.MemRead):
-            words = self.mem_words.get(node.mem)
-            if words is None:
+            if node.mem not in self.mem_words:
                 raise BlastError(f"unbound memory {node.mem!r}")
-            return self._mem_mux(words, memo[id(node.addr)], node.width)
+            return self._mem_mux(node.mem, memo[id(node.addr)], node.width)
         if isinstance(node, E.Unary):
             a = memo[id(node.a)]
             if node.op == "NOT":

@@ -10,6 +10,19 @@ initial state; :func:`k_induction` proves a property invariant by the
 standard base + inductive-step scheme.  Both bit-blast the unrolling to CNF
 and use the CDCL solver from :mod:`repro.formal.sat`.
 
+By default the hot path is **incremental** end-to-end: an
+:class:`IncrementalUnroller` owns one AIG and one solver for a whole query,
+each new time frame Tseitin-encodes only its own new logic
+(:class:`repro.formal.aig.CnfEmitter`), and the property-at-step-``t``
+literal is activated through a solver *assumption*, so ``bmc``,
+``k_induction`` and ``prove`` extend the same unrolling from bound ``k`` to
+``k+1`` — clause/activity/phase state included — instead of restarting.
+Before any unrolling, the transition system is sliced to the property's
+cone of influence at state-variable granularity (individual memory words
+for constant-address reads).  Pass ``incremental=False`` to run the
+one-shot engines instead; both must agree on every verdict (the
+differential suite in ``tests/test_bmc_incremental.py`` holds them to it).
+
 This engine is what discharges the hardware-level proof obligations the
 transformation tool emits (the role PVS played for the paper's authors).
 """
@@ -17,12 +30,27 @@ transformation tool emits (the role PVS played for the paper's authors).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..hdl import expr as E
 from ..hdl.netlist import Module
-from .aig import Aig, BitBlaster, Vec, fresh_vec, to_cnf
-from .sat import Solver
+from .aig import (
+    FALSE,
+    TRUE,
+    Aig,
+    BitBlaster,
+    CnfEmitter,
+    Vec,
+    fresh_vec,
+    sweep,
+    to_cnf,
+)
+from .sat import SatResult, Solver
+
+# Bumped whenever the unrolling/encoding strategy could alter a verdict or
+# its cost profile; joins SOLVER_VERSION in every obligation fingerprint so
+# cached verdicts from an older engine can never alias the new one.
+ENGINE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -64,9 +92,15 @@ class TransitionSystem:
 
     def cone_of_influence(self, roots: list[E.Expr]) -> set[str]:
         """State-variable names transitively needed to evaluate ``roots``
-        across any number of steps (memory reads pull in the whole memory).
+        across any number of steps.
+
+        The slice is at *variable* granularity: a memory read at a constant
+        address only pulls in that word, so properties over individual
+        memory locations do not drag the whole memory into every frame.  A
+        symbolic (non-constant) read still needs the full memory.
         """
         needed: set[str] = set()
+        full_mems: set[str] = set()
         frontier: list[E.Expr] = list(roots)
         while frontier:
             exprs = frontier
@@ -76,10 +110,14 @@ class TransitionSystem:
                 if isinstance(node, E.RegRead):
                     names.add(node.name)
                 elif isinstance(node, E.MemRead):
-                    addr_width, _dw = self.mem_shapes[node.mem]
-                    names.update(
-                        f"{node.mem}[{a}]" for a in range(1 << addr_width)
-                    )
+                    if isinstance(node.addr, E.Const):
+                        names.add(f"{node.mem}[{node.addr.value}]")
+                    elif node.mem not in full_mems:
+                        full_mems.add(node.mem)
+                        addr_width, _dw = self.mem_shapes[node.mem]
+                        names.update(
+                            f"{node.mem}[{a}]" for a in range(1 << addr_width)
+                        )
             for name in names - needed:
                 needed.add(name)
                 frontier.append(self._by_name[name].next)
@@ -132,10 +170,14 @@ class TransitionSystem:
 
 @dataclass
 class Frame:
-    """Literal vectors of one unrolled time frame."""
+    """Literal vectors of one unrolled time frame.
+
+    ``mems`` maps memory name -> {address: vector}; cone-of-influence
+    slicing can leave it sparse (only the addressed words materialised).
+    """
 
     regs: dict[str, Vec]
-    mems: dict[str, list[Vec]]
+    mems: dict[str, dict[int, Vec]]
     inputs: dict[str, Vec]
 
 
@@ -156,12 +198,19 @@ class Counterexample:
 
 @dataclass
 class CheckResult:
-    """Outcome of a BMC or induction run."""
+    """Outcome of a BMC or induction run.
+
+    ``conflicts`` and ``frames`` profile the run: total solver conflicts
+    across every SAT call the query made, and the peak number of unrolled
+    time frames it materialised.
+    """
 
     holds: bool | None  # True = proved/unviolated in bound, False = cex, None = unknown
     bound: int
     method: str
     counterexample: Counterexample | None = None
+    conflicts: int = 0
+    frames: int = 0
 
     def __bool__(self) -> bool:
         return bool(self.holds)
@@ -194,13 +243,12 @@ class Unroller:
 
     def _split_state(self, vecs: Mapping[str, Vec], input_vecs: dict[str, Vec]) -> Frame:
         regs: dict[str, Vec] = {}
-        mems: dict[str, list[Vec]] = {}
-        for mem, (addr_width, _dw) in self.system.mem_shapes.items():
-            if f"{mem}[0]" not in self._tracked:
-                continue
-            mems[mem] = [list(vecs[f"{mem}[{a}]"]) for a in range(1 << addr_width)]
+        mems: dict[str, dict[int, Vec]] = {}
         for var in self.vars:
-            if var.name not in self.system.mem_word_names:
+            if var.name in self.system.mem_word_names:
+                mem, index = var.name[:-1].split("[")
+                mems.setdefault(mem, {})[int(index)] = list(vecs[var.name])
+            else:
                 regs[var.name] = list(vecs[var.name])
         return Frame(regs=regs, mems=mems, inputs=input_vecs)
 
@@ -281,7 +329,7 @@ class Unroller:
                 for lit in vec:
                     want(lit)
             for words in frame.mems.values():
-                for word in words:
+                for word in words.values():
                     for lit in word:
                         want(lit)
             for vec in frame.inputs.values():
@@ -297,7 +345,7 @@ class Unroller:
             frame = self.frames[t]
             state = {name: vec_of(vec) for name, vec in frame.regs.items()}
             for mem, words in frame.mems.items():
-                for addr, word in enumerate(words):
+                for addr, word in sorted(words.items()):
                     state[f"{mem}[{addr}]"] = vec_of(word)
             ins = {name: vec_of(vec) for name, vec in frame.inputs.items()}
             cex.states.append(state)
@@ -305,10 +353,238 @@ class Unroller:
         return cex
 
 
+class IncrementalUnroller(Unroller):
+    """An unrolling wired straight into one persistent SAT solver.
+
+    Owns a :class:`repro.formal.sat.Solver` and a
+    :class:`repro.formal.aig.CnfEmitter` for its whole lifetime: each new
+    frame bit-blasts only its own transition logic, and only the AND nodes
+    in the cone of an asserted/assumed literal are Tseitin-encoded — once.
+    Learned clauses, variable activities and saved phases therefore carry
+    over from bound ``k`` to bound ``k+1``.
+
+    With ``sweep_frames``, each new frame's state vectors are rewritten by
+    the fraig-style :func:`repro.formal.aig.sweep` pass, so nodes proved
+    equal to an older node (or a constant) collapse before they ever reach
+    the solver.
+    """
+
+    def __init__(
+        self,
+        system: TransitionSystem,
+        support: set[str] | None = None,
+        free_init: bool = False,
+        sweep_frames: bool = False,
+    ) -> None:
+        super().__init__(system, support=support)
+        self.solver = Solver()
+        self.emitter = CnfEmitter(self.aig, self.solver)
+        self.free_init = free_init
+        self.sweep_frames = sweep_frames
+        self.swept = 0  # nodes merged away by the sweep pass, cumulative
+
+    def ensure_frames(self, count: int) -> None:
+        """Materialise frames 0..count-1 (no-op for already-built frames)."""
+        if count > 0 and not self.frames:
+            self.add_initial_frame(free=self.free_init)
+        while len(self.frames) < count:
+            self.add_step()
+
+    def add_step(self) -> Frame:
+        frame = super().add_step()
+        if self.sweep_frames:
+            roots = [lit for vec in frame.regs.values() for lit in vec]
+            for words in frame.mems.values():
+                for word in words.values():
+                    roots.extend(word)
+            result = sweep(self.aig, roots)
+            if result.merged:
+                self.swept += result.merged
+                for name, vec in frame.regs.items():
+                    frame.regs[name] = result.apply_vec(vec)
+                for words in frame.mems.values():
+                    for addr in list(words):
+                        words[addr] = result.apply_vec(words[addr])
+        return frame
+
+    def literal(self, index: int, expression: E.Expr) -> int:
+        """Solver literal for a 1-bit expression in frame ``index``,
+        encoding its cone into the solver on first use."""
+        return self.emitter.encode(self.bit_in_frame(index, expression))
+
+    def assert_unit(self, index: int, expression: E.Expr) -> None:
+        """Permanently constrain a 1-bit expression to hold in a frame."""
+        self.solver.add_clause([self.literal(index, expression)])
+
+    def decode_solver_model(self, model: Mapping[int, bool], frames: int) -> Counterexample:
+        return self.decode(self.emitter.model_to_aig(model), frames)
+
+
+class IncrementalChecker:
+    """Shared incremental engine behind :func:`bmc`, :func:`k_induction`
+    and :func:`prove`.
+
+    Owns up to two unrollings over the property's cone-of-influence slice —
+    one from reset for BMC/base queries, one with a free initial frame for
+    induction-step queries.  Queries at increasing bounds *extend* the
+    existing unrollings instead of restarting:
+
+    * the "property violated at frame t" literal is activated via a solver
+      assumption, so it can be retracted when moving to t+1;
+    * once frame t is proved violation-free, ``prop``@t is asserted as a
+      unit clause (it is implied by the database, so this only strengthens
+      later searches);
+    * environment assumptions are unit-asserted per frame (they are
+      required to be invariants);
+    * ``prove``'s growing induction-step checks reuse one free-init
+      unrolling, its frames 0..k-1 constrained by the induction hypothesis.
+
+    ``conflicts`` accumulates solver conflicts over every query and
+    ``frames`` reports the peak unrolled depth — surfaced per obligation by
+    ``repro discharge --profile``.
+    """
+
+    def __init__(
+        self,
+        module_or_system: Module | TransitionSystem,
+        prop: E.Expr,
+        assume: Sequence[E.Expr] = (),
+        max_conflicts: int | None = None,
+        interrupt: Callable[[], bool] | None = None,
+        sweep_frames: bool = False,
+    ) -> None:
+        system = (
+            module_or_system
+            if isinstance(module_or_system, TransitionSystem)
+            else TransitionSystem.from_module(module_or_system)
+        )
+        self.system = system
+        self.prop = prop
+        self.assume = tuple(assume)
+        self.max_conflicts = max_conflicts
+        self.interrupt = interrupt
+        self.support = system.cone_of_influence([prop, *assume])
+        self._sweep_frames = sweep_frames
+        self._base = IncrementalUnroller(
+            system, support=self.support, free_init=False, sweep_frames=sweep_frames
+        )
+        self._step: IncrementalUnroller | None = None
+        self._base_proved = -1  # highest frame proved violation-free
+        self._step_hyp = -1  # step frames 0..n carry the induction hypothesis
+        self._step_assumed = -1  # step frames 0..n carry the assumptions
+        self.conflicts = 0
+
+    @property
+    def frames(self) -> int:
+        peak = len(self._base.frames)
+        if self._step is not None:
+            peak = max(peak, len(self._step.frames))
+        return peak
+
+    def _query(self, unroller: IncrementalUnroller, assumptions: list[int]) -> SatResult:
+        result = unroller.solver.solve(
+            assumptions=assumptions,
+            max_conflicts=self.max_conflicts,
+            interrupt=self.interrupt,
+        )
+        self.conflicts += result.conflicts
+        return result
+
+    def _result(
+        self,
+        holds: bool | None,
+        bound: int,
+        method: str,
+        counterexample: Counterexample | None = None,
+    ) -> CheckResult:
+        return CheckResult(
+            holds=holds,
+            bound=bound,
+            method=method,
+            counterexample=counterexample,
+            conflicts=self.conflicts,
+            frames=self.frames,
+        )
+
+    def bmc_to(self, bound: int) -> CheckResult:
+        """Check ``prop`` in frames 0..bound from reset, extending any
+        previously checked prefix."""
+        for t in range(self._base_proved + 1, bound + 1):
+            self._base.ensure_frames(t + 1)
+            for assumption in self.assume:
+                self._base.assert_unit(t, assumption)
+            good = self._base.literal(t, self.prop)
+            result = self._query(self._base, [-good])
+            if result.satisfiable is True:
+                return self._result(
+                    False,
+                    t,
+                    "bmc",
+                    counterexample=self._base.decode_solver_model(
+                        result.model, t + 1
+                    ),
+                )
+            if result.satisfiable is None:
+                return self._result(None, t, "bmc")
+            self._base.solver.add_clause([good])  # implied; strengthens t+1..
+            self._base_proved = t
+        return self._result(True, bound, "bmc")
+
+    def induction_step(self, k: int) -> bool | None:
+        """The k-induction step check: from any chain of ``k`` frames
+        satisfying ``prop`` and the assumptions, ``prop`` holds in frame
+        ``k``.  Returns True when it passes, None when it fails or the
+        budget runs out.  ``k`` must not decrease across calls on one
+        checker (earlier hypotheses stay asserted)."""
+        if k - 1 < self._step_hyp:
+            raise ValueError("induction-step bounds must not decrease")
+        if self._step is None:
+            self._step = IncrementalUnroller(
+                self.system,
+                support=self.support,
+                free_init=True,
+                sweep_frames=self._sweep_frames,
+            )
+        step = self._step
+        step.ensure_frames(k + 1)
+        for t in range(self._step_hyp + 1, k):
+            step.assert_unit(t, self.prop)
+        self._step_hyp = max(self._step_hyp, k - 1)
+        for t in range(self._step_assumed + 1, k + 1):
+            for assumption in self.assume:
+                step.assert_unit(t, assumption)
+        self._step_assumed = max(self._step_assumed, k)
+        result = self._query(step, [-step.literal(k, self.prop)])
+        if result.satisfiable is False:
+            return True
+        return None
+
+    def k_induction(self, k: int) -> CheckResult:
+        base = self.bmc_to(k - 1)
+        if base.holds is not True:
+            return self._result(
+                base.holds, base.bound, "k-induction(base)", base.counterexample
+            )
+        if self.induction_step(k) is True:
+            return self._result(True, k, "k-induction")
+        return self._result(None, k, "k-induction(step)")
+
+    def prove(self, max_k: int = 4) -> CheckResult:
+        last = self._result(None, 0, "k-induction")
+        for k in range(1, max_k + 1):
+            last = self.k_induction(k)
+            if last.holds is not None:
+                return last
+        return last
+
+
 def _solve(
-    aig: Aig, roots: Sequence[int], max_conflicts: int | None = None
-) -> tuple[bool | None, dict[int, bool]]:
-    """SAT-check the conjunction of AIG literals ``roots``.
+    aig: Aig,
+    roots: Sequence[int],
+    max_conflicts: int | None = None,
+    interrupt: Callable[[], bool] | None = None,
+) -> SatResult:
+    """One-shot SAT check of the conjunction of AIG literals ``roots``.
 
     ``max_conflicts`` is a deterministic step budget: the solver gives up
     with verdict ``None`` once it is exceeded, so a caller can bound the
@@ -316,15 +592,14 @@ def _solve(
     """
     folded = aig.and_many(list(roots))
     if folded == 0:
-        return False, {}
+        return SatResult(satisfiable=False)
     if folded == 1:
-        return True, {}
+        return SatResult(satisfiable=True)
     clauses, (root_lit,) = to_cnf(aig, [folded])
     solver = Solver()
     solver.add_clauses(clauses)
     solver.add_clause([root_lit])
-    result = solver.solve(max_conflicts=max_conflicts)
-    return result.satisfiable, result.model
+    return solver.solve(max_conflicts=max_conflicts, interrupt=interrupt)
 
 
 def bmc(
@@ -333,13 +608,30 @@ def bmc(
     bound: int,
     assume: Sequence[E.Expr] = (),
     max_conflicts: int | None = None,
+    interrupt: Callable[[], bool] | None = None,
+    incremental: bool = True,
+    sweep_frames: bool = False,
 ) -> CheckResult:
     """Check that 1-bit ``prop`` holds in every frame 0..bound from reset.
 
     ``assume`` expressions are constrained to 1 in every frame (environment
     assumptions, e.g. "no external stall").  ``max_conflicts`` bounds each
-    SAT call; an exhausted budget returns ``holds=None``.
+    SAT call; an exhausted budget returns ``holds=None``.  ``interrupt`` is
+    polled during each call and aborts with ``holds=None``.
+
+    ``incremental`` (default) runs the single-solver engine; pass False for
+    the one-shot-per-bound engine (same verdicts, used differentially).
     """
+    if incremental:
+        checker = IncrementalChecker(
+            module_or_system,
+            prop,
+            assume=assume,
+            max_conflicts=max_conflicts,
+            interrupt=interrupt,
+            sweep_frames=sweep_frames,
+        )
+        return checker.bmc_to(bound)
     system = (
         module_or_system
         if isinstance(module_or_system, TransitionSystem)
@@ -350,6 +642,7 @@ def bmc(
     unroller.add_initial_frame(free=False)
     aig = unroller.aig
     assumptions: list[int] = []
+    conflicts = 0
     for t in range(bound + 1):
         if t > 0:
             unroller.add_step()
@@ -357,17 +650,28 @@ def bmc(
             unroller.bit_in_frame(t, assumption) for assumption in assume
         )
         bad = aig.neg(unroller.bit_in_frame(t, prop))
-        sat, model = _solve(aig, assumptions + [bad], max_conflicts=max_conflicts)
-        if sat:
+        result = _solve(
+            aig, assumptions + [bad], max_conflicts=max_conflicts, interrupt=interrupt
+        )
+        conflicts += result.conflicts
+        if result.satisfiable is True:
             return CheckResult(
                 holds=False,
                 bound=t,
                 method="bmc",
-                counterexample=unroller.decode(model, t + 1),
+                counterexample=unroller.decode(result.model, t + 1),
+                conflicts=conflicts,
+                frames=len(unroller.frames),
             )
-        if sat is None:
-            return CheckResult(holds=None, bound=t, method="bmc")
-    return CheckResult(holds=True, bound=bound, method="bmc")
+        if result.satisfiable is None:
+            return CheckResult(
+                holds=None, bound=t, method="bmc",
+                conflicts=conflicts, frames=len(unroller.frames),
+            )
+    return CheckResult(
+        holds=True, bound=bound, method="bmc",
+        conflicts=conflicts, frames=len(unroller.frames),
+    )
 
 
 def k_induction(
@@ -376,6 +680,9 @@ def k_induction(
     k: int = 1,
     assume: Sequence[E.Expr] = (),
     max_conflicts: int | None = None,
+    interrupt: Callable[[], bool] | None = None,
+    incremental: bool = True,
+    sweep_frames: bool = False,
 ) -> CheckResult:
     """Prove ``prop`` invariant by k-induction.
 
@@ -388,18 +695,38 @@ def k_induction(
     ``holds=None`` (the property may still hold but is not k-inductive).
     Assumptions must themselves be invariants for the result to be sound.
     """
+    if incremental:
+        checker = IncrementalChecker(
+            module_or_system,
+            prop,
+            assume=assume,
+            max_conflicts=max_conflicts,
+            interrupt=interrupt,
+            sweep_frames=sweep_frames,
+        )
+        return checker.k_induction(k)
     system = (
         module_or_system
         if isinstance(module_or_system, TransitionSystem)
         else TransitionSystem.from_module(module_or_system)
     )
-    base = bmc(system, prop, bound=k - 1, assume=assume, max_conflicts=max_conflicts)
+    base = bmc(
+        system,
+        prop,
+        bound=k - 1,
+        assume=assume,
+        max_conflicts=max_conflicts,
+        interrupt=interrupt,
+        incremental=False,
+    )
     if base.holds is not True:
         return CheckResult(
             holds=base.holds,
             bound=base.bound,
             method="k-induction(base)",
             counterexample=base.counterexample,
+            conflicts=base.conflicts,
+            frames=base.frames,
         )
 
     support = system.cone_of_influence([prop, *assume])
@@ -417,10 +744,20 @@ def k_induction(
         unroller.bit_in_frame(k, assumption) for assumption in assume
     )
     bad = aig.neg(unroller.bit_in_frame(k, prop))
-    sat, _model = _solve(aig, constraints + [bad], max_conflicts=max_conflicts)
-    if sat is False:
-        return CheckResult(holds=True, bound=k, method="k-induction")
-    return CheckResult(holds=None, bound=k, method="k-induction(step)")
+    result = _solve(
+        aig, constraints + [bad], max_conflicts=max_conflicts, interrupt=interrupt
+    )
+    conflicts = base.conflicts + result.conflicts
+    frames = max(base.frames, len(unroller.frames))
+    if result.satisfiable is False:
+        return CheckResult(
+            holds=True, bound=k, method="k-induction",
+            conflicts=conflicts, frames=frames,
+        )
+    return CheckResult(
+        holds=None, bound=k, method="k-induction(step)",
+        conflicts=conflicts, frames=frames,
+    )
 
 
 def prove(
@@ -429,13 +766,37 @@ def prove(
     max_k: int = 4,
     assume: Sequence[E.Expr] = (),
     max_conflicts: int | None = None,
+    interrupt: Callable[[], bool] | None = None,
+    incremental: bool = True,
+    sweep_frames: bool = False,
 ) -> CheckResult:
     """Try k-induction with increasing k until the step check passes or
-    ``max_k`` is exhausted."""
+    ``max_k`` is exhausted.
+
+    The incremental engine (default) shares one base and one step unrolling
+    across all values of k — each iteration adds one frame and one solver
+    call instead of redoing everything from scratch.
+    """
+    if incremental:
+        checker = IncrementalChecker(
+            module_or_system,
+            prop,
+            assume=assume,
+            max_conflicts=max_conflicts,
+            interrupt=interrupt,
+            sweep_frames=sweep_frames,
+        )
+        return checker.prove(max_k)
     last = CheckResult(holds=None, bound=0, method="k-induction")
     for k in range(1, max_k + 1):
         last = k_induction(
-            module_or_system, prop, k=k, assume=assume, max_conflicts=max_conflicts
+            module_or_system,
+            prop,
+            k=k,
+            assume=assume,
+            max_conflicts=max_conflicts,
+            interrupt=interrupt,
+            incremental=False,
         )
         if last.holds is not None:
             return last

@@ -97,7 +97,7 @@ def _witness(aig: Aig, blaster: BitBlaster, model: dict[int, bool]) -> EquivResu
             name: vec_value(vec, model, aig) for name, vec in blaster.inputs.items()
         },
         witness_mems={
-            name: [vec_value(word, model, aig) for word in words]
+            name: [vec_value(word, model, aig) for _, word in sorted(words.items())]
             for name, words in blaster.mem_words.items()
         },
     )

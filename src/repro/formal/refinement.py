@@ -101,18 +101,18 @@ class StepRefinement:
         aig = self.aig
         bad = aig.neg(aig.and_many(self._checks))
         start = time.perf_counter()
-        sat, model = _solve(aig, self._assumptions + [bad])
+        result = _solve(aig, self._assumptions + [bad])
         elapsed = time.perf_counter() - start
-        if sat is None:
+        if result.satisfiable is None:
             return RefinementResult(
                 proved=None, seconds=elapsed, aig_nodes=len(aig.ands)
             )
-        if sat:
+        if result.satisfiable:
             return RefinementResult(
                 proved=False,
                 seconds=elapsed,
                 aig_nodes=len(aig.ands),
-                counterexample=self.unroller.decode(model, self.steps + 1),
+                counterexample=self.unroller.decode(result.model, self.steps + 1),
             )
         return RefinementResult(
             proved=True, seconds=elapsed, aig_nodes=len(aig.ands)

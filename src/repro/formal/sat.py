@@ -1,13 +1,25 @@
-"""A CDCL SAT solver.
+"""An incremental CDCL SAT solver.
 
 This replaces the decision procedures the paper drove through PVS: the
 bounded-model-checking and k-induction engines of :mod:`repro.formal.bmc`
 discharge hardware proof obligations by handing CNF to this solver.
 
 Implemented techniques: two-watched-literal propagation, first-UIP conflict
-analysis with clause learning, VSIDS-style activity decision heuristic with
-phase saving, Luby restarts, and learned-clause minimisation (self-subsuming
-resolution against reason clauses).
+analysis with clause learning, VSIDS-style activity decision heuristic
+(lazy max-heap) with phase saving, Luby restarts, and learned-clause
+minimisation (self-subsuming resolution against reason clauses).
+
+The solver is *incremental*: clauses may be added between :meth:`Solver.solve`
+calls, and ``solve(assumptions=[...])`` treats the given literals as
+temporary pseudo-decisions enqueued before any heuristic decision.  Learned
+clauses never resolve past a decision, so everything learned under
+assumptions is implied by the clause database alone and is retained — along
+with variable activities and saved phases — across calls.  When the instance
+is unsatisfiable *under the assumptions*, final-conflict analysis produces an
+**unsat core**: a subset of the assumption literals sufficient for the
+conflict (``SatResult.core``).  An unsatisfiable clause database (empty core)
+makes the solver permanently UNSAT; assumption-relative UNSAT leaves it fully
+reusable.
 
 Literals use the DIMACS convention: variables are positive integers, a
 negative integer denotes the negated variable.
@@ -18,13 +30,21 @@ produces the same verdict, model and statistics.  Runs are interruptible in
 two ways: a ``max_conflicts`` budget (the discharge engines degrade an
 exhausted budget to an *unknown* verdict instead of hanging) and an
 ``interrupt`` callback polled between conflicts, which lets a cooperative
-scheduler cancel an in-flight solve without killing the process.
+scheduler cancel an in-flight solve without killing the process.  Both are
+per-call: an aborted call leaves the solver reusable, budgets do not carry
+over.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
+
+# Bumped whenever a change to the decision procedure could alter verdicts
+# (bug fixes included); cached verdicts are keyed on it via
+# :mod:`repro.proofs.fingerprint`, so stale results die with the old version.
+SOLVER_VERSION = 2
 
 # how many conflicts pass between polls of the `interrupt` callback
 _INTERRUPT_GRANULARITY = 64
@@ -36,10 +56,14 @@ class SatResult:
 
     ``satisfiable`` is None when the conflict budget ran out (unknown).
     ``model`` maps variable -> bool for satisfiable instances.
+    ``core`` is only meaningful for UNSAT results of an assumption-based
+    call: a subset of the assumption literals sufficient for
+    unsatisfiability (empty when the clause database alone is UNSAT).
     """
 
     satisfiable: bool | None
     model: dict[int, bool] = field(default_factory=dict)
+    core: list[int] = field(default_factory=list)
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
@@ -61,7 +85,7 @@ def _luby(i: int) -> int:
 
 
 class Solver:
-    """CDCL solver over integer DIMACS literals."""
+    """Incremental CDCL solver over integer DIMACS literals."""
 
     def __init__(self) -> None:
         self.num_vars = 0
@@ -77,6 +101,13 @@ class Solver:
         self._activity: dict[int, float] = {}
         self._var_inc = 1.0
         self._phase: dict[int, bool] = {}
+        # lazy decision heap of (-activity, var); stale entries are skipped.
+        # Only variables occurring in some clause are decidable: callers may
+        # reserve large contiguous variable ranges (the incremental CNF
+        # emitter numbers solver variables by AIG node), and deciding a
+        # variable no clause mentions is pure waste.
+        self._order: list[tuple[float, int]] = []
+        self._decidable: set[int] = set()
         self._ok = True
         self.stats = SatResult(satisfiable=None)
 
@@ -87,7 +118,13 @@ class Solver:
         return self.num_vars
 
     def add_clause(self, lits: Iterable[int]) -> None:
-        """Add a clause; duplicate literals are merged, tautologies dropped."""
+        """Add a clause; duplicate literals are merged, tautologies dropped.
+
+        May be called between :meth:`solve` calls: the clause is simplified
+        against the persistent top-level (level-0) assignment, so literals
+        already false at level 0 are dropped and clauses already satisfied
+        at level 0 are discarded outright.
+        """
         seen: set[int] = set()
         clause: list[int] = []
         for lit in lits:
@@ -95,22 +132,45 @@ class Solver:
                 raise ValueError("0 is not a valid literal")
             if -lit in seen:
                 return  # tautology
-            if lit not in seen:
-                seen.add(lit)
-                clause.append(lit)
-            self.num_vars = max(self.num_vars, abs(lit))
+            if lit in seen:
+                continue
+            seen.add(lit)
+            if abs(lit) > self.num_vars:
+                self.num_vars = abs(lit)
+            value = self._root_value(lit)
+            if value is True:
+                return  # satisfied forever by the level-0 assignment
+            if value is False:
+                continue  # dropped: false forever
+            clause.append(lit)
+            var = abs(lit)
+            if var not in self._decidable:
+                self._decidable.add(var)
+                heapq.heappush(self._order, (-self._activity.get(var, 0.0), var))
         if not clause:
             self._ok = False
             return
         if len(clause) == 1:
-            # store as unit; applied at solve start
+            # store as unit; (re)applied at solve start
             self.clauses.append(clause)
+            if self._trail_lim:  # pragma: no cover - not used mid-search
+                return
+            if not self._enqueue(clause[0], None):
+                self._ok = False
             return
         self._attach(clause)
 
     def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
         for clause in clauses:
             self.add_clause(clause)
+
+    def _root_value(self, lit: int) -> bool | None:
+        """The literal's value under the level-0 assignment only."""
+        var = abs(lit)
+        value = self._assign.get(var)
+        if value is None or self._level.get(var, 0) != 0:
+            return None
+        return value if lit > 0 else not value
 
     def _attach(self, clause: list[int]) -> int:
         index = len(self.clauses)
@@ -183,11 +243,23 @@ class Solver:
     # -- conflict analysis -----------------------------------------------------
 
     def _bump(self, var: int) -> None:
-        self._activity[var] = self._activity.get(var, 0.0) + self._var_inc
-        if self._activity[var] > 1e100:
+        activity = self._activity.get(var, 0.0) + self._var_inc
+        self._activity[var] = activity
+        if activity > 1e100:
             for v in self._activity:
                 self._activity[v] *= 1e-100
             self._var_inc *= 1e-100
+            self._rebuild_order()
+        else:
+            heapq.heappush(self._order, (-activity, var))
+
+    def _rebuild_order(self) -> None:
+        self._order = [
+            (-self._activity.get(var, 0.0), var)
+            for var in self._decidable
+            if var not in self._assign
+        ]
+        heapq.heapify(self._order)
 
     def _analyze(self, conflict: int) -> tuple[list[int], int]:
         """First-UIP analysis; returns (learned clause, backjump level)."""
@@ -256,29 +328,66 @@ class Solver:
                 result.append(q)
         return result
 
+    def _analyze_final(self, failed: int) -> list[int]:
+        """Assumption literals responsible for ``failed`` being false.
+
+        Walks the implication trail backwards from ``-failed``; every
+        pseudo-decision (reason ``None`` above level 0) reached is an
+        assumption, because assumptions are the only decisions on the trail
+        when an assumption conflict is discovered.  The returned core is a
+        subset of the call's assumptions (including ``failed`` itself) whose
+        conjunction with the clause database is unsatisfiable.
+        """
+        core = [failed]
+        if not self._trail_lim:
+            return core  # forced at level 0 by the clause database
+        seen = {abs(failed)}
+        for index in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
+            lit = self._trail[index]
+            var = abs(lit)
+            if var not in seen:
+                continue
+            seen.discard(var)
+            reason = self._reason.get(var)
+            if reason is None:
+                core.append(lit)
+                continue
+            for q in self.clauses[reason]:
+                if self._level.get(abs(q), 0) > 0:
+                    seen.add(abs(q))
+        return core
+
     def _backtrack(self, level: int) -> None:
         if len(self._trail_lim) <= level:
             return
         limit = self._trail_lim[level]
+        order = self._order
+        decidable = self._decidable
         for lit in self._trail[limit:]:
             var = abs(lit)
             self._phase[var] = self._assign[var]
             del self._assign[var]
             del self._level[var]
             self._reason.pop(var, None)
+            if var in decidable:
+                heapq.heappush(order, (-self._activity.get(var, 0.0), var))
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._qhead = min(self._qhead, len(self._trail))
 
     def _decide(self) -> int | None:
+        order = self._order
+        activity = self._activity
+        assign = self._assign
         best_var = None
-        best_act = -1.0
-        for var in range(1, self.num_vars + 1):
-            if var not in self._assign:
-                act = self._activity.get(var, 0.0)
-                if act > best_act:
-                    best_act = act
-                    best_var = var
+        while order:
+            neg_act, var = order[0]
+            if var in assign or -neg_act != activity.get(var, 0.0):
+                heapq.heappop(order)  # assigned or stale entry
+                continue
+            heapq.heappop(order)
+            best_var = var
+            break
         if best_var is None:
             return None
         phase = self._phase.get(best_var, False)
@@ -286,30 +395,50 @@ class Solver:
 
     # -- main loop ---------------------------------------------------------------
 
+    def _result(
+        self,
+        satisfiable: bool | None,
+        model: dict[int, bool] | None = None,
+        core: list[int] | None = None,
+    ) -> SatResult:
+        return SatResult(
+            satisfiable=satisfiable,
+            model=model or {},
+            core=core or [],
+            conflicts=self.stats.conflicts,
+            decisions=self.stats.decisions,
+            propagations=self.stats.propagations,
+        )
+
     def solve(
         self,
         assumptions: Sequence[int] = (),
         max_conflicts: int | None = None,
         interrupt: Callable[[], bool] | None = None,
     ) -> SatResult:
-        """Solve the instance; ``assumptions`` are temporary unit literals.
+        """Solve the instance under temporary unit ``assumptions``.
 
         ``max_conflicts`` caps the search (result ``satisfiable=None`` when
         exhausted); ``interrupt`` is polled every few conflicts and aborts
-        the run with ``satisfiable=None`` when it returns True.
+        the run with ``satisfiable=None`` when it returns True.  Both are
+        per-call limits.  The solver is left at decision level 0 and fully
+        reusable whatever the outcome; only a clause-database-level conflict
+        (``core == []``) pins it to UNSAT permanently.
         """
         self.stats = SatResult(satisfiable=None)
         if not self._ok:
-            return SatResult(satisfiable=False)
+            return self._result(False)
         self._backtrack(0)
 
         # apply stored unit clauses
         for clause in self.clauses:
             if len(clause) == 1:
                 if not self._enqueue(clause[0], None):
-                    return SatResult(satisfiable=False)
+                    self._ok = False
+                    return self._result(False)
         if self._propagate() is not None:
-            return SatResult(satisfiable=False)
+            self._ok = False
+            return self._result(False)
 
         restart_count = 0
         conflicts_until_restart = 100 * _luby(restart_count + 1)
@@ -329,25 +458,18 @@ class Solver:
                     out_of_budget = interrupt()
                 if out_of_budget:
                     self._backtrack(0)
-                    return SatResult(
-                        satisfiable=None,
-                        conflicts=self.stats.conflicts,
-                        decisions=self.stats.decisions,
-                        propagations=self.stats.propagations,
-                    )
+                    return self._result(None)
                 if not self._trail_lim:
-                    return SatResult(
-                        satisfiable=False,
-                        conflicts=self.stats.conflicts,
-                        decisions=self.stats.decisions,
-                        propagations=self.stats.propagations,
-                    )
+                    self._ok = False
+                    return self._result(False)
                 learned, back_level = self._analyze(conflict)
                 self._backtrack(back_level)
                 self._var_inc *= 1.05
                 if len(learned) == 1:
+                    self.clauses.append(learned)  # retained across calls
                     if not self._enqueue(learned[0], None):
-                        return SatResult(satisfiable=False)
+                        self._ok = False
+                        return self._result(False)
                 else:
                     ci = self._attach(learned)
                     self._enqueue(learned[0], ci)
@@ -363,13 +485,9 @@ class Solver:
             for lit in assumptions:
                 value = self._lit_value(lit)
                 if value is False:
+                    core = self._analyze_final(lit)
                     self._backtrack(0)
-                    return SatResult(
-                        satisfiable=False,
-                        conflicts=self.stats.conflicts,
-                        decisions=self.stats.decisions,
-                        propagations=self.stats.propagations,
-                    )
+                    return self._result(False, core=core)
                 if value is None:
                     self._trail_lim.append(len(self._trail))
                     self._enqueue(lit, None)
@@ -380,14 +498,7 @@ class Solver:
 
             lit = self._decide()
             if lit is None:
-                model = dict(self._assign)
-                result = SatResult(
-                    satisfiable=True,
-                    model=model,
-                    conflicts=self.stats.conflicts,
-                    decisions=self.stats.decisions,
-                    propagations=self.stats.propagations,
-                )
+                result = self._result(True, model=dict(self._assign))
                 self._backtrack(0)
                 return result
             self.stats.decisions += 1

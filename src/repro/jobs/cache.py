@@ -27,7 +27,8 @@ from typing import Mapping
 
 from ..proofs.discharge import DischargeRecord, Status
 
-CACHE_VERSION = 1
+# 2: record layout gained conflicts/frames profile fields (incremental engine)
+CACHE_VERSION = 2
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 _CACHEABLE = (Status.PROVED, Status.BOUNDED, Status.TRACE_OK)
@@ -82,6 +83,8 @@ class ResultCache:
                 method=payload["method"],
                 detail=payload.get("detail", ""),
                 seconds=float(payload.get("seconds", 0.0)),
+                conflicts=int(payload.get("conflicts", 0)),
+                frames=int(payload.get("frames", 0)),
             )
         except (OSError, ValueError, KeyError):
             self.stats.misses += 1
@@ -112,6 +115,8 @@ class ResultCache:
             "method": record.method,
             "detail": record.detail,
             "seconds": record.seconds,
+            "conflicts": record.conflicts,
+            "frames": record.frames,
             "params": dict(params or {}),
             "created": time.time(),
         }

@@ -63,12 +63,18 @@ class EngineParams:
     trace_cycles: int = 200
     liveness_bound: int | None = None
     max_conflicts: int | None = None
+    # engine selection: one incremental solver per obligation vs. a fresh
+    # unrolling and solver per bound (see repro.formal.bmc)
+    incremental: bool = True
+    sweep_frames: bool = False
 
     def invariant_params(self) -> dict[str, object]:
         return {
             "max_k": self.max_k,
             "bmc_bound": self.bmc_bound,
             "max_conflicts": self.max_conflicts,
+            "incremental": self.incremental,
+            "sweep_frames": self.sweep_frames,
         }
 
     def trace_params(self, checker: str, n_stages: int) -> dict[str, object]:
@@ -100,6 +106,8 @@ class JobOutcome:
             "method": self.record.method,
             "detail": self.record.detail,
             "seconds": round(self.record.seconds, 6),
+            "conflicts": self.record.conflicts,
+            "frames": self.record.frames,
             "source": self.source,
             "worker": self.worker,
             "fingerprint": self.fingerprint,
@@ -217,6 +225,26 @@ class JobReport:
             )
         return "\n".join(lines)
 
+    def format_profile(self) -> str:
+        """Per-obligation profile table: wall-clock, solver conflicts and
+        peak unrolled frame count, hottest first (``repro discharge
+        --profile``)."""
+        ordered = sorted(self.outcomes, key=lambda o: -o.record.seconds)
+        oid_width = max([len(o.record.oid) for o in ordered] + [len("obligation")])
+        header = (
+            f"  {'obligation':<{oid_width}} {'seconds':>9} {'conflicts':>9}"
+            f" {'frames':>6}  method (source)"
+        )
+        lines = [header, "  " + "-" * (len(header) - 2)]
+        for outcome in ordered:
+            record = outcome.record
+            lines.append(
+                f"  {record.oid:<{oid_width}} {record.seconds:>9.3f}"
+                f" {record.conflicts:>9} {record.frames:>6}"
+                f"  {record.method} ({outcome.source})"
+            )
+        return "\n".join(lines)
+
 
 @dataclass
 class _SolverTask:
@@ -254,6 +282,8 @@ def _solver_record(
             max_k=params.max_k,
             bmc_bound=params.bmc_bound,
             max_conflicts=params.max_conflicts,
+            incremental=params.incremental,
+            sweep_frames=params.sweep_frames,
         )
     return discharge_equivalence(obligation)
 

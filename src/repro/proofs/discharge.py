@@ -31,7 +31,7 @@ from ..core.consistency import (
 from ..core.scheduling import check_lemma1
 from ..formal.equiv import check_equivalence
 from ..core.transform import PipelinedMachine
-from ..formal.bmc import TransitionSystem, bmc, k_induction
+from ..formal.bmc import IncrementalChecker, TransitionSystem, bmc, k_induction
 from ..hdl.sim import Simulator, Trace
 from .instrument import instrument_scheduling
 from .obligations import Obligation, ObligationKind, ObligationSet
@@ -49,7 +49,12 @@ class Status(Enum):
 
 @dataclass
 class DischargeRecord:
-    """Outcome of discharging one obligation."""
+    """Outcome of discharging one obligation.
+
+    ``conflicts`` and ``frames`` profile the formal engines (total solver
+    conflicts, peak unrolled frame count); both stay 0 for trace and
+    equivalence obligations.
+    """
 
     oid: str
     title: str
@@ -57,6 +62,8 @@ class DischargeRecord:
     method: str
     detail: str = ""
     seconds: float = 0.0
+    conflicts: int = 0
+    frames: int = 0
 
     @property
     def ok(self) -> bool:
@@ -127,6 +134,8 @@ def discharge(
     seq_inputs: InputProvider | None = None,
     conjoin: bool = True,
     max_conflicts: int | None = None,
+    incremental: bool = True,
+    sweep_frames: bool = False,
 ) -> DischargeReport:
     """Discharge every obligation; see module docstring for the strategy.
 
@@ -141,6 +150,9 @@ def discharge(
 
     ``max_conflicts`` bounds every SAT call (see :mod:`repro.formal.sat`);
     an exhausted budget degrades the obligation to ``Status.UNKNOWN``.
+    ``incremental`` selects the single-solver engine (default; see
+    :mod:`repro.formal.bmc`) and ``sweep_frames`` its optional AIG
+    rewriting pass.
     """
     report = DischargeReport(machine_name=obligations.machine_name)
     resolve_properties(pipelined, obligations)
@@ -153,7 +165,14 @@ def discharge(
 
         start = time.perf_counter()
         combined = E.all_of(o.prop for o in invariants)
-        result = k_induction(system, combined, k=1, max_conflicts=max_conflicts)
+        result = k_induction(
+            system,
+            combined,
+            k=1,
+            max_conflicts=max_conflicts,
+            incremental=incremental,
+            sweep_frames=sweep_frames,
+        )
         if result.holds is True:
             elapsed = (time.perf_counter() - start) / len(invariants)
             for obligation in invariants:
@@ -164,6 +183,8 @@ def discharge(
                         status=Status.PROVED,
                         method="1-induction (conjoined)",
                         seconds=elapsed,
+                        conflicts=result.conflicts,
+                        frames=result.frames,
                     )
                 )
             conjoined_done = True
@@ -176,6 +197,8 @@ def discharge(
                     max_k=max_k,
                     bmc_bound=bmc_bound,
                     max_conflicts=max_conflicts,
+                    incremental=incremental,
+                    sweep_frames=sweep_frames,
                 )
             )
 
@@ -206,66 +229,87 @@ def discharge_invariant(
     max_k: int = 2,
     bmc_bound: int = 8,
     max_conflicts: int | None = None,
+    incremental: bool = True,
+    sweep_frames: bool = False,
 ) -> DischargeRecord:
-    """Discharge one invariant obligation by k-induction, then BMC."""
+    """Discharge one invariant obligation by k-induction, then BMC.
+
+    With ``incremental`` (default) one :class:`IncrementalChecker` carries
+    the whole escalation: the k-induction attempts at growing k *and* the
+    BMC fallback all extend the same pair of unrollings and the same
+    solvers, so only the newest frame and the newest query are ever paid
+    for.  Pass ``incremental=False`` for the from-scratch engines (used by
+    the differential test suite).
+    """
     assert obligation.kind is ObligationKind.INVARIANT and obligation.prop is not None
     start = time.perf_counter()
-    for k in range(1, max_k + 1):
-        result = k_induction(
+    checker: IncrementalChecker | None = None
+    if incremental:
+        checker = IncrementalChecker(
             system,
             obligation.prop,
-            k=k,
             assume=list(obligation.assume),
             max_conflicts=max_conflicts,
+            sweep_frames=sweep_frames,
         )
+    conflicts = 0
+    frames = 0
+
+    def note(result) -> None:
+        nonlocal conflicts, frames
+        if checker is not None:
+            conflicts = checker.conflicts
+            frames = checker.frames
+        else:
+            conflicts += result.conflicts
+            frames = max(frames, result.frames)
+
+    def record(status: Status, method: str, detail: str = "") -> DischargeRecord:
+        return DischargeRecord(
+            oid=obligation.oid,
+            title=obligation.title,
+            status=status,
+            method=method,
+            detail=detail,
+            seconds=time.perf_counter() - start,
+            conflicts=conflicts,
+            frames=frames,
+        )
+
+    for k in range(1, max_k + 1):
+        if checker is not None:
+            result = checker.k_induction(k)
+        else:
+            result = k_induction(
+                system,
+                obligation.prop,
+                k=k,
+                assume=list(obligation.assume),
+                max_conflicts=max_conflicts,
+                incremental=False,
+            )
+        note(result)
         if result.holds is True:
-            return DischargeRecord(
-                oid=obligation.oid,
-                title=obligation.title,
-                status=Status.PROVED,
-                method=f"{k}-induction",
-                seconds=time.perf_counter() - start,
-            )
+            return record(Status.PROVED, f"{k}-induction")
         if result.holds is False:
-            return DischargeRecord(
-                oid=obligation.oid,
-                title=obligation.title,
-                status=Status.FAILED,
-                method=result.method,
-                detail=str(result.counterexample),
-                seconds=time.perf_counter() - start,
-            )
-    result = bmc(
-        system,
-        obligation.prop,
-        bound=bmc_bound,
-        assume=list(obligation.assume),
-        max_conflicts=max_conflicts,
-    )
+            return record(Status.FAILED, result.method, str(result.counterexample))
+    if checker is not None:
+        result = checker.bmc_to(bmc_bound)
+    else:
+        result = bmc(
+            system,
+            obligation.prop,
+            bound=bmc_bound,
+            assume=list(obligation.assume),
+            max_conflicts=max_conflicts,
+            incremental=False,
+        )
+    note(result)
     if result.holds is True:
-        return DischargeRecord(
-            oid=obligation.oid,
-            title=obligation.title,
-            status=Status.BOUNDED,
-            method=f"bmc({bmc_bound})",
-            seconds=time.perf_counter() - start,
-        )
+        return record(Status.BOUNDED, f"bmc({bmc_bound})")
     if result.holds is False:
-        return DischargeRecord(
-            oid=obligation.oid,
-            title=obligation.title,
-            status=Status.FAILED,
-            method=f"bmc({result.bound})",
-            detail=str(result.counterexample),
-            seconds=time.perf_counter() - start,
-        )
-    return DischargeRecord(
-        oid=obligation.oid,
-        title=obligation.title,
-        status=Status.UNKNOWN,
-        method="exhausted",
-        seconds=time.perf_counter() - start,
-    )
+        return record(Status.FAILED, f"bmc({result.bound})", str(result.counterexample))
+    return record(Status.UNKNOWN, "exhausted")
 
 
 def discharge_equivalence(obligation: Obligation) -> DischargeRecord:

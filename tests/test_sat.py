@@ -153,3 +153,129 @@ class TestRandomInstances:
         assert result.satisfiable is (expected is not None)
         if result.satisfiable:
             assert check_model(clauses, result.model)
+
+
+class TestIncremental:
+    """Assumption semantics and solver-state reuse across solve() calls."""
+
+    def test_core_is_subset_of_assumptions(self):
+        solver = Solver()
+        solver.add_clause([-1, -2])  # at most one of 1, 2
+        assumptions = [1, 2, 3, 4]
+        result = solver.solve(assumptions=assumptions)
+        assert result.satisfiable is False
+        assert result.core
+        assert set(result.core) <= set(assumptions)
+        # the core alone is already unsatisfiable with the database
+        assert solver.solve(assumptions=result.core).satisfiable is False
+
+    def test_core_irrelevant_assumptions_excluded(self):
+        solver = Solver()
+        solver.add_clause([-1])
+        result = solver.solve(assumptions=[5, 1, 7])
+        assert result.satisfiable is False
+        assert set(result.core) == {1}
+
+    def test_core_empty_only_for_database_unsat(self):
+        solver = Solver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        result = solver.solve(assumptions=[2])
+        assert result.satisfiable is False
+        assert result.core == []
+        # a database-level contradiction pins the solver to UNSAT
+        assert solver.solve().satisfiable is False
+
+    def test_core_via_propagation_chain(self):
+        solver = Solver()
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        solver.add_clause([-3, -4])
+        result = solver.solve(assumptions=[1, 4])
+        assert result.satisfiable is False
+        assert set(result.core) <= {1, 4}
+        assert len(result.core) == 2  # both assumptions are needed
+
+    def test_reusable_after_sat_and_unsat(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        assert solver.solve(assumptions=[1]).satisfiable is True
+        assert solver.solve(assumptions=[-2]).satisfiable is False
+        assert solver.solve(assumptions=[2]).satisfiable is True
+        assert solver.solve().satisfiable is True
+
+    def test_clauses_added_between_calls(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]).satisfiable is True
+        solver.add_clause([-2])
+        result = solver.solve(assumptions=[-1])
+        assert result.satisfiable is False
+        assert set(result.core) == {-1}
+        assert solver.solve().satisfiable is True  # 1 forced, fine alone
+
+    def test_learned_clauses_sound_across_assumption_calls(self):
+        """Whatever is learned under assumptions must be implied by the
+        clause database alone: brute-force every later call."""
+        rng = random.Random(7)
+        num_vars = 8
+        clauses = []
+        for _ in range(30):
+            lits = rng.sample(range(1, num_vars + 1), 3)
+            clauses.append([lit if rng.random() < 0.5 else -lit for lit in lits])
+        solver = Solver()
+        solver.add_clauses(clauses)
+        for trial in range(12):
+            assumptions = [
+                v if rng.random() < 0.5 else -v
+                for v in rng.sample(range(1, num_vars + 1), rng.randint(0, 3))
+            ]
+            expected = brute_force([*clauses, *([a] for a in assumptions)], num_vars)
+            result = solver.solve(assumptions=assumptions)
+            assert result.satisfiable is (expected is not None), (trial, assumptions)
+            if result.satisfiable:
+                assert check_model(clauses, result.model)
+                assert all(result.model.get(abs(a), False) == (a > 0) for a in assumptions)
+            else:
+                assert set(result.core) <= set(assumptions)
+
+    def test_budget_aborts_mid_incremental_call(self):
+        clauses = pigeonhole(6, 5)
+        solver = Solver()
+        solver.add_clauses(clauses)
+        result = solver.solve(assumptions=[1], max_conflicts=2)
+        assert result.satisfiable is None
+        # budget does not carry over; an unbudgeted retry completes
+        result = solver.solve(assumptions=[1])
+        assert result.satisfiable is False
+        # ... and the solver is still consistent for a different query
+        assert solver.solve(assumptions=[1, 2]).satisfiable is False
+
+    def test_interrupt_aborts_mid_incremental_call(self):
+        # PHP(7,6) takes >64 conflicts, so the interrupt poll (every 64
+        # conflicts) fires at least once mid-search
+        clauses = pigeonhole(7, 6)
+        solver = Solver()
+        solver.add_clauses(clauses)
+        calls = []
+
+        def interrupt():
+            calls.append(True)
+            return True
+
+        result = solver.solve(assumptions=[1], interrupt=interrupt)
+        assert result.satisfiable is None
+        assert calls  # the callback was actually polled
+        # the aborted call leaves the solver reusable
+        assert solver.solve(assumptions=[1]).satisfiable is False
+
+    def test_phase_and_activity_survive_calls(self):
+        solver = Solver()
+        solver.add_clauses(pigeonhole(4, 4))
+        first = solver.solve()
+        assert first.satisfiable is True
+        again = solver.solve()
+        assert again.satisfiable is True
+        # phase saving replays the previous model without any conflicts
+        assert again.conflicts == 0
