@@ -1,0 +1,97 @@
+"""E9 — static analysis (repro.lint): lint wall-time vs SAT discharge.
+
+The point of the lint layer is that it is *cheap*: a full structural +
+hazard-audit pass over the pipelined DLX must finish in well under a
+second, while a cold SAT discharge of the same design's obligation set
+costs seconds (BENCH_discharge.json records the trajectory).  That gap
+is what makes the engine's lint gate worthwhile — a broken forwarding
+network is reported before any solver is launched.
+
+Recorded to ``BENCH_lint.json``:
+
+1. **lint wall-time** — ``lint_pipeline`` on the small pipelined DLX
+   (structural pass on the generated module + syntactic RAW audit),
+   plus the finding counts (must contain zero errors);
+2. **cold discharge wall-time** — ``discharge_jobs`` with an empty
+   cache on the same design, for the headline ratio;
+3. **gate demo** — the same obligation set against a DLX with one
+   forwarding network deleted: the lint gate fails every obligation
+   fast, and the recorded wall-time shows the cost of catching the bug
+   statically instead of by SAT counterexample.
+"""
+
+import dataclasses
+import tempfile
+import time
+
+from _report import report_json
+from repro.jobs import EngineParams, ResultCache, default_jobs, discharge_jobs
+from repro.lint import lint_pipeline
+from repro.proofs import generate_obligations
+
+PARAMS = EngineParams(max_k=2, bmc_bound=8, trace_cycles=100)
+
+
+def test_lint_vs_discharge(benchmark, small_dlx):
+    _workload, _machine, pipelined = small_dlx
+    obligations = generate_obligations(pipelined)
+    cpus = default_jobs()
+
+    # 1 -- lint wall-time (benchmarked): full structural + hazard audit
+    result = benchmark.pedantic(
+        lint_pipeline, args=(pipelined,), rounds=3, iterations=1
+    )
+    t0 = time.perf_counter()
+    result = lint_pipeline(pipelined)
+    lint_seconds = time.perf_counter() - t0
+    assert not result.has_errors, [d.format() for d in result.errors]
+    assert lint_seconds < 1.0, lint_seconds
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+
+        # 2 -- cold discharge of the same design for the ratio
+        t0 = time.perf_counter()
+        cold = discharge_jobs(
+            pipelined, obligations, params=PARAMS, jobs=cpus, cache=cache
+        )
+        cold_seconds = time.perf_counter() - t0
+        assert cold.ok and cold.cache_hits == 0
+
+    # 3 -- gate demo: delete one forwarding network, the gate fails all
+    # obligations before any solver is launched
+    mutated = dataclasses.replace(
+        pipelined, networks=pipelined.networks[:-1]
+    )
+    t0 = time.perf_counter()
+    gated = discharge_jobs(mutated, obligations, jobs=1, cache=None)
+    gate_seconds = time.perf_counter() - t0
+    assert not gated.ok and gated.lint_errors
+    assert all(o.record.method == "lint-gate" for o in gated.outcomes)
+    assert gate_seconds < 1.0, gate_seconds
+
+    report_json(
+        "lint",
+        {
+            "machine": obligations.machine_name,
+            "obligations": len(obligations),
+            "cpu_count": cpus,
+            "lint": {
+                "seconds": round(lint_seconds, 3),
+                "counts": result.counts(),
+                "rules_fired": sorted({d.rule for d in result.diagnostics}),
+            },
+            "discharge_cold": {
+                "seconds": round(cold_seconds, 3),
+                "counts": cold.counts(),
+            },
+            "speedup_vs_cold_discharge": round(cold_seconds / lint_seconds, 1),
+            "gate_demo": {
+                "mutation": "deleted last forwarding network",
+                "seconds": round(gate_seconds, 3),
+                "lint_errors": gated.lint_errors,
+                "obligations_failed_fast": len(gated.outcomes),
+            },
+        },
+        title="E9: static lint vs SAT discharge (and the lint gate)",
+    )

@@ -18,7 +18,7 @@ Run:  python examples/verify_pipeline.py
 from repro.core import transform
 from repro.machine import toy
 from repro.perf import format_table
-from repro.proofs import Status, discharge, generate_obligations
+from repro.proofs import discharge, generate_obligations
 
 
 def build():

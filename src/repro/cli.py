@@ -7,6 +7,8 @@ Usage examples::
     python -m repro.cli run program.s --vcd out.vcd   # dump waveforms
     python -m repro.cli verify program.s              # obligations + traces
     python -m repro.cli discharge program.s -j 4      # parallel cached proofs
+    python -m repro.cli lint --core all               # static analysis
+    python -m repro.cli lint program.s --format sarif # lint one program
     python -m repro.cli cost --depths 4 8 12          # forwarding-cost table
 
 The program file is DLX assembly (see :mod:`repro.dlx.assemble` for the
@@ -176,6 +178,7 @@ def cmd_discharge(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         timeout=args.timeout,
         cache=cache,
+        lint_gate=not args.no_lint,
     )
     if args.json:
         with open(args.json, "w") as handle:
@@ -186,6 +189,84 @@ def cmd_discharge(args: argparse.Namespace) -> int:
         print(report.format_profile())
     # unknowns (timeouts, budget exhaustion) are inconclusive, not failures
     return 1 if report.failed else 0
+
+
+LINT_CORES = ("toy", "dlx", "dlx-spec", "superpipe")
+
+
+def _lint_targets(args) -> list[tuple[str, object]]:
+    """(name, PipelinedMachine) pairs selected by ``repro lint``."""
+    from .dlx.programs import fibonacci
+    from .dlx.speculative import build_dlx_spec_machine
+    from .dlx.superpipe import build_superpipelined_dlx
+    from .machine import toy
+
+    options = TransformOptions(interlock_only=args.interlock_only)
+    targets: list[tuple[str, object]] = []
+    if args.program:
+        _source, program, _labels = _load(args.program)
+        machine = build_dlx_machine(
+            program, config=_config_for(program, args.dmem_bits)
+        )
+        return [(args.program, transform(machine, options))]
+    cores = LINT_CORES if args.core == "all" else (args.core,)
+    workload = fibonacci()
+    for core in cores:
+        if core == "toy":
+            program = [
+                toy.li(1, 5),
+                toy.li(2, 7),
+                toy.add(3, 1, 2),
+                toy.ld(1, 3),
+                toy.add(2, 1, 1),
+            ]
+            machine = toy.build_toy_machine(program, {12: 99})
+        elif core == "dlx":
+            machine = build_dlx_machine(workload.program, data=workload.data)
+        elif core == "dlx-spec":
+            machine = build_dlx_spec_machine(workload.program)
+        else:  # superpipe
+            machine = build_superpipelined_dlx(
+                workload.program, data=workload.data
+            )
+        targets.append((core, transform(machine, options)))
+    return targets
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import LintConfig, LintResult, Severity, lint_pipeline, render
+    from .lint import rule_table
+
+    if args.list_rules:
+        for rule in sorted(rule_table().values(), key=lambda r: r.rule_id):
+            print(
+                f"{rule.rule_id:<28} {rule.severity.label:<7}"
+                f" [{rule.target}] {rule.title}"
+            )
+        return 0
+
+    config = LintConfig(
+        disabled=set(args.disable or ()),
+        max_delay=args.max_delay,
+        max_cost=args.max_cost,
+        enumerate_hazards=not args.no_hazard_pairs,
+    )
+    combined = LintResult()
+    for _name, pipelined in _lint_targets(args):
+        combined.extend(lint_pipeline(pipelined, config))
+
+    rendered = render(combined, args.format)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+            handle.write("\n")
+        print(f"{len(combined)} finding(s) written to {args.output}"
+              f" ({combined.summary()})")
+    else:
+        print(rendered)
+
+    threshold = Severity.parse(args.fail_on)
+    return 1 if combined.at_least(threshold) else 0
 
 
 def cmd_cost(args: argparse.Namespace) -> int:
@@ -282,7 +363,63 @@ def main(argv: list[str] | None = None) -> int:
         "--dmem-bits", type=int, default=6,
         help="data memory size in address bits (words)",
     )
+    discharge_parser.add_argument(
+        "--no-lint", action="store_true",
+        help="skip the static-lint gate that fails obligations fast on"
+        " ERROR-level findings",
+    )
     discharge_parser.set_defaults(func=cmd_discharge)
+
+    lint_parser = sub.add_parser(
+        "lint", help="static analysis of netlists and generated pipelines"
+    )
+    lint_parser.add_argument(
+        "program", nargs="?", default=None,
+        help="DLX assembly file to lint (default: the built-in cores)",
+    )
+    lint_parser.add_argument(
+        "--core", choices=LINT_CORES + ("all",), default="all",
+        help="which built-in core(s) to lint when no program is given",
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
+    lint_parser.add_argument(
+        "--output", metavar="FILE", help="write the report here instead of stdout"
+    )
+    lint_parser.add_argument(
+        "--fail-on", choices=("info", "warning", "error"), default="error",
+        help="exit nonzero if any finding at or above this severity"
+        " (default: %(default)s)",
+    )
+    lint_parser.add_argument(
+        "--disable", action="append", metavar="RULE",
+        help="disable a rule id (repeatable)",
+    )
+    lint_parser.add_argument(
+        "--max-delay", type=float, default=None,
+        help="warn when a combinational cone exceeds this many gate delays",
+    )
+    lint_parser.add_argument(
+        "--max-cost", type=float, default=None,
+        help="warn when a module exceeds this many gate equivalents",
+    )
+    lint_parser.add_argument(
+        "--no-hazard-pairs", action="store_true",
+        help="omit the INFO-level RAW-pair enumeration",
+    )
+    lint_parser.add_argument(
+        "--interlock-only", action="store_true",
+        help="lint the interlock-only (no forwarding) transformation",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    lint_parser.add_argument(
+        "--dmem-bits", type=int, default=6,
+        help="data memory size in address bits (words)",
+    )
+    lint_parser.set_defaults(func=cmd_lint)
 
     cost_parser = sub.add_parser("cost", help="forwarding cost vs pipeline depth")
     cost_parser.add_argument(

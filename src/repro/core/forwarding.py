@@ -51,6 +51,50 @@ def valid_bit_name(regfile: str, stage: int) -> str:
     return f"fwd.{regfile}.v.{stage}"
 
 
+def regfile_needs_forwarding(
+    machine: PreparedMachine, regfile_name: str, stage: int
+) -> bool:
+    """Does a read of ``regfile_name`` in ``stage`` need forwarding?
+
+    Paper, Section 4.1: "If an instance of R is either output of stage
+    k-1 or stage k, nothing needs to be changed."  Shared between the
+    synthesis (:class:`ForwardingBuilder`) and the static hazard audit
+    (:mod:`repro.lint.hazards`) so both enumerate the same read sites.
+    """
+    regfile = machine.regfiles[regfile_name]
+    if regfile.read_only or not regfile.visible:
+        return False
+    if regfile.write_stage in (stage - 1, stage):
+        return False
+    if regfile.write_stage < stage - 1:
+        raise MachineSpecError(
+            f"stage {stage} reads {regfile_name!r} which is written by the"
+            f" earlier stage {regfile.write_stage}; in a pipeline younger"
+            " instructions would already have overwritten it — pipe the"
+            " value forward through register instances instead"
+        )
+    return True
+
+
+def register_needs_forwarding(
+    machine: PreparedMachine, reg_name: str, stage: int
+) -> bool:
+    """Does a read of the architectural instance of plain register
+    ``reg_name`` in ``stage`` need forwarding?  Same rule as for register
+    files; the address comparison is simply omitted."""
+    reg = machine.registers[reg_name]
+    w = reg.write_stage
+    if w in (stage - 1, stage):
+        return False
+    if w < stage - 1:
+        raise MachineSpecError(
+            f"stage {stage} reads {reg_name}.{reg.last} which is written"
+            f" by the earlier stage {w}; pipe the value forward through"
+            " register instances instead"
+        )
+    return True
+
+
 @dataclass
 class ForwardingNetwork:
     """The synthesized forwarding hardware for one read site."""
@@ -66,6 +110,11 @@ class ForwardingNetwork:
     style: str
     comparators: int  # number of =? equality testers generated
     fallback: E.Expr | None = None  # the architectural read (no-hit case)
+    # per-hit-stage hazard contribution: Const 1 = the hit interlocks,
+    # Const 0 = the forwarded value is always final, anything else = the
+    # valid-bit protection.  The static hazard audit checks every stage
+    # is either forwarded or interlocked through this map.
+    hazards: dict[int, E.Expr] = field(default_factory=dict)
 
     @property
     def write_stage(self) -> int:
@@ -151,40 +200,12 @@ class ForwardingBuilder:
     # -- forwardability ----------------------------------------------------------
 
     def is_forwarded(self, regfile_name: str, stage: int) -> bool:
-        """Does a read of ``regfile_name`` in ``stage`` need forwarding?
-
-        Paper, Section 4.1: "If an instance of R is either output of stage
-        k-1 or stage k, nothing needs to be changed."
-        """
-        regfile = self.machine.regfiles[regfile_name]
-        if regfile.read_only or not regfile.visible:
-            return False
-        if regfile.write_stage in (stage - 1, stage):
-            return False
-        if regfile.write_stage < stage - 1:
-            raise MachineSpecError(
-                f"stage {stage} reads {regfile_name!r} which is written by the"
-                f" earlier stage {regfile.write_stage}; in a pipeline younger"
-                " instructions would already have overwritten it — pipe the"
-                " value forward through register instances instead"
-            )
-        return True
+        """See :func:`regfile_needs_forwarding`."""
+        return regfile_needs_forwarding(self.machine, regfile_name, stage)
 
     def is_forwarded_register(self, reg_name: str, stage: int) -> bool:
-        """Does a read of the architectural instance of plain register
-        ``reg_name`` in ``stage`` need forwarding?  Same rule as for
-        register files; the address comparison is simply omitted."""
-        reg = self.machine.registers[reg_name]
-        w = reg.write_stage
-        if w in (stage - 1, stage):
-            return False
-        if w < stage - 1:
-            raise MachineSpecError(
-                f"stage {stage} reads {reg_name}.{reg.last} which is written"
-                f" by the earlier stage {w}; pipe the value forward through"
-                " register instances instead"
-            )
-        return True
+        """See :func:`register_needs_forwarding`."""
+        return register_needs_forwarding(self.machine, reg_name, stage)
 
     # -- valid-bit pipelines --------------------------------------------------------
 
@@ -449,6 +470,7 @@ class ForwardingBuilder:
             style=self.style,
             comparators=comparators,
             fallback=fallback,
+            hazards=hazards,
         )
         self.networks.append(network)
         return network

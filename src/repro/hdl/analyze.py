@@ -32,7 +32,6 @@ Concat/Slice   0                           0
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -41,7 +40,13 @@ from .netlist import Module
 
 
 def _clog2(n: int) -> int:
-    return max(1, math.ceil(math.log2(n))) if n > 1 else 0
+    """Integer ``ceil(log2 n)`` with ``_clog2(1) == _clog2(0) == 0``.
+
+    Computed via ``bit_length`` rather than ``math.log2``: float rounding
+    makes ``ceil(log2(2**k + 1))`` come out as ``k`` instead of ``k + 1``
+    for large ``k``, and a width-1 operand must contribute zero tree
+    depth, not a negative or NaN one."""
+    return (n - 1).bit_length() if n > 1 else 0
 
 
 def node_cost(node: E.Expr) -> float:
@@ -57,9 +62,11 @@ def node_cost(node: E.Expr) -> float:
         return {
             "NOT": 1.0 * aw,
             "NEG": 10.0 * aw,
-            "REDOR": 2.0 * (aw - 1),
-            "REDAND": 2.0 * (aw - 1),
-            "REDXOR": 4.0 * (aw - 1),
+            # width-1 reductions are wires: max() keeps the cost at 0,
+            # never negative
+            "REDOR": 2.0 * max(0, aw - 1),
+            "REDAND": 2.0 * max(0, aw - 1),
+            "REDXOR": 4.0 * max(0, aw - 1),
         }[node.op]
     if isinstance(node, E.Binary):
         aw = node.a.width
@@ -69,7 +76,7 @@ def node_cost(node: E.Expr) -> float:
         if op == "XOR":
             return 4.0 * aw
         if op in ("EQ", "NE"):
-            return 4.0 * aw + 2.0 * (aw - 1)
+            return 4.0 * aw + 2.0 * max(0, aw - 1)
         if op in ("ADD", "SUB"):
             return 10.0 * aw
         if op == "MUL":

@@ -27,6 +27,22 @@ class NetlistError(ValueError):
     mismatches, duplicate definitions)."""
 
 
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One structural violation found by :meth:`Module.check`.
+
+    ``error`` distinguishes hard violations (undefined names, width
+    mismatches — the netlist cannot be simulated or bit-blasted) from
+    advisory findings (a register declared but never driven) that only
+    surface through :mod:`repro.lint`.
+    """
+
+    code: str  # stable identifier, doubles as the lint rule id
+    path: str  # element path, e.g. "register:IR.1"
+    message: str
+    error: bool = True
+
+
 @dataclass
 class Register:
     """An edge-triggered register.
@@ -119,6 +135,12 @@ class Module:
         self.registers: dict[str, Register] = {}
         self.memories: dict[str, Memory] = {}
         self.probes: dict[str, E.Expr] = {}
+        # registers whose next/enable were defaulted at declaration and
+        # never overridden by drive_register (lint: undriven-register)
+        self._default_next: set[str] = set()
+        self._default_enable: set[str] = set()
+        # element name -> suppressed lint rule ids ("*" = all rules)
+        self.lint_ignores: dict[str, set[str]] = {}
 
     # -- construction --------------------------------------------------------
 
@@ -148,6 +170,10 @@ class Module:
         if name in self.registers:
             raise NetlistError(f"register {name!r} already defined")
         read = E.reg_read(name, width)
+        if next is None:
+            self._default_next.add(name)
+        if enable is None:
+            self._default_enable.add(name)
         self.registers[name] = Register(
             name=name,
             width=width,
@@ -165,6 +191,9 @@ class Module:
         reg = self.registers.get(name)
         if reg is None:
             raise NetlistError(f"register {name!r} not defined")
+        self._default_next.discard(name)
+        if enable is not None:
+            self._default_enable.discard(name)
         self.registers[name] = Register(
             name=reg.name,
             width=reg.width,
@@ -204,6 +233,13 @@ class Module:
         self.probes[name] = value
         return value
 
+    def tag_lint_ignore(self, element: str, *rules: str) -> None:
+        """Suppress lint findings on one element (a register, memory,
+        input or probe name).  With no rules, every rule is suppressed —
+        the per-register ``lint: ignore`` tag."""
+        tagged = self.lint_ignores.setdefault(element, set())
+        tagged.update(rules or ("*",))
+
     def probe(self, name: str) -> E.Expr:
         if name not in self.probes:
             raise NetlistError(f"probe {name!r} not defined")
@@ -224,42 +260,103 @@ class Module:
         roots.extend(self.probes.values())
         return roots
 
-    def validate(self) -> None:
-        """Check that every name referenced by any expression is declared and
-        consistent in width.  Raises :class:`NetlistError` otherwise."""
+    def check(self) -> list[ValidationIssue]:
+        """Collect *all* structural violations instead of stopping at the
+        first: undefined names, width mismatches (``error=True``), plus
+        advisory findings — registers whose ``next``/``enable`` were never
+        driven after :meth:`add_register` (``error=False``).
+
+        :meth:`validate` is the raising wrapper over the error-level
+        subset; :mod:`repro.lint` renders the full list as diagnostics.
+        """
+        issues: list[ValidationIssue] = []
+        seen: set[tuple[str, str]] = set()
+
+        def issue(code: str, path: str, message: str, error: bool = True) -> None:
+            if (code, path) in seen:  # one report per (rule, element)
+                return
+            seen.add((code, path))
+            issues.append(ValidationIssue(code, path, message, error))
+
         for node in E.walk(self.roots()):
             if isinstance(node, E.RegRead):
                 reg = self.registers.get(node.name)
                 if reg is None:
-                    raise NetlistError(f"undefined register {node.name!r}")
-                if reg.width != node.width:
-                    raise NetlistError(
+                    issue(
+                        "undefined-register",
+                        f"register:{node.name}",
+                        f"undefined register {node.name!r}",
+                    )
+                elif reg.width != node.width:
+                    issue(
+                        "width-mismatch",
+                        f"register:{node.name}",
                         f"register {node.name!r}: read width {node.width}"
-                        f" != declared {reg.width}"
+                        f" != declared {reg.width}",
                     )
             elif isinstance(node, E.MemRead):
                 memory = self.memories.get(node.mem)
                 if memory is None:
-                    raise NetlistError(f"undefined memory {node.mem!r}")
+                    issue(
+                        "undefined-memory",
+                        f"memory:{node.mem}",
+                        f"undefined memory {node.mem!r}",
+                    )
+                    continue
                 if memory.data_width != node.width:
-                    raise NetlistError(
+                    issue(
+                        "width-mismatch",
+                        f"memory:{node.mem}",
                         f"memory {node.mem!r}: read width {node.width}"
-                        f" != declared {memory.data_width}"
+                        f" != declared {memory.data_width}",
                     )
                 if memory.addr_width != node.addr.width:
-                    raise NetlistError(
-                        f"memory {node.mem!r}: read addr width {node.addr.width}"
-                        f" != declared {memory.addr_width}"
+                    issue(
+                        "width-mismatch",
+                        f"memory:{node.mem}",
+                        f"memory {node.mem!r}: read addr width"
+                        f" {node.addr.width} != declared {memory.addr_width}",
                     )
             elif isinstance(node, E.Input):
                 declared = self.inputs.get(node.name)
                 if declared is None:
-                    raise NetlistError(f"undefined input {node.name!r}")
-                if declared != node.width:
-                    raise NetlistError(
-                        f"input {node.name!r}: read width {node.width}"
-                        f" != declared {declared}"
+                    issue(
+                        "undefined-input",
+                        f"input:{node.name}",
+                        f"undefined input {node.name!r}",
                     )
+                elif declared != node.width:
+                    issue(
+                        "width-mismatch",
+                        f"input:{node.name}",
+                        f"input {node.name!r}: read width {node.width}"
+                        f" != declared {declared}",
+                    )
+        for name in sorted(self._default_next):
+            if name in self.registers:
+                enable_note = (
+                    " (enable also defaulted)"
+                    if name in self._default_enable
+                    else ""
+                )
+                issue(
+                    "undriven-register",
+                    f"register:{name}",
+                    f"register {name!r} was declared but its next value was"
+                    f" never driven; it holds its initial value"
+                    f" forever{enable_note}",
+                    error=False,
+                )
+        return issues
+
+    def validate(self) -> None:
+        """Check that every name referenced by any expression is declared
+        and consistent in width; raises :class:`NetlistError` listing all
+        error-level violations (advisory findings from :meth:`check` do
+        not raise — they surface through :mod:`repro.lint`)."""
+        problems = [issue for issue in self.check() if issue.error]
+        if problems:
+            raise NetlistError("; ".join(issue.message for issue in problems))
 
     def initial_state(self) -> "ModuleState":
         return ModuleState(

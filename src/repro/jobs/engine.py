@@ -127,6 +127,9 @@ class JobReport:
     cache_misses: int = 0
     uncacheable: int = 0
     worker_seconds: dict[int, float] = field(default_factory=dict)
+    # formatted ERROR-level lint findings when the lint gate tripped and
+    # the run failed fast without invoking any solver
+    lint_errors: list[str] = field(default_factory=list)
 
     @property
     def records(self) -> list[DischargeRecord]:
@@ -183,6 +186,7 @@ class JobReport:
                 "uncacheable": self.uncacheable,
                 "hit_rate": round(self.hit_rate, 4),
             },
+            "lint_errors": list(self.lint_errors),
             "workers": {
                 "count": self.jobs,
                 "busy_seconds": {
@@ -209,6 +213,8 @@ class JobReport:
             f" {self.utilisation:.0%} utilised"
             + (f", timeout {self.timeout:g}s/obligation" if self.timeout else ""),
         ]
+        for finding in self.lint_errors:
+            lines.append(f"  LINT    {finding[:110]}")
         for record in self.failed:
             lines.append(f"  FAILED  {record.oid}: {record.detail[:100]}")
         for record in self.unknown:
@@ -431,6 +437,7 @@ def discharge_jobs(
     cache: ResultCache | None = None,
     inputs: InputProvider | None = None,
     seq_inputs: InputProvider | None = None,
+    lint_gate: bool = True,
 ) -> JobReport:
     """Discharge an obligation set with caching and a worker pool.
 
@@ -439,10 +446,48 @@ def discharge_jobs(
     disables the on-disk cache.  Custom stimulus providers make the trace
     obligations uncacheable (their verdict depends on the callables), but
     never affect the solver-side obligations.
+
+    With ``lint_gate=True`` (the default) the machine is first run through
+    :func:`repro.lint.lint_pipeline`; ERROR-level findings fail every
+    obligation fast with method ``"lint-gate"`` — a structurally broken
+    netlist would only waste solver time producing vacuous or confusing
+    counterexamples.
     """
     params = params or EngineParams()
     jobs = max(1, jobs if jobs is not None else default_jobs())
     started = time.perf_counter()
+
+    if lint_gate:
+        from ..lint import lint_pipeline
+
+        findings = lint_pipeline(pipelined).errors
+        if findings:
+            report = JobReport(
+                machine_name=obligations.machine_name,
+                jobs=jobs,
+                timeout=timeout,
+                lint_errors=[finding.format() for finding in findings],
+            )
+            detail = "; ".join(
+                f"{finding.rule} @ {finding.path}" for finding in findings[:5]
+            )
+            for obligation in obligations:
+                report.outcomes.append(
+                    JobOutcome(
+                        record=DischargeRecord(
+                            oid=obligation.oid,
+                            title=obligation.title,
+                            status=Status.FAILED,
+                            method="lint-gate",
+                            detail=f"static lint found {len(findings)}"
+                            f" error-level finding(s): {detail}",
+                        ),
+                        fingerprint=None,
+                        source="lint",
+                    )
+                )
+            report.wall_seconds = time.perf_counter() - started
+            return report
 
     resolve_properties(pipelined, obligations)
     system = TransitionSystem.from_module(pipelined.module)

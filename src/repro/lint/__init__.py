@@ -1,0 +1,45 @@
+"""``repro.lint`` — static analysis for netlists and generated pipelines.
+
+Two pass families over the same diagnostic machinery:
+
+* **structural** (:mod:`.structural`) — runs on any
+  :class:`repro.hdl.netlist.Module`: combinational-cycle detection,
+  ternary (0/1/X) constant propagation (dead logic, frozen registers,
+  unreachable mux arms, write-port overlap), width-narrowing smells and
+  unit-gate cost/delay budgets;
+* **hazard audit** (:mod:`.hazards`) — runs on a
+  :class:`repro.machine.PreparedMachine` plus its transformed
+  :class:`repro.core.transform.PipelinedMachine`: syntactic RAW-pair
+  enumeration and coverage checking against the synthesized forwarding
+  networks.
+
+Entry points: :func:`lint_module`, :func:`lint_machine`,
+:func:`lint_pipeline`; renderers in :mod:`.render`; the CLI surface is
+``repro lint``.
+"""
+
+from .diagnostics import Diagnostic, LintConfig, LintResult, Severity
+from .registry import (
+    LintRule,
+    lint_machine,
+    lint_module,
+    lint_pipeline,
+    rule_table,
+)
+from .render import render, render_json, render_sarif, render_text
+
+__all__ = [
+    "Diagnostic",
+    "LintConfig",
+    "LintResult",
+    "LintRule",
+    "Severity",
+    "lint_machine",
+    "lint_module",
+    "lint_pipeline",
+    "render",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "rule_table",
+]

@@ -1,0 +1,174 @@
+"""Diagnostic records and lint configuration.
+
+A :class:`Diagnostic` is one structured finding of a lint pass: a stable
+rule identifier, a severity, the module and element path it refers to
+(``register:C.3``, ``probe:stall.2``, ``machine:dlx/GPR@stage1``), a
+human-readable message and free-form structured data for renderers and
+tests.
+
+Suppression happens at emission time, from two sources:
+
+* the :class:`LintConfig` — disabled rules, severity overrides and
+  ``(path glob, rule)`` waivers, the per-run configuration;
+* per-element ``lint: ignore`` tags on the module itself
+  (:meth:`repro.hdl.netlist.Module.tag_lint_ignore`), the designer-side
+  annotation travelling with the netlist.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+
+class Severity(IntEnum):
+    """Finding severity; comparisons follow escalation order."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; use info, warning or error"
+            ) from None
+
+
+#: SARIF 2.1.0 result levels per severity.
+SARIF_LEVELS = {
+    Severity.INFO: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured lint finding."""
+
+    rule: str
+    severity: Severity
+    module: str
+    path: str  # element path, e.g. "register:C.3" or "machine:toy/RF@stage1"
+    message: str
+    data: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def element(self) -> str:
+        """The element name without its kind prefix."""
+        _kind, _sep, name = self.path.partition(":")
+        return name if _sep else self.path
+
+    def datum(self, key: str, default: object = None) -> object:
+        for k, v in self.data:
+            if k == key:
+                return v
+        return default
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "module": self.module,
+            "path": self.path,
+            "message": self.message,
+            "data": dict(self.data),
+        }
+
+    def format(self) -> str:
+        return (
+            f"{self.severity.label:<7} {self.rule:<28}"
+            f" {self.module}::{self.path}: {self.message}"
+        )
+
+
+@dataclass
+class LintConfig:
+    """Per-run lint configuration.
+
+    * ``disabled`` — rule ids that never fire;
+    * ``severity_overrides`` — rule id -> severity, replacing the rule's
+      default;
+    * ``waivers`` — ``(path glob, rule id)`` pairs; a diagnostic whose
+      path matches the glob and whose rule matches (or the rule is
+      ``"*"``) is dropped;
+    * ``max_delay`` / ``max_cost`` — unit-gate budgets for the
+      ``delay-budget`` / ``cost-budget`` rules (``None`` disables them);
+    * ``enumerate_hazards`` — also emit the INFO-level RAW-pair
+      enumeration of the hazard audit.
+    """
+
+    disabled: set[str] = field(default_factory=set)
+    severity_overrides: dict[str, Severity] = field(default_factory=dict)
+    waivers: list[tuple[str, str]] = field(default_factory=list)
+    max_delay: float | None = None
+    max_cost: float | None = None
+    enumerate_hazards: bool = True
+
+    def waived(self, path: str, rule: str) -> bool:
+        return any(
+            (waived_rule in ("*", rule)) and fnmatch.fnmatch(path, pattern)
+            for pattern, waived_rule in self.waivers
+        )
+
+
+@dataclass
+class LintResult:
+    """The diagnostics of one lint run (possibly over several targets)."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, other: "LintResult") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    def at_least(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    def by_rule(self, rule: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def counts(self) -> dict[str, int]:
+        result: dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            label = diagnostic.severity.label
+            result[label] = result.get(label, 0) + 1
+        return result
+
+    def summary(self) -> str:
+        counts = self.counts()
+        parts = [
+            f"{counts[label]} {label}"
+            for label in ("error", "warning", "info")
+            if counts.get(label)
+        ]
+        return ", ".join(parts) if parts else "clean"

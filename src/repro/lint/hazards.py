@@ -1,0 +1,206 @@
+"""Static hazard audit over a transformed pipeline (HADES-style, no SAT).
+
+The audit re-derives, purely syntactically, every read-after-write pair of
+the prepared machine — a stage ``k`` reading a register file or plain
+register whose architectural write happens in a distant stage ``w`` — by
+walking exactly the same stage roots and applying exactly the same
+dedup rules as the forwarding synthesis
+(:func:`repro.core.transform._forwarded_read_sites`).  It then checks the
+generated :class:`repro.core.forwarding.ForwardingNetwork` list covers
+each pair, and that every intermediate hit stage of each network is
+either *forwarded* (a real value is selected) or *interlocked* (the hit
+raises a data hazard), using the per-stage ``hazards`` bookkeeping the
+builder records.
+
+Unlike the SAT-backed proof obligations of :mod:`repro.proofs`, this is a
+coverage argument, not a correctness proof — but it runs in milliseconds
+and catches dropped forwarding paths, unprotected stages and dead
+designer annotations before any solver is invoked.
+"""
+
+from __future__ import annotations
+
+from ..core.transform import _forwarded_read_sites, _stage_roots
+from ..hdl import expr as E
+from .diagnostics import Severity
+from .registry import MachineContext, machine_pass, register_rule
+
+register_rule(
+    "hazard-raw-pair",
+    "read-after-write pair requiring forwarding or interlock",
+    Severity.INFO,
+    target="machine",
+    description="informational enumeration of every (writer stage, reader"
+    " stage, register file) pair the transformation must cover",
+)
+register_rule(
+    "hazard-uncovered-raw",
+    "RAW pair has no forwarding network",
+    Severity.ERROR,
+    target="machine",
+    description="a stage reads state written by a distant stage but the"
+    " pipeline synthesized no forwarding/interlock network for the site;"
+    " the read can observe a stale value",
+)
+register_rule(
+    "hazard-unprotected-stage",
+    "hit stage neither forwarded nor interlocked",
+    Severity.ERROR,
+    target="machine",
+    description="a forwarding network has a hit stage whose selected value"
+    " is the stale architectural read and whose hazard bit cannot raise an"
+    " interlock",
+)
+register_rule(
+    "hazard-useless-forwarding",
+    "designer forwarding annotation is never used",
+    Severity.WARNING,
+    target="machine",
+    description="a forwarding register was annotated for a (register file,"
+    " stage) pair that no synthesized network selects from",
+)
+
+
+def _hazard_path(regfile: str, stage: int) -> str:
+    return f"machine:{regfile}@stage{stage}"
+
+
+class _SitePredicates:
+    """Adapter giving :func:`_forwarded_read_sites` the two forwardability
+    predicates without constructing a full ForwardingBuilder."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+
+    def is_forwarded(self, regfile_name: str, stage: int) -> bool:
+        from ..core.forwarding import regfile_needs_forwarding
+
+        return regfile_needs_forwarding(self.machine, regfile_name, stage)
+
+    def is_forwarded_register(self, reg_name: str, stage: int) -> bool:
+        from ..core.forwarding import register_needs_forwarding
+
+        return register_needs_forwarding(self.machine, reg_name, stage)
+
+
+def expected_read_sites(machine) -> list[tuple[int, str, int, int]]:
+    """Every RAW site the transformation must cover, as
+    ``(reader stage, state name, writer stage, site count)`` tuples
+    (site count > 1 when one stage reads a register file at several
+    distinct addresses)."""
+    shim = _SitePredicates(machine)
+    arch_instances = {
+        reg.instance_name(reg.last): reg.name
+        for reg in machine.registers.values()
+    }
+    sites: list[tuple[int, str, int, int]] = []
+    for stage in range(machine.n_stages):
+        roots = _stage_roots(machine, stage)
+        reg_sites, file_sites = _forwarded_read_sites(
+            shim, roots, stage, arch_instances
+        )
+        for base in reg_sites:
+            writer = machine.registers[base].write_stage
+            sites.append((stage, base, writer, 1))
+        per_file: dict[str, int] = {}
+        for name, _addr in file_sites:
+            per_file[name] = per_file.get(name, 0) + 1
+        for name, count in per_file.items():
+            writer = machine.regfiles[name].write_stage
+            sites.append((stage, name, writer, count))
+    return sites
+
+
+@machine_pass
+def pass_raw_coverage(ctx: MachineContext) -> None:
+    """Enumerate every RAW pair and check each is covered by a network."""
+    for stage, name, writer, count in expected_read_sites(ctx.machine):
+        path = _hazard_path(name, stage)
+        if ctx.config.enumerate_hazards:
+            ctx.emit(
+                "hazard-raw-pair",
+                path,
+                f"stage {stage} reads {name!r} written by stage {writer}"
+                f" at {count} site(s); hits pipe through stages"
+                f" {stage + 1}..{writer}",
+                reader=stage,
+                writer=writer,
+                sites=count,
+            )
+        covered = len(ctx.pipelined.networks_for(name, stage))
+        if covered < count:
+            ctx.emit(
+                "hazard-uncovered-raw",
+                path,
+                f"stage {stage} reads {name!r} (written by stage {writer})"
+                f" at {count} site(s) but only {covered} forwarding"
+                " network(s) were synthesized; the remaining read(s) can"
+                " observe a stale value",
+                reader=stage,
+                writer=writer,
+                expected=count,
+                covered=covered,
+            )
+
+
+@machine_pass
+def pass_stage_protection(ctx: MachineContext) -> None:
+    """Every intermediate hit stage of every network must be forwarded
+    (a non-stale value is selected) or interlocked (hazard raised)."""
+    for network in ctx.pipelined.networks:
+        if not network.hit_stages:
+            continue
+        write_stage = network.write_stage
+        for j in network.hit_stages:
+            if j == write_stage:
+                # a hit in the write stage takes the value present at the
+                # register-file input: always final, never hazardous
+                continue
+            hazard = network.hazards.get(j)
+            value = network.values.get(j)
+            interlocked = isinstance(hazard, E.Const) and hazard.value == 1
+            forwarded = value is not None and value is not network.fallback
+            if interlocked or forwarded:
+                continue
+            path = _hazard_path(network.regfile, network.stage)
+            ctx.emit(
+                "hazard-unprotected-stage",
+                path,
+                f"network for {network.regfile!r} read in stage"
+                f" {network.stage}: a hit in stage {j} selects the stale"
+                " architectural value and its hazard bit"
+                f" {'is missing' if hazard is None else 'cannot interlock'}",
+                hit_stage=j,
+            )
+
+
+@machine_pass
+def pass_useless_forwarding(ctx: MachineContext) -> None:
+    """Designer forwarding annotations that no network selects from."""
+    used: set[tuple[str, int]] = set()
+    for network in ctx.pipelined.networks:
+        if not network.hit_stages:
+            continue
+        write_stage = network.write_stage
+        for j in network.hit_stages:
+            if j == write_stage:
+                continue
+            value = network.values.get(j)
+            if value is not None and value is not network.fallback:
+                used.add((network.regfile, j))
+    for annotation in ctx.machine.forwarding:
+        if (annotation.regfile, annotation.stage) in used:
+            continue
+        ctx.emit(
+            "hazard-useless-forwarding",
+            _hazard_path(annotation.regfile, annotation.stage),
+            f"forwarding register {annotation.reg!r} annotated for"
+            f" {annotation.regfile!r} at stage {annotation.stage} is never"
+            " selected by any synthesized network"
+            + (
+                " (interlock-only pipeline)"
+                if ctx.pipelined.options.interlock_only
+                else ""
+            ),
+            reg=annotation.reg,
+        )

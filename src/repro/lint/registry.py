@@ -1,0 +1,192 @@
+"""Rule registry and pass driver.
+
+Lint is organised as *passes* over two target kinds:
+
+* **module passes** — run on any :class:`repro.hdl.netlist.Module`
+  (structural lint: cycles, dead logic, budgets, ...);
+* **machine passes** — run on a :class:`repro.machine.PreparedMachine`
+  together with its transformed
+  :class:`repro.core.transform.PipelinedMachine` (the static hazard
+  audit).
+
+A pass declares the rules it may emit; the registry is the single source
+of rule metadata for the renderers (SARIF rule table, ``--list-rules``).
+Passes emit through a context object which applies severity overrides,
+disabled rules, config waivers and the module's per-element
+``lint: ignore`` tags before a diagnostic is recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from .diagnostics import Diagnostic, LintConfig, LintResult, Severity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.transform import PipelinedMachine
+    from ..hdl.netlist import Module
+    from ..machine.prepared import PreparedMachine
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """Metadata of one lint rule."""
+
+    rule_id: str
+    title: str
+    severity: Severity
+    target: str  # "module" | "machine"
+    description: str = ""
+
+
+_RULES: dict[str, LintRule] = {}
+_MODULE_PASSES: list[Callable[["ModuleContext"], None]] = []
+_MACHINE_PASSES: list[Callable[["MachineContext"], None]] = []
+
+
+def register_rule(
+    rule_id: str,
+    title: str,
+    severity: Severity,
+    target: str = "module",
+    description: str = "",
+) -> LintRule:
+    if rule_id in _RULES:
+        raise ValueError(f"lint rule {rule_id!r} already registered")
+    rule = LintRule(rule_id, title, severity, target, description)
+    _RULES[rule_id] = rule
+    return rule
+
+
+def rule_table() -> dict[str, LintRule]:
+    """All registered rules, keyed by id (imports the pass families so
+    the table is complete no matter what was imported first)."""
+    from . import hazards, structural  # noqa: F401  (registration side effect)
+
+    return dict(_RULES)
+
+
+def module_pass(fn: Callable[["ModuleContext"], None]):
+    _MODULE_PASSES.append(fn)
+    return fn
+
+
+def machine_pass(fn: Callable[["MachineContext"], None]):
+    _MACHINE_PASSES.append(fn)
+    return fn
+
+
+@dataclass
+class _Context:
+    """Shared emit machinery of module and machine contexts."""
+
+    config: LintConfig
+    result: LintResult
+    module_name: str
+    ignores: dict[str, set[str]] = field(default_factory=dict)
+
+    def emit(
+        self,
+        rule_id: str,
+        path: str,
+        message: str,
+        severity: Severity | None = None,
+        **data: object,
+    ) -> Diagnostic | None:
+        """Emit a diagnostic unless it is disabled, waived or tagged away."""
+        rule = _RULES.get(rule_id)
+        if rule is None:
+            raise KeyError(f"emit from unregistered lint rule {rule_id!r}")
+        if rule_id in self.config.disabled:
+            return None
+        if self.config.waived(path, rule_id):
+            return None
+        element = path.partition(":")[2] or path
+        tagged = self.ignores.get(element)
+        if tagged is not None and ("*" in tagged or rule_id in tagged):
+            return None
+        severity = (
+            self.config.severity_overrides.get(rule_id)
+            or severity
+            or rule.severity
+        )
+        diagnostic = Diagnostic(
+            rule=rule_id,
+            severity=severity,
+            module=self.module_name,
+            path=path,
+            message=message,
+            data=tuple(sorted(data.items())),
+        )
+        self.result.add(diagnostic)
+        return diagnostic
+
+
+@dataclass
+class ModuleContext(_Context):
+    """Pass context for structural (netlist-level) lint."""
+
+    module: "Module" = None  # type: ignore[assignment]
+
+
+@dataclass
+class MachineContext(_Context):
+    """Pass context for the static hazard audit."""
+
+    machine: "PreparedMachine" = None  # type: ignore[assignment]
+    pipelined: "PipelinedMachine" = None  # type: ignore[assignment]
+
+
+def lint_module(
+    module: "Module", config: LintConfig | None = None
+) -> LintResult:
+    """Run every structural pass over one netlist."""
+    from . import structural  # noqa: F401  (registration side effect)
+
+    config = config or LintConfig()
+    result = LintResult()
+    context = ModuleContext(
+        config=config,
+        result=result,
+        module_name=module.name,
+        ignores=getattr(module, "lint_ignores", {}),
+        module=module,
+    )
+    for pass_fn in _MODULE_PASSES:
+        pass_fn(context)
+    return result
+
+
+def lint_machine(
+    machine: "PreparedMachine",
+    pipelined: "PipelinedMachine",
+    config: LintConfig | None = None,
+) -> LintResult:
+    """Run the hazard-audit passes over a prepared machine and its
+    transformed pipeline."""
+    from . import hazards  # noqa: F401  (registration side effect)
+
+    config = config or LintConfig()
+    result = LintResult()
+    context = MachineContext(
+        config=config,
+        result=result,
+        module_name=pipelined.module.name,
+        ignores=getattr(pipelined.module, "lint_ignores", {}),
+        machine=machine,
+        pipelined=pipelined,
+    )
+    for pass_fn in _MACHINE_PASSES:
+        pass_fn(context)
+    return result
+
+
+def lint_pipeline(
+    pipelined: "PipelinedMachine", config: LintConfig | None = None
+) -> LintResult:
+    """Structural lint of the generated netlist plus the hazard audit —
+    the full check of one transformation result."""
+    result = lint_module(pipelined.module, config)
+    result.extend(lint_machine(pipelined.machine, pipelined, config))
+    return result

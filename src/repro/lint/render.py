@@ -1,0 +1,113 @@
+"""Render a :class:`..diagnostics.LintResult` as text, JSON or SARIF.
+
+The SARIF output follows the 2.1.0 schema closely enough for GitHub code
+scanning and VS Code's SARIF viewer: one run, one tool driver carrying
+the full rule table, one result per diagnostic with the element path as a
+logical location (netlists have no physical source files).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .diagnostics import SARIF_LEVELS, Diagnostic, LintResult
+from .registry import rule_table
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+
+
+def render_text(result: LintResult) -> str:
+    """One line per diagnostic plus a summary line."""
+    lines = [diagnostic.format() for diagnostic in result]
+    lines.append(f"lint: {result.summary()}")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, *, indent: int | None = 2) -> str:
+    payload = {
+        "tool": TOOL_NAME,
+        "summary": result.counts(),
+        "diagnostics": [diagnostic.to_dict() for diagnostic in result],
+    }
+    return json.dumps(payload, indent=indent, sort_keys=False)
+
+
+def _sarif_result(diagnostic: Diagnostic) -> dict:
+    return {
+        "ruleId": diagnostic.rule,
+        "level": SARIF_LEVELS[diagnostic.severity],
+        "message": {"text": diagnostic.message},
+        "locations": [
+            {
+                "logicalLocations": [
+                    {
+                        "fullyQualifiedName": (
+                            f"{diagnostic.module}::{diagnostic.path}"
+                        ),
+                        "kind": "member",
+                    }
+                ]
+            }
+        ],
+        "properties": dict(diagnostic.data),
+    }
+
+
+def render_sarif(result: LintResult, *, indent: int | None = 2) -> str:
+    rules = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.description or rule.title},
+            "defaultConfiguration": {
+                "level": SARIF_LEVELS[rule.severity],
+            },
+            "properties": {"target": rule.target},
+        }
+        for rule in sorted(
+            rule_table().values(), key=lambda rule: rule.rule_id
+        )
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": (
+                            "https://github.com/example/repro"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _sarif_result(diagnostic) for diagnostic in result
+                ],
+            }
+        ],
+    }
+    return json.dumps(payload, indent=indent, sort_keys=False)
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}
+
+
+def render(result: LintResult, format: str = "text") -> str:
+    try:
+        renderer = RENDERERS[format]
+    except KeyError:
+        raise ValueError(
+            f"unknown lint format {format!r}; use one of {sorted(RENDERERS)}"
+        ) from None
+    return renderer(result)

@@ -1,6 +1,5 @@
 """Tests for the unit-gate cost/delay model."""
 
-import pytest
 
 from repro.hdl import expr as E
 from repro.hdl.analyze import analyze, analyze_module, count_ops, node_cost, node_delay, storage_bits
@@ -98,3 +97,63 @@ class TestAggregate:
         stats = analyze_module(module)
         assert stats.cost > 0
         assert storage_bits(module) == 8 + 4 * 16
+
+
+class TestModelTotality:
+    """node_cost/node_delay must be total and non-negative over every
+    node type at every width, including the width-1 edge cases."""
+
+    COMPARISONS = ("EQ", "NE", "ULT", "ULE", "SLT", "SLE")
+
+    def _nodes_at_width(self, w):
+        a = E.input_port("a", w)
+        b = E.input_port("b", w)
+        nodes = [
+            a,
+            E.const(w, 1),
+            E.reg_read("r", w),
+            E.mem_read("m", a, w),
+            E.mux(E.input_port("s", 1), a, b),
+            E.concat(a, b),
+            E.bits(a, 0, 0),
+        ]
+        # private constructors bypass constant folding, so every opcode is
+        # exercised even where the public API would simplify (NEG of a
+        # 1-bit value, reductions of width 1, ...)
+        for op in sorted(E.UNARY_OPS):
+            width = 1 if op.startswith("RED") else w
+            nodes.append(E._unary(op, a, width))
+        for op in sorted(E.BINARY_OPS):
+            width = 1 if op in self.COMPARISONS else w
+            nodes.append(E._binary(op, a, b, width))
+        return nodes
+
+    def test_total_and_nonnegative(self):
+        for w in (1, 2, 3, 8, 64):
+            for node in self._nodes_at_width(w):
+                cost = node_cost(node)
+                delay = node_delay(node)
+                label = f"{node!r} @ width {w}"
+                assert cost >= 0.0, label
+                assert delay >= 0.0, label
+                assert cost == cost and delay == delay, label  # not NaN
+
+    def test_width_one_reductions_are_wires(self):
+        a = E.input_port("a", 1)
+        for op in ("REDOR", "REDAND", "REDXOR"):
+            node = E._unary(op, a, 1)
+            assert node_cost(node) == 0.0
+            assert node_delay(node) == 0.0
+
+    def test_clog2_integer_exact(self):
+        from repro.hdl.analyze import _clog2
+
+        assert _clog2(0) == 0
+        assert _clog2(1) == 0
+        assert _clog2(2) == 1
+        assert _clog2(3) == 2
+        assert _clog2(8) == 3
+        assert _clog2(9) == 4
+        # float log2 would round these wrong
+        assert _clog2(2**53) == 53
+        assert _clog2(2**53 + 1) == 54

@@ -3,7 +3,7 @@
 
 import pytest
 
-from repro.core import TransformOptions, compare_commit_streams, transform
+from repro.core import compare_commit_streams, transform
 from repro.dlx import DlxConfig, DlxReference, build_dlx_machine
 from repro.dlx.programs import bubble_sort, extended_suite, matmul
 from repro.hdl.compile import CompiledSimulator

@@ -8,13 +8,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import TransformOptions, transform
+from repro.core import transform
 from repro.dlx import DlxConfig, assemble, build_dlx_machine
 from repro.hdl import expr as E
 from repro.hdl.compile import CompiledSimulator, compile_module
 from repro.hdl.netlist import Module
 from repro.hdl.sim import Simulator
-from repro.machine import build_sequential, toy
+from repro.machine import build_sequential
 
 
 def lockstep(module, cycles, inputs=None):

@@ -1,6 +1,5 @@
 """Round-trip tests for the disassembler: assemble(disassemble(w)) == w."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,8 +1,7 @@
 """Per-instruction semantics tests for the DLX ISA reference simulator."""
 
-import pytest
 
-from repro.dlx import DlxReference, assemble, isa
+from repro.dlx import DlxReference, assemble
 
 
 def run(source, steps=None, data=None, **kwargs):

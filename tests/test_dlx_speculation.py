@@ -3,12 +3,11 @@ Section 5 / Smith & Pleszkun) and branch-predicted fetch."""
 
 import pytest
 
-from repro.core import TransformOptions, compare_commit_streams, transform
+from repro.core import compare_commit_streams, transform
 from repro.dlx import DlxConfig, DlxReference, assemble, build_dlx_machine
 from repro.dlx.prepared import SISR_DEFAULT
 from repro.dlx.speculative import PREDICTORS, DlxSpecConfig, build_dlx_spec_machine
 from repro.hdl.sim import Simulator
-from repro.machine import build_sequential
 
 TRAP_SOURCE = f"""
         addi r1, r0, 5

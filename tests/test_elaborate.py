@@ -4,7 +4,6 @@ whole formal stack."""
 
 import pytest
 
-from repro.core import transform
 from repro.formal import bmc
 from repro.hdl import expr as E
 from repro.hdl.sim import Simulator

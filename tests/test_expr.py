@@ -5,7 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.hdl import expr as E
-from repro.hdl.bitvec import from_signed, mask, to_signed
+from repro.hdl.bitvec import from_signed, to_signed
 from repro.hdl.netlist import ModuleState
 from repro.hdl.sim import evaluate
 

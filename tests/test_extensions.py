@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.core import (
     TransformOptions,
     check_data_consistency,
-    compare_commit_streams,
     transform,
 )
 from repro.dlx import DlxConfig, assemble, build_dlx_machine

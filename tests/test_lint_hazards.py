@@ -1,0 +1,196 @@
+"""Tests for the static hazard audit (repro.lint.hazards) and the
+discharge engine's lint gate."""
+
+import copy
+import dataclasses
+
+import pytest
+
+from repro.dlx import DlxConfig, build_dlx_machine
+from repro.dlx.programs import fibonacci
+from repro.dlx.speculative import build_dlx_spec_machine
+from repro.dlx.superpipe import build_superpipelined_dlx
+from repro.core import transform
+from repro.hdl import expr as E
+from repro.lint import LintConfig, Severity, lint_machine, lint_pipeline
+from repro.lint.hazards import expected_read_sites
+
+SMALL = DlxConfig(imem_addr_width=6, dmem_addr_width=4)
+
+
+@pytest.fixture(scope="module")
+def dlx_pipelined():
+    workload = fibonacci()
+    machine = build_dlx_machine(
+        workload.program, data=workload.data, config=SMALL
+    )
+    return transform(machine)
+
+
+class TestRawEnumeration:
+    def test_toy_sites(self, toy_machine):
+        sites = expected_read_sites(toy_machine)
+        # the toy core reads RF (written by stage 3) in stage 1 at two
+        # operand addresses
+        assert sites == [(1, "RF", 3, 2)]
+
+    def test_enumeration_emitted_as_info(self, toy_machine, toy_pipelined):
+        result = lint_machine(toy_machine, toy_pipelined)
+        pairs = result.by_rule("hazard-raw-pair")
+        assert len(pairs) == 1
+        assert pairs[0].severity is Severity.INFO
+        assert pairs[0].datum("writer") == 3
+        assert pairs[0].datum("sites") == 2
+
+    def test_enumeration_can_be_disabled(self, toy_machine, toy_pipelined):
+        result = lint_machine(
+            toy_machine, toy_pipelined, LintConfig(enumerate_hazards=False)
+        )
+        assert not result.by_rule("hazard-raw-pair")
+
+
+class TestCoverage:
+    def test_unmodified_toy_has_no_errors(self, toy_machine, toy_pipelined):
+        assert not lint_machine(toy_machine, toy_pipelined).has_errors
+
+    def test_deleted_forwarding_path_is_uncovered_raw(
+        self, toy_machine, toy_pipelined
+    ):
+        mutated = dataclasses.replace(
+            toy_pipelined, networks=toy_pipelined.networks[:-1]
+        )
+        result = lint_machine(toy_machine, mutated)
+        assert [d.rule for d in result.errors] == ["hazard-uncovered-raw"]
+        [finding] = result.errors
+        assert finding.severity is Severity.ERROR
+        assert finding.datum("expected") == 2
+        assert finding.datum("covered") == 1
+
+    def test_all_paths_deleted_still_one_finding_per_site(
+        self, toy_machine, toy_pipelined
+    ):
+        mutated = dataclasses.replace(toy_pipelined, networks=[])
+        result = lint_machine(toy_machine, mutated)
+        assert [d.rule for d in result.errors] == ["hazard-uncovered-raw"]
+        assert result.errors[0].datum("covered") == 0
+
+
+class TestStageProtection:
+    def test_generated_networks_protected(self, toy_machine, toy_pipelined):
+        assert not lint_machine(toy_machine, toy_pipelined).by_rule(
+            "hazard-unprotected-stage"
+        )
+
+    def test_stripped_hazard_bit_is_flagged(self, toy_machine, toy_pipelined):
+        network = toy_pipelined.networks[0]
+        stage = next(
+            j for j in network.hit_stages if j != network.write_stage
+        )
+        broken = copy.copy(network)
+        broken.hazards = dict(network.hazards)
+        broken.hazards[stage] = E.const(1, 0)  # can never interlock
+        broken.values = dict(network.values)
+        broken.values[stage] = network.fallback  # and selects stale data
+        mutated = dataclasses.replace(
+            toy_pipelined,
+            networks=[broken] + toy_pipelined.networks[1:],
+        )
+        result = lint_machine(toy_machine, mutated)
+        findings = result.by_rule("hazard-unprotected-stage")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert findings[0].datum("hit_stage") == stage
+
+
+class TestUselessForwarding:
+    def test_forwarded_toy_uses_every_annotation(
+        self, toy_machine, toy_pipelined
+    ):
+        assert not lint_machine(toy_machine, toy_pipelined).by_rule(
+            "hazard-useless-forwarding"
+        )
+
+    def test_interlock_only_annotations_warn(
+        self, toy_machine, toy_interlock_only
+    ):
+        result = lint_machine(toy_machine, toy_interlock_only)
+        findings = result.by_rule("hazard-useless-forwarding")
+        assert findings and not result.has_errors
+        assert all(d.severity is Severity.WARNING for d in findings)
+        annotated = {(f.regfile, f.stage) for f in toy_machine.forwarding}
+        assert len(findings) == len(annotated)
+
+
+class TestDlxCoresClean:
+    """Acceptance: the unmodified DLX cores produce zero ERROR findings."""
+
+    def test_dlx_pipelined(self, dlx_pipelined):
+        result = lint_pipeline(dlx_pipelined)
+        assert not result.has_errors, [d.format() for d in result.errors]
+
+    def test_dlx_speculative(self):
+        machine = build_dlx_spec_machine(fibonacci().program)
+        result = lint_pipeline(transform(machine))
+        assert not result.has_errors, [d.format() for d in result.errors]
+
+    def test_superpipelined_dlx(self):
+        workload = fibonacci()
+        machine = build_superpipelined_dlx(workload.program, data=workload.data)
+        result = lint_pipeline(transform(machine))
+        assert not result.has_errors, [d.format() for d in result.errors]
+
+    def test_dlx_mutation_detected(self, dlx_pipelined):
+        mutated = dataclasses.replace(
+            dlx_pipelined, networks=dlx_pipelined.networks[1:]
+        )
+        result = lint_pipeline(mutated)
+        assert [d.rule for d in result.errors] == ["hazard-uncovered-raw"]
+
+
+class TestJobsLintGate:
+    def test_gate_fails_fast_on_error_findings(self, toy_machine, toy_pipelined):
+        from repro.jobs import discharge_jobs
+        from repro.proofs import generate_obligations
+
+        obligations = generate_obligations(toy_pipelined)
+        mutated = dataclasses.replace(
+            toy_pipelined, networks=toy_pipelined.networks[:-1]
+        )
+        report = discharge_jobs(mutated, obligations, jobs=1, cache=None)
+        assert not report.ok
+        assert report.lint_errors
+        assert len(report.outcomes) == len(list(obligations))
+        assert all(
+            outcome.record.method == "lint-gate"
+            and outcome.source == "lint"
+            for outcome in report.outcomes
+        )
+        # the gate result serialises and formats
+        assert "lint-gate" in report.to_json()
+        assert "LINT" in report.format_text()
+
+    def test_gate_can_be_disabled(self, toy_machine, toy_pipelined):
+        from repro.jobs import discharge_jobs
+        from repro.proofs import generate_obligations
+
+        obligations = generate_obligations(toy_pipelined)
+        mutated = dataclasses.replace(
+            toy_pipelined, networks=toy_pipelined.networks[:-1]
+        )
+        report = discharge_jobs(
+            mutated, obligations, jobs=1, cache=None, lint_gate=False
+        )
+        assert not report.lint_errors
+        assert all(
+            outcome.record.method != "lint-gate"
+            for outcome in report.outcomes
+        )
+
+    def test_clean_machine_passes_gate(self, toy_pipelined):
+        from repro.jobs import discharge_jobs
+        from repro.proofs import generate_obligations
+
+        obligations = generate_obligations(toy_pipelined)
+        report = discharge_jobs(toy_pipelined, obligations, jobs=2, cache=None)
+        assert report.ok
+        assert not report.lint_errors

@@ -4,7 +4,7 @@ counters, stall conditions, and the iterative-multiplier DLX."""
 import random
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import check_data_consistency, transform

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import TransformOptions, transform
+from repro.core import transform
 from repro.dlx import assemble, build_dlx_machine
 from repro.hdl.sim import Simulator
 from repro.machine import toy

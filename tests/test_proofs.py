@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import TransformOptions, transform
+from repro.core import transform
 from repro.hdl import expr as E
 from repro.machine import toy
 from repro.proofs import (

@@ -14,7 +14,7 @@ from repro.core import (
 )
 from repro.hdl import expr as E
 from repro.hdl.sim import Simulator, Trace
-from repro.machine import build_sequential, toy
+from repro.machine import toy
 
 
 def synthetic_trace(ue_rows, full_rows=None):

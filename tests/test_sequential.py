@@ -1,6 +1,5 @@
 """Tests for the sequential elaboration (Table 1 behaviour)."""
 
-import pytest
 
 from repro.hdl import expr as E
 from repro.hdl.sim import Simulator

@@ -30,7 +30,6 @@ halt:   j halt
 
 @pytest.fixture(scope="module")
 def interrupt_dlx():
-    from repro.dlx.prepared import SISR_DEFAULT
 
     source = f"""
         addi r1, r0, 2

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import TransformOptions, check_data_consistency, transform
-from repro.dlx import DlxReference, assemble
+from repro.dlx import DlxReference
 from repro.dlx.programs import alu_dependent, fibonacci, load_use
 from repro.dlx.superpipe import SuperPipeConfig, build_superpipelined_dlx
 from repro.hdl.compile import CompiledSimulator

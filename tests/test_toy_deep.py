@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import TransformOptions, check_data_consistency, transform
+from repro.core import check_data_consistency, transform
 from repro.hdl.sim import Simulator
 from repro.machine import build_sequential, toy
 from repro.machine.deep import build_deep_machine, encode_deep

@@ -1,10 +1,8 @@
 """Tests for the full transformation (stall engine + forwarding +
 interlock + speculation wired together)."""
 
-import pytest
 
 from repro.core import (
-    TransformOptions,
     check_data_consistency,
     check_lemma1,
     check_liveness,
@@ -14,7 +12,7 @@ from repro.core import (
 from repro.hdl import expr as E
 from repro.hdl.sim import Simulator
 from repro.machine import build_sequential, toy
-from repro.machine.prepared import PreparedMachine, SpeculationSpec
+from repro.machine.prepared import SpeculationSpec
 
 
 class TestBasicTransform:
