@@ -174,6 +174,10 @@ def cmd_discharge(args: argparse.Namespace) -> int:
             bmc_bound=args.bmc_bound,
             trace_cycles=args.cycles,
             incremental=not args.scratch,
+            ladder=not args.no_ladder,
+            max_retries=args.max_retries,
+            mem_limit_mb=args.mem_limit,
+            cpu_limit_s=args.cpu_limit,
         ),
         jobs=args.jobs,
         timeout=args.timeout,
@@ -231,6 +235,39 @@ def _lint_targets(args) -> list[tuple[str, object]]:
             )
         targets.append((core, transform(machine, options)))
     return targets
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from .faults import CORES, OPERATORS, DetectParams, run_campaign
+
+    if args.list:
+        print("cores:")
+        for name, spec in CORES.items():
+            mark = "  (slow)" if spec.slow else ""
+            print(f"  {name:<10} {spec.trace_cycles} trace cycles{mark}")
+        print("operators:")
+        for operator in OPERATORS:
+            print(f"  {operator}")
+        return 0
+
+    params = DetectParams()
+    if args.cycles is not None:
+        params = DetectParams(trace_cycles=args.cycles)
+    progress = None if args.quiet else print
+    report = run_campaign(
+        cores=args.core or None,
+        operators=args.operator or None,
+        max_per_operator=args.max_per_operator,
+        params=params,
+        progress=progress,
+    )
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+    print(report.format_text())
+    # a surviving mutant (or dirty baseline) is a verifier soundness gap
+    return 0 if report.ok else 1
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -368,7 +405,60 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the static-lint gate that fails obligations fast on"
         " ERROR-level findings",
     )
+    discharge_parser.add_argument(
+        "--max-retries", type=int, default=1, metavar="N",
+        help="relaunches granted to a crashed (signalled) worker before the"
+        " obligation is quarantined as 'crashed' (default: %(default)s)",
+    )
+    discharge_parser.add_argument(
+        "--mem-limit", type=int, default=None, metavar="MB",
+        help="rlimit address-space cap per solver worker, in MiB",
+    )
+    discharge_parser.add_argument(
+        "--cpu-limit", type=int, default=None, metavar="SECONDS",
+        help="rlimit CPU-time cap per solver worker, in seconds",
+    )
+    discharge_parser.add_argument(
+        "--no-ladder", action="store_true",
+        help="disable the graceful-degradation ladder (incremental ->"
+        " from-scratch -> BDD) for unknown invariant obligations",
+    )
     discharge_parser.set_defaults(func=cmd_discharge)
+
+    faults_parser = sub.add_parser(
+        "faults",
+        help="mutation-test the verifier: inject pipeline defects and demand"
+        " every one is detected",
+    )
+    faults_parser.add_argument(
+        "--core", action="append", metavar="NAME",
+        help="core(s) to mutate (repeatable; default: every non-slow core;"
+        " see --list)",
+    )
+    faults_parser.add_argument(
+        "--operator", action="append", metavar="NAME",
+        help="restrict to these mutation operators (repeatable)",
+    )
+    faults_parser.add_argument(
+        "--max-per-operator", type=int, default=None, metavar="N",
+        help="cap the mutants drawn from each operator",
+    )
+    faults_parser.add_argument(
+        "--cycles", type=int, default=None,
+        help="override the per-core trace-check stimulus length",
+    )
+    faults_parser.add_argument(
+        "--json", metavar="FILE",
+        help="write the mutation-coverage report here",
+    )
+    faults_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-mutant progress"
+    )
+    faults_parser.add_argument(
+        "--list", action="store_true",
+        help="print the available cores and operators and exit",
+    )
+    faults_parser.set_defaults(func=cmd_faults)
 
     lint_parser = sub.add_parser(
         "lint", help="static analysis of netlists and generated pipelines"

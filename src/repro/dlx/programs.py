@@ -83,6 +83,53 @@ def load_use(n: int = 12, delay_slots: bool = True) -> Workload:
     return Workload.from_source("load-use", "\n".join(lines) + "\n", data)
 
 
+def hazard_torture(iterations: int = 2, delay_slots: bool = True) -> Workload:
+    """A compact kernel touching every hazard mechanism at once: RAW
+    dependencies at distances 1..3 on *both* operand positions, load-use
+    interlocks feeding both operands, store/load round-trips at distinct
+    data addresses, sub-word (byte) loads and stores at non-zero byte
+    offsets, a taken loop branch and a ``jal``/``jr`` pair.  Built for
+    the fault-injection campaign (:mod:`repro.faults`), which needs a
+    single short workload whose trace distinguishes every catalogued
+    mutant; fits a 16-word data memory (stores at words 1..4).
+    """
+    ds = _ds(delay_slots)
+    source = f"""
+        addi r9, r0, {iterations}
+        addi r1, r0, 5
+        addi r2, r0, 9
+loop:   add  r3, r1, r2       ; B-dep distance 1 (r2), A-dep distance 2
+        add  r4, r3, r1       ; A-dep distance 1
+        add  r5, r1, r3       ; B-dep distance 2
+        add  r6, r2, r3       ; B-dep distance 3
+        sub  r7, r6, r4       ; A distance 1, B distance 3
+        sw   4(r0), r3
+        sw   8(r0), r7
+        lw   r8, 4(r0)
+        add  r10, r8, r8      ; load-use on both operands
+        lw   r11, 8(r0)
+        add  r12, r1, r11     ; load-use on the B operand only
+        sw   12(r0), r12
+        lw   r13, 12(r0)
+        sub  r14, r13, r10    ; load-use chained into a distance-1 use
+        lb   r16, 13(r0)      ; sub-word load, byte offset 1
+        lbu  r17, 14(r0)      ; unsigned sub-word load, byte offset 2
+        add  r16, r16, r17
+        sb   17(r0), r16      ; sub-word store into word 4
+        lb   r18, 17(r0)
+        add  r14, r14, r18    ; fold the sub-word results into the output
+        jal  leaf
+{ds}        add  r2, r15, r14     ; consume the subroutine result
+        subi r9, r9, 1
+        bnez r9, loop
+{ds}halt:   j halt
+        nop
+leaf:   addi r15, r14, 3      ; depends on the caller's latest value
+        jr   r31
+{ds}"""
+    return Workload.from_source("hazard-torture", source)
+
+
 def memcpy(words: int = 8, delay_slots: bool = True) -> Workload:
     """Copy ``words`` words from address 0 to address 256 in a loop."""
     data = {i: (0x1000 + i) for i in range(words)}

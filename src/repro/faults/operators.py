@@ -1,0 +1,160 @@
+"""Mutation operators over netlists and pipelined machines.
+
+A *mutant* is a deliberately broken copy of a verified design: the
+transformation's output with one fault shape injected — a net stuck at a
+constant, a write enable inverted or forced on, a mux with swapped arms, a
+hazard/stall/rollback signal weakened, or (at the machine level) a
+forwarding annotation deleted or moved to the wrong stage.  The fault
+catalog follows the recurring pipelining defect classes of the HADES and
+ACL2-pipeline validation literature: dropped forwards, off-by-one stalls
+and wrong enables account for most real pipeline bugs.
+
+Netlist-level operators never touch the original
+:class:`repro.core.transform.PipelinedMachine`: expressions are immutable,
+hash-consed DAGs, so a mutation is a *substitution* — a memo pre-seeded
+with ``id(original) -> replacement`` rewrites every module root, sharing
+preserved, and a fresh :class:`repro.hdl.netlist.Module` carries the
+result.  Machine-level operators instead edit a freshly built
+:class:`repro.machine.prepared.PreparedMachine` and re-run the
+transformation, modelling a designer (or tool) error upstream of it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.transform import PipelinedMachine
+from ..hdl import expr as E
+from ..hdl.netlist import Memory, Module, Register, WritePort
+from ..hdl.subst import substitute
+
+Replacements = list[tuple[E.Expr, E.Expr]]
+
+
+def rewrite_module(
+    pipelined: PipelinedMachine, replacements: Replacements
+) -> PipelinedMachine:
+    """Rebuild the pipeline's module with sub-expressions replaced.
+
+    ``replacements`` pairs original nodes with same-width replacements;
+    because expressions are interned, *every* structural occurrence of an
+    original node is the same Python object and is rewritten.  The
+    engine/network metadata is shared with the original pipeline — the
+    mutation models a fault in the emitted hardware, not in the
+    transformation's bookkeeping, so lint and the proof obligations keep
+    describing the *intended* design.
+    """
+    for old, new in replacements:
+        if old.width != new.width:
+            raise ValueError(
+                f"mutation replaces a {old.width}-bit net with a"
+                f" {new.width}-bit one"
+            )
+    memo: dict[int, E.Expr] = {id(old): new for old, new in replacements}
+
+    def rewrite(expression: E.Expr) -> E.Expr:
+        return substitute(expression, memo=memo)
+
+    module = pipelined.module
+    clone = Module(module.name)
+    clone.inputs = dict(module.inputs)
+    for name, reg in module.registers.items():
+        clone.registers[name] = Register(
+            name=name,
+            width=reg.width,
+            init=reg.init,
+            next=rewrite(reg.next),
+            enable=rewrite(reg.enable),
+        )
+    for name, memory in module.memories.items():
+        copied = Memory(name, memory.addr_width, memory.data_width, dict(memory.init))
+        for port in memory.write_ports:
+            copied.write_ports.append(
+                WritePort(
+                    enable=rewrite(port.enable),
+                    addr=rewrite(port.addr),
+                    data=rewrite(port.data),
+                )
+            )
+        clone.memories[name] = copied
+    clone.probes = {name: rewrite(value) for name, value in module.probes.items()}
+    clone.lint_ignores = {
+        element: set(rules) for element, rules in module.lint_ignores.items()
+    }
+    clone._default_next = set(module._default_next)
+    clone._default_enable = set(module._default_enable)
+    clone.validate()
+    return dataclasses.replace(pipelined, module=clone)
+
+
+def with_register(
+    pipelined: PipelinedMachine,
+    name: str,
+    next: E.Expr | None = None,
+    enable: E.Expr | None = None,
+) -> PipelinedMachine:
+    """Replace one register's next-value and/or enable expression.
+
+    Unlike :func:`rewrite_module` this targets a *single* register even
+    when its next/enable expression is shared with other logic.
+    """
+    reg = pipelined.module.registers[name]
+    mutated = rewrite_module(pipelined, [])
+    mutated.module.registers[name] = Register(
+        name=name,
+        width=reg.width,
+        init=reg.init,
+        next=next if next is not None else reg.next,
+        enable=enable if enable is not None else reg.enable,
+    )
+    mutated.module.validate()
+    return mutated
+
+
+def with_write_port(
+    pipelined: PipelinedMachine,
+    memory: str,
+    port: int = 0,
+    enable: E.Expr | None = None,
+    addr: E.Expr | None = None,
+    data: E.Expr | None = None,
+) -> PipelinedMachine:
+    """Replace fields of one memory write port."""
+    mutated = rewrite_module(pipelined, [])
+    ports = mutated.module.memories[memory].write_ports
+    original = ports[port]
+    ports[port] = WritePort(
+        enable=enable if enable is not None else original.enable,
+        addr=addr if addr is not None else original.addr,
+        data=data if data is not None else original.data,
+    )
+    mutated.module.validate()
+    return mutated
+
+
+def first_mux(root: E.Expr) -> E.Mux | None:
+    """The first 2-way mux in DAG discovery order under ``root``."""
+    for node in E.walk([root]):
+        if isinstance(node, E.Mux):
+            return node
+    return None
+
+
+def swap_mux_arms(pipelined: PipelinedMachine, mux: E.Mux) -> PipelinedMachine:
+    """Swap the then/else arms of one mux node, everywhere it occurs."""
+    swapped = E.mux(mux.sel, mux.els, mux.then)
+    return rewrite_module(pipelined, [(mux, swapped)])
+
+
+def force_net(
+    pipelined: PipelinedMachine, net: E.Expr, value: int
+) -> PipelinedMachine:
+    """Stuck-at fault: replace every occurrence of ``net`` with a constant."""
+    return rewrite_module(pipelined, [(net, E.const(net.width, value))])
+
+
+def invert_net(pipelined: PipelinedMachine, net: E.Expr) -> PipelinedMachine:
+    """Invert a 1-bit control net everywhere it occurs."""
+    if net.width != 1:
+        raise ValueError("invert_net mutates 1-bit control nets only")
+    return rewrite_module(pipelined, [(net, E.bnot(net))])

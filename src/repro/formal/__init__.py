@@ -16,6 +16,7 @@ from .bmc import (
     TransitionSystem,
     Unroller,
     bmc,
+    bmc_bdd,
     k_induction,
     prove,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "Unroller",
     "bdd_from_aig",
     "bmc",
+    "bmc_bdd",
     "check_equivalence",
     "exprs_equal_on",
     "fresh_vec",

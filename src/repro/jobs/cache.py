@@ -9,14 +9,19 @@ solver.
 
 Only *successful* verdicts (proved / bounded / trace-ok) are persisted:
 failures and unknowns are exactly the outcomes a developer reruns after a
-change, and a changed design changes the fingerprint anyway.  Records are
-written atomically (temp file + rename) so a killed run never leaves a
-half-written record; unreadable or version-mismatched records read as
-misses and are overwritten on the next store.
+change, and a changed design changes the fingerprint anyway.
+
+The store is **self-healing**: records are written atomically (temp file +
+rename) so a killed run never leaves a half-written record, every record
+carries a content checksum, and any record that fails to load — truncated
+by a crash, hand-edited, checksum-mismatched, or written by a different
+cache version — is *evicted* (deleted) and read as a miss, so the verdict
+is recomputed and re-stored instead of poisoning every later run.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -28,10 +33,18 @@ from typing import Mapping
 from ..proofs.discharge import DischargeRecord, Status
 
 # 2: record layout gained conflicts/frames profile fields (incremental engine)
-CACHE_VERSION = 2
+# 3: records carry a content checksum; unreadable records are evicted
+CACHE_VERSION = 3
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 _CACHEABLE = (Status.PROVED, Status.BOUNDED, Status.TRACE_OK)
+
+
+def _entry_checksum(payload: Mapping[str, object]) -> str:
+    """Checksum over the canonical JSON form, ``checksum`` key excluded."""
+    body = {key: value for key, value in payload.items() if key != "checksum"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 @dataclass
@@ -41,6 +54,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0  # corrupt / stale records deleted on load
 
     @property
     def lookups(self) -> int:
@@ -69,13 +83,17 @@ class ResultCache:
         return self.directory / fingerprint[:2] / f"{fingerprint}.json"
 
     def get(self, fingerprint: str) -> DischargeRecord | None:
-        """Look up a verdict; corrupt or stale records count as misses."""
+        """Look up a verdict; corrupt or stale records are evicted as misses."""
         path = self._path(fingerprint)
         try:
             with open(path) as handle:
                 payload = json.load(handle)
+            if not isinstance(payload, dict):
+                raise ValueError("cache record is not an object")
             if payload.get("version") != CACHE_VERSION:
                 raise ValueError("cache version mismatch")
+            if payload.get("checksum") != _entry_checksum(payload):
+                raise ValueError("cache checksum mismatch")
             record = DischargeRecord(
                 oid=payload["oid"],
                 title=payload["title"],
@@ -86,14 +104,27 @@ class ResultCache:
                 conflicts=int(payload.get("conflicts", 0)),
                 frames=int(payload.get("frames", 0)),
             )
-        except (OSError, ValueError, KeyError):
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self._evict(path)
             self.stats.misses += 1
             return None
         if not record.ok:  # defensive: never reuse a non-verdict
+            self._evict(path)
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return record
+
+    def _evict(self, path: Path) -> None:
+        """Delete a record that failed to load so it gets recomputed."""
+        try:
+            path.unlink()
+        except OSError:
+            return
+        self.stats.evictions += 1
 
     def put(
         self,
@@ -120,6 +151,7 @@ class ResultCache:
             "params": dict(params or {}),
             "created": time.time(),
         }
+        payload["checksum"] = _entry_checksum(payload)
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=f".{fingerprint[:8]}.", suffix=".tmp"
         )

@@ -11,7 +11,13 @@
    worker processes, each running the pure per-obligation functions of
    :mod:`repro.proofs.discharge`.  A per-obligation wall-clock timeout
    terminates stuck workers and degrades the obligation to
-   ``Status.UNKNOWN`` — one hard instance never hangs or aborts the run;
+   ``Status.UNKNOWN`` — one hard instance never hangs or aborts the run.
+   Workers run under optional rlimit memory/CPU caps, a worker that dies
+   abnormally (signal, OOM kill, ``os._exit``) is retried with exponential
+   backoff and finally quarantined as a structured ``crashed`` outcome,
+   and invariant obligations walk a graceful-degradation ladder
+   (incremental CDCL → from-scratch CDCL → BDD reachability → unknown)
+   with the deciding rung recorded as the method;
 4. **reporting** — per-obligation timing and provenance (cache / worker /
    inline / timeout), cache hit rate, per-worker busy time and aggregate
    status counts, as human-readable text and as a JSON document.
@@ -47,6 +53,7 @@ from ..proofs.discharge import (
     build_trace,
     discharge_equivalence,
     discharge_invariant,
+    discharge_invariant_ladder,
     discharge_trace,
     resolve_properties,
 )
@@ -56,7 +63,14 @@ from .cache import ResultCache
 
 @dataclass(frozen=True)
 class EngineParams:
-    """Engine knobs that are part of every obligation's fingerprint."""
+    """Engine knobs.
+
+    Everything that can change a *verdict* is part of every obligation's
+    fingerprint (see :meth:`invariant_params`).  The robustness knobs —
+    ``max_retries`` and the worker resource limits — only affect whether a
+    verdict is reached at all, so they stay out of the fingerprint and a
+    rerun with different limits still hits the cache.
+    """
 
     max_k: int = 2
     bmc_bound: int = 8
@@ -67,6 +81,17 @@ class EngineParams:
     # unrolling and solver per bound (see repro.formal.bmc)
     incremental: bool = True
     sweep_frames: bool = False
+    # graceful degradation: incremental -> from-scratch -> BDD -> unknown
+    # (repro.proofs.discharge_invariant_ladder; only active with
+    # ``incremental``, since incremental=False *is* the scratch engine)
+    ladder: bool = True
+    # crash quarantine: how often a crashed (signalled / vanished) worker
+    # is retried, with exponential backoff, before the obligation is
+    # recorded as ``crashed``.  Timeouts are never retried (deterministic).
+    max_retries: int = 1
+    # rlimits applied inside each worker; None = unlimited
+    mem_limit_mb: int | None = None
+    cpu_limit_s: int | None = None
 
     def invariant_params(self) -> dict[str, object]:
         return {
@@ -75,6 +100,7 @@ class EngineParams:
             "max_conflicts": self.max_conflicts,
             "incremental": self.incremental,
             "sweep_frames": self.sweep_frames,
+            "ladder": self.ladder,
         }
 
     def trace_params(self, checker: str, n_stages: int) -> dict[str, object]:
@@ -95,8 +121,9 @@ class JobOutcome:
 
     record: DischargeRecord
     fingerprint: str | None
-    source: str  # "cache" | "worker" | "inline" | "timeout"
+    source: str  # "cache" | "worker" | "inline" | "timeout" | "crashed"
     worker: int = -1
+    attempts: int = 1  # worker launches this obligation consumed
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -110,6 +137,7 @@ class JobOutcome:
             "frames": self.record.frames,
             "source": self.source,
             "worker": self.worker,
+            "attempts": self.attempts,
             "fingerprint": self.fingerprint,
         }
 
@@ -126,6 +154,8 @@ class JobReport:
     cache_hits: int = 0
     cache_misses: int = 0
     uncacheable: int = 0
+    crashes: int = 0  # abnormal worker terminations observed (pre-retry)
+    retries: int = 0  # crashed launches that were retried
     worker_seconds: dict[int, float] = field(default_factory=dict)
     # formatted ERROR-level lint findings when the lint gate tripped and
     # the run failed fast without invoking any solver
@@ -189,6 +219,8 @@ class JobReport:
             "lint_errors": list(self.lint_errors),
             "workers": {
                 "count": self.jobs,
+                "crashes": self.crashes,
+                "retries": self.retries,
                 "busy_seconds": {
                     str(slot): round(seconds, 6)
                     for slot, seconds in sorted(self.worker_seconds.items())
@@ -211,7 +243,12 @@ class JobReport:
             f" {self.uncacheable} uncacheable)",
             f"  workers: {self.jobs} x"
             f" {self.utilisation:.0%} utilised"
-            + (f", timeout {self.timeout:g}s/obligation" if self.timeout else ""),
+            + (f", timeout {self.timeout:g}s/obligation" if self.timeout else "")
+            + (
+                f", {self.crashes} crash(es) / {self.retries} retried"
+                if self.crashes
+                else ""
+            ),
         ]
         for finding in self.lint_errors:
             lines.append(f"  LINT    {finding[:110]}")
@@ -259,6 +296,8 @@ class _SolverTask:
     position: int
     obligation: Obligation
     fingerprint: str | None
+    attempts: int = 0  # worker launches consumed so far
+    not_before: float = 0.0  # perf_counter backoff gate after a crash
 
 
 @dataclass
@@ -282,6 +321,15 @@ def _solver_record(
     system: TransitionSystem, obligation: Obligation, params: EngineParams
 ) -> DischargeRecord:
     if obligation.kind is ObligationKind.INVARIANT:
+        if params.ladder and params.incremental:
+            return discharge_invariant_ladder(
+                system,
+                obligation,
+                max_k=params.max_k,
+                bmc_bound=params.bmc_bound,
+                max_conflicts=params.max_conflicts,
+                sweep_frames=params.sweep_frames,
+            )
         return discharge_invariant(
             system,
             obligation,
@@ -294,6 +342,30 @@ def _solver_record(
     return discharge_equivalence(obligation)
 
 
+def _apply_rlimits(mem_limit_mb: int | None, cpu_limit_s: int | None) -> None:
+    """Cap a worker's address space / CPU time via ``resource`` rlimits.
+
+    An overrun surfaces as ``MemoryError`` (caught: ``worker-error``) or
+    ``SIGXCPU`` (kills the worker: quarantined as ``crashed``) — either
+    way one greedy obligation cannot take the host or the run down.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return
+    if mem_limit_mb is not None:
+        limit = mem_limit_mb << 20
+        try:
+            resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+        except (ValueError, OSError):  # pragma: no cover - privileged caps
+            pass
+    if cpu_limit_s is not None:
+        try:
+            resource.setrlimit(resource.RLIMIT_CPU, (cpu_limit_s, cpu_limit_s + 1))
+        except (ValueError, OSError):  # pragma: no cover - privileged caps
+            pass
+
+
 def _worker_main(
     system: TransitionSystem,
     obligation: Obligation,
@@ -301,6 +373,7 @@ def _worker_main(
     connection: multiprocessing.connection.Connection,
 ) -> None:
     """Child-process entry: discharge one obligation, ship the record back."""
+    _apply_rlimits(params.mem_limit_mb, params.cpu_limit_s)
     try:
         record = _solver_record(system, obligation, params)
     except Exception as exc:  # a crashed obligation must not kill the run
@@ -328,16 +401,60 @@ def _timeout_record(task: _SolverTask, timeout: float, elapsed: float) -> Discha
     )
 
 
+def _crash_record(task: _SolverTask, exitcode: int | None, elapsed: float) -> DischargeRecord:
+    """The structured outcome of a worker that died without a verdict."""
+    if exitcode is not None and exitcode < 0:
+        signum = -exitcode
+        try:
+            import signal
+
+            name = signal.Signals(signum).name
+        except (ValueError, ImportError):
+            name = f"signal {signum}"
+        method = f"crashed(signal {signum})"
+        detail = f"worker killed by {name} after {task.attempts} attempt(s)"
+    else:
+        method = "crashed(no-result)"
+        detail = (
+            f"worker exited with status {exitcode} without a verdict"
+            f" after {task.attempts} attempt(s)"
+        )
+    return DischargeRecord(
+        oid=task.obligation.oid,
+        title=task.obligation.title,
+        status=Status.UNKNOWN,
+        method=method,
+        detail=detail,
+        seconds=elapsed,
+    )
+
+
+# first-retry backoff after a worker crash; doubles per attempt
+_RETRY_BACKOFF = 0.25
+
+
+@dataclass
+class _PoolStats:
+    crashes: int = 0  # abnormal terminations observed
+    retries: int = 0  # of which relaunched
+
+
 def _run_pool(
     tasks: list[_SolverTask],
     system: TransitionSystem,
     params: EngineParams,
     jobs: int,
     timeout: float | None,
-) -> tuple[dict[int, JobOutcome], dict[int, float]]:
+) -> tuple[dict[int, JobOutcome], dict[int, float], _PoolStats]:
     """Fan tasks out over forked workers.
 
-    Returns outcomes keyed by task position plus per-slot busy seconds.
+    Returns outcomes keyed by task position, per-slot busy seconds and
+    crash/retry statistics.  A worker that dies abnormally (killed by a
+    signal, OOM, ``os._exit`` — anything that closes the pipe without a
+    record) is retried up to ``params.max_retries`` times with exponential
+    backoff; past that the obligation gets a structured ``crashed`` outcome
+    carrying the signal number.  Timeouts are never retried: the per-task
+    budget is deterministic, a relaunch would just burn it again.
     """
     ctx = multiprocessing.get_context("fork")
     outcomes: dict[int, JobOutcome] = {}
@@ -345,23 +462,41 @@ def _run_pool(
     in_flight: list[_Running] = []
     busy: dict[int, float] = {}
     free_slots = list(reversed(range(jobs)))
+    stats = _PoolStats()
 
-    def finish(running: _Running, record: DischargeRecord, source: str) -> None:
+    def release(running: _Running) -> float:
         elapsed = time.perf_counter() - running.started
         busy[running.slot] = busy.get(running.slot, 0.0) + elapsed
+        running.connection.close()
+        running.process.join()
+        free_slots.append(running.slot)
+        return elapsed
+
+    def finish(running: _Running, record: DischargeRecord, source: str) -> None:
+        release(running)
         outcomes[running.task.position] = JobOutcome(
             record=record,
             fingerprint=running.task.fingerprint,
             source=source,
             worker=running.slot,
+            attempts=running.task.attempts,
         )
-        running.connection.close()
-        running.process.join()
-        free_slots.append(running.slot)
 
     while pending or in_flight:
+        now = time.perf_counter()
         while pending and free_slots:
-            task = pending.pop()
+            index = next(
+                (
+                    i
+                    for i in range(len(pending) - 1, -1, -1)
+                    if pending[i].not_before <= now
+                ),
+                None,
+            )
+            if index is None:  # every runnable task is backing off
+                break
+            task = pending.pop(index)
+            task.attempts += 1
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             process = ctx.Process(
                 target=_worker_main,
@@ -381,31 +516,46 @@ def _run_pool(
             )
 
         now = time.perf_counter()
-        wait_for: float | None = None
+        wakeups: list[float] = []
         if timeout is not None:
-            deadlines = [r.started + timeout for r in in_flight]
-            wait_for = max(0.0, min(deadlines) - now)
-        ready = multiprocessing.connection.wait(
-            [running.connection for running in in_flight], timeout=wait_for
-        )
+            wakeups.extend(r.started + timeout for r in in_flight)
+        if free_slots and pending:  # a backoff expiry could start work
+            wakeups.extend(task.not_before for task in pending)
+        wait_for = max(0.0, min(wakeups) - now) if wakeups else None
+        if in_flight:
+            ready = multiprocessing.connection.wait(
+                [running.connection for running in in_flight], timeout=wait_for
+            )
+        else:  # only backing-off tasks remain: sleep out the earliest gate
+            time.sleep(wait_for or 0.0)
+            ready = []
 
         still_running: list[_Running] = []
         for running in in_flight:
             if running.connection in ready:
                 try:
                     record = running.connection.recv()
-                    source = "worker"
+                    finish(running, record, "worker")
                 except (EOFError, OSError):
-                    record = DischargeRecord(
-                        oid=running.task.obligation.oid,
-                        title=running.task.obligation.title,
-                        status=Status.UNKNOWN,
-                        method="worker-died",
-                        detail="worker exited without a verdict",
-                        seconds=time.perf_counter() - running.started,
-                    )
-                    source = "inline"
-                finish(running, record, source)
+                    # Pipe closed without a record: the worker crashed.
+                    stats.crashes += 1
+                    elapsed = release(running)
+                    task = running.task
+                    exitcode = running.process.exitcode
+                    if task.attempts <= params.max_retries:
+                        stats.retries += 1
+                        task.not_before = time.perf_counter() + (
+                            _RETRY_BACKOFF * 2 ** (task.attempts - 1)
+                        )
+                        pending.append(task)
+                    else:
+                        outcomes[task.position] = JobOutcome(
+                            record=_crash_record(task, exitcode, elapsed),
+                            fingerprint=task.fingerprint,
+                            source="crashed",
+                            worker=running.slot,
+                            attempts=task.attempts,
+                        )
             elif (
                 timeout is not None
                 and time.perf_counter() - running.started >= timeout
@@ -425,7 +575,7 @@ def _run_pool(
                 still_running.append(running)
         in_flight = still_running
 
-    return outcomes, busy
+    return outcomes, busy, stats
 
 
 def discharge_jobs(
@@ -548,9 +698,13 @@ def discharge_jobs(
         and (jobs > 1 or timeout is not None)
     )
     if use_pool:
-        pooled, busy = _run_pool(solver_tasks, system, params, jobs, timeout)
+        pooled, busy, pool_stats = _run_pool(
+            solver_tasks, system, params, jobs, timeout
+        )
         outcome_by_position.update(pooled)
         report.worker_seconds = busy
+        report.crashes = pool_stats.crashes
+        report.retries = pool_stats.retries
     else:
         for task in solver_tasks:
             start = time.perf_counter()

@@ -8,6 +8,7 @@ from .discharge import (
     discharge,
     discharge_equivalence,
     discharge_invariant,
+    discharge_invariant_ladder,
     discharge_trace,
     resolve_properties,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "discharge",
     "discharge_equivalence",
     "discharge_invariant",
+    "discharge_invariant_ladder",
     "discharge_trace",
     "fingerprint_equivalence",
     "fingerprint_exprs",

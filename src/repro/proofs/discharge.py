@@ -19,7 +19,7 @@ the same functions.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Callable, Mapping
 
@@ -31,7 +31,13 @@ from ..core.consistency import (
 from ..core.scheduling import check_lemma1
 from ..formal.equiv import check_equivalence
 from ..core.transform import PipelinedMachine
-from ..formal.bmc import IncrementalChecker, TransitionSystem, bmc, k_induction
+from ..formal.bmc import (
+    IncrementalChecker,
+    TransitionSystem,
+    bmc,
+    bmc_bdd,
+    k_induction,
+)
 from ..hdl.sim import Simulator, Trace
 from .instrument import instrument_scheduling
 from .obligations import Obligation, ObligationKind, ObligationSet
@@ -310,6 +316,121 @@ def discharge_invariant(
     if result.holds is False:
         return record(Status.FAILED, f"bmc({result.bound})", str(result.counterexample))
     return record(Status.UNKNOWN, "exhausted")
+
+
+def discharge_invariant_ladder(
+    system: TransitionSystem,
+    obligation: Obligation,
+    max_k: int = 2,
+    bmc_bound: int = 8,
+    max_conflicts: int | None = None,
+    sweep_frames: bool = False,
+    bdd_bound: int | None = None,
+    bdd_max_nodes: int = 200_000,
+) -> DischargeRecord:
+    """Discharge one invariant via the graceful-degradation ladder.
+
+    Rungs, tried in order, each only when the one above gave no verdict
+    (``UNKNOWN``) or raised:
+
+    1. the incremental CDCL engines (:func:`discharge_invariant`,
+       ``incremental=True`` — the normal path);
+    2. the from-scratch one-shot engines (independent of the incremental
+       unrolling/solver machinery; its verdicts are tagged ``[scratch]``);
+    3. BDD bounded reachability from reset (:func:`repro.formal.bmc.bmc_bdd`
+       — a different decision procedure entirely, no CDCL and no conflict
+       budget, tagged ``bdd(bound)``);
+    4. ``UNKNOWN`` with method ``ladder-exhausted``, its detail recording
+       what every rung reported.
+
+    The ``method`` of the returned record therefore always identifies the
+    rung that produced the verdict — a campaign report can show exactly how
+    each obligation was decided even under engine failures.
+    """
+    assert obligation.kind is ObligationKind.INVARIANT and obligation.prop is not None
+    start = time.perf_counter()
+    notes: list[str] = []
+
+    try:
+        record = discharge_invariant(
+            system,
+            obligation,
+            max_k=max_k,
+            bmc_bound=bmc_bound,
+            max_conflicts=max_conflicts,
+            incremental=True,
+            sweep_frames=sweep_frames,
+        )
+        if record.status is not Status.UNKNOWN:
+            return record
+        notes.append(f"incremental: {record.method}")
+    except Exception as exc:  # a crashed rung degrades, never aborts
+        notes.append(f"incremental: raised {type(exc).__name__}: {exc}")
+
+    try:
+        record = discharge_invariant(
+            system,
+            obligation,
+            max_k=max_k,
+            bmc_bound=bmc_bound,
+            max_conflicts=max_conflicts,
+            incremental=False,
+        )
+        if record.status is not Status.UNKNOWN:
+            return replace(
+                record,
+                method=f"{record.method} [scratch]",
+                detail="; ".join(filter(None, [record.detail, *notes])),
+                seconds=time.perf_counter() - start,
+            )
+        notes.append(f"scratch: {record.method}")
+    except Exception as exc:
+        notes.append(f"scratch: raised {type(exc).__name__}: {exc}")
+
+    bound = bdd_bound if bdd_bound is not None else bmc_bound
+    frames = 0
+    try:
+        result = bmc_bdd(
+            system,
+            obligation.prop,
+            bound=bound,
+            assume=list(obligation.assume),
+            max_nodes=bdd_max_nodes,
+        )
+        frames = result.frames
+        if result.holds is True:
+            return DischargeRecord(
+                oid=obligation.oid,
+                title=obligation.title,
+                status=Status.BOUNDED,
+                method=f"bdd({bound})",
+                detail="; ".join(notes),
+                seconds=time.perf_counter() - start,
+                frames=result.frames,
+            )
+        if result.holds is False:
+            return DischargeRecord(
+                oid=obligation.oid,
+                title=obligation.title,
+                status=Status.FAILED,
+                method=f"bdd({result.bound})",
+                detail=str(result.counterexample),
+                seconds=time.perf_counter() - start,
+                frames=result.frames,
+            )
+        notes.append(result.method)
+    except Exception as exc:
+        notes.append(f"bdd: raised {type(exc).__name__}: {exc}")
+
+    return DischargeRecord(
+        oid=obligation.oid,
+        title=obligation.title,
+        status=Status.UNKNOWN,
+        method="ladder-exhausted",
+        detail="; ".join(notes),
+        seconds=time.perf_counter() - start,
+        frames=frames,
+    )
 
 
 def discharge_equivalence(obligation: Obligation) -> DischargeRecord:

@@ -1,0 +1,485 @@
+"""Crash-safety of the discharge engine (repro.jobs robustness).
+
+Covers the hardening added alongside the fault-injection campaign: the
+self-healing result cache (checksummed entries, eviction of corrupt or
+version-skewed records), the crash quarantine (a worker killed by a
+signal yields a structured ``crashed`` outcome, never a hang or a raw
+pool exception), retry with backoff, rlimit resource caps, the
+graceful-degradation ladder (incremental -> from-scratch -> BDD ->
+unknown) and a combined chaos run exercising all of it at once.
+
+The sabotage pattern: workers are forked, so monkeypatching
+``repro.jobs.engine._solver_record`` (or the discharge functions it
+calls) in the parent is inherited by every child.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+import importlib
+
+import repro.jobs.engine as engine_mod
+
+# repro.proofs re-exports a `discharge` *function* that shadows the
+# submodule attribute, so fetch the module itself for monkeypatching
+discharge_mod = importlib.import_module("repro.proofs.discharge")
+from repro.formal.bmc import TransitionSystem, bmc, bmc_bdd
+from repro.hdl import expr as E
+from repro.jobs import CACHE_VERSION, EngineParams, ResultCache, discharge_jobs
+from repro.jobs.cache import _entry_checksum
+from repro.proofs import (
+    DischargeRecord,
+    Status,
+    discharge_invariant_ladder,
+    generate_obligations,
+    resolve_properties,
+)
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="worker-pool tests need fork"
+)
+
+PARAMS = EngineParams(trace_cycles=60)
+
+
+@pytest.fixture()
+def toy_obligations(toy_pipelined):
+    return generate_obligations(toy_pipelined)
+
+
+def _record_of(report, oid):
+    return next(o for o in report.outcomes if o.record.oid == oid)
+
+
+# ---------------------------------------------------------------------------
+# self-healing cache
+
+
+def _one_entry(cache: ResultCache):
+    paths = list(cache.directory.glob("*/*.json"))
+    assert paths, "expected at least one cached record"
+    return paths[0]
+
+
+def test_cache_roundtrip_carries_checksum(tmp_path):
+    cache = ResultCache(tmp_path)
+    record = DischargeRecord(
+        oid="x", title="t", status=Status.PROVED, method="1-induction"
+    )
+    assert cache.put("ab" * 32, record)
+    payload = json.loads(_one_entry(cache).read_text())
+    assert payload["version"] == CACHE_VERSION
+    assert payload["checksum"] == _entry_checksum(payload)
+    assert cache.get("ab" * 32).status is Status.PROVED
+    assert cache.stats.hits == 1
+
+
+def test_truncated_entry_evicted_and_recomputed(tmp_path):
+    cache = ResultCache(tmp_path)
+    record = DischargeRecord(
+        oid="x", title="t", status=Status.PROVED, method="1-induction"
+    )
+    cache.put("cd" * 32, record)
+    path = _one_entry(cache)
+    path.write_text(path.read_text()[: len(path.read_text()) // 2])
+    assert cache.get("cd" * 32) is None
+    assert cache.stats.evictions == 1
+    assert not path.exists(), "corrupt record must be deleted"
+    # the slot is clean again: a re-store round-trips
+    assert cache.put("cd" * 32, record)
+    assert cache.get("cd" * 32) is not None
+
+
+def test_hand_edited_entry_fails_checksum(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(
+        "ef" * 32,
+        DischargeRecord(
+            oid="x", title="t", status=Status.PROVED, method="1-induction"
+        ),
+    )
+    path = _one_entry(cache)
+    payload = json.loads(path.read_text())
+    payload["status"] = "trace-ok"  # forge the verdict, keep valid JSON
+    path.write_text(json.dumps(payload))
+    assert cache.get("ef" * 32) is None
+    assert cache.stats.evictions == 1
+    assert not path.exists()
+
+
+def test_version_skewed_entry_evicted(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(
+        "0a" * 32,
+        DischargeRecord(
+            oid="x", title="t", status=Status.PROVED, method="1-induction"
+        ),
+    )
+    path = _one_entry(cache)
+    payload = json.loads(path.read_text())
+    payload["version"] = CACHE_VERSION - 1
+    payload["checksum"] = _entry_checksum(payload)
+    path.write_text(json.dumps(payload))
+    assert cache.get("0a" * 32) is None
+    assert cache.stats.evictions == 1
+
+
+def test_corrupted_entry_mid_campaign(tmp_path, toy_pipelined, toy_obligations):
+    """Satellite regression: corrupt one entry between two runs; the second
+    run must evict it, recompute the verdict and agree with the first."""
+    cache = ResultCache(tmp_path)
+    first = discharge_jobs(
+        toy_pipelined, toy_obligations, params=PARAMS, jobs=2, cache=cache
+    )
+    assert first.ok
+    victim = _one_entry(cache)
+    victim.write_text("{ not json at all")
+    cache2 = ResultCache(tmp_path)
+    second = discharge_jobs(
+        toy_pipelined, toy_obligations, params=PARAMS, jobs=2, cache=cache2
+    )
+    assert second.ok
+    assert cache2.stats.evictions == 1
+    assert second.cache_misses >= 1  # the evicted verdict was recomputed
+    by_oid = {o.record.oid: o.record.status for o in first.outcomes}
+    for outcome in second.outcomes:
+        assert outcome.record.status is by_oid[outcome.record.oid]
+
+
+# ---------------------------------------------------------------------------
+# crash quarantine and retry
+
+
+def _sabotage(monkeypatch, behaviour):
+    """Wrap _solver_record; forked workers inherit the patched module."""
+    original = engine_mod._solver_record
+
+    def wrapped(system, obligation, params):
+        behaviour(obligation)
+        return original(system, obligation, params)
+
+    monkeypatch.setattr(engine_mod, "_solver_record", wrapped)
+
+
+def test_sigkilled_worker_becomes_structured_crash(
+    monkeypatch, toy_pipelined, toy_obligations
+):
+    victim = toy_obligations.invariants()[0].oid
+
+    def behaviour(obligation):
+        if obligation.oid == victim:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    _sabotage(monkeypatch, behaviour)
+    report = discharge_jobs(
+        toy_pipelined,
+        toy_obligations,
+        params=EngineParams(trace_cycles=60, max_retries=1),
+        jobs=2,
+    )
+    outcome = _record_of(report, victim)
+    assert outcome.source == "crashed"
+    assert outcome.record.status is Status.UNKNOWN
+    assert outcome.record.method == f"crashed(signal {signal.SIGKILL})"
+    assert "SIGKILL" in outcome.record.detail
+    assert outcome.attempts == 2  # initial launch + one retry
+    assert report.crashes == 2 and report.retries == 1
+    # the crash is quarantined: everything else still discharges
+    others = [o for o in report.outcomes if o.record.oid != victim]
+    assert all(o.record.ok for o in others)
+    # and it is visible in the JSON document
+    payload = json.loads(report.to_json())
+    row = next(o for o in payload["obligations"] if o["oid"] == victim)
+    assert row["source"] == "crashed" and row["attempts"] == 2
+    assert payload["workers"]["crashes"] == 2
+
+
+def test_os_exit_worker_is_also_quarantined(
+    monkeypatch, toy_pipelined, toy_obligations
+):
+    victim = toy_obligations.invariants()[0].oid
+
+    def behaviour(obligation):
+        if obligation.oid == victim:
+            os._exit(3)  # vanish without sending a record
+
+    _sabotage(monkeypatch, behaviour)
+    report = discharge_jobs(
+        toy_pipelined,
+        toy_obligations,
+        params=EngineParams(trace_cycles=60, max_retries=0),
+        jobs=2,
+    )
+    outcome = _record_of(report, victim)
+    assert outcome.source == "crashed"
+    assert outcome.record.method == "crashed(no-result)"
+    assert "status 3" in outcome.record.detail
+    assert report.retries == 0
+
+
+def test_transient_crash_recovers_on_retry(
+    monkeypatch, tmp_path, toy_pipelined, toy_obligations
+):
+    victim = toy_obligations.invariants()[0].oid
+    flag = tmp_path / "crashed-once"
+
+    def behaviour(obligation):
+        if obligation.oid == victim and not flag.exists():
+            flag.touch()
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    _sabotage(monkeypatch, behaviour)
+    started = time.perf_counter()
+    report = discharge_jobs(
+        toy_pipelined,
+        toy_obligations,
+        params=EngineParams(trace_cycles=60, max_retries=2),
+        jobs=2,
+    )
+    assert report.ok
+    outcome = _record_of(report, victim)
+    assert outcome.source == "worker"
+    assert outcome.attempts == 2
+    assert report.crashes == 1 and report.retries == 1
+    # the relaunch waited out the first backoff step
+    assert time.perf_counter() - started >= 0.25
+
+
+def test_cpu_rlimit_kills_spinning_worker(
+    monkeypatch, toy_pipelined, toy_obligations
+):
+    """A worker spinning past its CPU cap dies of SIGXCPU and is
+    quarantined instead of stalling the run forever."""
+    victim = toy_obligations.invariants()[0].oid
+
+    def behaviour(obligation):
+        if obligation.oid == victim:
+            deadline = time.time() + 60
+            while time.time() < deadline:  # burn CPU until the rlimit hits
+                pass
+
+    _sabotage(monkeypatch, behaviour)
+    report = discharge_jobs(
+        toy_pipelined,
+        toy_obligations,
+        params=EngineParams(trace_cycles=60, max_retries=0, cpu_limit_s=1),
+        jobs=2,
+    )
+    outcome = _record_of(report, victim)
+    assert outcome.source == "crashed"
+    assert outcome.record.method == f"crashed(signal {signal.SIGXCPU})"
+
+
+# ---------------------------------------------------------------------------
+# degradation ladder
+
+
+def _toy_invariant(toy_pipelined, toy_obligations):
+    resolve_properties(toy_pipelined, toy_obligations)
+    system = TransitionSystem.from_module(toy_pipelined.module)
+    return system, toy_obligations.invariants()[0]
+
+
+def test_ladder_falls_back_to_scratch(
+    monkeypatch, toy_pipelined, toy_obligations
+):
+    system, obligation = _toy_invariant(toy_pipelined, toy_obligations)
+    original = discharge_mod.discharge_invariant
+
+    def flaky(system, obligation, incremental=True, **kwargs):
+        if incremental:
+            raise RuntimeError("incremental engine sabotaged")
+        return original(system, obligation, incremental=False, **kwargs)
+
+    monkeypatch.setattr(discharge_mod, "discharge_invariant", flaky)
+    record = discharge_invariant_ladder(system, obligation)
+    assert record.ok
+    assert record.method.endswith("[scratch]")
+    assert "incremental: raised RuntimeError" in record.detail
+
+
+def test_ladder_falls_back_to_bdd(monkeypatch, toy_pipelined, toy_obligations):
+    system, obligation = _toy_invariant(toy_pipelined, toy_obligations)
+
+    def broken(system, obligation, **kwargs):
+        raise RuntimeError("CDCL sabotaged")
+
+    monkeypatch.setattr(discharge_mod, "discharge_invariant", broken)
+    record = discharge_invariant_ladder(system, obligation, bmc_bound=4)
+    assert record.status is Status.BOUNDED
+    assert record.method == "bdd(4)"
+    assert "incremental: raised" in record.detail
+    assert "scratch: raised" in record.detail
+
+
+def test_ladder_exhaustion_records_every_rung(
+    monkeypatch, toy_pipelined, toy_obligations
+):
+    system, obligation = _toy_invariant(toy_pipelined, toy_obligations)
+
+    def broken(system, obligation, **kwargs):
+        raise RuntimeError("CDCL sabotaged")
+
+    monkeypatch.setattr(discharge_mod, "discharge_invariant", broken)
+    # a 0-node budget forces the BDD rung to give up too
+    record = discharge_invariant_ladder(
+        system, obligation, bdd_max_nodes=0
+    )
+    assert record.status is Status.UNKNOWN
+    assert record.method == "ladder-exhausted"
+    assert "bdd(node-limit)" in record.detail
+
+
+def test_ladder_method_recorded_in_job_report(
+    monkeypatch, toy_pipelined, toy_obligations
+):
+    """Satellite: force the CDCL rungs to fail inside the *workers* and
+    assert the fallback proves the obligations with the method recorded
+    correctly in the JSON report."""
+
+    def broken(system, obligation, **kwargs):
+        raise RuntimeError("CDCL sabotaged")
+
+    monkeypatch.setattr(discharge_mod, "discharge_invariant", broken)
+    report = discharge_jobs(
+        toy_pipelined, toy_obligations, params=PARAMS, jobs=2
+    )
+    assert report.ok
+    payload = json.loads(report.to_json())
+    invariant_oids = {o.oid for o in toy_obligations.invariants()}
+    rows = [o for o in payload["obligations"] if o["oid"] in invariant_oids]
+    assert rows
+    for row in rows:
+        assert row["method"] == f"bdd({PARAMS.bmc_bound})", row
+        assert row["status"] == "bounded"
+
+
+def test_timeout_forces_ladder_inside_budget(
+    monkeypatch, toy_pipelined, toy_obligations
+):
+    """A per-obligation wall-clock timeout still wins over a ladder whose
+    every rung hangs — the worker is terminated, not waited on."""
+
+    def hang(system, obligation, **kwargs):
+        time.sleep(60)
+
+    monkeypatch.setattr(discharge_mod, "discharge_invariant", hang)
+    monkeypatch.setattr(discharge_mod, "bmc_bdd", lambda *a, **k: hang(None, None))
+    report = discharge_jobs(
+        toy_pipelined,
+        toy_obligations,
+        params=PARAMS,
+        jobs=2,
+        timeout=1.0,
+    )
+    sources = {o.source for o in report.outcomes}
+    assert "timeout" in sources
+    assert report.wall_seconds < 45
+
+
+# ---------------------------------------------------------------------------
+# BDD engine cross-checks
+
+
+def test_bmc_bdd_agrees_with_sat_bmc(toy_pipelined, toy_obligations):
+    system, obligation = _toy_invariant(toy_pipelined, toy_obligations)
+    sat = bmc(system, obligation.prop, bound=3, assume=list(obligation.assume))
+    bdd = bmc_bdd(
+        system, obligation.prop, bound=3, assume=list(obligation.assume)
+    )
+    assert sat.holds is True and bdd.holds is True
+    assert bdd.method == "bdd"
+
+
+def test_bmc_bdd_finds_counterexample(toy_pipelined, toy_obligations):
+    system, obligation = _toy_invariant(toy_pipelined, toy_obligations)
+    negated = E.bnot(obligation.prop)
+    result = bmc_bdd(system, negated, bound=2)
+    assert result.holds is False
+    assert result.counterexample is not None
+    assert result.counterexample.length >= 1
+    # agree with the SAT engine on the verdict
+    assert bmc(system, negated, bound=2).holds is False
+
+
+def test_bmc_bdd_node_limit(toy_pipelined, toy_obligations):
+    system, obligation = _toy_invariant(toy_pipelined, toy_obligations)
+    result = bmc_bdd(system, obligation.prop, bound=3, max_nodes=0)
+    assert result.holds is None
+    assert result.method == "bdd(node-limit)"
+
+
+# ---------------------------------------------------------------------------
+# chaos
+
+
+def test_chaos_run_completes_with_correct_verdicts(
+    monkeypatch, tmp_path, toy_pipelined, toy_obligations
+):
+    """Acceptance: one run with a corrupted cache entry, a SIGKILLed
+    worker and a forced solver hang completes with correct verdicts and
+    structured crashed/timeout outcomes — no hang, no unhandled
+    exception."""
+    # seed the cache from a clean run
+    cache = ResultCache(tmp_path)
+    baseline = discharge_jobs(
+        toy_pipelined, toy_obligations, params=PARAMS, jobs=2, cache=cache
+    )
+    assert baseline.ok
+    fingerprints = {o.record.oid: o.fingerprint for o in baseline.outcomes}
+    # content-identical obligations share fingerprints; the victims must
+    # have pairwise-distinct cache entries for the sabotage to be targeted
+    invariant_oids = [o.oid for o in toy_obligations.invariants()]
+    victims: list[str] = []
+    seen: set[str] = set()
+    for oid in invariant_oids:
+        if fingerprints[oid] not in seen:
+            seen.add(fingerprints[oid])
+            victims.append(oid)
+        if len(victims) == 3:
+            break
+    crash_victim, hang_victim, corrupt_victim = victims
+    # corrupt one entry in place; truncated JSON must be evicted on load
+    corrupt_path = cache._path(fingerprints[corrupt_victim])
+    corrupt_path.write_text('{"version": 99, "oops"')
+    # drop the sabotaged obligations' entries so they reach the workers
+    for oid in (crash_victim, hang_victim):
+        cache._path(fingerprints[oid]).unlink()
+
+    def behaviour(obligation):
+        if obligation.oid == crash_victim:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if obligation.oid == hang_victim:
+            time.sleep(60)
+
+    _sabotage(monkeypatch, behaviour)
+    chaos_cache = ResultCache(tmp_path)
+    report = discharge_jobs(
+        toy_pipelined,
+        toy_obligations,
+        params=EngineParams(trace_cycles=60, max_retries=1),
+        jobs=2,
+        timeout=2.0,
+        cache=chaos_cache,
+    )
+    by_oid = {o.record.oid: o for o in report.outcomes}
+    assert by_oid[crash_victim].source == "crashed"
+    assert by_oid[crash_victim].record.method.startswith("crashed(signal")
+    assert by_oid[hang_victim].source == "timeout"
+    # the corrupt entry was evicted and its verdict recomputed correctly
+    assert chaos_cache.stats.evictions == 1
+    assert by_oid[corrupt_victim].record.status is Status.PROVED
+    assert by_oid[corrupt_victim].source in ("worker", "inline")
+    # every obligation not deliberately sabotaged has its correct verdict
+    expected = {o.record.oid: o.record.status for o in baseline.outcomes}
+    for oid, outcome in by_oid.items():
+        if oid in (crash_victim, hang_victim):
+            continue
+        assert outcome.record.status is expected[oid], oid
+    assert report.wall_seconds < 60
