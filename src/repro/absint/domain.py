@@ -1,0 +1,544 @@
+"""Abstract domains for the netlist interpreter.
+
+Two cooperating domains over ``width``-bit words:
+
+* **known bits** (:data:`Ternary`): ``(known mask, value)`` — bit *i* is
+  known to equal ``(value >> i) & 1`` whenever ``(known >> i) & 1``;
+* **intervals**: unsigned ``[lo, hi]`` bounds.
+
+:class:`AbsValue` is their reduced product: construction through
+:meth:`AbsValue.make` propagates information both ways (known bits
+tighten the interval; the common leading bits of ``lo`` and ``hi``
+become known bits), so each component is at least as precise as it
+would be alone.
+
+The per-operator transfer functions live here as *free functions*
+(:func:`ternary_transfer`, :func:`interval_transfer`) parameterised over
+leaf lookups, so that :mod:`repro.lint.structural`'s one-shot constant
+propagation and :mod:`.fixpoint`'s reachability analysis share a single
+implementation of the bit-level rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..hdl import expr as E
+from ..hdl.bitvec import mask, to_signed
+
+#: Version of the abstract semantics; bump on any transfer-function or
+#: mining-grammar change so cached invariants from older semantics are
+#: never reused.
+ABSINT_VERSION = 1
+
+# ---------------------------------------------------------------------------
+# Known-bits (ternary) component
+# ---------------------------------------------------------------------------
+
+#: a ternary value: (known bit mask, value on the known bits)
+Ternary = tuple[int, int]
+UNKNOWN: Ternary = (0, 0)
+
+#: lookup for a leaf node's ternary value; ``None`` means unknown
+LeafBits = Callable[[E.Expr], Ternary]
+
+
+def _trailing_ones(x: int) -> int:
+    count = 0
+    while x & 1:
+        x >>= 1
+        count += 1
+    return count
+
+
+def ternary_transfer(
+    node: E.Expr,
+    lookup: Callable[[E.Expr], Ternary],
+    *,
+    reg_bits: LeafBits | None = None,
+    mem_bits: LeafBits | None = None,
+    input_bits: LeafBits | None = None,
+) -> Ternary:
+    """Known-bits abstract semantics for a single node.
+
+    ``lookup`` maps *child* expressions to their already-computed ternary
+    values; the ``*_bits`` callbacks supply leaf facts (frozen register
+    contents for the lint pass, the current fixpoint state for absint)
+    and default to unknown.
+    """
+    w = node.width
+    full = mask(w)
+    if isinstance(node, E.Const):
+        return (full, node.value)
+    if isinstance(node, E.RegRead):
+        return reg_bits(node) if reg_bits is not None else UNKNOWN
+    if isinstance(node, E.Input):
+        return input_bits(node) if input_bits is not None else UNKNOWN
+    if isinstance(node, E.MemRead):
+        return mem_bits(node) if mem_bits is not None else UNKNOWN
+    if isinstance(node, E.Slice):
+        ka, va = lookup(node.a)
+        return ((ka >> node.low) & full, (va >> node.low) & full)
+    if isinstance(node, E.Concat):
+        known = value = 0
+        for part in node.parts:
+            kp, vp = lookup(part)
+            known = (known << part.width) | kp
+            value = (value << part.width) | vp
+        return (known, value)
+    if isinstance(node, E.Mux):
+        ks, vs = lookup(node.sel)
+        if ks & 1:
+            return lookup(node.then if vs & 1 else node.els)
+        kt, vt = lookup(node.then)
+        ke, ve = lookup(node.els)
+        known = kt & ke & ~(vt ^ ve) & full
+        return (known, vt & known)
+    if isinstance(node, E.Unary):
+        ka, va = lookup(node.a)
+        aw = node.a.width
+        afull = mask(aw)
+        if node.op == "NOT":
+            return (ka, ~va & ka)
+        if node.op == "NEG":
+            prefix = min(_trailing_ones(ka), aw)
+            known = mask(prefix)
+            return (known, (-va) & known)
+        if node.op == "REDOR":
+            if ka & va:
+                return (1, 1)
+            return (1, 0) if ka == afull else UNKNOWN
+        if node.op == "REDAND":
+            if ka & ~va & afull:
+                return (1, 0)
+            return (1, 1) if ka == afull else UNKNOWN
+        if node.op == "REDXOR":
+            if ka == afull:
+                return (1, bin(va).count("1") & 1)
+            return UNKNOWN
+        raise AssertionError(node.op)
+    if isinstance(node, E.Binary):
+        return _ternary_binary(node, lookup)
+    raise AssertionError(type(node).__name__)
+
+
+def _ternary_binary(
+    node: E.Binary, lookup: Callable[[E.Expr], Ternary]
+) -> Ternary:
+    ka, va = lookup(node.a)
+    kb, vb = lookup(node.b)
+    w = node.a.width
+    full = mask(w)
+    op = node.op
+    if op == "AND":
+        known = (ka & kb) | (ka & ~va) | (kb & ~vb)
+        known &= full
+        return (known, va & vb & known)
+    if op == "OR":
+        known = ((ka & kb) | (ka & va) | (kb & vb)) & full
+        return (known, (va | vb) & known)
+    if op == "XOR":
+        known = ka & kb
+        return (known, (va ^ vb) & known)
+    if op in ("ADD", "SUB", "MUL"):
+        prefix = min(_trailing_ones(ka & kb), w)
+        known = mask(prefix)
+        if op == "ADD":
+            raw = va + vb
+        elif op == "SUB":
+            raw = va - vb
+        else:
+            raw = va * vb
+        return (known, raw & known)
+    if op in ("EQ", "NE"):
+        both = ka & kb
+        if (va ^ vb) & both:  # a known bit differs
+            return (1, 1 if op == "NE" else 0)
+        if ka == full and kb == full:
+            return (1, 1 if op == "EQ" else 0)
+        return UNKNOWN
+    if op in ("ULT", "ULE", "SLT", "SLE"):
+        if ka == full and kb == full:
+            if op in ("SLT", "SLE"):
+                x, y = to_signed(va, w), to_signed(vb, w)
+            else:
+                x, y = va, vb
+            hold = x < y if op in ("ULT", "SLT") else x <= y
+            return (1, int(hold))
+        return UNKNOWN
+    if op in ("SHL", "LSHR", "ASHR"):
+        return _ternary_shift(op, (ka, va), (kb, vb), w)
+    raise AssertionError(op)
+
+
+def _ternary_shift(op: str, a: Ternary, amount: Ternary, w: int) -> Ternary:
+    ka, va = a
+    kamt, vamt = amount
+    full = mask(w)
+    if ka == full and va == 0:
+        return (full, 0)  # shifting zero yields zero for all three ops
+    # the amount operand has the same width as the value in this IR
+    if kamt == full:
+        amt = min(vamt, w)
+        if op == "SHL":
+            if amt >= w:
+                return (full, 0)
+            known = ((ka << amt) | mask(amt)) & full
+            return (known, (va << amt) & known)
+        if op == "LSHR":
+            if amt >= w:
+                return (full, 0)
+            top_known = full ^ mask(w - amt)
+            known = (ka >> amt) | top_known
+            return (known, (va >> amt) & known)
+        # ASHR
+        sign_known = (ka >> (w - 1)) & 1
+        sign = (va >> (w - 1)) & 1
+        if amt >= w:
+            if sign_known:
+                return (full, full if sign else 0)
+            return UNKNOWN
+        top_known = (full ^ mask(w - amt)) if sign_known else 0
+        known = ((ka >> amt) & mask(w - amt)) | top_known
+        value = (va >> amt) & mask(w - amt)
+        if sign_known and sign:
+            value |= top_known
+        return (known, value & known)
+    return UNKNOWN
+
+
+# ---------------------------------------------------------------------------
+# Interval component
+# ---------------------------------------------------------------------------
+
+#: an unsigned interval: inclusive (lo, hi) bounds
+Interval = tuple[int, int]
+
+LeafInterval = Callable[[E.Expr], Interval]
+
+
+def interval_transfer(
+    node: E.Expr,
+    lookup: Callable[[E.Expr], Interval],
+    *,
+    reg_ival: LeafInterval | None = None,
+    mem_ival: LeafInterval | None = None,
+    input_ival: LeafInterval | None = None,
+) -> Interval:
+    """Unsigned-interval abstract semantics for a single node."""
+    w = node.width
+    full = mask(w)
+    top: Interval = (0, full)
+    if isinstance(node, E.Const):
+        return (node.value, node.value)
+    if isinstance(node, E.RegRead):
+        return reg_ival(node) if reg_ival is not None else top
+    if isinstance(node, E.Input):
+        return input_ival(node) if input_ival is not None else top
+    if isinstance(node, E.MemRead):
+        return mem_ival(node) if mem_ival is not None else top
+    if isinstance(node, E.Slice):
+        lo, hi = lookup(node.a)
+        if node.low == 0 and hi <= full:
+            return (lo, hi)
+        return top
+    if isinstance(node, E.Concat):
+        lo = hi = 0
+        for part in node.parts:
+            plo, phi = lookup(part)
+            lo = (lo << part.width) | plo
+            hi = (hi << part.width) | phi
+        return (lo, hi)
+    if isinstance(node, E.Mux):
+        slo, shi = lookup(node.sel)
+        if slo == shi:
+            return lookup(node.then if slo else node.els)
+        tlo, thi = lookup(node.then)
+        elo, ehi = lookup(node.els)
+        return (min(tlo, elo), max(thi, ehi))
+    if isinstance(node, E.Unary):
+        lo, hi = lookup(node.a)
+        aw = node.a.width
+        afull = mask(aw)
+        if node.op == "NOT":
+            return (afull - hi, afull - lo)
+        if node.op == "NEG":
+            if lo == 0 and hi == 0:
+                return (0, 0)
+            if lo >= 1:
+                return ((afull + 1) - hi, (afull + 1) - lo)
+            return top
+        if node.op == "REDOR":
+            if lo > 0:
+                return (1, 1)
+            if hi == 0:
+                return (0, 0)
+            return (0, 1)
+        if node.op == "REDAND":
+            if lo == afull:
+                return (1, 1)
+            if hi < afull:
+                return (0, 0)
+            return (0, 1)
+        if node.op == "REDXOR":
+            if lo == hi:
+                parity = bin(lo).count("1") & 1
+                return (parity, parity)
+            return (0, 1)
+        raise AssertionError(node.op)
+    if isinstance(node, E.Binary):
+        return _interval_binary(node, lookup, w, full)
+    raise AssertionError(type(node).__name__)
+
+
+def _interval_binary(
+    node: E.Binary,
+    lookup: Callable[[E.Expr], Interval],
+    w: int,
+    full: int,
+) -> Interval:
+    alo, ahi = lookup(node.a)
+    blo, bhi = lookup(node.b)
+    top: Interval = (0, full)
+    op = node.op
+    if op == "ADD":
+        if ahi + bhi <= full:
+            return (alo + blo, ahi + bhi)
+        return top
+    if op == "SUB":
+        if alo >= bhi:
+            return (alo - bhi, ahi - blo)
+        return top
+    if op == "MUL":
+        if ahi * bhi <= full:
+            return (alo * blo, ahi * bhi)
+        return top
+    if op == "AND":
+        return (0, min(ahi, bhi))
+    if op == "OR":
+        bound = mask(max(ahi.bit_length(), bhi.bit_length()))
+        return (max(alo, blo), bound)
+    if op == "XOR":
+        return (0, mask(max(ahi.bit_length(), bhi.bit_length())))
+    if op == "EQ":
+        if ahi < blo or bhi < alo:
+            return (0, 0)
+        if alo == ahi == blo == bhi:
+            return (1, 1)
+        return (0, 1)
+    if op == "NE":
+        if ahi < blo or bhi < alo:
+            return (1, 1)
+        if alo == ahi == blo == bhi:
+            return (0, 0)
+        return (0, 1)
+    if op == "ULT":
+        if ahi < blo:
+            return (1, 1)
+        if alo >= bhi:
+            return (0, 0)
+        return (0, 1)
+    if op == "ULE":
+        if ahi <= blo:
+            return (1, 1)
+        if alo > bhi:
+            return (0, 0)
+        return (0, 1)
+    if op in ("SLT", "SLE"):
+        return (0, 1)
+    if op in ("SHL", "LSHR", "ASHR"):
+        aw = node.a.width
+        if blo != bhi:
+            return top
+        amt = min(blo, aw)
+        if op == "SHL":
+            if amt >= aw or (ahi << amt) > full:
+                return top if amt < aw else (0, 0)
+            return (alo << amt, ahi << amt)
+        if op == "LSHR":
+            return (alo >> amt, ahi >> amt)
+        # ASHR: only safe when the sign bit is provably clear
+        if ahi < (1 << (aw - 1)):
+            return (alo >> amt, ahi >> amt)
+        return top
+    raise AssertionError(op)
+
+
+# ---------------------------------------------------------------------------
+# Reduced product
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AbsValue:
+    """Reduced product of known-bits and unsigned-interval facts.
+
+    Always construct through :meth:`make` (or the named constructors),
+    which normalises and mutually reduces the two components; the raw
+    dataclass constructor performs no reduction.
+    """
+
+    width: int
+    known: int  # bit mask: which bits are known
+    value: int  # value on the known bits (subset of ``known``)
+    lo: int  # inclusive unsigned lower bound
+    hi: int  # inclusive unsigned upper bound
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def make(
+        cls, width: int, known: int, value: int, lo: int, hi: int
+    ) -> "AbsValue":
+        full = mask(width)
+        known &= full
+        value &= known
+        lo = max(0, min(lo, full))
+        hi = max(0, min(hi, full))
+        if lo > hi:  # defensive: never propagate an empty interval
+            lo, hi = 0, full
+        # bits -> interval: the known-1 bits are a lower bound, the
+        # known-0 bits cap the maximum
+        lo2 = max(lo, value)
+        hi2 = min(hi, value | (full & ~known))
+        if lo2 <= hi2:
+            lo, hi = lo2, hi2
+        # interval -> bits: the common leading bits of lo and hi are known
+        diff = lo ^ hi
+        top_known = full ^ mask(diff.bit_length()) if diff else full
+        if ((value ^ lo) & known & top_known) == 0:
+            known |= top_known
+            value = (value | (lo & top_known)) & known
+            # one more bits -> interval pass with the enriched bits
+            lo = max(lo, value)
+            hi = min(hi, value | (full & ~known))
+        return cls(width, known, value, lo, hi)
+
+    @classmethod
+    def top(cls, width: int) -> "AbsValue":
+        return cls(width, 0, 0, 0, mask(width))
+
+    @classmethod
+    def const(cls, width: int, value: int) -> "AbsValue":
+        value &= mask(width)
+        return cls(width, mask(width), value, value, value)
+
+    @classmethod
+    def from_ternary(cls, width: int, tern: Ternary) -> "AbsValue":
+        known, value = tern
+        return cls.make(width, known, value, 0, mask(width))
+
+    @classmethod
+    def from_interval(cls, width: int, lo: int, hi: int) -> "AbsValue":
+        return cls.make(width, 0, 0, lo, hi)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def ternary(self) -> Ternary:
+        return (self.known, self.value)
+
+    @property
+    def interval(self) -> Interval:
+        return (self.lo, self.hi)
+
+    def is_const(self) -> bool:
+        return self.lo == self.hi
+
+    def is_top(self) -> bool:
+        return self.known == 0 and self.lo == 0 and self.hi == mask(self.width)
+
+    def contains(self, concrete: int) -> bool:
+        """Does the concretisation include ``concrete``?"""
+        concrete &= mask(self.width)
+        if (concrete & self.known) != self.value:
+            return False
+        return self.lo <= concrete <= self.hi
+
+    # -- lattice operations ------------------------------------------------
+
+    def join(self, other: "AbsValue") -> "AbsValue":
+        assert self.width == other.width
+        known = self.known & other.known & ~(self.value ^ other.value)
+        return AbsValue.make(
+            self.width,
+            known,
+            self.value & known,
+            min(self.lo, other.lo),
+            max(self.hi, other.hi),
+        )
+
+    def widen(self, other: "AbsValue") -> "AbsValue":
+        """Widening: ``self`` is the old value, ``other`` the new one.
+
+        The known-bits component joins (its chains are at most ``width``
+        steps long); an interval bound that moved jumps straight to the
+        extreme so chains terminate regardless of word width.
+        """
+        assert self.width == other.width
+        known = self.known & other.known & ~(self.value ^ other.value)
+        lo = self.lo if other.lo >= self.lo else 0
+        hi = self.hi if other.hi <= self.hi else mask(self.width)
+        return AbsValue.make(self.width, known, self.value & known, lo, hi)
+
+    def meet(self, other: "AbsValue") -> "AbsValue | None":
+        """Greatest lower bound; ``None`` when the intersection is empty."""
+        assert self.width == other.width
+        if (self.value ^ other.value) & self.known & other.known:
+            return None
+        known = self.known | other.known
+        value = self.value | other.value
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        result = AbsValue.make(self.width, known, value, lo, hi)
+        if result.lo > result.hi:
+            return None
+        return result
+
+    def le(self, other: "AbsValue") -> bool:
+        """Is ``self`` at least as precise as ``other`` (self ⊑ other)?"""
+        if (self.known & other.known) != other.known:
+            return False
+        if (self.value & other.known) != other.value:
+            return False
+        return other.lo <= self.lo and self.hi <= other.hi
+
+
+def abs_transfer(
+    node: E.Expr,
+    lookup: Callable[[E.Expr], AbsValue],
+    *,
+    reg_env: Callable[[E.Expr], AbsValue] | None = None,
+    mem_env: Callable[[E.Expr], AbsValue] | None = None,
+    input_env: Callable[[E.Expr], AbsValue] | None = None,
+) -> AbsValue:
+    """Reduced-product transfer: run both components and reduce."""
+
+    def _tern_leaf(env):
+        if env is None:
+            return None
+        return lambda n: env(n).ternary
+
+    def _ival_leaf(env):
+        if env is None:
+            return None
+        return lambda n: env(n).interval
+
+    known, value = ternary_transfer(
+        node,
+        lambda n: lookup(n).ternary,
+        reg_bits=_tern_leaf(reg_env),
+        mem_bits=_tern_leaf(mem_env),
+        input_bits=_tern_leaf(input_env),
+    )
+    lo, hi = interval_transfer(
+        node,
+        lambda n: lookup(n).interval,
+        reg_ival=_ival_leaf(reg_env),
+        mem_ival=_ival_leaf(mem_env),
+        input_ival=_ival_leaf(input_env),
+    )
+    return AbsValue.make(node.width, known, value, lo, hi)

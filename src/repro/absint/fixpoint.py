@@ -1,0 +1,204 @@
+"""Fixpoint abstract interpretation of a sequential netlist.
+
+Starting from the reset state (every register at its ``init`` value,
+memories at their ``init`` contents), :func:`analyze` repeatedly pushes
+the abstract register state through one cycle of the combinational
+semantics and *accumulates* (joins) the result into the state, so the
+final map over-approximates every reachable state:
+
+``state'[r] ⊇ state[r] ∪ next_r(state)``
+
+Writable memories are summarised by a single abstract word (the join of
+the initial contents and everything ever written); ROMs — memories with
+no write ports, which :class:`repro.formal.bmc.TransitionSystem` also
+treats as constant — keep their exact contents and reads through a
+sufficiently-narrow abstract address are refined by case-splitting on
+the concrete addresses.
+
+Widening (interval bounds jump to the extremes once they keep moving)
+plus the finite known-bits lattice force termination; ``max_iterations``
+is a pure backstop that blows still-changing entries to ⊤, which is
+always sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hdl import expr as E
+from ..hdl.bitvec import mask
+from ..hdl.netlist import Module
+from .domain import AbsValue, abs_transfer
+
+
+def _concrete_values(value: AbsValue, limit: int) -> list[int] | None:
+    """All concrete values in the concretisation, or ``None`` if there
+    could be more than ``limit`` of them."""
+    span = value.hi - value.lo + 1
+    if span <= limit:
+        return [
+            x
+            for x in range(value.lo, value.hi + 1)
+            if (x & value.known) == value.value
+        ]
+    unknown = mask(value.width) & ~value.known
+    nbits = bin(unknown).count("1")
+    if nbits < 31 and (1 << nbits) <= limit:
+        positions = [i for i in range(value.width) if (unknown >> i) & 1]
+        out = []
+        for combo in range(1 << nbits):
+            x = value.value
+            for j, pos in enumerate(positions):
+                if (combo >> j) & 1:
+                    x |= 1 << pos
+            if value.lo <= x <= value.hi:
+                out.append(x)
+        return out
+    return None
+
+
+def _memory_summary(memory, include_unwritten: bool) -> AbsValue:
+    """Join of a memory's initial contents (plus 0 for unspecified words)."""
+    width = memory.data_width
+    summary: AbsValue | None = None
+    if include_unwritten and len(memory.init) < memory.size:
+        summary = AbsValue.const(width, 0)
+    for word in memory.init.values():
+        value = AbsValue.const(width, word)
+        summary = value if summary is None else summary.join(value)
+        if summary.is_top():
+            break
+    return summary if summary is not None else AbsValue.const(width, 0)
+
+
+@dataclass
+class FixpointResult:
+    """Stable abstract state of a module.
+
+    ``registers`` maps register names to facts true in every reachable
+    state; ``memories`` maps memory names to a single-word summary of
+    all reachable contents; ``values`` maps ``id(node)`` to the abstract
+    value of every combinational node in the final (stable) evaluation.
+    """
+
+    module: Module
+    registers: dict[str, AbsValue]
+    memories: dict[str, AbsValue]
+    values: dict[int, AbsValue]
+    iterations: int
+    widened: bool
+
+
+def analyze(
+    module: Module,
+    *,
+    widen_after: int = 3,
+    max_iterations: int = 50,
+    rom_case_limit: int = 64,
+) -> FixpointResult:
+    """Run the fixpoint interpreter; see the module docstring."""
+    state: dict[str, AbsValue] = {
+        name: AbsValue.const(reg.width, reg.init)
+        for name, reg in module.registers.items()
+    }
+    mem_summary: dict[str, AbsValue] = {}
+    rom: dict[str, bool] = {}
+    for name, memory in module.memories.items():
+        rom[name] = not memory.write_ports
+        mem_summary[name] = _memory_summary(memory, include_unwritten=True)
+
+    roots = module.roots()
+    order = E.walk(roots)
+    values: dict[int, AbsValue] = {}
+
+    def reg_env(node: E.Expr) -> AbsValue:
+        current = state.get(node.name)  # type: ignore[attr-defined]
+        if current is None or current.width != node.width:
+            return AbsValue.top(node.width)
+        return current
+
+    def mem_env(node: E.Expr) -> AbsValue:
+        memory = module.memories.get(node.mem)  # type: ignore[attr-defined]
+        if memory is None or memory.data_width != node.width:
+            return AbsValue.top(node.width)
+        summary = mem_summary[memory.name]
+        if rom[memory.name]:
+            # case-split a narrow abstract address over the concrete words
+            addrs = _concrete_values(values[id(node.addr)], rom_case_limit)
+            if addrs is not None and addrs:
+                out: AbsValue | None = None
+                for a in addrs:
+                    word = AbsValue.const(
+                        memory.data_width, memory.init.get(a, 0)
+                    )
+                    out = word if out is None else out.join(word)
+                    if out.is_top():
+                        break
+                return out if out is not None else summary
+        return summary
+
+    def _evaluate() -> None:
+        values.clear()
+        for node in order:
+            values[id(node)] = abs_transfer(
+                node,
+                lambda n: values[id(n)],
+                reg_env=reg_env,
+                mem_env=mem_env,
+            )
+
+    iterations = 0
+    widened = False
+    while True:
+        iterations += 1
+        _evaluate()
+        changed: set[str] = set()
+        changed_mems: set[str] = set()
+        for name, reg in module.registers.items():
+            enable = values[id(reg.enable)]
+            if enable.hi == 0:
+                continue  # enable provably 0: the register never moves
+            old = state[name]
+            nxt = values[id(reg.next)]
+            if iterations > widen_after:
+                new = old.widen(old.join(nxt))
+                if new != old:
+                    widened = True
+            else:
+                new = old.join(nxt)
+            if new != old:
+                state[name] = new
+                changed.add(name)
+        for name, memory in module.memories.items():
+            if rom[name]:
+                continue
+            old = mem_summary[name]
+            new = old
+            for port in memory.write_ports:
+                enable = values[id(port.enable)]
+                if enable.hi == 0:
+                    continue
+                new = new.join(values[id(port.data)])
+            if new != old:
+                mem_summary[name] = new
+                changed_mems.add(name)
+        if not changed and not changed_mems:
+            break
+        if iterations >= max_iterations:
+            # backstop: widen everything still moving straight to top
+            for name in changed:
+                state[name] = AbsValue.top(module.registers[name].width)
+            for name in changed_mems:
+                mem_summary[name] = AbsValue.top(
+                    module.memories[name].data_width
+                )
+            widened = True
+
+    return FixpointResult(
+        module=module,
+        registers=state,
+        memories=mem_summary,
+        values=values,
+        iterations=iterations,
+        widened=widened,
+    )

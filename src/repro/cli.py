@@ -178,6 +178,7 @@ def cmd_discharge(args: argparse.Namespace) -> int:
             max_retries=args.max_retries,
             mem_limit_mb=args.mem_limit,
             cpu_limit_s=args.cpu_limit,
+            absint=not args.no_absint,
         ),
         jobs=args.jobs,
         timeout=args.timeout,
@@ -193,6 +194,115 @@ def cmd_discharge(args: argparse.Namespace) -> int:
         print(report.format_profile())
     # unknowns (timeouts, budget exhaustion) are inconclusive, not failures
     return 1 if report.failed else 0
+
+
+def _absint_value_row(name: str, width: int, value) -> dict[str, str]:
+    """One register's abstract value, rendered for the text table."""
+    if value.is_const():
+        shape = f"const {value.value:#x}"
+    elif value.is_top():
+        shape = "top"
+    else:
+        parts = []
+        if value.known:
+            parts.append(f"bits &{value.known:#x}=={value.value:#x}")
+        from .hdl.bitvec import mask
+
+        if (value.lo, value.hi) != (0, mask(width)):
+            parts.append(f"range [{value.lo:#x},{value.hi:#x}]")
+        shape = "; ".join(parts) or "top"
+    return {"register": name, "width": str(width), "abstract": shape}
+
+
+def cmd_absint(args: argparse.Namespace) -> int:
+    from .absint import InvariantCache, MiningParams, analyze, mine_invariants
+    from .faults.catalog import CORES
+    from .perf import format_table as _format_table
+
+    targets: list[tuple[str, object]] = []
+    if args.program:
+        _source, program, _labels = _load(args.program)
+        machine = build_dlx_machine(
+            program, config=_config_for(program, args.dmem_bits)
+        )
+        targets.append((args.program, transform(machine)))
+    else:
+        names = args.core or ["toy", "dlx-small"]
+        for name in names:
+            targets.append((name, transform(CORES[name].build_machine())))
+
+    params = MiningParams()
+    if args.cycles is not None:
+        params = MiningParams(trace_cycles=args.cycles)
+    cache = None
+    if args.check and not args.no_cache:
+        cache = InvariantCache(args.cache_dir)
+
+    payload: list[dict] = []
+    failed = False
+    for name, pipelined in targets:
+        module = pipelined.module
+        fixpoint = analyze(
+            module,
+            widen_after=params.widen_after,
+            max_iterations=params.max_iterations,
+            rom_case_limit=params.rom_case_limit,
+        )
+        result = mine_invariants(
+            pipelined,
+            params=params,
+            check=args.check,
+            cache=cache,
+            fixpoint=fixpoint,
+        )
+        print(f"== {name} ({module.name}) ==")
+        rows = [
+            _absint_value_row(reg_name, module.registers[reg_name].width, value)
+            for reg_name, value in sorted(fixpoint.registers.items())
+        ]
+        if rows:
+            print(_format_table(rows))
+        verb = "proved" if result.checked else "conjectured"
+        source = " (cached)" if result.from_cache else ""
+        print(
+            f"{result.candidates} candidate(s), {result.survivors} past the"
+            f" trace filter, {len(result.proven)} {verb} in"
+            f" {result.seconds:.2f}s{source}"
+        )
+        for invariant in result.proven:
+            print(f"  {verb} [{invariant.kind}] {invariant.name}")
+        if args.verbose and result.rejected:
+            for cand, reason in sorted(result.rejected.items()):
+                print(f"  rejected {cand}: {reason}")
+        print()
+        if args.check and result.survivors and not result.proven:
+            failed = True
+        payload.append(
+            {
+                "target": name,
+                "registers": {
+                    reg_name: {
+                        "width": module.registers[reg_name].width,
+                        "known": value.known,
+                        "value": value.value,
+                        "lo": value.lo,
+                        "hi": value.hi,
+                    }
+                    for reg_name, value in sorted(fixpoint.registers.items())
+                },
+                "fixpoint_iterations": fixpoint.iterations,
+                "mining": result.to_dict(include_exprs=False),
+            }
+        )
+
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w") as handle:
+            _json.dump({"targets": payload}, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    return 1 if failed else 0
 
 
 LINT_CORES = ("toy", "dlx", "dlx-spec", "superpipe")
@@ -423,7 +533,56 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the graceful-degradation ladder (incremental ->"
         " from-scratch -> BDD) for unknown invariant obligations",
     )
+    discharge_parser.add_argument(
+        "--no-absint", action="store_true",
+        help="skip abstract-interpretation invariant mining (obligations"
+        " are discharged without mined strengthening assumptions)",
+    )
     discharge_parser.set_defaults(func=cmd_discharge)
+
+    absint_parser = sub.add_parser(
+        "absint",
+        help="abstract-interpretation fixpoint dump and invariant mining",
+    )
+    absint_parser.add_argument(
+        "program", nargs="?", default=None,
+        help="DLX assembly file to analyse (default: the built-in cores)",
+    )
+    absint_parser.add_argument(
+        "--core", action="append", metavar="NAME",
+        choices=("toy", "dlx-small", "dlx", "dlx-spec"),
+        help="built-in core(s) to analyse when no program is given"
+        " (repeatable; default: toy and dlx-small)",
+    )
+    absint_parser.add_argument(
+        "--check", action="store_true",
+        help="SAT-verify the mined candidates (simultaneous induction);"
+        " without this the output is trace-filtered conjectures only",
+    )
+    absint_parser.add_argument(
+        "--cycles", type=int, default=None,
+        help="trace-filter stimulus length (default: 64)",
+    )
+    absint_parser.add_argument(
+        "--json", metavar="FILE", help="write the structured report here"
+    )
+    absint_parser.add_argument(
+        "--verbose", action="store_true",
+        help="also list rejected candidates with their rejection reasons",
+    )
+    absint_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk invariant cache",
+    )
+    absint_parser.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="cache location (default: %(default)s)",
+    )
+    absint_parser.add_argument(
+        "--dmem-bits", type=int, default=6,
+        help="data memory size in address bits (words; program files only)",
+    )
+    absint_parser.set_defaults(func=cmd_absint)
 
     faults_parser = sub.add_parser(
         "faults",

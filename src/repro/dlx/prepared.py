@@ -236,5 +236,23 @@ def build_dlx_machine(
             )
         )
 
+    # ---- invariant templates -------------------------------------------------
+    # Control-transfer instructions carry word-aligned immediates: the fact
+    # holds of every word in the instruction ROM, so it holds of IR.1 after
+    # any fetch, and each later IR.k only ever loads IR.{k-1} — a chain that
+    # is provable only by *simultaneous* induction (repro.absint mines and
+    # proves it, then uses it to strengthen the tmpl.* obligations).
+    machine.add_invariant_template(
+        "ctl-imm-aligned",
+        "IR",
+        lambda ir: E.implies(
+            E.bor(dp.is_branch(ir), dp.is_jump_imm(ir)),
+            E.eq(E.bits(ir, 0, 1), E.const(2, 0)),
+        ),
+        notes="branch/jump-immediate words have 4-byte-aligned low immediate"
+        " bits; true of every assembled DLX program, inherited down the IR"
+        " pipeline",
+    )
+
     machine.validate()
     return machine

@@ -221,5 +221,22 @@ def build_dlx_spec_machine(
         )
     )
 
+    # ---- invariant templates -------------------------------------------------
+    # Same encoding discipline as the in-order DLX: control-transfer words
+    # carry word-aligned immediates; IR.1 gets the fact from the ROM and
+    # each IR.k inherits it from IR.{k-1}, so only the whole chain is
+    # inductive (mined and proved by repro.absint).
+    machine.add_invariant_template(
+        "ctl-imm-aligned",
+        "IR",
+        lambda ir: E.implies(
+            E.bor(dp.is_branch(ir), dp.is_jump_imm(ir)),
+            E.eq(E.bits(ir, 0, 1), E.const(2, 0)),
+        ),
+        notes="branch/jump-immediate words have 4-byte-aligned low immediate"
+        " bits; true of every assembled DLX program, inherited down the IR"
+        " pipeline",
+    )
+
     machine.validate()
     return machine

@@ -7,14 +7,19 @@ detector first, stopping at the first kill:
 2. **lint**  — :func:`repro.lint.lint_pipeline` reports an ERROR finding
    (the static hazard audit catching a dropped coverage record, a
    structural pass catching a never-enabled register, ...);
-3. **trace** — a dynamic trace obligation fails: the mutated pipeline
+3. **absint** — the sequential abstract interpretation objects: the
+   fixpoint-based semantic lint (:func:`repro.lint.lint_semantic`)
+   reports an ERROR (a register provably frozen at its reset value), or
+   a word of an instruction ROM concretely violates a declared invariant
+   template (:func:`repro.absint.rom_template_violations`);
+4. **trace** — a dynamic trace obligation fails: the mutated pipeline
    diverges from the sequential reference on the core's workload, or a
    scheduling/liveness trace check is violated;
-4. **formal** — a SAT-discharged proof obligation produces a concrete
+5. **formal** — a SAT-discharged proof obligation produces a concrete
    counterexample (``Status.FAILED``; an ``unknown`` verdict does *not*
    count as detection).
 
-A mutant surviving all four detectors is a **verifier soundness gap**:
+A mutant surviving all five detectors is a **verifier soundness gap**:
 the campaign's job is to prove the checker stack leaves none.  The
 baseline (unmutated) design runs through the same ladder first and must
 be detected by nothing — a noisy checker would make kills meaningless.
@@ -27,9 +32,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..absint import rom_template_violations
 from ..core.transform import PipelinedMachine
 from ..formal.bmc import TransitionSystem
-from ..lint import lint_pipeline
+from ..lint import lint_pipeline, lint_semantic
 from ..proofs.discharge import (
     Status,
     build_trace,
@@ -53,7 +59,7 @@ class MutantResult:
     operator: str
     site: str
     detected: bool
-    detector: str = ""  # build | lint | trace | formal ("" if survived)
+    detector: str = ""  # build | lint | absint | trace | formal ("" = survived)
     detail: str = ""
     seconds: float = 0.0
 
@@ -177,6 +183,14 @@ def detect(
     if lint.has_errors:
         first = lint.errors[0]
         return "lint", f"{first.rule}: {first.message}"
+
+    semantic = lint_semantic(pipelined.module)
+    if semantic.has_errors:
+        first = semantic.errors[0]
+        return "absint", f"{first.rule}: {first.message}"
+    violations = rom_template_violations(pipelined.machine, pipelined.module)
+    if violations:
+        return "absint", violations[0]
 
     obligations = generate_obligations(pipelined)
     trace_obs = obligations.trace_checks()

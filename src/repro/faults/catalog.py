@@ -24,11 +24,13 @@ operator              fault shape
 ``shift-rollback``    the squash window shifted one stage (off-by-one tag)
 ``drop-forwarding``   a synthesized network dropped from coverage records
 ``early-valid``       a forwarding valid bit forced on one stage too early
+``freeze-reg``        a pipeline register's next value tied to its own output
+``unalign-rom``       an instruction-ROM word corrupted against its template
 ====================  =========================================================
 
-Every mutant must be caught by the verifier stack (lint, trace checking,
-or proof discharge) — a survivor is a soundness gap in the checker, not a
-property of the mutant.
+Every mutant must be caught by the verifier stack (lint, the absint
+semantic checks, trace checking, or proof discharge) — a survivor is a
+soundness gap in the checker, not a property of the mutant.
 """
 
 from __future__ import annotations
@@ -482,6 +484,72 @@ def _enum_early_valid(core: str, pipelined: PipelinedMachine) -> Iterator[Mutant
         )
 
 
+def _enum_freeze_reg(core: str, pipelined: PipelinedMachine) -> Iterator[Mutant]:
+    # the register reloads its own content every cycle: structurally it
+    # still has update logic (one-shot lint deliberately tolerates hold
+    # registers), but no reachable state ever changes — only the
+    # sequential absint fixpoint proves the update dead, so this operator
+    # exercises the campaign's absint rung.
+    instance_names = set(pipelined.machine.instance_names())
+    observable = _observable_registers(pipelined)
+    for name, reg in pipelined.module.registers.items():
+        if name not in instance_names or name not in observable:
+            continue
+        if isinstance(reg.next, E.Const):
+            continue  # stuck-reg territory, not a silent freeze
+        if isinstance(reg.next, E.RegRead) and reg.next.name == name:
+            continue  # already a hold register: the mutant is equivalent
+        yield Mutant(
+            mid=f"{core}/freeze-reg/{name}",
+            core=core,
+            operator="freeze-reg",
+            site=f"register {name} next := its own value (update frozen)",
+            build=lambda n=name, w=reg.width: ops.with_register(
+                pipelined, n, next=E.reg_read(n, w)
+            ),
+        )
+
+
+def _enum_unalign_rom(core: str, pipelined: PipelinedMachine) -> Iterator[Mutant]:
+    # flip the low bit of an instruction-ROM word a declared invariant
+    # template constrains (a control-transfer immediate losing its word
+    # alignment): the corrupted *image* violates the template even when
+    # the word is never fetched inside the trace or BMC horizon, so the
+    # absint image check is the detector that catches it cheaply.
+    machine = pipelined.machine
+    module = pipelined.module
+    seen: set[tuple[str, int]] = set()
+    for template in getattr(machine, "invariant_templates", ()):
+        reg = machine.registers[template.register]
+
+        def _holds(word: int) -> bool | None:
+            prop = template.prop(E.const(reg.width, word))
+            return prop.value == 1 if isinstance(prop, E.Const) else None
+
+        for mem_name, memory in module.memories.items():
+            if memory.write_ports or memory.data_width != reg.width:
+                continue
+            for addr in sorted(memory.init):
+                word = memory.init[addr]
+                if (mem_name, addr) in seen:
+                    continue
+                if _holds(word) is not True or _holds(word ^ 1) is not False:
+                    continue
+                seen.add((mem_name, addr))
+                yield Mutant(
+                    mid=f"{core}/unalign-rom/{mem_name}.{addr:#x}",
+                    core=core,
+                    operator="unalign-rom",
+                    site=(
+                        f"{mem_name}[{addr:#x}] low bit flipped"
+                        f" (image violates tmpl.{template.name})"
+                    ),
+                    build=lambda m=mem_name, a=addr, w=word: (
+                        ops.with_rom_word(pipelined, m, a, w ^ 1)
+                    ),
+                )
+
+
 _NETLIST_ENUMERATORS: dict[
     str, Callable[[str, PipelinedMachine], Iterator[Mutant]]
 ] = {
@@ -501,6 +569,8 @@ _NETLIST_ENUMERATORS: dict[
     "shift-rollback": _enum_shift_rollback,
     "drop-forwarding": _enum_drop_forwarding,
     "early-valid": _enum_early_valid,
+    "freeze-reg": _enum_freeze_reg,
+    "unalign-rom": _enum_unalign_rom,
 }
 
 OPERATORS: tuple[str, ...] = tuple(_NETLIST_ENUMERATORS)

@@ -132,6 +132,27 @@ def with_write_port(
     return mutated
 
 
+def with_rom_word(
+    pipelined: PipelinedMachine, memory: str, addr: int, value: int
+) -> PipelinedMachine:
+    """Corrupt one word of a read-only memory's initial image.
+
+    Models a fault *upstream* of the emitted hardware: the program image
+    burned into an instruction ROM differs from the one the designer (and
+    the reference semantics) intended — a broken assembler or loader
+    emitting, say, a misaligned control-transfer immediate.  Only ROMs
+    qualify; a writable memory's initial image is ordinary state and its
+    corruption a different fault shape.
+    """
+    mutated = rewrite_module(pipelined, [])
+    rom = mutated.module.memories[memory]
+    if rom.write_ports:
+        raise ValueError(f"memory {memory!r} is writable, not a ROM")
+    rom.init[addr] = value & ((1 << rom.data_width) - 1)
+    mutated.module.validate()
+    return mutated
+
+
 def first_mux(root: E.Expr) -> E.Mux | None:
     """The first 2-way mux in DAG discovery order under ``root``."""
     for node in E.walk([root]):

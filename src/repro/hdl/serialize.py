@@ -1,0 +1,111 @@
+"""JSON (de)serialisation of expression DAGs.
+
+Expressions are hash-consed DAGs, so the encoding is a flat node list in
+post-order (children before parents) with child references by index —
+shared subtrees are stored once and sharing survives the round trip.
+Reconstruction goes through the public constructor functions, so a
+decoded expression is semantically equal to the original (the
+constructors may constant-fold nodes the producer built by hand, which
+only makes the DAG smaller).
+
+Used by :mod:`repro.absint.cache` to persist SAT-proven invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from . import expr as E
+
+_UNARY = {
+    "NOT": E.bnot,
+    "NEG": E.neg,
+    "REDOR": E.redor,
+    "REDAND": E.redand,
+    "REDXOR": E.redxor,
+}
+_BINARY = {
+    "AND": E.band,
+    "OR": E.bor,
+    "XOR": E.bxor,
+    "ADD": E.add,
+    "SUB": E.sub,
+    "MUL": E.mul,
+    "EQ": E.eq,
+    "NE": E.ne,
+    "ULT": E.ult,
+    "ULE": E.ule,
+    "SLT": E.slt,
+    "SLE": E.sle,
+    "SHL": E.shl,
+    "LSHR": E.lshr,
+    "ASHR": E.ashr,
+}
+
+
+def exprs_to_json(roots: Iterable[E.Expr]) -> dict:
+    """Encode a set of expression roots as a JSON-safe dict."""
+    roots = list(roots)
+    order = E.walk(roots)
+    index = {id(node): i for i, node in enumerate(order)}
+    nodes: list[list] = []
+    for node in order:
+        if isinstance(node, E.Const):
+            nodes.append(["const", node.width, node.value])
+        elif isinstance(node, E.Input):
+            nodes.append(["input", node.name, node.width])
+        elif isinstance(node, E.RegRead):
+            nodes.append(["reg", node.name, node.width])
+        elif isinstance(node, E.MemRead):
+            nodes.append(["mem", node.mem, index[id(node.addr)], node.width])
+        elif isinstance(node, E.Unary):
+            nodes.append(["un", node.op, index[id(node.a)]])
+        elif isinstance(node, E.Binary):
+            nodes.append(["bin", node.op, index[id(node.a)], index[id(node.b)]])
+        elif isinstance(node, E.Mux):
+            nodes.append(
+                [
+                    "mux",
+                    index[id(node.sel)],
+                    index[id(node.then)],
+                    index[id(node.els)],
+                ]
+            )
+        elif isinstance(node, E.Concat):
+            nodes.append(["cat", [index[id(p)] for p in node.parts]])
+        elif isinstance(node, E.Slice):
+            nodes.append(["slice", index[id(node.a)], node.low, node.high])
+        else:  # pragma: no cover - exhaustive over the IR
+            raise TypeError(f"unserialisable node {type(node).__name__}")
+    return {"nodes": nodes, "roots": [index[id(r)] for r in roots]}
+
+
+def exprs_from_json(payload: dict) -> list[E.Expr]:
+    """Decode the output of :func:`exprs_to_json` back into expressions."""
+    nodes: Sequence[Sequence] = payload["nodes"]
+    built: list[E.Expr] = []
+    for record in nodes:
+        kind = record[0]
+        if kind == "const":
+            built.append(E.const(record[1], record[2]))
+        elif kind == "input":
+            built.append(E.input_port(record[1], record[2]))
+        elif kind == "reg":
+            built.append(E.reg_read(record[1], record[2]))
+        elif kind == "mem":
+            built.append(E.mem_read(record[1], built[record[2]], record[3]))
+        elif kind == "un":
+            built.append(_UNARY[record[1]](built[record[2]]))
+        elif kind == "bin":
+            built.append(_BINARY[record[1]](built[record[2]], built[record[3]]))
+        elif kind == "mux":
+            built.append(
+                E.mux(built[record[1]], built[record[2]], built[record[3]])
+            )
+        elif kind == "cat":
+            built.append(E.concat(*(built[i] for i in record[1])))
+        elif kind == "slice":
+            built.append(E.bits(built[record[1]], record[2], record[3]))
+        else:
+            raise ValueError(f"unknown node kind {kind!r}")
+    return [built[i] for i in payload["roots"]]

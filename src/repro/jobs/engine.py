@@ -85,6 +85,13 @@ class EngineParams:
     # (repro.proofs.discharge_invariant_ladder; only active with
     # ``incremental``, since incremental=False *is* the scratch engine)
     ladder: bool = True
+    # abstract-interpretation invariant mining (repro.absint): mine and
+    # SAT-prove reachability invariants, then inject them as assumptions
+    # into the induction obligations.  Deliberately *not* part of
+    # ``invariant_params``: injection changes an obligation's ``assume``
+    # set, which is already hashed into its fingerprint — the flag itself
+    # adds no information.
+    absint: bool = True
     # crash quarantine: how often a crashed (signalled / vanished) worker
     # is retried, with exponential backoff, before the obligation is
     # recorded as ``crashed``.  Timeouts are never retried (deterministic).
@@ -160,6 +167,9 @@ class JobReport:
     # formatted ERROR-level lint findings when the lint gate tripped and
     # the run failed fast without invoking any solver
     lint_errors: list[str] = field(default_factory=list)
+    # invariant-mining summary when repro.absint ran (candidate/proven
+    # counts, proven invariant names, mining seconds, cache provenance)
+    absint: dict | None = None
 
     @property
     def records(self) -> list[DischargeRecord]:
@@ -217,6 +227,7 @@ class JobReport:
                 "hit_rate": round(self.hit_rate, 4),
             },
             "lint_errors": list(self.lint_errors),
+            "absint": self.absint,
             "workers": {
                 "count": self.jobs,
                 "crashes": self.crashes,
@@ -250,6 +261,13 @@ class JobReport:
                 else ""
             ),
         ]
+        if self.absint is not None:
+            provenance = " (cached)" if self.absint.get("from_cache") else ""
+            lines.append(
+                f"  absint: {self.absint.get('proven', 0)}/"
+                f"{self.absint.get('candidates', 0)} invariants proven"
+                f" in {self.absint.get('seconds', 0.0):.2f}s{provenance}"
+            )
         for finding in self.lint_errors:
             lines.append(f"  LINT    {finding[:110]}")
         for record in self.failed:
@@ -648,6 +666,31 @@ def discharge_jobs(
         machine_name=obligations.machine_name, jobs=jobs, timeout=timeout
     )
     ordered: list[Obligation] = list(obligations)
+
+    # -- invariant mining (repro.absint) ---------------------------------------
+    # Mine and SAT-prove reachability invariants, then strengthen each
+    # induction obligation with the proven facts inside its cone.  Mining
+    # results are themselves cached (keyed by the module fingerprint), and
+    # the injected assumptions flow into the obligation fingerprints, so
+    # cached verdicts stay sound.
+    if params.absint:
+        from ..absint import InvariantCache, inject_invariants, mine_invariants
+
+        invariant_cache = (
+            InvariantCache(cache.root) if cache is not None else None
+        )
+        mining = mine_invariants(
+            pipelined, system=system, cache=invariant_cache
+        )
+        if mining.proven:
+            ordered = inject_invariants(ordered, mining.proven, system)
+        report.absint = {
+            "candidates": mining.candidates,
+            "proven": len(mining.proven),
+            "invariants": [inv.name for inv in mining.proven],
+            "seconds": round(mining.seconds, 4),
+            "from_cache": mining.from_cache,
+        }
     outcome_by_position: dict[int, JobOutcome] = {}
     solver_tasks: list[_SolverTask] = []
     inline_trace: list[tuple[int, Obligation, str | None]] = []

@@ -27,6 +27,7 @@ from .registry import (
     rule_table,
 )
 from .render import render, render_json, render_sarif, render_text
+from .semantic import lint_semantic
 
 __all__ = [
     "Diagnostic",
@@ -37,6 +38,7 @@ __all__ = [
     "lint_machine",
     "lint_module",
     "lint_pipeline",
+    "lint_semantic",
     "render",
     "render_json",
     "render_sarif",

@@ -22,9 +22,10 @@ The pass family (run in registration order by :func:`..registry.lint_module`):
 
 from __future__ import annotations
 
+from ..absint.domain import UNKNOWN, Ternary, ternary_transfer
 from ..hdl import expr as E
 from ..hdl.analyze import node_cost, node_delay
-from ..hdl.bitvec import mask, to_signed
+from ..hdl.bitvec import mask
 from ..hdl.netlist import Module
 from .diagnostics import Severity
 from .registry import ModuleContext, module_pass, register_rule
@@ -221,17 +222,9 @@ def pass_cycles(ctx: ModuleContext) -> None:
 # Pass 3: ternary (0/1/X) constant propagation
 # ---------------------------------------------------------------------------
 
-#: a ternary value: (known bit mask, value on the known bits)
-Ternary = tuple[int, int]
-UNKNOWN: Ternary = (0, 0)
-
-
-def _trailing_ones(x: int) -> int:
-    count = 0
-    while x & 1:
-        x >>= 1
-        count += 1
-    return count
+# The per-operator known-bits rules live in repro.absint.domain (shared
+# with the fixpoint abstract interpreter); this pass supplies the one-shot
+# DAG walk and the frozen-register leaf facts.
 
 
 def _frozen_registers(module: Module) -> dict[str, int]:
@@ -255,152 +248,20 @@ def ternary_eval(
     seeds register reads with known-constant contents.
     """
     frozen = frozen or {}
-    values: dict[int, Ternary] = {}
-    for node in E.walk(roots):
-        values[id(node)] = _ternary_node(node, values, frozen)
-    return values
 
-
-def _ternary_node(
-    node: E.Expr, values: dict[int, Ternary], frozen: dict[str, int]
-) -> Ternary:
-    w = node.width
-    full = mask(w)
-    if isinstance(node, E.Const):
-        return (full, node.value)
-    if isinstance(node, E.RegRead):
+    def reg_bits(node: E.Expr) -> Ternary:
+        assert isinstance(node, E.RegRead)
         if node.name in frozen:
+            full = mask(node.width)
             return (full, frozen[node.name] & full)
         return UNKNOWN
-    if isinstance(node, (E.Input, E.MemRead)):
-        return UNKNOWN
-    if isinstance(node, E.Slice):
-        ka, va = values[id(node.a)]
-        return ((ka >> node.low) & full, (va >> node.low) & full)
-    if isinstance(node, E.Concat):
-        known = value = 0
-        for part in node.parts:
-            kp, vp = values[id(part)]
-            known = (known << part.width) | kp
-            value = (value << part.width) | vp
-        return (known, value)
-    if isinstance(node, E.Mux):
-        ks, vs = values[id(node.sel)]
-        if ks & 1:
-            return values[id(node.then if vs & 1 else node.els)]
-        kt, vt = values[id(node.then)]
-        ke, ve = values[id(node.els)]
-        known = kt & ke & ~(vt ^ ve) & full
-        return (known, vt & known)
-    if isinstance(node, E.Unary):
-        ka, va = values[id(node.a)]
-        aw = node.a.width
-        afull = mask(aw)
-        if node.op == "NOT":
-            return (ka, ~va & ka)
-        if node.op == "NEG":
-            prefix = min(_trailing_ones(ka), aw)
-            known = mask(prefix)
-            return (known, (-va) & known)
-        if node.op == "REDOR":
-            if ka & va:
-                return (1, 1)
-            return (1, 0) if ka == afull else UNKNOWN
-        if node.op == "REDAND":
-            if ka & ~va & afull:
-                return (1, 0)
-            return (1, 1) if ka == afull else UNKNOWN
-        if node.op == "REDXOR":
-            if ka == afull:
-                return (1, bin(va).count("1") & 1)
-            return UNKNOWN
-        raise AssertionError(node.op)
-    if isinstance(node, E.Binary):
-        return _ternary_binary(node, values)
-    raise AssertionError(type(node).__name__)
 
-
-def _ternary_binary(node: E.Binary, values: dict[int, Ternary]) -> Ternary:
-    ka, va = values[id(node.a)]
-    kb, vb = values[id(node.b)]
-    w = node.a.width
-    full = mask(w)
-    op = node.op
-    if op == "AND":
-        known = (ka & kb) | (ka & ~va) | (kb & ~vb)
-        known &= full
-        return (known, va & vb & known)
-    if op == "OR":
-        known = ((ka & kb) | (ka & va) | (kb & vb)) & full
-        return (known, (va | vb) & known)
-    if op == "XOR":
-        known = ka & kb
-        return (known, (va ^ vb) & known)
-    if op in ("ADD", "SUB", "MUL"):
-        prefix = min(_trailing_ones(ka & kb), w)
-        known = mask(prefix)
-        if op == "ADD":
-            raw = va + vb
-        elif op == "SUB":
-            raw = va - vb
-        else:
-            raw = va * vb
-        return (known, raw & known)
-    if op in ("EQ", "NE"):
-        both = ka & kb
-        if (va ^ vb) & both:  # a known bit differs
-            return (1, 1 if op == "NE" else 0)
-        if ka == full and kb == full:
-            return (1, 1 if op == "EQ" else 0)
-        return UNKNOWN
-    if op in ("ULT", "ULE", "SLT", "SLE"):
-        if ka == full and kb == full:
-            if op in ("SLT", "SLE"):
-                x, y = to_signed(va, w), to_signed(vb, w)
-            else:
-                x, y = va, vb
-            hold = x < y if op in ("ULT", "SLT") else x <= y
-            return (1, int(hold))
-        return UNKNOWN
-    if op in ("SHL", "LSHR", "ASHR"):
-        return _ternary_shift(op, (ka, va), (kb, vb), w)
-    raise AssertionError(op)
-
-
-def _ternary_shift(op: str, a: Ternary, amount: Ternary, w: int) -> Ternary:
-    ka, va = a
-    kamt, vamt = amount
-    full = mask(w)
-    if ka == full and va == 0:
-        return (full, 0)  # shifting zero yields zero for all three ops
-    # the amount operand has the same width as the value in this IR
-    if kamt == full:
-        amt = min(vamt, w)
-        if op == "SHL":
-            if amt >= w:
-                return (full, 0)
-            known = ((ka << amt) | mask(amt)) & full
-            return (known, (va << amt) & known)
-        if op == "LSHR":
-            if amt >= w:
-                return (full, 0)
-            top_known = full ^ mask(w - amt)
-            known = (ka >> amt) | top_known
-            return (known, (va >> amt) & known)
-        # ASHR
-        sign_known = (ka >> (w - 1)) & 1
-        sign = (va >> (w - 1)) & 1
-        if amt >= w:
-            if sign_known:
-                return (full, full if sign else 0)
-            return UNKNOWN
-        top_known = (full ^ mask(w - amt)) if sign_known else 0
-        known = ((ka >> amt) & mask(w - amt)) | top_known
-        value = (va >> amt) & mask(w - amt)
-        if sign_known and sign:
-            value |= top_known
-        return (known, value & known)
-    return UNKNOWN
+    values: dict[int, Ternary] = {}
+    for node in E.walk(roots):
+        values[id(node)] = ternary_transfer(
+            node, lambda n: values[id(n)], reg_bits=reg_bits
+        )
+    return values
 
 
 @module_pass

@@ -8,6 +8,7 @@ from .elaborate import (
 )
 from .prepared import (
     ForwardingRegister,
+    InvariantTemplate,
     MachineSpecError,
     PipelineRegister,
     PreparedMachine,
@@ -21,6 +22,7 @@ from . import toy
 
 __all__ = [
     "ForwardingRegister",
+    "InvariantTemplate",
     "MachineSpecError",
     "PipelineRegister",
     "PreparedMachine",

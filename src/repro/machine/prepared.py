@@ -30,6 +30,7 @@ forwarding: those are synthesized by :mod:`repro.core.transform`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..hdl import expr as E
 
@@ -159,6 +160,26 @@ class StallCondition:
 
 
 @dataclass
+class InvariantTemplate:
+    """Designer-declared invariant shape over one pipeline register.
+
+    ``prop`` maps a read of any instance of ``register`` to a 1-bit
+    property expected to hold in every reachable state — e.g. "if the
+    instruction word is a branch, its immediate is word-aligned".  The
+    proof generator emits one ``tmpl.{name}.{instance}`` obligation per
+    instance, and :mod:`repro.absint` mines the same shapes as
+    candidates, so templates that really are invariant get proved by
+    simultaneous induction and then strengthen each other's obligations
+    (instance ``.k`` is typically inductive only relative to ``.k-1``).
+    """
+
+    name: str
+    register: str
+    prop: "Callable[[E.Expr], E.Expr]"
+    notes: str = ""
+
+
+@dataclass
 class SpeculationSpec:
     """Designer annotation for speculative execution (paper, Section 5).
 
@@ -209,6 +230,9 @@ class PreparedMachine:
         # and the latency counters they may read.
         self.stall_conditions: list[StallCondition] = []
         self.latency_counters: dict[str, LatencyCounter] = {}
+        # Designer-declared invariant shapes (mined/proved by repro.absint,
+        # emitted as tmpl.* obligations by the proof generator).
+        self.invariant_templates: list[InvariantTemplate] = []
 
     # -- declarations ---------------------------------------------------------
 
@@ -421,6 +445,32 @@ class PreparedMachine:
                     " is not a register instance"
                 )
         self.speculations.append(spec)
+
+    def add_invariant_template(
+        self,
+        name: str,
+        register: str,
+        prop: "Callable[[E.Expr], E.Expr]",
+        notes: str = "",
+    ) -> InvariantTemplate:
+        """Declare an invariant shape expected to hold of every instance of
+        ``register`` in every reachable state (see :class:`InvariantTemplate`).
+        """
+        spec = self.registers.get(register)
+        if spec is None:
+            raise MachineSpecError(f"unknown register {register!r}")
+        if any(t.name == name for t in self.invariant_templates):
+            raise MachineSpecError(f"invariant template {name!r} already declared")
+        probe = prop(E.reg_read(spec.instance_name(spec.first), spec.width))
+        if probe.width != 1:
+            raise MachineSpecError(
+                f"invariant template {name!r} must produce a 1-bit property"
+            )
+        template = InvariantTemplate(
+            name=name, register=register, prop=prop, notes=notes
+        )
+        self.invariant_templates.append(template)
+        return template
 
     def allow_external_stall(self, stage: int) -> None:
         """Declare that stage ``stage`` has an external stall input ``ext_k``."""

@@ -264,6 +264,28 @@ def generate_obligations(pipelined: PipelinedMachine) -> ObligationSet:
                 )
             )
 
+    # ---- designer-declared invariant templates --------------------------------
+    # One obligation per existing instance of the template's register.  The
+    # instances are usually *not* individually inductive (instance .k loads
+    # instance .k-1); repro.absint mines the same shapes, proves the whole
+    # chain by simultaneous induction, and injects the proven facts as
+    # assumptions so each per-instance obligation closes by 1-induction.
+    for template in pipelined.machine.invariant_templates:
+        reg = pipelined.machine.registers[template.register]
+        for k in reg.instances():
+            name = reg.instance_name(k)
+            if name not in pipelined.module.registers:
+                continue
+            obligations.append(
+                Obligation(
+                    oid=f"tmpl.{template.name}.{name}",
+                    title=f"template {template.name} holds of {name}",
+                    kind=ObligationKind.INVARIANT,
+                    prop=template.prop(E.reg_read(name, reg.width)),
+                    notes=template.notes,
+                )
+            )
+
     # ---- scheduling-function lemma (Section 6.1) -------------------------------
     if not pipelined.machine.speculations and n >= 2:
         # Requires the instrumented module (see repro.proofs.instrument);
