@@ -1,0 +1,239 @@
+"""E12 — bit-parallel batch simulation (repro.hdl.batchsim): throughput.
+
+The batch simulator packs one value per lane into a single transposed
+Python int per net, so L independent simulations advance per compiled
+step.  This bench records the speedup that pays for the extra machinery
+on the two workloads that use it:
+
+1. **fuzz batching** — L lanes of random stimulus through randomly
+   generated modules, against the fairest per-vector baseline we can
+   build: the module is compiled *once* (``compile_module``) and each
+   lane keeps plain R/M dicts driven by the raw step function, so the
+   ratio measures lane packing, not object overhead;
+2. **the fault-campaign trace rung** — the golden core plus its
+   buildable mutants through :class:`LockstepTraceRung` versus the
+   per-vector ladder (``build_trace`` + ``discharge_trace`` per
+   mutant), asserting the kill sets match exactly.
+
+Recorded to ``BENCH_batchsim.json`` with a hard gate: the trace-rung
+ratio and the aggregate fuzz ratio (total per-vector seconds over total
+batched seconds across the lane configurations) must both clear
+``GATE`` (5x).  Per-lane-config fuzz ratios are reported as data — the
+64-lane config sits right at ~5x because the random modules lean on
+per-lane fallback ops (MUL, variable shifts), while 256 lanes and the
+trace rung land at ~10-20x.  ``REPRO_BENCH_SMOKE=1`` shrinks
+seeds/cycles/mutants for CI.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from _report import report_json
+from repro.core import transform
+from repro.faults import CORES, generate_mutants
+from repro.faults.lockstep import LockstepTraceRung
+from repro.hdl.batchsim import BatchSimulator
+from repro.hdl.compile import compile_module
+from repro.proofs.discharge import Status, build_trace, discharge_trace
+from repro.proofs.obligations import generate_obligations
+
+from tests.test_sim_differential import random_module
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+GATE = 5.0  # both ratios must clear this; ~10x is the design target
+
+FUZZ_SEEDS = range(3) if SMOKE else range(8)
+FUZZ_CYCLES = 60 if SMOKE else 200
+FUZZ_LANES = (64, 256)
+
+TRACE_CORE = "toy"
+TRACE_LANES = 64
+# the toy catalog is dominated by cheap trace kills, so even smoke runs
+# see the rung's batching win; the full campaign numbers live in E10
+TRACE_OPERATORS = (
+    ["invert-we", "stuck-full", "weaken-dhaz", "drop-hit", "stuck-data"]
+    if SMOKE
+    else None
+)
+
+
+# ---------------------------------------------------------------------------
+# fuzz batching
+
+
+def _fuzz_stimulus(module, lanes: int, cycles: int, seed: int):
+    """Per-cycle, per-lane input dicts, precomputed so RNG cost stays
+    out of both measured loops."""
+    rngs = [random.Random((seed << 16) ^ lane) for lane in range(lanes)]
+    return [
+        [
+            {
+                name: rngs[lane].randrange(1 << width)
+                for name, width in module.inputs.items()
+            }
+            for lane in range(lanes)
+        ]
+        for _ in range(cycles)
+    ]
+
+
+def _fuzz_per_vector(module, stimulus, lanes: int):
+    """Shared-compile per-vector baseline: one generated step function,
+    plain per-lane state dicts, probe streams appended per lane."""
+    step = compile_module(module)
+    base = module.initial_state()
+    regs = [
+        {name: value.value for name, value in base.registers.items()}
+        for _ in range(lanes)
+    ]
+    mems = [
+        {name: dict(words) for name, words in base.memories.items()}
+        for _ in range(lanes)
+    ]
+    probes = [{name: [] for name in module.probes} for _ in range(lanes)]
+    start = time.perf_counter()
+    for cycle_stimulus in stimulus:
+        for lane in range(lanes):
+            out: dict = {}
+            step(regs[lane], mems[lane], cycle_stimulus[lane], out)
+            lane_probes = probes[lane]
+            for name, value in out.items():
+                lane_probes[name].append(value)
+    elapsed = time.perf_counter() - start
+    return elapsed, probes
+
+
+def _fuzz_batched(module, stimulus, lanes: int):
+    batch = BatchSimulator(module, lanes=lanes)
+    packed = [
+        {
+            name: [cycle_stimulus[lane][name] for lane in range(lanes)]
+            for name in module.inputs
+        }
+        for cycle_stimulus in stimulus
+    ]
+    start = time.perf_counter()
+    for cycle_inputs in packed:
+        batch.step(cycle_inputs)
+    elapsed = time.perf_counter() - start
+    return elapsed, batch
+
+
+def _measure_fuzz(lanes: int) -> dict:
+    per_vector = 0.0
+    batched = 0.0
+    for seed in FUZZ_SEEDS:
+        module = random_module(seed)
+        stimulus = _fuzz_stimulus(module, lanes, FUZZ_CYCLES, seed)
+        seconds, probes = _fuzz_per_vector(module, stimulus, lanes)
+        per_vector += seconds
+        seconds, batch = _fuzz_batched(module, stimulus, lanes)
+        batched += seconds
+        # the ratio only counts if both sides computed the same thing
+        for lane in (0, lanes - 1):
+            assert batch.lane(lane).trace.probes == probes[lane], (seed, lane)
+    return {
+        "lanes": lanes,
+        "modules": len(FUZZ_SEEDS),
+        "cycles": FUZZ_CYCLES,
+        "per_vector_seconds": round(per_vector, 3),
+        "batched_seconds": round(batched, 3),
+        "ratio": round(per_vector / batched, 2),
+    }
+
+
+# ---------------------------------------------------------------------------
+# fault-campaign trace rung
+
+
+def _trace_candidates():
+    spec = CORES[TRACE_CORE]
+    baseline = transform(spec.build_machine())
+    candidates = []
+    for mutant in generate_mutants(spec, operators=TRACE_OPERATORS):
+        try:
+            candidates.append((mutant.mid, mutant.build()))
+        except Exception:
+            continue  # build-rung kills never reach the trace rung
+    return spec, baseline, candidates
+
+
+def _trace_per_vector(candidates, trace_cycles: int):
+    kills = []
+    start = time.perf_counter()
+    for mid, mutated in candidates:
+        obligations = generate_obligations(mutated)
+        trace_obs = obligations.trace_checks()
+        trace = build_trace(mutated, trace_cycles) if trace_obs else None
+        for obligation in trace_obs:
+            record = discharge_trace(
+                mutated, obligation, trace=trace, trace_cycles=trace_cycles
+            )
+            if record.status is Status.FAILED:
+                kills.append((mid, f"{obligation.oid}: {record.detail}"))
+                break
+    return time.perf_counter() - start, kills
+
+
+def _trace_lockstep(baseline, candidates, trace_cycles: int):
+    rung = LockstepTraceRung(baseline, trace_cycles, lanes=TRACE_LANES)
+    start = time.perf_counter()
+    verdicts = rung.check([mutated for _, mutated in candidates])
+    elapsed = time.perf_counter() - start
+    kills = [
+        (mid, detail)
+        for (mid, _), (detector, detail, _, _) in zip(candidates, verdicts)
+        if detector
+    ]
+    return elapsed, kills
+
+
+def _measure_trace_rung() -> dict:
+    spec, baseline, candidates = _trace_candidates()
+    per_vector, kills_pv = _trace_per_vector(candidates, spec.trace_cycles)
+    batched, kills_ls = _trace_lockstep(baseline, candidates, spec.trace_cycles)
+    assert kills_pv == kills_ls, "lockstep rung diverged from per-vector"
+    return {
+        "core": spec.name,
+        "lanes": TRACE_LANES,
+        "mutants": len(candidates),
+        "trace_kills": len(kills_pv),
+        "kills_match": True,
+        "per_vector_seconds": round(per_vector, 3),
+        "batched_seconds": round(batched, 3),
+        "ratio": round(per_vector / batched, 2),
+    }
+
+
+# ---------------------------------------------------------------------------
+
+
+def test_batchsim_throughput(benchmark):
+    def measure():
+        return (
+            [_measure_fuzz(lanes) for lanes in FUZZ_LANES],
+            _measure_trace_rung(),
+        )
+
+    fuzz, trace_rung = benchmark.pedantic(measure, rounds=1, iterations=1)
+    fuzz_ratio = round(
+        sum(row["per_vector_seconds"] for row in fuzz)
+        / sum(row["batched_seconds"] for row in fuzz),
+        2,
+    )
+    payload = {
+        "smoke": SMOKE,
+        "gate_ratio": GATE,
+        "fuzz_ratio": fuzz_ratio,
+        "fuzz": fuzz,
+        "trace_rung": trace_rung,
+    }
+    report_json(
+        "batchsim", payload, title="E12: bit-parallel batch simulation"
+    )
+    assert fuzz_ratio >= GATE, fuzz
+    assert trace_rung["ratio"] >= GATE, trace_rung

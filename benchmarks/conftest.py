@@ -11,12 +11,20 @@ EXPERIMENTS.md for recorded paper-vs-measured outcomes.  Run with::
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
 
 from _report import sections
 from repro.core import transform
 from repro.dlx import DlxConfig, DlxReference, build_dlx_machine
 from repro.dlx.programs import Workload, standard_suite
+
+# tests/ is an importable package whose fuzz-module generator the batch
+# simulation bench reuses; pytest puts benchmarks/ on sys.path (no
+# __init__.py here) but not the repo root, so add it for `import tests`
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -360,9 +360,10 @@ def cmd_faults(args: argparse.Namespace) -> int:
             print(f"  {operator}")
         return 0
 
-    params = DetectParams()
-    if args.cycles is not None:
-        params = DetectParams(trace_cycles=args.cycles)
+    from .jobs.engine import EngineParams
+
+    lanes = args.lanes if args.lanes is not None else EngineParams().lanes
+    params = DetectParams(trace_cycles=args.cycles, lanes=lanes)
     progress = None if args.quiet else print
     report = run_campaign(
         cores=args.core or None,
@@ -605,6 +606,13 @@ def main(argv: list[str] | None = None) -> int:
     faults_parser.add_argument(
         "--cycles", type=int, default=None,
         help="override the per-core trace-check stimulus length",
+    )
+    faults_parser.add_argument(
+        "--lanes", type=int, default=None, metavar="N",
+        help="bit-parallel lanes for the trace stage: chunks of N-1 mutants"
+        " simulate in lockstep with the golden design (1 = per-vector;"
+        " verdicts are identical either way; default: the engine lane"
+        " width, 64)",
     )
     faults_parser.add_argument(
         "--json", metavar="FILE",

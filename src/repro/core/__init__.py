@@ -5,11 +5,13 @@ from .consistency import (
     ConsistencyReport,
     LivenessReport,
     SpecState,
+    SpecStateCache,
     check_data_consistency,
     check_liveness,
     collect_spec_states,
     commit_stream,
     compare_commit_streams,
+    seq_commit_side,
 )
 from .forwarding import (
     FORWARDING_STYLES,
@@ -36,6 +38,7 @@ __all__ = [
     "PipelinedMachine",
     "Schedule",
     "SpecState",
+    "SpecStateCache",
     "SpeculationHardware",
     "StallEngine",
     "TransformOptions",
@@ -47,6 +50,7 @@ __all__ = [
     "compare_commit_streams",
     "compute_schedule",
     "full_bit_name",
+    "seq_commit_side",
     "transform",
     "valid_bit_name",
 ]

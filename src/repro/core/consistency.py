@@ -57,6 +57,62 @@ class SpecState:
     memories: dict[str, dict[int, int]]
 
 
+class SpecStateCache:
+    """Lazily extended sequential-reference snapshots.
+
+    The sequential machine is mutant-independent (mutation operators
+    rewrite the *pipelined* elaboration only), so one cache serves every
+    consistency check of a campaign: the reference simulation is kept
+    alive and extended on demand instead of being re-run per mutant.
+    ``prefix(i)`` returns the same snapshots :func:`collect_spec_states`
+    would, by construction — it is the same simulation, just persistent.
+    """
+
+    def __init__(
+        self, machine: PreparedMachine, inputs: InputProvider | None = None
+    ) -> None:
+        self._machine = machine
+        self._inputs = inputs
+        self._sim: Simulator | None = None
+        self._states: list[SpecState] = []
+        self._cycles = 0
+
+    def _snapshot(self) -> SpecState:
+        sim = self._sim
+        assert sim is not None
+        registers = {
+            reg.name: sim.reg(reg.instance_name(reg.last))
+            for reg in self._machine.visible_registers()
+        }
+        memories = {
+            regfile.name: dict(sim.state.memories[regfile.name])
+            for regfile in self._machine.visible_regfiles()
+        }
+        return SpecState(registers=registers, memories=memories)
+
+    def prefix(self, instructions: int) -> list[SpecState]:
+        """Snapshots before instructions ``0..instructions`` (inclusive);
+        the returned list may be longer than requested."""
+        if self._sim is None:
+            self._sim = Simulator(build_sequential(self._machine))
+            self._states.append(self._snapshot())
+        max_cycles = (instructions + 1) * self._machine.n_stages * 4
+        while len(self._states) <= instructions and self._cycles < max_cycles:
+            stimulus = (
+                self._inputs(self._sim.cycle) if self._inputs is not None else {}
+            )
+            values = self._sim.step(stimulus)
+            self._cycles += 1
+            if values["seq.instr_done"]:
+                self._states.append(self._snapshot())
+        if len(self._states) <= instructions:
+            raise RuntimeError(
+                f"sequential reference retired only {len(self._states) - 1}"
+                f" instructions in {self._cycles} cycles (wanted {instructions})"
+            )
+        return self._states
+
+
 def collect_spec_states(
     machine: PreparedMachine,
     instructions: int,
@@ -103,10 +159,13 @@ def collect_spec_states(
 
 def check_data_consistency(
     machine: PreparedMachine,
-    pipelined_module: Module,
+    pipelined_module: Module | None,
     cycles: int,
     inputs: InputProvider | None = None,
     seq_inputs: InputProvider | None = None,
+    trace: Trace | None = None,
+    impl_states: list[SpecState] | None = None,
+    spec_cache: SpecStateCache | None = None,
 ) -> ConsistencyReport:
     """The paper's data-consistency criterion via the scheduling function.
 
@@ -114,40 +173,57 @@ def check_data_consistency(
     from its ``ue`` trace, collects the specification states from the
     sequential machine, and checks ``R_I^T = R_S^{I(k,T)}`` for every
     visible register and register-file word in every cycle.
+
+    Precomputed artifacts may be supplied instead of resimulating: a
+    ``trace`` together with per-cycle ``impl_states`` (``cycles + 1``
+    snapshots, the first taken before cycle 0) replaces the internal
+    pipelined run, and a shared :class:`SpecStateCache` replaces the
+    per-call sequential run.  The lockstep fault campaign uses both to
+    check many mutants against one reference simulation.
     """
     if machine.speculations:
         raise ValueError(
             "scheduling-function consistency assumes no rollback; use"
             " compare_commit_streams for speculative machines"
         )
-    sim = Simulator(pipelined_module)
     n = machine.n_stages
 
-    # Visible-state snapshots of the *implementation*, one per cycle.
-    impl_states: list[SpecState] = []
+    if trace is None or impl_states is None:
+        if pipelined_module is None:
+            raise ValueError(
+                "need either pipelined_module or precomputed trace+impl_states"
+            )
+        sim = Simulator(pipelined_module)
 
-    def impl_snapshot() -> SpecState:
-        registers = {
-            reg.name: sim.reg(reg.instance_name(reg.last))
-            for reg in machine.visible_registers()
-        }
-        memories = {
-            regfile.name: dict(sim.state.memories[regfile.name])
-            for regfile in machine.visible_regfiles()
-        }
-        return SpecState(registers=registers, memories=memories)
+        # Visible-state snapshots of the *implementation*, one per cycle.
+        impl_states = []
 
-    impl_states.append(impl_snapshot())
-    for _ in range(cycles):
-        stimulus = inputs(sim.cycle) if inputs is not None else {}
-        sim.step(stimulus)
+        def impl_snapshot() -> SpecState:
+            registers = {
+                reg.name: sim.reg(reg.instance_name(reg.last))
+                for reg in machine.visible_registers()
+            }
+            memories = {
+                regfile.name: dict(sim.state.memories[regfile.name])
+                for regfile in machine.visible_regfiles()
+            }
+            return SpecState(registers=registers, memories=memories)
+
         impl_states.append(impl_snapshot())
+        for _ in range(cycles):
+            stimulus = inputs(sim.cycle) if inputs is not None else {}
+            sim.step(stimulus)
+            impl_states.append(impl_snapshot())
+        trace = sim.trace
 
-    schedule = compute_schedule(sim.trace, n)
+    schedule = compute_schedule(trace, n)
     retired = schedule.instructions_retired()
-    spec_states = collect_spec_states(
-        machine, schedule.instructions_fetched(), inputs=seq_inputs
-    )
+    if spec_cache is not None:
+        spec_states = spec_cache.prefix(schedule.instructions_fetched())
+    else:
+        spec_states = collect_spec_states(
+            machine, schedule.instructions_fetched(), inputs=seq_inputs
+        )
 
     violations: list[str] = []
     for t in range(cycles + 1):
@@ -167,7 +243,7 @@ def check_data_consistency(
             spec = spec_states[i]
             impl_mem = impl.memories[regfile.name]
             spec_mem = spec.memories[regfile.name]
-            for addr in set(impl_mem) | set(spec_mem):
+            for addr in sorted(set(impl_mem) | set(spec_mem)):
                 if impl_mem.get(addr, 0) != spec_mem.get(addr, 0):
                     violations.append(
                         f"cycle {t}: {regfile.name}[{addr}] ="
@@ -215,13 +291,35 @@ def commit_stream(
     return streams
 
 
+def seq_commit_side(
+    machine: PreparedMachine,
+    seq_cycles: int,
+    seq_inputs: InputProvider | None = None,
+    exclude: set[str] | None = None,
+) -> tuple[dict[str, list[tuple]], int]:
+    """The sequential half of a commit-stream comparison: run the
+    reference for ``seq_cycles`` and return ``(streams, retired)``.  The
+    result is mutant-independent, so campaigns compute it once per core
+    and pass it to :func:`compare_commit_streams` as ``seq_side``."""
+    seq_module = build_sequential(machine)
+    seq_sim = Simulator(seq_module)
+    retired = 0
+    for _ in range(seq_cycles):
+        stimulus = seq_inputs(seq_sim.cycle) if seq_inputs is not None else {}
+        values = seq_sim.step(stimulus)
+        retired += values["seq.instr_done"]
+    return commit_stream(seq_sim.trace, machine, exclude=exclude), retired
+
+
 def compare_commit_streams(
     machine: PreparedMachine,
-    pipelined_module: Module,
+    pipelined_module: Module | None,
     cycles: int,
     inputs: InputProvider | None = None,
     seq_inputs: InputProvider | None = None,
     seq_cycles: int | None = None,
+    pipe_trace: Trace | None = None,
+    seq_side: tuple[dict[str, list[tuple]], int] | None = None,
 ) -> ConsistencyReport:
     """Run both elaborations and compare their per-resource architectural
     write streams prefix-wise (up to the shorter stream).  Works for
@@ -231,27 +329,36 @@ def compare_commit_streams(
     Registers that are speculation repair targets (e.g. a predicted PC)
     are excluded: their wrong-path writes are corrected by rollback rather
     than suppressed, so their raw write stream legitimately differs.
+
+    A precomputed ``pipe_trace`` replaces the internal pipelined run, and
+    ``seq_side`` (from :func:`seq_commit_side`) replaces the sequential
+    one — both must cover the same cycle counts the defaults would use.
     """
     repaired = {
         target.split(".")[0]
         for spec in machine.speculations
         for target in spec.repairs
     }
-    pipe_sim = Simulator(pipelined_module)
-    for _ in range(cycles):
-        stimulus = inputs(pipe_sim.cycle) if inputs is not None else {}
-        pipe_sim.step(stimulus)
-    pipe_streams = commit_stream(pipe_sim.trace, machine, exclude=repaired)
+    if pipe_trace is None:
+        if pipelined_module is None:
+            raise ValueError(
+                "need either pipelined_module or a precomputed pipe_trace"
+            )
+        pipe_sim = Simulator(pipelined_module)
+        for _ in range(cycles):
+            stimulus = inputs(pipe_sim.cycle) if inputs is not None else {}
+            pipe_sim.step(stimulus)
+        pipe_trace = pipe_sim.trace
+    pipe_streams = commit_stream(pipe_trace, machine, exclude=repaired)
 
-    seq_module = build_sequential(machine)
-    seq_sim = Simulator(seq_module)
-    seq_cycles = seq_cycles if seq_cycles is not None else cycles * machine.n_stages
-    retired = 0
-    for _ in range(seq_cycles):
-        stimulus = seq_inputs(seq_sim.cycle) if seq_inputs is not None else {}
-        values = seq_sim.step(stimulus)
-        retired += values["seq.instr_done"]
-    seq_streams = commit_stream(seq_sim.trace, machine, exclude=repaired)
+    if seq_side is None:
+        seq_cycles = (
+            seq_cycles if seq_cycles is not None else cycles * machine.n_stages
+        )
+        seq_side = seq_commit_side(
+            machine, seq_cycles, seq_inputs=seq_inputs, exclude=repaired
+        )
+    seq_streams, retired = seq_side
 
     violations: list[str] = []
     committed_anything = False

@@ -15,21 +15,30 @@ from .campaign import (
     DetectParams,
     MutantResult,
     detect,
+    detect_formal,
+    detect_static,
     run_campaign,
     run_mutant,
+    run_mutants_lockstep,
 )
 from .catalog import CORES, OPERATORS, CoreSpec, Mutant, generate_mutants
+from .lockstep import LockstepTraceRung, combine_modules
 
 __all__ = [
     "CORES",
     "CampaignReport",
     "CoreSpec",
     "DetectParams",
+    "LockstepTraceRung",
     "Mutant",
     "MutantResult",
     "OPERATORS",
+    "combine_modules",
     "detect",
+    "detect_formal",
+    "detect_static",
     "generate_mutants",
     "run_campaign",
     "run_mutant",
+    "run_mutants_lockstep",
 ]

@@ -164,21 +164,24 @@ class CampaignReport:
 
 @dataclass(frozen=True)
 class DetectParams:
-    """Formal-stage budgets for the detection ladder."""
+    """Formal-stage budgets for the detection ladder.
+
+    ``lanes`` > 1 batches the trace stage: chunks of ``lanes - 1`` mutants
+    run in lockstep with the golden design in one bit-parallel simulation
+    (:mod:`repro.faults.lockstep`).  The verdicts and kill attribution
+    are identical to the per-vector ladder — ``lanes`` only trades memory
+    for wall time.
+    """
 
     max_k: int = 2
     bmc_bound: int = 8
     max_conflicts: int | None = 50_000
     trace_cycles: int | None = None  # None: the core's default
+    lanes: int = 1  # >1: bit-parallel lockstep trace stage
 
 
-def detect(
-    pipelined: PipelinedMachine,
-    trace_cycles: int,
-    params: DetectParams = DetectParams(),
-) -> tuple[str, str]:
-    """Run the detection ladder; return ``(detector, detail)`` —
-    ``("", "")`` when every checker accepts the design."""
+def detect_static(pipelined: PipelinedMachine) -> tuple[str, str]:
+    """The simulation-free rungs of the ladder: lint, then absint."""
     lint = lint_pipeline(pipelined)
     if lint.has_errors:
         first = lint.errors[0]
@@ -191,17 +194,16 @@ def detect(
     violations = rom_template_violations(pipelined.machine, pipelined.module)
     if violations:
         return "absint", violations[0]
+    return "", ""
 
-    obligations = generate_obligations(pipelined)
-    trace_obs = obligations.trace_checks()
-    trace = build_trace(pipelined, trace_cycles) if trace_obs else None
-    for obligation in trace_obs:
-        record = discharge_trace(
-            pipelined, obligation, trace=trace, trace_cycles=trace_cycles
-        )
-        if record.status is Status.FAILED:
-            return "trace", f"{obligation.oid}: {record.detail}"
 
+def detect_formal(
+    pipelined: PipelinedMachine,
+    obligations,
+    params: DetectParams = DetectParams(),
+) -> tuple[str, str]:
+    """The SAT rung of the ladder over an already-generated obligation
+    set (trace obligations must have been discharged beforehand)."""
     resolve_properties(pipelined, obligations)
     system = TransitionSystem.from_module(pipelined.module)
     for obligation in obligations.invariants():
@@ -219,6 +221,30 @@ def detect(
         if record.status is Status.FAILED:
             return "formal", f"{obligation.oid}: {record.detail}"
     return "", ""
+
+
+def detect(
+    pipelined: PipelinedMachine,
+    trace_cycles: int,
+    params: DetectParams = DetectParams(),
+) -> tuple[str, str]:
+    """Run the detection ladder; return ``(detector, detail)`` —
+    ``("", "")`` when every checker accepts the design."""
+    detector, detail = detect_static(pipelined)
+    if detector:
+        return detector, detail
+
+    obligations = generate_obligations(pipelined)
+    trace_obs = obligations.trace_checks()
+    trace = build_trace(pipelined, trace_cycles) if trace_obs else None
+    for obligation in trace_obs:
+        record = discharge_trace(
+            pipelined, obligation, trace=trace, trace_cycles=trace_cycles
+        )
+        if record.status is Status.FAILED:
+            return "trace", f"{obligation.oid}: {record.detail}"
+
+    return detect_formal(pipelined, obligations, params)
 
 
 def run_mutant(
@@ -250,6 +276,81 @@ def run_mutant(
         detail=detail,
         seconds=time.perf_counter() - start,
     )
+
+
+def run_mutants_lockstep(
+    baseline: PipelinedMachine,
+    mutants: list[Mutant],
+    trace_cycles: int,
+    params: DetectParams,
+) -> list[MutantResult]:
+    """The staged lockstep campaign over one core's mutants: build and
+    static rungs per mutant as usual, then the trace rung batched in
+    chunks of ``params.lanes - 1`` mutants against the golden design,
+    then the formal rung per trace-clean mutant.
+
+    The staging reorders *work*, not verdicts: every mutant still walks
+    build → lint → absint → trace → formal and stops at the first kill,
+    so results (detector and detail included) match :func:`run_mutant`.
+    """
+    from .lockstep import LockstepTraceRung
+
+    results: dict[int, MutantResult] = {}
+    candidates: list[tuple[int, Mutant, PipelinedMachine, float]] = []
+    for index, mutant in enumerate(mutants):
+        start = time.perf_counter()
+        try:
+            mutated = mutant.build()
+        except Exception as error:
+            results[index] = MutantResult(
+                mid=mutant.mid,
+                core=mutant.core,
+                operator=mutant.operator,
+                site=mutant.site,
+                detected=True,
+                detector="build",
+                detail=f"{type(error).__name__}: {error}",
+                seconds=time.perf_counter() - start,
+            )
+            continue
+        detector, detail = detect_static(mutated)
+        elapsed = time.perf_counter() - start
+        if detector:
+            results[index] = MutantResult(
+                mid=mutant.mid,
+                core=mutant.core,
+                operator=mutant.operator,
+                site=mutant.site,
+                detected=True,
+                detector=detector,
+                detail=detail,
+                seconds=elapsed,
+            )
+            continue
+        candidates.append((index, mutant, mutated, elapsed))
+
+    rung = LockstepTraceRung(baseline, trace_cycles, params.lanes)
+    verdicts = rung.check([mutated for _, _, mutated, _ in candidates])
+    for (index, mutant, mutated, static_seconds), verdict in zip(
+        candidates, verdicts
+    ):
+        detector, detail, obligations, trace_seconds = verdict
+        seconds = static_seconds + trace_seconds
+        if not detector:
+            start = time.perf_counter()
+            detector, detail = detect_formal(mutated, obligations, params)
+            seconds += time.perf_counter() - start
+        results[index] = MutantResult(
+            mid=mutant.mid,
+            core=mutant.core,
+            operator=mutant.operator,
+            site=mutant.site,
+            detected=bool(detector),
+            detector=detector,
+            detail=detail,
+            seconds=seconds,
+        )
+    return [results[index] for index in range(len(mutants))]
 
 
 def run_campaign(
@@ -292,13 +393,19 @@ def run_campaign(
 
         mutants = generate_mutants(spec, selected, max_per_operator)
         note(f"[{name}] {len(mutants)} mutants across {len(selected)} operators")
-        for mutant in mutants:
-            result = run_mutant(mutant, cycles, params)
+        def finish(result: MutantResult) -> None:
             report.results.append(result)
             verdict = (
                 f"killed by {result.detector}" if result.detected else "SURVIVED"
             )
-            note(f"[{name}] {mutant.mid}: {verdict} ({result.seconds:.2f}s)")
+            note(f"[{name}] {result.mid}: {verdict} ({result.seconds:.2f}s)")
+
+        if params.lanes > 1:
+            for result in run_mutants_lockstep(baseline, mutants, cycles, params):
+                finish(result)
+        else:
+            for mutant in mutants:
+                finish(run_mutant(mutant, cycles, params))
 
     report.wall_seconds = time.perf_counter() - start
     return report

@@ -1,0 +1,360 @@
+"""Lockstep batched trace rung: golden + N mutants in one bit-parallel run.
+
+The trace stage dominates campaign wall time: every mutant re-simulates
+the pipelined module *and* the sequential reference for the full
+workload.  This module replaces that with one
+:class:`repro.hdl.batchsim.BatchSimulator` run per chunk of mutants:
+
+1. :func:`combine_modules` folds the golden module and each mutant module
+   into one netlist with a ``__mutsel__`` input — every expression slot
+   where a mutant differs from the golden design (``is``-compared over
+   the hash-consed DAG) is wrapped in a mux selecting that mutant's
+   expression on its lane index.  Lane 0 simulates the golden design,
+   lane ``k`` mutant ``k`` — bit-identically to simulating each module
+   alone, because the select input is constant per lane.
+2. :class:`LockstepTraceRung` drives the combined module for the core's
+   workload, snapshots the packed visible state every cycle, then
+   discharges each mutant's trace obligations from its *lane view* of
+   the one run — reusing :func:`repro.proofs.discharge.discharge_trace`
+   with precomputed artifacts so verdicts, kill attribution and detail
+   strings match the per-vector ladder exactly.
+
+The sequential reference is mutant-independent (mutation operators
+rewrite the pipelined elaboration only), so its state snapshots
+(:class:`repro.core.SpecStateCache`) and commit streams
+(:func:`repro.core.seq_commit_side`) are computed once per core and
+shared by every mutant.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, Sequence
+
+from ..core.consistency import SpecState, SpecStateCache, seq_commit_side
+from ..core.transform import PipelinedMachine
+from ..hdl import expr as E
+from ..hdl.batchsim import BatchSimulator
+from ..hdl.netlist import Module, ModuleState
+from ..proofs.discharge import Status, discharge_trace
+from ..proofs.obligations import ObligationSet, generate_obligations
+
+MUTSEL = "__mutsel__"
+
+
+class LockstepIncompatible(ValueError):
+    """A mutant module cannot be folded into a lockstep combination
+    (diverging register inits or structural shape); the campaign falls
+    back to the per-vector trace rung for it."""
+
+
+def _check_compatible(golden: Module, variant: Module, shape: Module) -> None:
+    """``shape`` fixes the element sets every variant must share; golden
+    may be a *superset* — proof instrumentation (the ``isched.*`` Lemma 1
+    counters) adds auxiliary registers and probes to a module in place,
+    and those golden-only extras are simply left out of the combination
+    (per-vector trace checking sees pre-instrumentation mutants too)."""
+    if set(variant.inputs) != set(golden.inputs):
+        raise LockstepIncompatible("input ports differ")
+    if set(variant.registers) != set(shape.registers):
+        raise LockstepIncompatible("register sets differ")
+    if set(variant.memories) != set(shape.memories):
+        raise LockstepIncompatible("memory sets differ")
+    if set(variant.probes) != set(shape.probes):
+        raise LockstepIncompatible("probe sets differ")
+    for name, other in variant.registers.items():
+        reg = golden.registers.get(name)
+        if reg is None or other.width != reg.width or other.init != reg.init:
+            raise LockstepIncompatible(f"register {name!r} shape differs")
+    for name, other in variant.memories.items():
+        memory = golden.memories.get(name)
+        if (
+            memory is None
+            or other.addr_width != memory.addr_width
+            or other.data_width != memory.data_width
+            or len(other.write_ports) != len(memory.write_ports)
+        ):
+            raise LockstepIncompatible(f"memory {name!r} shape differs")
+    if not set(variant.probes) <= set(golden.probes):
+        raise LockstepIncompatible("variant probes missing from golden")
+
+
+def combine_modules(
+    golden: Module, variants: Sequence[Module]
+) -> tuple[Module, list[ModuleState] | None]:
+    """Fold ``golden`` and each variant into one module selected by the
+    ``__mutsel__`` input: value 0 behaves as ``golden``, value ``k+1`` as
+    ``variants[k]``.
+
+    Returns the combined module plus per-lane initial states — ``None``
+    when every variant shares the golden initial image (the common case;
+    only ROM-corrupting mutants diverge).
+    """
+    if not variants:
+        raise LockstepIncompatible("need at least one variant")
+    if MUTSEL in golden.inputs:
+        raise LockstepIncompatible(f"golden module already has {MUTSEL!r}")
+    shape = variants[0]
+    for variant in variants:
+        _check_compatible(golden, variant, shape)
+    lanes = len(variants) + 1
+    width = max(1, (lanes - 1).bit_length())
+    combined = Module(f"{golden.name}+lockstep{lanes}")
+    sel = combined.add_input(MUTSEL, width)
+
+    def select(golden_expr: E.Expr, pick) -> E.Expr:
+        result = golden_expr
+        for k, variant in enumerate(variants):
+            candidate = pick(variant)
+            if candidate is not golden_expr:
+                result = E.mux(
+                    E.eq(sel, E.const(width, k + 1)), candidate, result
+                )
+        return result
+
+    for name, w in golden.inputs.items():
+        combined.add_input(name, w)
+    for name in shape.registers:
+        reg = golden.registers[name]
+        combined.add_register(name, reg.width, init=reg.init)
+    for name in shape.registers:
+        reg = golden.registers[name]
+        combined.drive_register(
+            name,
+            select(reg.next, lambda m, n=name: m.registers[n].next),
+            enable=select(reg.enable, lambda m, n=name: m.registers[n].enable),
+        )
+    init_diverges = False
+    for name in shape.memories:
+        memory = golden.memories[name]
+        clone = combined.add_memory(
+            name, memory.addr_width, memory.data_width, init=dict(memory.init)
+        )
+        for variant in variants:
+            if variant.memories[name].init != memory.init:
+                init_diverges = True
+        for index, port in enumerate(memory.write_ports):
+            clone.add_write_port(
+                select(
+                    port.enable,
+                    lambda m, n=name, i=index: m.memories[n].write_ports[i].enable,
+                ),
+                select(
+                    port.addr,
+                    lambda m, n=name, i=index: m.memories[n].write_ports[i].addr,
+                ),
+                select(
+                    port.data,
+                    lambda m, n=name, i=index: m.memories[n].write_ports[i].data,
+                ),
+            )
+    for name in shape.probes:
+        combined.add_probe(
+            name, select(golden.probes[name], lambda m, n=name: m.probes[n])
+        )
+    try:
+        combined.validate()
+    except Exception as error:
+        # a golden default arm may reference a golden-only element that was
+        # left out of the combination — unlikely (instrumentation never
+        # feeds shared logic), but fall back per-vector rather than crash
+        raise LockstepIncompatible(f"combined module invalid: {error}")
+
+    lane_states: list[ModuleState] | None = None
+    if init_diverges:
+        lane_states = [golden.initial_state()]
+        lane_states += [variant.initial_state() for variant in variants]
+    return combined, lane_states
+
+
+class LockstepTraceRung:
+    """Discharge many mutants' trace obligations from batched lockstep
+    runs, with one shared sequential reference per core.
+
+    ``check`` consumes built mutants and returns, for each, the tuple
+    ``(detector, detail, obligations, seconds)`` — ``detector`` is
+    ``"trace"`` with the per-vector ladder's exact detail string on a
+    kill, ``""`` when every trace obligation passes.  The mutant's
+    :class:`ObligationSet` is returned so the campaign's formal stage
+    reuses it, mirroring the single-``detect`` flow.
+    """
+
+    def __init__(
+        self,
+        baseline: PipelinedMachine,
+        trace_cycles: int,
+        lanes: int,
+    ) -> None:
+        if lanes < 2:
+            raise ValueError("lockstep needs at least 2 lanes (golden + 1)")
+        self.baseline = baseline
+        self.trace_cycles = trace_cycles
+        self.lanes = lanes
+        machine = baseline.machine
+        # consistency's sequential side: only legal without speculation
+        self._spec_cache = (
+            SpecStateCache(machine) if not machine.speculations else None
+        )
+        self._seq_side: tuple[dict[str, list[tuple]], int] | None = None
+
+    def _shared_seq_side(self) -> tuple[dict[str, list[tuple]], int]:
+        if self._seq_side is None:
+            machine = self.baseline.machine
+            repaired = {
+                target.split(".")[0]
+                for spec in machine.speculations
+                for target in spec.repairs
+            }
+            self._seq_side = seq_commit_side(
+                machine,
+                self.trace_cycles * machine.n_stages,
+                exclude=repaired,
+            )
+        return self._seq_side
+
+    def check(
+        self, mutants: Sequence[PipelinedMachine]
+    ) -> list[tuple[str, str, ObligationSet, float]]:
+        results: list[tuple[str, str, ObligationSet, float]] = []
+        for chunk in _chunked(mutants, self.lanes - 1):
+            results.extend(self._check_chunk(chunk))
+        return results
+
+    # -- one chunk -----------------------------------------------------------
+
+    def _check_chunk(
+        self, chunk: Sequence[PipelinedMachine]
+    ) -> list[tuple[str, str, ObligationSet, float]]:
+        golden = self.baseline
+        try:
+            combined, lane_states = combine_modules(
+                golden.module, [mutant.module for mutant in chunk]
+            )
+        except LockstepIncompatible:
+            return [self._check_per_vector(mutant) for mutant in chunk]
+
+        start = time.perf_counter()
+        machine = golden.machine
+        lanes = len(chunk) + 1
+        batch = BatchSimulator(combined, lanes=lanes, lane_states=lane_states)
+        sel = list(range(lanes))
+        visible_regs = [
+            (reg.name, reg.instance_name(reg.last))
+            for reg in machine.visible_registers()
+        ]
+        visible_rfs = [rf.name for rf in machine.visible_regfiles()]
+        record_states = self._spec_cache is not None
+
+        def snapshot() -> tuple[dict, dict]:
+            regs = {
+                name: batch.reg_packed(instance)
+                for name, instance in visible_regs
+            }
+            mems = {
+                name: (batch.mem_packed(name), batch.written_packed(name))
+                for name in visible_rfs
+            }
+            return regs, mems
+
+        snapshots = [snapshot()] if record_states else []
+        for _ in range(self.trace_cycles):
+            batch.step({MUTSEL: sel})
+            if record_states:
+                snapshots.append(snapshot())
+        sim_share = (time.perf_counter() - start) / len(chunk)
+
+        results = []
+        for k, mutant in enumerate(chunk):
+            start = time.perf_counter()
+            verdict = self._check_lane(mutant, batch, k + 1, snapshots)
+            seconds = sim_share + time.perf_counter() - start
+            results.append((*verdict, seconds))
+        return results
+
+    def _check_lane(
+        self,
+        mutant: PipelinedMachine,
+        batch: BatchSimulator,
+        lane: int,
+        snapshots: list[tuple[dict, dict]],
+    ) -> tuple[str, str, ObligationSet]:
+        obligations = generate_obligations(mutant)
+        lane_trace = batch.trace.lane(lane)
+        impl_states: list[SpecState] | None = None
+        for obligation in obligations.trace_checks():
+            kwargs: dict = {}
+            if obligation.checker == "consistency" and snapshots:
+                if impl_states is None:
+                    impl_states = _lane_impl_states(batch, lane, snapshots)
+                kwargs = {
+                    "impl_states": impl_states,
+                    "spec_cache": self._spec_cache,
+                }
+            elif obligation.checker == "commit_streams":
+                kwargs = {"seq_side": self._shared_seq_side()}
+            record = discharge_trace(
+                mutant,
+                obligation,
+                trace=lane_trace,
+                trace_cycles=self.trace_cycles,
+                **kwargs,
+            )
+            if record.status is Status.FAILED:
+                return "trace", f"{obligation.oid}: {record.detail}", obligations
+        return "", "", obligations
+
+    def _check_per_vector(
+        self, mutant: PipelinedMachine
+    ) -> tuple[str, str, ObligationSet, float]:
+        """Fallback for mutants that cannot join a lockstep combination:
+        the ordinary single-lane trace rung."""
+        from ..proofs.discharge import build_trace
+
+        start = time.perf_counter()
+        obligations = generate_obligations(mutant)
+        trace_obs = obligations.trace_checks()
+        trace = build_trace(mutant, self.trace_cycles) if trace_obs else None
+        for obligation in trace_obs:
+            record = discharge_trace(
+                mutant, obligation, trace=trace, trace_cycles=self.trace_cycles
+            )
+            if record.status is Status.FAILED:
+                return (
+                    "trace",
+                    f"{obligation.oid}: {record.detail}",
+                    obligations,
+                    time.perf_counter() - start,
+                )
+        return "", "", obligations, time.perf_counter() - start
+
+
+def _lane_impl_states(
+    batch: BatchSimulator, lane: int, snapshots: list[tuple[dict, dict]]
+) -> list[SpecState]:
+    """One lane's per-cycle visible-state snapshots, with exactly the
+    memory key sets a per-vector simulation of that mutant would hold
+    (its initial image plus its own writes), so consistency verdicts and
+    violation strings match the per-vector checker verbatim."""
+    shift = lane * batch.stride
+    states = []
+    for regs, mems in snapshots:
+        registers = {
+            name: batch.slot(value, lane) for name, value in regs.items()
+        }
+        memories: dict[str, dict[int, int]] = {}
+        for name, (words, written) in mems.items():
+            keys = set(batch.init_keys(name, lane))
+            for addr, lanes_mask in written.items():
+                if (lanes_mask >> shift) & 1:
+                    keys.add(addr)
+            memories[name] = {
+                addr: batch.slot(words.get(addr, 0), lane)
+                for addr in sorted(keys)
+            }
+        states.append(SpecState(registers=registers, memories=memories))
+    return states
+
+
+def _chunked(items: Sequence, size: int) -> Iterator[Sequence]:
+    for start in range(0, len(items), size):
+        yield items[start : start + size]

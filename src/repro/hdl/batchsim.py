@@ -1,0 +1,885 @@
+"""Bit-parallel batch simulation: L independent vectors per net, one int.
+
+:class:`BatchSimulator` runs ``lanes`` independent simulations of one
+module at once by *lane packing*: every net holds all L lane values in a
+single Python integer, lane ``i`` occupying the bit window
+``[i*stride, i*stride + width)``.  The stride is a multiple of 64 chosen
+per module so that every net (plus one SWAR guard bit) fits a lane slot;
+with that invariant the transfer functions become lane-parallel:
+
+* bitwise ops (AND/OR/XOR/NOT, mux blends, slices, concats) are single
+  big-int operations — L lanes for the price of one;
+* add/sub/compare/reductions use classic SWAR guard-bit tricks (the
+  carry/borrow of each lane is confined to its slot, so one big-int add
+  performs L independent modular adds);
+* multiply, variable arithmetic shift and divergent memory traffic fall
+  back to per-lane slicing through :mod:`struct`-based marshalling —
+  correct first, vectorised where profitable.
+
+Memories keep the packed layout too: ``mem[addr]`` is a packed word
+holding every lane's copy of that location, so lanes that diverge on a
+write (different enables, addresses or data) get copy-on-write behaviour
+per slot via masked blends, never cross-talk.
+
+The semantics are locked to :class:`repro.hdl.sim.Simulator` — the
+property-based differential suite in ``tests/test_batchsim.py`` asserts
+bit-identical traces and states against both the interpreter and
+:class:`repro.hdl.compile.CompiledSimulator` — and every lane is
+observable through :meth:`BatchSimulator.lane`, whose ``.trace`` is a
+real :class:`repro.hdl.sim.Trace`.
+
+Usage::
+
+    batch = BatchSimulator(module, lanes=64)
+    batch.step({"irq": 0})                  # broadcast to all lanes
+    batch.step({"irq": [0, 1, 0, ...]})     # per-lane stimulus
+    batch.lane(7).trace.probe("ue.4")       # ordinary Trace view
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Mapping, Sequence
+
+from . import expr as E
+from .bitvec import BitVector, from_signed, mask, to_signed
+from .netlist import Module, ModuleState
+from .sim import Evaluator, SimulationError, Trace
+
+DEFAULT_LANES = 64
+
+_InputValue = int | Sequence[int]
+
+
+class _Geometry:
+    """Lane-packing geometry: marshalling between lane lists and packed ints."""
+
+    __slots__ = ("lanes", "stride", "repl1", "_struct", "_nbytes", "_slot_bytes")
+
+    def __init__(self, lanes: int, stride: int) -> None:
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        assert stride % 64 == 0
+        self.lanes = lanes
+        self.stride = stride
+        # 1 replicated in every lane slot: the workhorse broadcast constant
+        self.repl1 = sum(1 << (i * stride) for i in range(lanes))
+        self._struct = struct.Struct(f"<{lanes}Q") if stride == 64 else None
+        self._nbytes = lanes * stride // 8
+        self._slot_bytes = stride // 8
+
+    def repl(self, value: int) -> int:
+        """``value`` replicated into every lane slot (value < 2**stride)."""
+        return value * self.repl1
+
+    def pack(self, values: Sequence[int]) -> int:
+        """Pack one value per lane into a single transposed integer."""
+        if len(values) != self.lanes:
+            raise ValueError(f"expected {self.lanes} lane values, got {len(values)}")
+        if self._struct is not None:
+            return int.from_bytes(self._struct.pack(*values), "little")
+        sb = self._slot_bytes
+        return int.from_bytes(
+            b"".join(value.to_bytes(sb, "little") for value in values), "little"
+        )
+
+    def unpack(self, packed: int) -> list[int]:
+        """Split a packed integer back into one value per lane."""
+        data = packed.to_bytes(self._nbytes, "little")
+        if self._struct is not None:
+            return list(self._struct.unpack(data))
+        sb = self._slot_bytes
+        return [
+            int.from_bytes(data[offset : offset + sb], "little")
+            for offset in range(0, self._nbytes, sb)
+        ]
+
+    def slot(self, packed: int, lane: int) -> int:
+        """Extract one lane's slot from a packed integer."""
+        return (packed >> (lane * self.stride)) & mask(self.stride)
+
+
+def _module_stride(module: Module) -> int:
+    """Smallest multiple of 64 leaving every net a slot with a guard bit."""
+    widths = [1]
+    widths.extend(module.inputs.values())
+    widths.extend(reg.width for reg in module.registers.values())
+    widths.extend(memory.data_width for memory in module.memories.values())
+    widths.extend(node.width for node in E.walk(module.roots()))
+    max_width = max(widths)
+    return 64 * ((max_width + 1 + 63) // 64)
+
+
+# ---------------------------------------------------------------------------
+# memory helpers (built per memory at compile time, geometry-specialised)
+
+
+def _make_mem_reader(
+    geom: _Geometry, addr_width: int, data_width: int
+) -> Callable[[dict, int], int]:
+    """Packed asynchronous read: ``read(mem, addr_packed) -> data_packed``.
+
+    Three strategies: a uniform-address fast path (every lane reads the
+    same location — one dict lookup), a mux-tree gather for small address
+    spaces, and per-lane slicing for large ones.
+    """
+    repl1 = geom.repl1
+    slot_mask = mask(geom.stride)
+    size = 1 << addr_width
+    dmask = mask(data_width)
+    use_tree = size <= max(32, 2 * geom.lanes)
+    unpack = geom.unpack
+    pack = geom.pack
+
+    def read(mem: dict, addrp: int) -> int:
+        a0 = addrp & slot_mask
+        if addrp == a0 * repl1:  # all lanes agree on the address
+            return mem.get(a0, 0)
+        if use_tree:
+            level = [mem.get(addr, 0) for addr in range(size)]
+            for bit in range(addr_width):
+                fm = ((addrp >> bit) & repl1) * dmask
+                level = [
+                    level[j] ^ ((level[j] ^ level[j + 1]) & fm)
+                    for j in range(0, len(level), 2)
+                ]
+            return level[0]
+        addrs = unpack(addrp)
+        stride = geom.stride
+        return pack(
+            [
+                (mem.get(addr, 0) >> (lane * stride)) & dmask
+                for lane, addr in enumerate(addrs)
+            ]
+        )
+
+    return read
+
+
+def _make_mem_writer(
+    geom: _Geometry, addr_width: int, data_width: int
+) -> Callable[[dict, dict, int, int, int], None]:
+    """Packed write port: ``write(mem, written, en_p, addr_p, data_p)``.
+
+    Lanes that diverge on enable/address/data blend into the packed words
+    per slot (copy-on-write per lane).  ``written[addr]`` accumulates the
+    per-lane write masks so lane state materialisation creates exactly the
+    same memory keys as a per-vector :class:`Simulator` would.
+    """
+    repl1 = geom.repl1
+    stride = geom.stride
+    slot_mask = mask(stride)
+    size = 1 << addr_width
+    dmask = mask(data_width)
+    amask_r = geom.repl(mask(addr_width)) if addr_width else 0
+    scatter = size <= max(32, 2 * geom.lanes)
+    kas = [geom.repl(addr) for addr in range(size)] if scatter else []
+    unpack = geom.unpack
+
+    def write(mem: dict, written: dict, enp: int, addrp: int, datap: int) -> None:
+        if not enp:
+            return
+        a0 = addrp & slot_mask
+        if addrp == a0 * repl1:  # all lanes agree on the address
+            fm = enp * dmask
+            cur = mem.get(a0, 0)
+            mem[a0] = cur ^ ((cur ^ datap) & fm)
+            written[a0] = written.get(a0, 0) | enp
+            return
+        if scatter:  # one masked blend per address value
+            for addr in range(size):
+                diff = addrp ^ kas[addr]
+                nz = ((diff + amask_r) >> addr_width) & repl1
+                sel = enp & (nz ^ repl1)
+                if not sel:
+                    continue
+                fm = sel * dmask
+                cur = mem.get(addr, 0)
+                mem[addr] = cur ^ ((cur ^ datap) & fm)
+                written[addr] = written.get(addr, 0) | sel
+            return
+        ens = unpack(enp)
+        addrs = unpack(addrp)
+        datas = unpack(datap)
+        for lane in range(geom.lanes):
+            if ens[lane]:
+                offset = lane * stride
+                addr = addrs[lane]
+                cur = mem.get(addr, 0)
+                mem[addr] = (cur & ~(dmask << offset)) | (datas[lane] << offset)
+                written[addr] = written.get(addr, 0) | (1 << offset)
+
+    return write
+
+
+def _make_perlane_binary(
+    geom: _Geometry, op: str, width: int
+) -> Callable[[int, int], int]:
+    """Per-lane fallback for ops without a cheap SWAR form (MUL, var ASHR)."""
+    m = mask(width)
+    if op == "MUL":
+
+        def fn(a: int, b: int) -> int:
+            return (a * b) & m
+
+    elif op == "ASHR":
+
+        def fn(a: int, b: int) -> int:
+            return from_signed(to_signed(a, width) >> min(b, width), width)
+
+    else:  # pragma: no cover
+        raise AssertionError(op)
+    unpack = geom.unpack
+    pack = geom.pack
+
+    def apply(ap: int, bp: int) -> int:
+        return pack([fn(a, b) for a, b in zip(unpack(ap), unpack(bp))])
+
+    return apply
+
+
+# ---------------------------------------------------------------------------
+# code generation
+
+
+class _BatchCodeGen:
+    """Generates lane-parallel evaluation code, `compile.py._CodeGen` style.
+
+    Big replicated constants never appear as source literals — they are
+    interned into the exec namespace (``K0``, ``K1``, ...); per-lane and
+    memory helpers likewise (``PL*``, ``MR*``, ``MW*``).
+    """
+
+    def __init__(self, module: Module, geom: _Geometry) -> None:
+        self.module = module
+        self.geom = geom
+        self.lines: list[str] = []
+        self.names: dict[int, str] = {}
+        self.namespace: dict[str, object] = {}
+        self._counter = 0
+        self._consts: dict[int, str] = {}  # packed value -> namespace name
+        self._perlane: dict[tuple[str, int], str] = {}
+        self.readers: dict[str, str] = {}  # memory name -> helper name
+        self.writers: dict[str, str] = {}
+
+    # -- namespace management -------------------------------------------------
+
+    def _fresh(self) -> str:
+        self._counter += 1
+        return f"v{self._counter}"
+
+    def name_of(self, node: E.Expr) -> str:
+        return self.names[id(node)]
+
+    def _const(self, packed: int) -> str:
+        """Intern a (typically huge) packed constant into the namespace."""
+        name = self._consts.get(packed)
+        if name is None:
+            name = f"K{len(self._consts)}"
+            self._consts[packed] = name
+            self.namespace[name] = packed
+        return name
+
+    def _repl_mask(self, width: int) -> str:
+        return self._const(self.geom.repl(mask(width)))
+
+    def _perlane_helper(self, op: str, width: int) -> str:
+        key = (op, width)
+        name = self._perlane.get(key)
+        if name is None:
+            name = f"PL{len(self._perlane)}"
+            self._perlane[key] = name
+            self.namespace[name] = _make_perlane_binary(self.geom, op, width)
+        return name
+
+    def mem_helpers(self, name: str) -> tuple[str, str]:
+        if name not in self.readers:
+            memory = self.module.memories[name]
+            index = len(self.readers)
+            rd, wr = f"MR{index}", f"MW{index}"
+            self.readers[name] = rd
+            self.writers[name] = wr
+            self.namespace[rd] = _make_mem_reader(
+                self.geom, memory.addr_width, memory.data_width
+            )
+            self.namespace[wr] = _make_mem_writer(
+                self.geom, memory.addr_width, memory.data_width
+            )
+        return self.readers[name], self.writers[name]
+
+    # -- emission -------------------------------------------------------------
+
+    def emit_roots(self, roots: list[E.Expr]) -> None:
+        for node in E.walk(roots):
+            if id(node) not in self.names:
+                self._emit(node)
+
+    def _assign(self, node: E.Expr, expression: str) -> None:
+        name = self._fresh()
+        self.lines.append(f"    {name} = {expression}")
+        self.names[id(node)] = name
+
+    def _alias(self, node: E.Expr, name: str) -> None:
+        self.names[id(node)] = name
+
+    def _temp(self, expression: str) -> str:
+        name = self._fresh()
+        self.lines.append(f"    {name} = {expression}")
+        return name
+
+    def _nonzero(self, name: str, width: int) -> str:
+        """Per-lane 'slot != 0' -> 1-bit lanes, via the SWAR add trick."""
+        K1 = self._const(self.geom.repl1)
+        KM = self._repl_mask(width)
+        return f"((({name} + {KM}) >> {width}) & {K1})"
+
+    def _ult(self, a: str, b: str, width: int) -> str:
+        """Per-lane unsigned a < b -> 1-bit lanes (guard-bit borrow test)."""
+        K1 = self._const(self.geom.repl1)
+        KG = self._const(self.geom.repl(1 << width))
+        return f"(((({a} | {KG}) - {b}) >> {width}) & {K1}) ^ {K1}"
+
+    def _ule(self, a: str, b: str, width: int) -> str:
+        """Per-lane unsigned a <= b == not (b < a)."""
+        K1 = self._const(self.geom.repl1)
+        KG = self._const(self.geom.repl(1 << width))
+        return f"((({b} | {KG}) - {a}) >> {width}) & {K1}"
+
+    def _emit(self, node: E.Expr) -> None:
+        geom = self.geom
+        if isinstance(node, E.Const):
+            self._alias(node, self._const(geom.repl(node.value)))
+            return
+        if isinstance(node, E.RegRead):
+            self._assign(node, f"R[{node.name!r}]")
+            return
+        if isinstance(node, E.Input):
+            self._assign(node, f"I[{node.name!r}]")
+            return
+        if isinstance(node, E.MemRead):
+            reader, _ = self.mem_helpers(node.mem)
+            addr = self.name_of(node.addr)
+            self._assign(node, f"{reader}(M[{node.mem!r}], {addr})")
+            return
+        if isinstance(node, E.Unary):
+            self._emit_unary(node)
+            return
+        if isinstance(node, E.Binary):
+            self._emit_binary(node)
+            return
+        if isinstance(node, E.Mux):
+            sel = self.name_of(node.sel)
+            then = self.name_of(node.then)
+            els = self.name_of(node.els)
+            fm = self._temp(f"{sel} * {mask(node.width)}")
+            self._assign(node, f"{els} ^ (({els} ^ {then}) & {fm})")
+            return
+        if isinstance(node, E.Concat):
+            parts = []
+            shift = 0
+            for part in reversed(node.parts):
+                name = self.name_of(part)
+                parts.append(name if shift == 0 else f"({name} << {shift})")
+                shift += part.width
+            self._assign(node, " | ".join(parts))
+            return
+        if isinstance(node, E.Slice):
+            a = self.name_of(node.a)
+            width = node.high - node.low + 1
+            KM = self._repl_mask(width)
+            low = node.low
+            self._assign(node, f"({a} >> {low}) & {KM}" if low else f"{a} & {KM}")
+            return
+        raise AssertionError(type(node).__name__)  # pragma: no cover
+
+    def _emit_unary(self, node: E.Unary) -> None:
+        geom = self.geom
+        a = self.name_of(node.a)
+        aw = node.a.width
+        K1 = self._const(geom.repl1)
+        if node.op == "NOT":
+            self._assign(node, f"{a} ^ {self._repl_mask(aw)}")
+        elif node.op == "NEG":
+            KG = self._const(geom.repl(1 << aw))
+            self._assign(node, f"({KG} - {a}) & {self._repl_mask(aw)}")
+        elif node.op == "REDOR":
+            if aw == 1:
+                self._alias(node, a)
+            else:
+                self._assign(node, self._nonzero(a, aw))
+        elif node.op == "REDAND":
+            if aw == 1:
+                self._alias(node, a)
+            else:
+                self._assign(node, f"(({a} + {K1}) >> {aw}) & {K1}")
+        elif node.op == "REDXOR":
+            # halving fold; each step masks both halves, so it is lane-safe
+            # for any operand width (no XOR window ever crosses a slot)
+            if aw == 1:
+                self._alias(node, a)
+                return
+            cur, width = a, aw
+            while width > 1:
+                half = width // 2
+                rem = width - half
+                lo = self._repl_mask(half)
+                hi = self._repl_mask(rem)
+                cur = self._temp(f"({cur} & {lo}) ^ (({cur} >> {half}) & {hi})")
+                width = rem
+            self._alias(node, cur)
+        else:  # pragma: no cover
+            raise AssertionError(node.op)
+
+    def _emit_binary(self, node: E.Binary) -> None:
+        geom = self.geom
+        a = self.name_of(node.a)
+        b = self.name_of(node.b)
+        aw = node.a.width
+        op = node.op
+        K1 = self._const(geom.repl1)
+        KM = self._repl_mask(aw)
+        if op == "AND":
+            self._assign(node, f"{a} & {b}")
+        elif op == "OR":
+            self._assign(node, f"{a} | {b}")
+        elif op == "XOR":
+            self._assign(node, f"{a} ^ {b}")
+        elif op == "ADD":
+            self._assign(node, f"({a} + {b}) & {KM}")
+        elif op == "SUB":
+            # guard bit per slot prevents borrows crossing lane boundaries
+            KG = self._const(geom.repl(1 << aw))
+            self._assign(node, f"(({a} | {KG}) - {b}) & {KM}")
+        elif op == "MUL":
+            helper = self._perlane_helper("MUL", aw)
+            self._assign(node, f"{helper}({a}, {b})")
+        elif op == "EQ":
+            diff = self._temp(f"{a} ^ {b}")
+            self._assign(node, f"{self._nonzero(diff, aw)} ^ {K1}")
+        elif op == "NE":
+            diff = self._temp(f"{a} ^ {b}")
+            self._assign(node, self._nonzero(diff, aw))
+        elif op == "ULT":
+            self._assign(node, self._ult(a, b, aw))
+        elif op == "ULE":
+            self._assign(node, self._ule(a, b, aw))
+        elif op in ("SLT", "SLE"):
+            # bias by the sign bit, then compare unsigned
+            KS = self._const(geom.repl(1 << (aw - 1)))
+            ta = self._temp(f"{a} ^ {KS}")
+            tb = self._temp(f"{b} ^ {KS}")
+            cmp = self._ult if op == "SLT" else self._ule
+            self._assign(node, cmp(ta, tb, aw))
+        elif op in ("SHL", "LSHR", "ASHR"):
+            self._emit_shift(node)
+        else:  # pragma: no cover
+            raise AssertionError(op)
+
+    def _emit_shift(self, node: E.Binary) -> None:
+        geom = self.geom
+        a = self.name_of(node.a)
+        aw = node.a.width
+        op = node.op
+        if isinstance(node.b, E.Const):
+            self._emit_const_shift(node, a, aw, op, min(node.b.value, aw))
+            return
+        if op == "ASHR":
+            helper = self._perlane_helper("ASHR", aw)
+            self._assign(node, f"{helper}({a}, {self.name_of(node.b)})")
+            return
+        # barrel ladder over the amount bits; each rung a masked blend.
+        # shifting by >= aw zeroes a lane, matching min(amount, aw) semantics.
+        b = self.name_of(node.b)
+        bw = node.b.width
+        K1 = self._const(geom.repl1)
+        nb = aw.bit_length()
+        cur = a
+        for bit in range(min(bw, nb)):
+            step = 1 << bit
+            sel = self._temp(f"({b} >> {bit}) & {K1}" if bit else f"{b} & {K1}")
+            fm = self._temp(f"{sel} * {mask(aw)}")
+            if step >= aw:
+                shifted = "0"
+            elif op == "SHL":
+                keep = self._repl_mask(aw - step)
+                shifted = f"(({cur} & {keep}) << {step})"
+            else:  # LSHR
+                keep = self._repl_mask(aw - step)
+                shifted = f"(({cur} >> {step}) & {keep})"
+            cur = self._temp(f"{cur} ^ (({cur} ^ {shifted}) & {fm})")
+        if bw > nb:
+            # any high amount bit set -> the whole lane shifts to zero
+            hw = bw - nb
+            hi = self._temp(f"({b} >> {nb}) & {self._repl_mask(hw)}")
+            keep = self._temp(f"({self._nonzero(hi, hw)} ^ {K1}) * {mask(aw)}")
+            cur = self._temp(f"{cur} & {keep}")
+        self._alias(node, cur)
+
+    def _emit_const_shift(
+        self, node: E.Binary, a: str, aw: int, op: str, amt: int
+    ) -> None:
+        geom = self.geom
+        K1 = self._const(geom.repl1)
+        if amt == 0:
+            self._alias(node, a)
+            return
+        if op == "SHL":
+            if amt >= aw:
+                self._alias(node, self._const(0))
+            else:
+                keep = self._repl_mask(aw - amt)
+                self._assign(node, f"({a} & {keep}) << {amt}")
+            return
+        if op == "LSHR":
+            if amt >= aw:
+                self._alias(node, self._const(0))
+            else:
+                keep = self._repl_mask(aw - amt)
+                self._assign(node, f"({a} >> {amt}) & {keep}")
+            return
+        # ASHR: logical shift plus sign-extension fill
+        sign = self._temp(f"({a} >> {aw - 1}) & {K1}")
+        if amt >= aw:
+            self._assign(node, f"{sign} * {mask(aw)}")
+        else:
+            keep = self._repl_mask(aw - amt)
+            fill = mask(aw) ^ mask(aw - amt)
+            self._assign(node, f"(({a} >> {amt}) & {keep}) | ({sign} * {fill})")
+
+
+def compile_batch(module: Module, geom: _Geometry) -> Callable:
+    """Compile the module into ``step(R, M, W, I, out)`` over packed values.
+
+    * ``R`` — packed register values (name -> int), updated in place;
+    * ``M`` — packed memories (name -> {addr: packed word});
+    * ``W`` — per-memory write bookkeeping ({addr: packed lane bits});
+    * ``I`` — this cycle's packed inputs (every input present);
+    * ``out`` — dict the packed probe values are written into.
+
+    Same two-phase semantics as :func:`repro.hdl.compile.compile_module`,
+    lifted to L lanes.
+    """
+    module.validate()
+    gen = _BatchCodeGen(module, geom)
+    gen.emit_roots(module.roots())
+
+    body = ["def _step(R, M, W, I, out):"]
+    body.extend(gen.lines if gen.lines else ["    pass"])
+
+    for name, root in module.probes.items():
+        body.append(f"    out[{name!r}] = {gen.name_of(root)}")
+
+    # evaluate-then-commit; registers blend per lane through their enables
+    for name, reg in module.registers.items():
+        value = gen.name_of(reg.next)
+        if isinstance(reg.enable, E.Const):
+            if reg.enable.value:
+                body.append(f"    R[{name!r}] = {value}")
+            continue
+        enable = gen.name_of(reg.enable)
+        body.append(f"    if {enable}:")
+        body.append(f"        _c = R[{name!r}]")
+        body.append(
+            f"        R[{name!r}] = _c ^ ((_c ^ {value}) &"
+            f" ({enable} * {mask(reg.width)}))"
+        )
+    for name, memory in module.memories.items():
+        _, writer = gen.mem_helpers(name)
+        for port in memory.write_ports:
+            enable = gen.name_of(port.enable)
+            addr = gen.name_of(port.addr)
+            data = gen.name_of(port.data)
+            body.append(
+                f"    {writer}(M[{name!r}], W[{name!r}], {enable}, {addr}, {data})"
+            )
+
+    namespace = dict(gen.namespace)
+    exec("\n".join(body), namespace)  # noqa: S102 - trusted generated code
+    return namespace["_step"]
+
+
+# ---------------------------------------------------------------------------
+# traces and lane views
+
+
+class BatchTrace:
+    """Per-cycle record of packed probe/input values, with lane views."""
+
+    def __init__(self, module: Module, geom: _Geometry) -> None:
+        self._geom = geom
+        self.probes: dict[str, list[int]] = {name: [] for name in module.probes}
+        self.inputs: dict[str, list[int]] = {name: [] for name in module.inputs}
+
+    def __len__(self) -> int:
+        lists = list(self.probes.values()) or list(self.inputs.values())
+        return len(lists[0]) if lists else 0
+
+    def probe(self, name: str) -> list[int]:
+        """Packed per-cycle values of one probe."""
+        return self.probes[name]
+
+    def lane(self, index: int) -> Trace:
+        """Materialise one lane as an ordinary :class:`Trace`."""
+        shift = index * self._geom.stride
+        m = mask(self._geom.stride)
+        return Trace(
+            probes={
+                name: [(value >> shift) & m for value in values]
+                for name, values in self.probes.items()
+            },
+            inputs={
+                name: [(value >> shift) & m for value in values]
+                for name, values in self.inputs.items()
+            },
+        )
+
+
+class BatchLane:
+    """One lane of a :class:`BatchSimulator`, with the `Simulator` surface:
+    ``trace``, ``state``, ``reg``, ``mem``, ``peek`` and ``cycle``."""
+
+    def __init__(self, parent: "BatchSimulator", index: int) -> None:
+        if not 0 <= index < parent.lanes:
+            raise IndexError(f"lane {index} out of range (lanes={parent.lanes})")
+        self._parent = parent
+        self.index = index
+
+    @property
+    def cycle(self) -> int:
+        return self._parent.cycle
+
+    @property
+    def trace(self) -> Trace:
+        return self._parent.trace.lane(self.index)
+
+    def reg(self, name: str) -> int:
+        parent = self._parent
+        return parent._geom.slot(parent._regs[name], self.index)
+
+    def mem(self, name: str, addr: int) -> int:
+        parent = self._parent
+        return parent._geom.slot(parent._mems[name].get(addr, 0), self.index)
+
+    @property
+    def state(self) -> ModuleState:
+        """This lane's state, with exactly the memory keys a per-vector
+        :class:`Simulator` would have (initial keys plus this lane's writes)."""
+        parent = self._parent
+        geom = parent._geom
+        index = self.index
+        shift = index * geom.stride
+        registers = {
+            name: BitVector(
+                parent.module.registers[name].width, geom.slot(value, index)
+            )
+            for name, value in parent._regs.items()
+        }
+        memories: dict[str, dict[int, int]] = {}
+        for name, words in parent._mems.items():
+            keys = set(parent._init_keys[name][index])
+            for addr, lanes_mask in parent._written[name].items():
+                if (lanes_mask >> shift) & 1:
+                    keys.add(addr)
+            memories[name] = {
+                addr: geom.slot(words.get(addr, 0), index) for addr in sorted(keys)
+            }
+        return ModuleState(registers=registers, memories=memories)
+
+    def peek(self, probe: str, inputs: Mapping[str, int] | None = None) -> int:
+        """Evaluate a probe against this lane's state without stepping."""
+        evaluator = Evaluator(self.state, inputs or {})
+        return evaluator.eval(self._parent.module.probe(probe))
+
+
+# ---------------------------------------------------------------------------
+# the simulator
+
+
+class _SharedKeys:
+    """All lanes share one initial memory key set (the common case)."""
+
+    def __init__(self, keys: frozenset[int]) -> None:
+        self._keys = keys
+
+    def __getitem__(self, lane: int) -> frozenset[int]:
+        return self._keys
+
+
+class BatchSimulator:
+    """Run ``lanes`` independent simulations of one module in lockstep.
+
+    Inputs may be a single int (broadcast to every lane) or a sequence of
+    ``lanes`` ints (one per lane).  Probe values returned from :meth:`step`
+    are packed; use :meth:`unpack` or :meth:`lane` views to read them out.
+
+    ``lane_states`` optionally seeds each lane with its own initial
+    :class:`ModuleState` (e.g. per-lane ROM contents for lockstep mutant
+    campaigns); ``state`` broadcasts one shared initial state.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        lanes: int = DEFAULT_LANES,
+        state: ModuleState | None = None,
+        lane_states: Sequence[ModuleState | None] | None = None,
+    ) -> None:
+        module.validate()
+        if lane_states is not None and len(lane_states) != lanes:
+            raise ValueError(
+                f"lane_states must have {lanes} entries, got {len(lane_states)}"
+            )
+        self.module = module
+        self.lanes = lanes
+        self._geom = geom = _Geometry(lanes, _module_stride(module))
+        self._input_masks = {
+            name: mask(width) for name, width in module.inputs.items()
+        }
+        # complement of the replicated width mask: any bit set in here after
+        # packing means some lane value was out of range for the input
+        full = mask(lanes * geom.stride)
+        self._input_bad = {
+            name: full ^ geom.repl(mask(width))
+            for name, width in module.inputs.items()
+        }
+        self._step = compile_batch(module, geom)
+        self.cycle = 0
+        self.trace = BatchTrace(module, geom)
+        self._written: dict[str, dict[int, int]] = {
+            name: {} for name in module.memories
+        }
+        base = state.copy() if state is not None else module.initial_state()
+        self._regs: dict[str, int] = {}
+        self._mems: dict[str, dict[int, int]] = {}
+        self._init_keys: dict[str, _SharedKeys | list[frozenset[int]]] = {}
+        if lane_states is None or all(entry is None for entry in lane_states):
+            for name, value in base.registers.items():
+                self._regs[name] = geom.repl(value.value)
+            for name, words in base.memories.items():
+                self._mems[name] = {
+                    addr: geom.repl(value) for addr, value in words.items()
+                }
+                self._init_keys[name] = _SharedKeys(frozenset(words))
+        else:
+            states = [entry if entry is not None else base for entry in lane_states]
+            for name in module.registers:
+                self._regs[name] = geom.pack(
+                    [st.registers[name].value for st in states]
+                )
+            for name in module.memories:
+                lane_words = [st.memories[name] for st in states]
+                keys = sorted(set().union(*lane_words))
+                self._mems[name] = {
+                    addr: geom.pack([words.get(addr, 0) for words in lane_words])
+                    for addr in keys
+                }
+                self._init_keys[name] = [
+                    frozenset(words) for words in lane_words
+                ]
+
+    # -- lane marshalling ----------------------------------------------------
+
+    @property
+    def stride(self) -> int:
+        """Bits per lane slot (a multiple of 64, chosen per module)."""
+        return self._geom.stride
+
+    def pack(self, values: Sequence[int]) -> int:
+        """Pack one value per lane into a transposed integer."""
+        return self._geom.pack(values)
+
+    def unpack(self, packed: int) -> list[int]:
+        """Split a packed value into one int per lane."""
+        return self._geom.unpack(packed)
+
+    def broadcast(self, value: int) -> int:
+        """Replicate one value into every lane slot."""
+        return self._geom.repl(value)
+
+    def lane(self, index: int) -> BatchLane:
+        """A per-lane view satisfying the `Simulator`/`Trace` probe API."""
+        return BatchLane(self, index)
+
+    # -- packed state access (for lockstep consumers) ------------------------
+
+    def reg_packed(self, name: str) -> int:
+        return self._regs[name]
+
+    def mem_packed(self, name: str) -> dict[int, int]:
+        """A snapshot copy of one memory's packed words."""
+        return dict(self._mems[name])
+
+    def written_packed(self, name: str) -> dict[int, int]:
+        """A snapshot copy of one memory's per-lane write masks: for each
+        address, bit ``lane * stride`` is set iff that lane wrote it."""
+        return dict(self._written[name])
+
+    def init_keys(self, name: str, lane: int) -> frozenset[int]:
+        """The addresses one lane's initial image of a memory populated."""
+        return self._init_keys[name][lane]
+
+    def slot(self, packed: int, lane: int) -> int:
+        """Extract one lane's value from a packed word."""
+        return self._geom.slot(packed, lane)
+
+    # -- stepping ------------------------------------------------------------
+
+    def _pack_input(self, name: str, value: _InputValue) -> int:
+        m = self._input_masks[name]
+        width = self.module.inputs[name]
+        if isinstance(value, int):
+            if not 0 <= value <= m:
+                raise SimulationError(
+                    f"input {name!r}: value {value} does not fit in {width} bits"
+                )
+            return value * self._geom.repl1 if value else 0
+        values = value if isinstance(value, (list, tuple)) else list(value)
+        if len(values) != self.lanes:
+            raise SimulationError(
+                f"input {name!r}: expected {self.lanes} lane values,"
+                f" got {len(values)}"
+            )
+        try:
+            packed = self._geom.pack(values)
+        except (struct.error, OverflowError):
+            packed = None  # negative or >= 2**stride: report below
+        if packed is not None and not packed & self._input_bad[name]:
+            return packed
+        bad, lane = next(
+            (v, i) for i, v in enumerate(values) if not 0 <= v <= m
+        )
+        raise SimulationError(
+            f"input {name!r}: value {bad} does not fit"
+            f" in {width} bits (lane {lane})"
+        )
+
+    def step(
+        self, inputs: Mapping[str, _InputValue] | None = None
+    ) -> dict[str, int]:
+        """Advance all lanes one cycle; returns packed probe values.
+
+        Identical input semantics to :class:`Simulator`: absent inputs read
+        as 0, out-of-range values are rejected before any state changes.
+        """
+        stimulus = inputs or {}
+        packed: dict[str, int] = {}
+        for name in self.module.inputs:
+            packed[name] = self._pack_input(name, stimulus.get(name, 0))
+        values: dict[str, int] = {}
+        self._step(self._regs, self._mems, self._written, packed, values)
+        for name, value in values.items():
+            self.trace.probes[name].append(value)
+        for name in self.module.inputs:
+            self.trace.inputs[name].append(packed[name])
+        self.cycle += 1
+        return values
+
+    def run(self, cycles: int, inputs=None, stop=None) -> BatchTrace:
+        """Run for up to ``cycles`` cycles; ``inputs(cycle)`` supplies
+        stimulus, ``stop(packed_probe_values)`` may end the run early."""
+        for _ in range(cycles):
+            stimulus = inputs(self.cycle) if inputs is not None else {}
+            values = self.step(stimulus)
+            if stop is not None and stop(values):
+                break
+        return self.trace

@@ -92,6 +92,12 @@ class EngineParams:
     # set, which is already hashed into its fingerprint — the flag itself
     # adds no information.
     absint: bool = True
+    # bit-parallel lane width for batched trace discharge (the lockstep
+    # fault campaign and fuzz batching; see repro.hdl.batchsim).  Lane
+    # count is semantics-preserving — every lane computes exactly what a
+    # per-vector simulation would — so it stays out of
+    # ``invariant_params`` and cached verdicts survive retuning it.
+    lanes: int = 64
     # crash quarantine: how often a crashed (signalled / vanished) worker
     # is retried, with exponential backoff, before the obligation is
     # recorded as ``crashed``.  Timeouts are never retried (deterministic).

@@ -459,11 +459,22 @@ def discharge_trace(
     liveness_bound: int | None = None,
     inputs: InputProvider | None = None,
     seq_inputs: InputProvider | None = None,
+    impl_states: list | None = None,
+    spec_cache=None,
+    seq_side=None,
 ) -> DischargeRecord:
     """Discharge one trace obligation by running its dynamic checker.
 
     ``trace`` lets callers share one stimulus run across the trace
     obligations of a machine; it is rebuilt on demand when omitted.
+
+    The remaining artifact arguments let a caller that already simulated
+    the machine (e.g. the lockstep fault campaign, which extracts lane
+    views from one batch run) discharge without any resimulation:
+    ``impl_states`` are the per-cycle visible-state snapshots consumed by
+    the consistency checker (paired with ``trace``), ``spec_cache`` is a
+    shared :class:`repro.core.SpecStateCache`, and ``seq_side`` is a
+    precomputed :func:`repro.core.seq_commit_side` result.
     """
     assert obligation.kind is ObligationKind.TRACE
     start = time.perf_counter()
@@ -481,6 +492,9 @@ def discharge_trace(
             cycles=trace_cycles,
             inputs=inputs,
             seq_inputs=seq_inputs,
+            trace=trace if impl_states is not None else None,
+            impl_states=impl_states,
+            spec_cache=spec_cache,
         )
         ok, detail = consistency.ok, "; ".join(consistency.violations[:3])
     elif obligation.checker == "commit_streams":
@@ -490,6 +504,8 @@ def discharge_trace(
             cycles=trace_cycles,
             inputs=inputs,
             seq_inputs=seq_inputs,
+            pipe_trace=trace if seq_side is not None else None,
+            seq_side=seq_side,
         )
         ok, detail = streams.ok, "; ".join(streams.violations[:3])
     elif obligation.checker == "liveness":

@@ -1,13 +1,45 @@
 """Shared fixtures: cached machines (building/transforming is the slow
-part, and the machines are immutable from the tests' point of view)."""
+part, and the machines are immutable from the tests' point of view),
+plus seed plumbing for the fuzz suites.
+
+Fuzz reproduction: every property-based suite derives its seeds from
+``fuzz_seed_base`` (``--fuzz-seed`` on the pytest command line, falling
+back to the ``REPRO_FUZZ_SEED`` environment variable, default 0) and
+embeds the *effective* seed in its assertion context, so any failure
+prints the seed and replays with ``pytest --fuzz-seed=<seed>``."""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.core import PipelinedMachine, TransformOptions, transform
 from repro.machine import toy
 from repro.machine.prepared import PreparedMachine
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--fuzz-seed",
+        action="store",
+        type=int,
+        default=None,
+        help=(
+            "base offset added to every generated fuzz seed"
+            " (default: $REPRO_FUZZ_SEED or 0); failures print the"
+            " effective seed so they replay deterministically"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def fuzz_seed_base(request: pytest.FixtureRequest) -> int:
+    """Base offset for fuzz seeds: --fuzz-seed > $REPRO_FUZZ_SEED > 0."""
+    option = request.config.getoption("--fuzz-seed")
+    if option is not None:
+        return option
+    return int(os.environ.get("REPRO_FUZZ_SEED", "0"))
 
 TOY_PROGRAM = [
     toy.li(1, 5),

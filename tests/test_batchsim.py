@@ -1,0 +1,345 @@
+"""Differential testing: BatchSimulator vs interpreter vs compiled sim.
+
+The batch simulator's lane-packed transfer functions (SWAR arithmetic,
+masked blends, per-lane fallbacks) are locked to the reference
+interpreter semantics by construction *and* by property testing: for
+random modules and lane counts {1, 7, 64, 100}, every lane's trace and
+final state must be bit-identical to a per-vector
+:class:`repro.hdl.sim.Simulator` and
+:class:`repro.hdl.compile.CompiledSimulator` run under the same
+stimulus.  Edge cases that the random sweep is unlikely to pin —
+width-1 signed compares, >= 64-bit arithmetic (which forces the packed
+stride past one machine word), write-enable divergence on a shared
+memory address, `peek` parity — get dedicated regression tests.
+
+Seeds offset through the ``fuzz_seed_base`` fixture (``--fuzz-seed`` /
+``$REPRO_FUZZ_SEED``); assertion contexts embed the effective seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hdl import expr as E
+from repro.hdl.batchsim import BatchSimulator
+from repro.hdl.compile import CompiledSimulator
+from repro.hdl.netlist import Module
+from repro.hdl.sim import SimulationError, Simulator
+
+from tests.test_sim_differential import random_module
+
+LANE_COUNTS = (1, 7, 64, 100)
+
+# Found by sweeping the generator for maximal tricky-op coverage: this
+# module combines variable-amount MUL/ASHR/SHL (the per-lane fallback
+# and barrel-ladder paths), signed compares, REDXOR/REDAND folds, memory
+# reads and a data-dependent write enable — exactly the mix that would
+# look "flaky" under a moving seed.  Pinned so the case never rotates
+# out of the suite.
+PINNED_SEED = 462
+
+
+def run_batch_differential(
+    seed: int, lanes: int, cycles: int = 25, check_each_cycle: bool = True
+) -> None:
+    """Drive batch + per-vector reference sims with per-lane stimulus."""
+    module = random_module(seed)
+    rngs = [random.Random((seed << 16) ^ lane) for lane in range(lanes)]
+    interpreted = [Simulator(module) for _ in range(lanes)]
+    compiled = [CompiledSimulator(module) for _ in range(lanes)]
+    batch = BatchSimulator(module, lanes=lanes)
+    for cycle in range(cycles):
+        stimulus = [
+            {
+                name: rngs[lane].randrange(1 << width)
+                for name, width in module.inputs.items()
+            }
+            for lane in range(lanes)
+        ]
+        if cycle % 7 == 3:  # exercise the broadcast-int stimulus path
+            stimulus = [stimulus[0]] * lanes
+            batch_stimulus: dict = dict(stimulus[0])
+        else:
+            batch_stimulus = {
+                name: [stimulus[lane][name] for lane in range(lanes)]
+                for name in module.inputs
+            }
+        probes_i = [interpreted[lane].step(stimulus[lane]) for lane in range(lanes)]
+        probes_c = [compiled[lane].step(stimulus[lane]) for lane in range(lanes)]
+        probes_b = batch.step(batch_stimulus)
+        if not check_each_cycle and cycle != cycles - 1:
+            continue
+        for lane in range(lanes):
+            context = f"seed={seed} lanes={lanes} lane={lane} cycle={cycle}"
+            got = {name: batch.unpack(value)[lane] for name, value in probes_b.items()}
+            assert got == probes_i[lane] == probes_c[lane], context
+    for lane in range(lanes):
+        context = f"seed={seed} lanes={lanes} lane={lane} (final state)"
+        view = batch.lane(lane)
+        assert view.state.registers == interpreted[lane].state.registers, context
+        assert view.state.memories == interpreted[lane].state.memories, context
+        assert view.state.registers == compiled[lane].state.registers, context
+        assert view.state.memories == compiled[lane].state.memories, context
+        trace = view.trace
+        assert trace.probes == interpreted[lane].trace.probes, context
+        assert trace.inputs == interpreted[lane].trace.inputs, context
+        assert len(trace) == len(interpreted[lane].trace), context
+
+
+# ---------------------------------------------------------------------------
+# property-based differential suite
+
+
+@pytest.mark.parametrize("lanes", LANE_COUNTS)
+@pytest.mark.parametrize("seed", range(3))
+def test_batch_differential(seed, lanes, fuzz_seed_base):
+    cycles = 25 if lanes <= 7 else 15
+    run_batch_differential(
+        seed + fuzz_seed_base, lanes, cycles=cycles, check_each_cycle=lanes <= 7
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("lanes", LANE_COUNTS)
+@pytest.mark.parametrize("seed", range(3, 20))
+def test_batch_differential_sweep(seed, lanes, fuzz_seed_base):
+    run_batch_differential(seed + fuzz_seed_base, lanes, cycles=40)
+
+
+def test_pinned_regression_case():
+    """Deterministic replay of the trickiest generated module (see
+    PINNED_SEED) — deliberately *not* offset by the fuzz seed base."""
+    run_batch_differential(PINNED_SEED, lanes=7, cycles=60)
+
+
+def test_pipelined_core_lockstep(toy_pipelined):
+    """A real pipelined core (stalls, interlock bubbles, regfile and
+    dmem port traffic, multi-cycle reset-like fill) in batch lanes."""
+    module = toy_pipelined.module
+    reference = Simulator(module)
+    compiled = CompiledSimulator(module)
+    batch = BatchSimulator(module, lanes=5)
+    for _ in range(60):
+        probes_i = reference.step()
+        probes_c = compiled.step()
+        probes_b = batch.step()
+        for lane in range(5):
+            got = {name: batch.unpack(value)[lane] for name, value in probes_b.items()}
+            assert got == probes_i == probes_c
+    for lane in range(5):
+        view = batch.lane(lane)
+        assert view.state.registers == reference.state.registers
+        assert view.state.memories == reference.state.memories
+        assert view.trace.probes == reference.trace.probes
+
+
+# ---------------------------------------------------------------------------
+# edge cases pinned by construction
+
+
+def test_width_one_signed_compare():
+    """1-bit signed semantics: 1 encodes -1, so -1 < 0 etc."""
+    module = Module("w1")
+    x = module.add_input("x", 1)
+    y = module.add_input("y", 1)
+    module.add_probe("slt", E.slt(x, y))
+    module.add_probe("sle", E.sle(x, y))
+    module.validate()
+    combos = [(0, 0), (0, 1), (1, 0), (1, 1)]
+    batch = BatchSimulator(module, lanes=4)
+    out = batch.step(
+        {"x": [c[0] for c in combos], "y": [c[1] for c in combos]}
+    )
+    for lane, (x_val, y_val) in enumerate(combos):
+        want = Simulator(module).step({"x": x_val, "y": y_val})
+        got = {name: batch.unpack(value)[lane] for name, value in out.items()}
+        assert got == want, (x_val, y_val)
+
+
+def _wide_module(width: int) -> Module:
+    module = Module(f"wide{width}")
+    a = module.add_input("a", width)
+    b = module.add_input("b", width)
+    amount = module.add_input("amount", 8)
+    module.add_probe("add", E.add(a, b))
+    module.add_probe("sub", E.sub(a, b))
+    module.add_probe("mul", E.mul(a, b))
+    module.add_probe("neg", E.neg(a))
+    module.add_probe("slt", E.slt(a, b))
+    module.add_probe("sle", E.sle(a, b))
+    module.add_probe("ult", E.ult(a, b))
+    module.add_probe("shl", E.shl(a, amount))
+    module.add_probe("lshr", E.lshr(a, amount))
+    module.add_probe("ashr", E.ashr(a, amount))
+    module.add_probe("redxor", E.redxor(a))
+    module.add_probe("redand", E.redand(a))
+    acc = module.add_register("acc", width, init=0)
+    module.drive_register("acc", E.add(acc, a), enable=E.const(1, 1))
+    module.validate()
+    return module
+
+
+@pytest.mark.parametrize("width", [64, 70])
+def test_wide_arithmetic_carries_stay_in_lane(width, fuzz_seed_base):
+    """>= 64-bit nets force the packed stride past one machine word; the
+    all-ones + 1 style stimuli maximise carry chains, which must never
+    escape a lane slot into a neighbour."""
+    module = _wide_module(width)
+    batch = BatchSimulator(module, lanes=6)
+    assert batch.stride == 128  # width + SWAR guard bit > 64
+    full = (1 << width) - 1
+    specials = [0, 1, full, full - 1, 1 << (width - 1), (1 << (width - 1)) - 1]
+    rng = random.Random(2024 + fuzz_seed_base)
+    references = [Simulator(module) for _ in range(6)]
+    for cycle in range(80):
+        stimulus = [
+            {
+                "a": rng.choice(specials) if rng.random() < 0.5 else rng.getrandbits(width),
+                "b": rng.choice(specials) if rng.random() < 0.5 else rng.getrandbits(width),
+                "amount": rng.randrange(256),
+            }
+            for _ in range(6)
+        ]
+        wants = [references[lane].step(stimulus[lane]) for lane in range(6)]
+        out = batch.step(
+            {key: [stimulus[lane][key] for lane in range(6)] for key in stimulus[0]}
+        )
+        for lane in range(6):
+            got = {name: batch.unpack(value)[lane] for name, value in out.items()}
+            assert got == wants[lane], f"cycle={cycle} lane={lane} {stimulus[lane]}"
+    for lane in range(6):
+        assert batch.lane(lane).reg("acc") == references[lane].reg("acc")
+
+
+def test_memory_write_enable_divergence():
+    """Lanes sharing an address but diverging on write-enable: enabled
+    lanes commit, disabled lanes keep their copy-on-write slot, and the
+    later of two ports wins — per lane."""
+    module = Module("wconf")
+    we0 = module.add_input("we0", 1)
+    we1 = module.add_input("we1", 1)
+    addr0 = module.add_input("addr0", 3)
+    addr1 = module.add_input("addr1", 3)
+    data0 = module.add_input("data0", 8)
+    data1 = module.add_input("data1", 8)
+    memory = module.add_memory("m", 3, 8, init={0: 17})
+    memory.add_write_port(we0, addr0, data0)
+    memory.add_write_port(we1, addr1, data1)
+    module.add_probe("read0", E.mem_read("m", addr0, 8))
+    module.validate()
+
+    lanes = 8
+    rng = random.Random(99)
+    references = [Simulator(module) for _ in range(lanes)]
+    batch = BatchSimulator(module, lanes=lanes)
+    for cycle in range(40):
+        stimulus = [
+            {
+                "we0": rng.randrange(2),
+                "we1": rng.randrange(2),
+                # addresses collide across lanes and across ports often
+                "addr0": rng.choice([0, 1, 1, 2]),
+                "addr1": rng.choice([0, 1, 1, 2]),
+                "data0": rng.randrange(256),
+                "data1": rng.randrange(256),
+            }
+            for _ in range(lanes)
+        ]
+        wants = [references[lane].step(stimulus[lane]) for lane in range(lanes)]
+        out = batch.step(
+            {key: [stimulus[lane][key] for lane in range(lanes)] for key in stimulus[0]}
+        )
+        for lane in range(lanes):
+            got = {name: batch.unpack(value)[lane] for name, value in out.items()}
+            assert got == wants[lane], f"cycle={cycle} lane={lane}"
+    for lane in range(lanes):
+        assert batch.lane(lane).state.memories == references[lane].state.memories
+
+
+def test_peek_parity(fuzz_seed_base):
+    """`peek` (evaluate without stepping) agrees across all three
+    simulators, both mid-run and against probe-reading inputs."""
+    seed = 5 + fuzz_seed_base
+    module = random_module(seed)
+    interpreted = Simulator(module)
+    compiled = CompiledSimulator(module)
+    batch = BatchSimulator(module, lanes=3)
+    rng = random.Random(seed)
+    for _ in range(10):
+        stimulus = {
+            name: rng.randrange(1 << width) for name, width in module.inputs.items()
+        }
+        interpreted.step(stimulus)
+        compiled.step(stimulus)
+        batch.step(stimulus)
+    probe_inputs = {name: 0 for name in module.inputs}
+    for probe in module.probes:
+        want = interpreted.peek(probe, probe_inputs)
+        assert compiled.peek(probe, probe_inputs) == want
+        for lane in range(3):
+            assert batch.lane(lane).peek(probe, probe_inputs) == want, (probe, lane)
+
+
+def test_validation_parity():
+    """Bad stimulus raises SimulationError before any state changes, in
+    broadcast and per-lane forms alike."""
+    module = random_module(0)
+    batch = BatchSimulator(module, lanes=4)
+    name, width = next(iter(module.inputs.items()))
+    zeros = {n: 0 for n in module.inputs}
+    for bad in (1 << width, -1):
+        with pytest.raises(SimulationError, match="does not fit"):
+            batch.step({**zeros, name: bad})
+    for bad_lane in ([0, 1 << width, 0, 0], [0, 0, 0, -1], [0, 1 << 99, 0, 0]):
+        with pytest.raises(SimulationError, match="does not fit"):
+            batch.step({**zeros, name: bad_lane})
+    with pytest.raises(SimulationError, match="expected 4 lane values"):
+        batch.step({**zeros, name: [0, 0]})
+    assert batch.cycle == 0 and len(batch.trace) == 0
+
+
+def test_pack_unpack_roundtrip():
+    module = random_module(1)
+    for lanes in LANE_COUNTS:
+        batch = BatchSimulator(module, lanes=lanes)
+        rng = random.Random(lanes)
+        values = [rng.randrange(1 << 16) for _ in range(lanes)]
+        packed = batch.pack(values)
+        assert batch.unpack(packed) == values
+        assert batch.unpack(batch.broadcast(42)) == [42] * lanes
+    wide = BatchSimulator(_wide_module(70), lanes=9)  # stride 128 path
+    values = [random.Random(7).getrandbits(70) for _ in range(9)]
+    assert wide.unpack(wide.pack(values)) == values
+
+
+def test_lane_states_seed_divergent_memories():
+    """Per-lane initial states (e.g. per-mutant ROM contents for the
+    lockstep fault campaign) are honoured slot by slot."""
+    module = Module("rom")
+    counter = module.add_register("ctr", 3, init=0)
+    module.drive_register("ctr", E.add(counter, E.const(3, 1)), enable=E.const(1, 1))
+    module.add_memory("rom", 3, 8, init={addr: addr * 3 for addr in range(8)})
+    module.add_probe("word", E.mem_read("rom", counter, 8))
+    module.validate()
+
+    base = module.initial_state()
+    patched = module.initial_state()
+    patched.memories["rom"][4] = 201
+    batch = BatchSimulator(module, lanes=3, lane_states=[None, patched, base])
+    outs = [batch.step() for _ in range(8)]
+    word = [batch.unpack(out["word"]) for out in outs]
+    assert [w[0] for w in word] == [addr * 3 for addr in range(8)]
+    assert [w[2] for w in word] == [addr * 3 for addr in range(8)]
+    assert [w[1] for w in word] == [0, 3, 6, 9, 201, 15, 18, 21]
+    assert batch.lane(1).mem("rom", 4) == 201
+    assert batch.lane(0).mem("rom", 4) == 12
+
+
+def test_lane_view_bounds():
+    batch = BatchSimulator(random_module(2), lanes=4)
+    with pytest.raises(IndexError):
+        batch.lane(4)
+    with pytest.raises(IndexError):
+        batch.lane(-1)

@@ -19,6 +19,7 @@ from repro.faults import (
     CORES,
     OPERATORS,
     DetectParams,
+    combine_modules,
     detect,
     generate_mutants,
     run_campaign,
@@ -225,6 +226,130 @@ def test_dlx_spec_campaign_no_survivors():
     operators = {result.operator for result in report.results}
     assert "drop-rollback" in operators
     assert "shift-rollback" in operators
+
+
+# ---------------------------------------------------------------------------
+# lockstep (bit-parallel) trace rung
+
+
+def _campaign_verdicts(report):
+    return [(r.mid, r.detector, r.detail) for r in report.results]
+
+
+def test_combine_modules_lane_parity(toy_baseline, toy_spec):
+    """Every lane of the combined module simulates exactly the module it
+    selects: lane 0 the golden design, lane k mutant k."""
+    from repro.hdl.batchsim import BatchSimulator
+    from repro.hdl.sim import Simulator
+
+    mutants = []
+    for mutant in generate_mutants(toy_spec):
+        try:
+            mutants.append(mutant.build())
+        except Exception:
+            continue
+        if len(mutants) == 6:
+            break
+    combined, lane_states = combine_modules(
+        toy_baseline.module, [m.module for m in mutants]
+    )
+    lanes = len(mutants) + 1
+    batch = BatchSimulator(combined, lanes=lanes, lane_states=lane_states)
+    # a fresh transform as the lane-0 reference: the fixture module may
+    # carry proof instrumentation, which the combination leaves out
+    golden = transform(toy_spec.build_machine())
+    references = [Simulator(golden.module)] + [
+        Simulator(m.module) for m in mutants
+    ]
+    sel = list(range(lanes))
+    for cycle in range(40):
+        packed = batch.step({"__mutsel__": sel})
+        for lane, reference in enumerate(references):
+            expected = reference.step({})
+            for name, value in expected.items():
+                assert batch.slot(packed[name], lane) == value, (
+                    f"lane {lane} cycle {cycle} probe {name}"
+                )
+    for lane, reference in enumerate(references):
+        view = batch.lane(lane)
+        assert view.state.registers == reference.state.registers
+        assert view.state.memories == reference.state.memories
+
+
+def test_combine_modules_rejects_mutsel_collision(toy_baseline):
+    from repro.faults.lockstep import MUTSEL, LockstepIncompatible
+
+    module = toy_baseline.module
+    clashing = type(module)(module.name)
+    clashing.add_input(MUTSEL, 1)
+    with pytest.raises(LockstepIncompatible):
+        combine_modules(clashing, [clashing])
+
+
+def test_lockstep_campaign_matches_per_vector_toy():
+    """The batched trace rung must not change a single verdict: same
+    kills, same detector attribution, same detail strings."""
+    per_vector = run_campaign(cores=["toy"], params=DetectParams(lanes=1))
+    lockstep = run_campaign(cores=["toy"], params=DetectParams(lanes=64))
+    assert lockstep.baseline_clean == {"toy": True}
+    assert _campaign_verdicts(lockstep) == _campaign_verdicts(per_vector)
+    assert lockstep.survivors == [], lockstep.format_text()
+
+
+def test_lockstep_campaign_chunks_smaller_than_catalog():
+    """lanes smaller than the mutant count exercises the chunked path
+    (several lockstep runs per core) without changing verdicts."""
+    operators = ["invert-we", "stuck-full", "weaken-dhaz", "drop-hit"]
+    per_vector = run_campaign(cores=["toy"], operators=operators)
+    lockstep = run_campaign(
+        cores=["toy"], operators=operators, params=DetectParams(lanes=4)
+    )
+    assert _campaign_verdicts(lockstep) == _campaign_verdicts(per_vector)
+    assert lockstep.ok
+
+
+def test_faults_cli_lanes_knob(tmp_path, capsys):
+    """`repro faults --lanes` reaches DetectParams; the default comes
+    from the engine's lane width and stays out of proof fingerprints
+    (lane count is semantics-preserving)."""
+    from repro.cli import main as cli_main
+    from repro.jobs import EngineParams
+
+    assert EngineParams().lanes == 64
+    assert "lanes" not in EngineParams().invariant_params()
+    out = tmp_path / "faults.json"
+    code = cli_main(
+        [
+            "faults",
+            "--core",
+            "toy",
+            "--operator",
+            "invert-we",
+            "--lanes",
+            "4",
+            "--quiet",
+            "--json",
+            str(out),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["ok"] is True and payload["mutants"] >= 1
+
+
+@pytest.mark.slow
+def test_lockstep_campaign_full_equivalence():
+    """Acceptance: toy + dlx-small through the batched rung — the full
+    115-mutant catalog, kill set identical to per-vector, 0 survivors."""
+    cores = ["toy", "dlx-small"]
+    per_vector = run_campaign(cores=cores, params=DetectParams(lanes=1))
+    lockstep = run_campaign(cores=cores, params=DetectParams(lanes=64))
+    assert lockstep.baseline_clean == {"toy": True, "dlx-small": True}
+    assert _campaign_verdicts(lockstep) == _campaign_verdicts(per_vector)
+    assert len(lockstep.results) == 115
+    assert lockstep.killed == 115
+    assert lockstep.survivors == [], lockstep.format_text()
 
 
 def test_detect_params_tighten_budget(toy_baseline, toy_spec):

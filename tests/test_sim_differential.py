@@ -115,11 +115,11 @@ def run_differential(seed: int, cycles: int = 50) -> None:
 
 
 @pytest.mark.parametrize("seed", range(8))
-def test_differential_small(seed):
-    run_differential(seed)
+def test_differential_small(seed, fuzz_seed_base):
+    run_differential(seed + fuzz_seed_base)
 
 
 @pytest.mark.slow
 @pytest.mark.parametrize("seed", range(8, 80))
-def test_differential_sweep(seed):
-    run_differential(seed, cycles=100)
+def test_differential_sweep(seed, fuzz_seed_base):
+    run_differential(seed + fuzz_seed_base, cycles=100)
