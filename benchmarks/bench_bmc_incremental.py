@@ -101,6 +101,10 @@ def test_dlx_cold_discharge(small_dlx):
             trace_cycles=100,
             conjoin=False,
             incremental=incremental,
+            # pin proof sharing off: this exhibit isolates engine
+            # incrementality; cross-obligation sharing is measured by
+            # bench_shared.py
+            share=False,
         )
         seconds[label] = time.perf_counter() - t0
 

@@ -23,7 +23,8 @@ always sound.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import weakref
+from dataclasses import dataclass, field
 
 from ..hdl import expr as E
 from ..hdl.bitvec import mask
@@ -71,45 +72,16 @@ def _memory_summary(memory, include_unwritten: bool) -> AbsValue:
     return summary if summary is not None else AbsValue.const(width, 0)
 
 
-@dataclass
-class FixpointResult:
-    """Stable abstract state of a module.
-
-    ``registers`` maps register names to facts true in every reachable
-    state; ``memories`` maps memory names to a single-word summary of
-    all reachable contents; ``values`` maps ``id(node)`` to the abstract
-    value of every combinational node in the final (stable) evaluation.
-    """
-
-    module: Module
-    registers: dict[str, AbsValue]
-    memories: dict[str, AbsValue]
-    values: dict[int, AbsValue]
-    iterations: int
-    widened: bool
-
-
-def analyze(
+def _environments(
     module: Module,
-    *,
-    widen_after: int = 3,
-    max_iterations: int = 50,
-    rom_case_limit: int = 64,
-) -> FixpointResult:
-    """Run the fixpoint interpreter; see the module docstring."""
-    state: dict[str, AbsValue] = {
-        name: AbsValue.const(reg.width, reg.init)
-        for name, reg in module.registers.items()
-    }
-    mem_summary: dict[str, AbsValue] = {}
-    rom: dict[str, bool] = {}
-    for name, memory in module.memories.items():
-        rom[name] = not memory.write_ports
-        mem_summary[name] = _memory_summary(memory, include_unwritten=True)
-
-    roots = module.roots()
-    order = E.walk(roots)
-    values: dict[int, AbsValue] = {}
+    state: dict[str, AbsValue],
+    mem_summary: dict[str, AbsValue],
+    rom: dict[str, bool],
+    values: dict[int, AbsValue],
+    rom_case_limit: int,
+):
+    """The register/memory environments of one abstract evaluation,
+    closed over a (possibly still-moving) abstract state."""
 
     def reg_env(node: E.Expr) -> AbsValue:
         current = state.get(node.name)  # type: ignore[attr-defined]
@@ -136,6 +108,137 @@ def analyze(
                         break
                 return out if out is not None else summary
         return summary
+
+    return reg_env, mem_env
+
+
+@dataclass
+class FixpointResult:
+    """Stable abstract state of a module.
+
+    ``registers`` maps register names to facts true in every reachable
+    state; ``memories`` maps memory names to a single-word summary of
+    all reachable contents; ``values`` maps ``id(node)`` to the abstract
+    value of every combinational node in the final (stable) evaluation.
+
+    :meth:`eval` extends ``values`` on demand to expressions outside the
+    module's roots, memoised on interned node ids — the cross-obligation
+    CSE that lets candidate properties and sibling obligations reuse each
+    other's transfer computations.
+    """
+
+    module: Module
+    registers: dict[str, AbsValue]
+    memories: dict[str, AbsValue]
+    values: dict[int, AbsValue]
+    iterations: int
+    widened: bool
+    rom_case_limit: int = 64
+    # nodes evaluated through eval(): keeps their ids (the memo keys)
+    # from being recycled by the allocator while this result is alive
+    _pinned: list = field(default_factory=list, repr=False)
+
+    def eval(self, expression: E.Expr) -> AbsValue:
+        """Abstract value of an arbitrary expression in the stable state.
+
+        Transfers are memoised in ``values`` keyed on interned node ids:
+        any subterm hash-consed together with a previously evaluated
+        expression — another candidate invariant, a sibling obligation's
+        property — is a dictionary hit, not a recomputation.  Evaluated
+        nodes are pinned so the ids stay valid for this result's
+        lifetime.
+        """
+        rom = {
+            name: not memory.write_ports
+            for name, memory in self.module.memories.items()
+        }
+        reg_env, mem_env = _environments(
+            self.module,
+            self.registers,
+            self.memories,
+            rom,
+            self.values,
+            self.rom_case_limit,
+        )
+        values = self.values
+        for node in E.walk([expression]):
+            if id(node) in values:
+                continue
+            values[id(node)] = abs_transfer(
+                node,
+                lambda n: values[id(n)],
+                reg_env=reg_env,
+                mem_env=mem_env,
+            )
+            self._pinned.append(node)
+        return values[id(expression)]
+
+
+# one fixpoint per (module, analysis knobs), shared across every caller
+# holding the same module alive — sibling obligations, repeated mining
+# runs, the lint semantic pass.  Weak on the module so dropping the
+# netlist drops the analysis.
+_SHARED_FIXPOINTS: "weakref.WeakKeyDictionary[Module, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def shared_fixpoint(
+    module: Module,
+    *,
+    widen_after: int = 3,
+    max_iterations: int = 50,
+    rom_case_limit: int = 64,
+) -> FixpointResult:
+    """Memoised :func:`analyze`.
+
+    The fixpoint of a module is a pure function of the netlist and the
+    analysis knobs, so everyone discharging obligations over the same
+    hash-consed module can share one — including its ever-growing
+    :meth:`FixpointResult.eval` memo, which is what makes invariant
+    mining reuse transfer computations across sibling obligations.
+    """
+    per_module = _SHARED_FIXPOINTS.get(module)
+    if per_module is None:
+        per_module = {}
+        _SHARED_FIXPOINTS[module] = per_module
+    key = (widen_after, max_iterations, rom_case_limit)
+    result = per_module.get(key)
+    if result is None:
+        result = analyze(
+            module,
+            widen_after=widen_after,
+            max_iterations=max_iterations,
+            rom_case_limit=rom_case_limit,
+        )
+        per_module[key] = result
+    return result
+
+
+def analyze(
+    module: Module,
+    *,
+    widen_after: int = 3,
+    max_iterations: int = 50,
+    rom_case_limit: int = 64,
+) -> FixpointResult:
+    """Run the fixpoint interpreter; see the module docstring."""
+    state: dict[str, AbsValue] = {
+        name: AbsValue.const(reg.width, reg.init)
+        for name, reg in module.registers.items()
+    }
+    mem_summary: dict[str, AbsValue] = {}
+    rom: dict[str, bool] = {}
+    for name, memory in module.memories.items():
+        rom[name] = not memory.write_ports
+        mem_summary[name] = _memory_summary(memory, include_unwritten=True)
+
+    roots = module.roots()
+    order = E.walk(roots)
+    values: dict[int, AbsValue] = {}
+    reg_env, mem_env = _environments(
+        module, state, mem_summary, rom, values, rom_case_limit
+    )
 
     def _evaluate() -> None:
         values.clear()
@@ -201,4 +304,5 @@ def analyze(
         values=values,
         iterations=iterations,
         widened=widened,
+        rom_case_limit=rom_case_limit,
     )

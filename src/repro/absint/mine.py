@@ -38,7 +38,7 @@ from ..hdl.serialize import exprs_from_json, exprs_to_json
 from ..hdl.sim import Evaluator, Simulator
 from ..proofs.obligations import Obligation, ObligationKind
 from .domain import ABSINT_VERSION
-from .fixpoint import FixpointResult, analyze
+from .fixpoint import FixpointResult, shared_fixpoint
 from .verify import verify_candidates
 
 
@@ -267,22 +267,41 @@ def generate_candidates(
 
 
 def _trace_filter(
-    module, candidates: dict[str, E.Expr], cycles: int
+    module,
+    candidates: dict[str, E.Expr],
+    cycles: int,
+    fixpoint: FixpointResult | None = None,
 ) -> tuple[dict[str, E.Expr], dict[str, str]]:
-    """Drop candidates observed false on a concrete zero-input run."""
+    """Drop candidates observed false on a concrete zero-input run.
+
+    Candidates the fixpoint already proves abstractly (their property
+    evaluates to constant 1 in the stable abstract state, via the
+    memoised cross-obligation :meth:`FixpointResult.eval`) hold in every
+    reachable state, a fortiori on the trace — they are survivors by
+    construction and skip the per-cycle simulation entirely.
+    """
     alive = dict(candidates)
     rejected: dict[str, str] = {}
-    sim = Simulator(module)
-    zero = {name: 0 for name in module.inputs}
-    for cycle in range(cycles):
-        if not alive:
-            break
-        evaluator = Evaluator(sim.state, zero)
-        for name in list(alive):
-            if evaluator.eval(alive[name]) != 1:
-                rejected[name] = f"falsified at trace cycle {cycle}"
-                del alive[name]
-        sim.step(zero)
+    simulated = alive
+    if fixpoint is not None:
+        simulated = {}
+        for name, prop in alive.items():
+            value = fixpoint.eval(prop)
+            if not (value.width == 1 and value.is_const() and value.lo == 1):
+                simulated[name] = prop
+    if simulated:
+        sim = Simulator(module)
+        zero = {name: 0 for name in module.inputs}
+        for cycle in range(cycles):
+            if not simulated:
+                break
+            evaluator = Evaluator(sim.state, zero)
+            for name in list(simulated):
+                if evaluator.eval(simulated[name]) != 1:
+                    rejected[name] = f"falsified at trace cycle {cycle}"
+                    del simulated[name]
+                    del alive[name]
+            sim.step(zero)
     return alive, rejected
 
 
@@ -321,7 +340,10 @@ def mine_invariants(
             return hit
 
     if fixpoint is None:
-        fixpoint = analyze(
+        # memoised per (module, knobs): sibling obligations, repeated
+        # mining runs and the lint pass share one analysis and one
+        # cross-obligation eval() memo
+        fixpoint = shared_fixpoint(
             module,
             widen_after=params.widen_after,
             max_iterations=params.max_iterations,
@@ -332,7 +354,7 @@ def mine_invariants(
     candidates = {name: prop for name, (_kind, prop) in generated.items()}
 
     survivors, rejected = _trace_filter(
-        module, candidates, params.trace_cycles
+        module, candidates, params.trace_cycles, fixpoint=fixpoint
     )
 
     if check:

@@ -30,6 +30,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..formal.aig import fresh_vec
 from ..formal.bmc import IncrementalUnroller, TransitionSystem
 from ..hdl import expr as E
 from ..hdl.netlist import Module
@@ -81,8 +82,40 @@ def verify_candidates(
         unroller.ensure_frames(2)
         hyp = {name: unroller.literal(0, e) for name, e in alive.items()}
         goal = {name: unroller.literal(1, e) for name, e in alive.items()}
+
+        def lit_true(result, lit: int) -> bool:
+            return result.value(abs(lit)) == (lit > 0)
+
         while alive:
             outcome.rounds += 1
+            # one query per round: can ANY surviving candidate fail in
+            # frame 1 under the joint hypothesis?  The failure
+            # disjunction is guarded by a fresh activation literal so
+            # the clause dies with the round; a SAT model names every
+            # falling candidate at once, so the fixpoint needs one query
+            # per round instead of one per candidate per round (the
+            # greatest fixpoint is drop-order independent).
+            act = unroller.emitter.encode(fresh_vec(unroller.aig, 1)[0])
+            unroller.solver.add_clause(
+                [-act] + [-goal[name] for name in alive]
+            )
+            assumptions = [hyp[other] for other in alive]
+            result = unroller.solver.solve(
+                assumptions=[*assumptions, act], max_conflicts=max_conflicts
+            )
+            if result.satisfiable is False:
+                break  # the surviving set is simultaneously inductive
+            if result.satisfiable is True:
+                for name in list(alive):
+                    if not lit_true(result, goal[name]):
+                        outcome.rejected[name] = (
+                            "not inductive relative to the surviving set"
+                        )
+                        del alive[name]
+                continue
+            # budget exhausted on the joint query: fall back to one
+            # query per candidate so the exhaustion is attributed to the
+            # candidate that caused it (classic Houdini round)
             dropped = False
             for name in list(alive):
                 assumptions = [hyp[other] for other in alive]

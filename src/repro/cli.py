@@ -175,6 +175,7 @@ def cmd_discharge(args: argparse.Namespace) -> int:
             trace_cycles=args.cycles,
             incremental=not args.scratch,
             ladder=not args.no_ladder,
+            share=args.share_group,
             max_retries=args.max_retries,
             mem_limit_mb=args.mem_limit,
             cpu_limit_s=args.cpu_limit,
@@ -528,6 +529,12 @@ def main(argv: list[str] | None = None) -> int:
     discharge_parser.add_argument(
         "--cpu-limit", type=int, default=None, metavar="SECONDS",
         help="rlimit CPU-time cap per solver worker, in seconds",
+    )
+    discharge_parser.add_argument(
+        "--share-group", action=argparse.BooleanOptionalAction, default=True,
+        help="discharge invariant cache-misses in groups over one shared"
+        " unrolling and solver (repro.formal.shared); --no-share-group"
+        " reverts to one symbolic build per obligation",
     )
     discharge_parser.add_argument(
         "--no-ladder", action="store_true",

@@ -50,7 +50,10 @@ from .sat import SatResult, Solver
 # Bumped whenever the unrolling/encoding strategy could alter a verdict or
 # its cost profile; joins SOLVER_VERSION in every obligation fingerprint so
 # cached verdicts from an older engine can never alias the new one.
-ENGINE_VERSION = 2
+# 3: grouped discharge over one shared unrolling (repro.formal.shared) —
+# verdict-equivalent by construction, but the cost profile of every
+# invariant obligation changed, so per-obligation entries self-evict.
+ENGINE_VERSION = 3
 
 
 @dataclass(frozen=True)

@@ -108,6 +108,9 @@ class Solver:
         # variable no clause mentions is pure waste.
         self._order: list[tuple[float, int]] = []
         self._decidable: set[int] = set()
+        # clauses[:_unit_scan] have had their units applied to the
+        # persistent level-0 assignment; solve() only scans the suffix
+        self._unit_scan = 0
         self._ok = True
         self.stats = SatResult(satisfiable=None)
 
@@ -430,12 +433,16 @@ class Solver:
             return self._result(False)
         self._backtrack(0)
 
-        # apply stored unit clauses
-        for clause in self.clauses:
+        # apply unit clauses stored since the last call; level-0
+        # assignments persist across calls, so older units are already
+        # on the trail and rescanning the whole database would make
+        # every call O(clauses)
+        for clause in self.clauses[self._unit_scan :]:
             if len(clause) == 1:
                 if not self._enqueue(clause[0], None):
                     self._ok = False
                     return self._result(False)
+        self._unit_scan = len(self.clauses)
         if self._propagate() is not None:
             self._ok = False
             return self._result(False)

@@ -18,6 +18,8 @@ construction time, not at cycle 10⁶ of a simulation.
 
 from __future__ import annotations
 
+import itertools
+from contextlib import contextmanager
 from typing import Callable, Iterable
 
 from .bitvec import BitVector, from_signed, mask, to_signed
@@ -180,6 +182,33 @@ def clear_intern_table() -> None:
     against expressions created after it (e.g. between independent tests).
     """
     _INTERN.clear()
+
+
+@contextmanager
+def scoped_intern():
+    """Bound the intern table's growth to a scope.
+
+    Nodes interned inside the ``with`` block are dropped from the table on
+    exit (entries are insertion-ordered, so the scope's additions are
+    exactly the table's suffix); nodes that existed before the scope are
+    untouched and stay valid.  This is what keeps repeated group
+    discharges from growing the table without bound: each group's
+    scratch expressions live only as long as the group.
+
+    The safety contract is the scoped version of
+    :func:`clear_intern_table`'s: an expression *created inside* the scope
+    must not be compared (by identity) against an expression created
+    after the scope exits.  Returning plain data (verdicts, strings,
+    integers) out of the scope is always fine.
+    """
+    mark = len(_INTERN)
+    try:
+        yield
+    finally:
+        excess = len(_INTERN) - mark
+        if excess > 0:
+            for key in list(itertools.islice(reversed(_INTERN), excess)):
+                del _INTERN[key]
 
 
 def _make(cls: type, key: tuple, init: Callable[[Expr], None], width: int) -> Expr:

@@ -8,19 +8,29 @@
 2. **cache lookup** — obligations whose fingerprint has a stored verdict in
    the on-disk cache (:mod:`repro.jobs.cache`) are skipped outright;
 3. **parallel discharge** — cache misses fan out over a pool of forked
-   worker processes, each running the pure per-obligation functions of
+   worker processes.  Invariant misses are batched into *groups* that a
+   single worker discharges over one shared unrolling and solver
+   (:mod:`repro.formal.shared`, via
+   :func:`repro.proofs.discharge.discharge_invariant_group`); everything
+   else runs through the pure per-obligation functions of
    :mod:`repro.proofs.discharge`.  A per-obligation wall-clock timeout
-   terminates stuck workers and degrades the obligation to
-   ``Status.UNKNOWN`` — one hard instance never hangs or aborts the run.
-   Workers run under optional rlimit memory/CPU caps, a worker that dies
-   abnormally (signal, OOM kill, ``os._exit``) is retried with exponential
-   backoff and finally quarantined as a structured ``crashed`` outcome,
-   and invariant obligations walk a graceful-degradation ladder
+   terminates stuck workers — cooperatively through the solver's
+   interrupt callback inside a group, by killing the worker outside one —
+   and degrades the obligation to ``Status.UNKNOWN``; one hard instance
+   never hangs or aborts the run.  Workers run under optional rlimit
+   memory/CPU caps.  A worker that dies abnormally (signal, OOM kill,
+   ``os._exit``) is retried with exponential backoff and finally
+   quarantined as a structured ``crashed`` outcome; a *group* worker that
+   dies streams each verdict as it lands, so the parent salvages the
+   finished members and falls the rest back to classic per-obligation
+   scheduling.  Invariant obligations walk a graceful-degradation ladder
    (incremental CDCL → from-scratch CDCL → BDD reachability → unknown)
    with the deciding rung recorded as the method;
 4. **reporting** — per-obligation timing and provenance (cache / worker /
-   inline / timeout), cache hit rate, per-worker busy time and aggregate
-   status counts, as human-readable text and as a JSON document.
+   group / inline / timeout), cache hit rate, per-worker busy time and
+   aggregate status counts, as human-readable text and as a JSON
+   document.  Outcomes are ordered by obligation id — not completion
+   order — so reports and ``--profile`` tables diff cleanly across runs.
 
 Trace obligations run inline in the orchestrator: they share one stimulus
 simulation and may close over arbitrary input-provider callables, which do
@@ -45,6 +55,7 @@ from dataclasses import asdict, dataclass, field, replace
 
 from ..core.transform import PipelinedMachine
 from ..formal.bmc import TransitionSystem
+from ..hdl import expr as E
 from ..proofs.discharge import (
     DischargeRecord,
     DischargeReport,
@@ -53,6 +64,7 @@ from ..proofs.discharge import (
     build_trace,
     discharge_equivalence,
     discharge_invariant,
+    discharge_invariant_group,
     discharge_invariant_ladder,
     discharge_trace,
     resolve_properties,
@@ -98,6 +110,17 @@ class EngineParams:
     # per-vector simulation would — so it stays out of
     # ``invariant_params`` and cached verdicts survive retuning it.
     lanes: int = 64
+    # cross-obligation proof sharing (repro.formal.shared): schedule the
+    # invariant cache-misses as *groups*, each discharged over one shared
+    # unrolling + solver with per-member activation literals, instead of
+    # one symbolic build per obligation.  Verdict-preserving by
+    # construction — each member walks the exact per-obligation
+    # escalation, only the build and the solver's learned state are
+    # shared — so, like ``absint`` and ``lanes``, it stays out of
+    # ``invariant_params`` and cached verdicts survive toggling it.
+    # Only active with ``incremental`` (the scratch engine rebuilds by
+    # definition).
+    share: bool = True
     # crash quarantine: how often a crashed (signalled / vanished) worker
     # is retried, with exponential backoff, before the obligation is
     # recorded as ``crashed``.  Timeouts are never retried (deterministic).
@@ -134,7 +157,10 @@ class JobOutcome:
 
     record: DischargeRecord
     fingerprint: str | None
-    source: str  # "cache" | "worker" | "inline" | "timeout" | "crashed"
+    # "cache" | "worker" | "group" | "inline" | "timeout" | "crashed" |
+    # "lint" — "group" marks a verdict produced by a shared-unrolling
+    # group worker (repro.formal.shared)
+    source: str
     worker: int = -1
     attempts: int = 1  # worker launches this obligation consumed
 
@@ -282,7 +308,7 @@ class JobReport:
             lines.append(f"  UNKNOWN {record.oid} ({record.method})")
         slowest = sorted(
             (o for o in self.outcomes if o.source != "cache"),
-            key=lambda o: -o.record.seconds,
+            key=lambda o: (-round(o.record.seconds, 3), o.record.oid),
         )[:3]
         for outcome in slowest:
             record = outcome.record
@@ -295,8 +321,12 @@ class JobReport:
     def format_profile(self) -> str:
         """Per-obligation profile table: wall-clock, solver conflicts and
         peak unrolled frame count, hottest first (``repro discharge
-        --profile``)."""
-        ordered = sorted(self.outcomes, key=lambda o: -o.record.seconds)
+        --profile``).  Ties (and near-ties, within a millisecond) break
+        on obligation id so the table is stable run over run."""
+        ordered = sorted(
+            self.outcomes,
+            key=lambda o: (-round(o.record.seconds, 3), o.record.oid),
+        )
         oid_width = max([len(o.record.oid) for o in ordered] + [len("obligation")])
         header = (
             f"  {'obligation':<{oid_width}} {'seconds':>9} {'conflicts':>9}"
@@ -325,12 +355,27 @@ class _SolverTask:
 
 
 @dataclass
+class _GroupTask:
+    """A batch of invariant cache misses one worker discharges over a
+    single shared unrolling (:mod:`repro.formal.shared`)."""
+
+    members: list[_SolverTask]
+    attempts: int = 0  # groups launch at most once; fallbacks are singletons
+    not_before: float = 0.0
+
+
+@dataclass
 class _Running:
-    task: _SolverTask
+    task: _SolverTask | _GroupTask
     process: multiprocessing.process.BaseProcess
     connection: multiprocessing.connection.Connection
     started: float
     slot: int
+    # group bookkeeping: member records streamed so far, and when the
+    # last one (or the launch) happened — the parent's backstop deadline
+    # for a group is per *member*, measured from the last sign of life
+    group_done: dict[int, DischargeRecord] = field(default_factory=dict)
+    last_activity: float = 0.0
 
 
 def default_jobs() -> int:
@@ -364,6 +409,30 @@ def _solver_record(
             sweep_frames=params.sweep_frames,
         )
     return discharge_equivalence(obligation)
+
+
+def _group_records(
+    system: TransitionSystem,
+    obligations: list[Obligation],
+    params: EngineParams,
+    member_timeout: float | None,
+):
+    """Stream ``(index, record)`` for one group of invariant obligations.
+
+    A module-level seam (like :func:`_solver_record`) so the robustness
+    tests can sabotage group workers — forked children inherit a
+    monkeypatched binding from the parent process.
+    """
+    return discharge_invariant_group(
+        system,
+        obligations,
+        max_k=params.max_k,
+        bmc_bound=params.bmc_bound,
+        max_conflicts=params.max_conflicts,
+        sweep_frames=params.sweep_frames,
+        ladder=params.ladder,
+        member_timeout=member_timeout,
+    )
 
 
 def _apply_rlimits(mem_limit_mb: int | None, cpu_limit_s: int | None) -> None:
@@ -414,6 +483,36 @@ def _worker_main(
         connection.close()
 
 
+def _group_worker_main(
+    system: TransitionSystem,
+    obligations: list[Obligation],
+    params: EngineParams,
+    member_timeout: float | None,
+    connection: multiprocessing.connection.Connection,
+) -> None:
+    """Child-process entry for a group: ship each member's record the
+    moment it lands, so the parent can salvage finished verdicts when a
+    later member kills the worker.  The intern table is scoped to the
+    group so back-to-back group discharges cannot grow it without bound
+    (relevant mostly to the inline fallback, which shares the driver's
+    table; here it also keeps the copy-on-write pages clean)."""
+    _apply_rlimits(params.mem_limit_mb, params.cpu_limit_s)
+    try:
+        with E.scoped_intern():
+            for index, record in _group_records(
+                system, obligations, params, member_timeout
+            ):
+                connection.send((index, record))
+    except Exception:
+        # A failure of the group machinery itself (the shared build, the
+        # pipe) is a crash: the parent quarantines the group and falls the
+        # unfinished members back to per-obligation scheduling, which has
+        # its own worker-error / retry story.
+        pass
+    finally:
+        connection.close()
+
+
 def _timeout_record(task: _SolverTask, timeout: float, elapsed: float) -> DischargeRecord:
     return DischargeRecord(
         oid=task.obligation.oid,
@@ -456,6 +555,38 @@ def _crash_record(task: _SolverTask, exitcode: int | None, elapsed: float) -> Di
 # first-retry backoff after a worker crash; doubles per attempt
 _RETRY_BACKOFF = 0.25
 
+# Inside a group the per-obligation timeout is enforced cooperatively by
+# the solver's interrupt callback; the parent only kills a group worker
+# that shows *no sign of life* for a full member budget plus this grace —
+# slack for the shared symbolic build and for interrupt-poll granularity.
+_GROUP_GRACE = 5.0
+
+# smallest batch worth one shared build; below it, classic scheduling
+_MIN_GROUP = 4
+
+
+def _partition_groups(
+    tasks: list[_SolverTask], jobs: int
+) -> list[_GroupTask]:
+    """Split the invariant cache misses into contiguous, balanced groups.
+
+    Group count is ``min(jobs, len // _MIN_GROUP)`` (at least one): enough
+    groups to keep the pool busy, each big enough that the shared
+    unrolling amortises.  Contiguity keeps obligation families (the
+    ``stall.*`` battery, the lemma pieces) in one solver, where their
+    learned clauses help each other most.  Every group has >= 2 members
+    by construction; callers route smaller remainders classically.
+    """
+    n_groups = min(jobs, max(1, len(tasks) // _MIN_GROUP))
+    base, extra = divmod(len(tasks), n_groups)
+    groups: list[_GroupTask] = []
+    start = 0
+    for g in range(n_groups):
+        size = base + (1 if g < extra else 0)
+        groups.append(_GroupTask(members=tasks[start : start + size]))
+        start += size
+    return groups
+
 
 @dataclass
 class _PoolStats:
@@ -464,7 +595,7 @@ class _PoolStats:
 
 
 def _run_pool(
-    tasks: list[_SolverTask],
+    tasks: list[_SolverTask | _GroupTask],
     system: TransitionSystem,
     params: EngineParams,
     jobs: int,
@@ -479,10 +610,21 @@ def _run_pool(
     backoff; past that the obligation gets a structured ``crashed`` outcome
     carrying the signal number.  Timeouts are never retried: the per-task
     budget is deterministic, a relaunch would just burn it again.
+
+    Group tasks (:class:`_GroupTask`) stream one ``(index, record)`` pair
+    per member.  A group worker that dies mid-group is quarantined as a
+    whole: the streamed verdicts stand, the member on the bench inherits
+    the launch in its attempt count, and every unfinished member rejoins
+    the queue as a classic singleton — so a poisoned obligation degrades
+    to exactly the per-obligation retry/quarantine story, and its healthy
+    siblings never pay for it twice.  The per-member timeout inside a
+    group is enforced cooperatively by the worker itself; the parent
+    keeps only a generous backstop (``timeout + _GROUP_GRACE`` since the
+    last streamed record) for a worker that stops responding entirely.
     """
     ctx = multiprocessing.get_context("fork")
     outcomes: dict[int, JobOutcome] = {}
-    pending = list(reversed(tasks))  # pop() preserves obligation order
+    pending: list[_SolverTask | _GroupTask] = list(reversed(tasks))
     in_flight: list[_Running] = []
     busy: dict[int, float] = {}
     free_slots = list(reversed(range(jobs)))
@@ -506,6 +648,64 @@ def _run_pool(
             attempts=running.task.attempts,
         )
 
+    def settle_group(running: _Running, hard_timeout: bool = False) -> None:
+        """Deliver a finished/killed group worker's verdicts and reroute
+        the members it never decided."""
+        group = running.task
+        assert isinstance(group, _GroupTask)
+        elapsed = release(running)
+        exitcode = running.process.exitcode
+        done = running.group_done
+        # the member the worker was grinding on when it stopped
+        current = next(
+            (i for i in range(len(group.members)) if i not in done), None
+        )
+        crashed = current is not None and not hard_timeout
+        if crashed:
+            stats.crashes += 1
+        for index, member in enumerate(group.members):
+            record = done.get(index)
+            if record is not None:
+                outcomes[member.position] = JobOutcome(
+                    record=record,
+                    fingerprint=member.fingerprint,
+                    source="timeout"
+                    if record.method.startswith("timeout(")
+                    else "group",
+                    worker=running.slot,
+                    attempts=group.attempts,
+                )
+            elif hard_timeout and index == current:
+                # deterministic, same no-retry rule as a singleton timeout
+                outcomes[member.position] = JobOutcome(
+                    record=_timeout_record(member, timeout, elapsed),
+                    fingerprint=member.fingerprint,
+                    source="timeout",
+                    worker=running.slot,
+                    attempts=group.attempts,
+                )
+            elif crashed and index == current:
+                # prime suspect for the crash: it inherits the group
+                # launch in its attempt count and backs off (or is
+                # quarantined outright) exactly like a crashed singleton
+                member.attempts = group.attempts
+                if member.attempts > params.max_retries:
+                    outcomes[member.position] = JobOutcome(
+                        record=_crash_record(member, exitcode, elapsed),
+                        fingerprint=member.fingerprint,
+                        source="crashed",
+                        worker=running.slot,
+                        attempts=member.attempts,
+                    )
+                else:
+                    stats.retries += 1
+                    member.not_before = time.perf_counter() + _RETRY_BACKOFF
+                    pending.append(member)
+            else:
+                # never reached: innocent, rescheduled classically with a
+                # clean slate and no backoff
+                pending.append(member)
+
     while pending or in_flight:
         now = time.perf_counter()
         while pending and free_slots:
@@ -522,27 +722,43 @@ def _run_pool(
             task = pending.pop(index)
             task.attempts += 1
             parent_conn, child_conn = ctx.Pipe(duplex=False)
-            process = ctx.Process(
-                target=_worker_main,
-                args=(system, task.obligation, params, child_conn),
-                daemon=True,
-            )
+            if isinstance(task, _GroupTask):
+                target = _group_worker_main
+                args = (
+                    system,
+                    [member.obligation for member in task.members],
+                    params,
+                    timeout,
+                    child_conn,
+                )
+            else:
+                target = _worker_main
+                args = (system, task.obligation, params, child_conn)
+            process = ctx.Process(target=target, args=args, daemon=True)
             process.start()
             child_conn.close()
+            started = time.perf_counter()
             in_flight.append(
                 _Running(
                     task=task,
                     process=process,
                     connection=parent_conn,
-                    started=time.perf_counter(),
+                    started=started,
                     slot=free_slots.pop(),
+                    last_activity=started,
                 )
             )
 
         now = time.perf_counter()
         wakeups: list[float] = []
         if timeout is not None:
-            wakeups.extend(r.started + timeout for r in in_flight)
+            for running in in_flight:
+                if isinstance(running.task, _GroupTask):
+                    wakeups.append(
+                        running.last_activity + timeout + _GROUP_GRACE
+                    )
+                else:
+                    wakeups.append(running.started + timeout)
         if free_slots and pending:  # a backoff expiry could start work
             wakeups.extend(task.not_before for task in pending)
         wait_for = max(0.0, min(wakeups) - now) if wakeups else None
@@ -557,6 +773,22 @@ def _run_pool(
         still_running: list[_Running] = []
         for running in in_flight:
             if running.connection in ready:
+                if isinstance(running.task, _GroupTask):
+                    eof = False
+                    try:
+                        # drain every queued (index, record) message; at
+                        # pipe EOF poll() reports readable and recv raises
+                        while running.connection.poll():
+                            index, record = running.connection.recv()
+                            running.group_done[index] = record
+                            running.last_activity = time.perf_counter()
+                    except (EOFError, OSError):
+                        eof = True
+                    if eof:
+                        settle_group(running)
+                    else:
+                        still_running.append(running)
+                    continue
                 try:
                     record = running.connection.recv()
                     finish(running, record, "worker")
@@ -580,6 +812,18 @@ def _run_pool(
                             worker=running.slot,
                             attempts=task.attempts,
                         )
+            elif timeout is not None and isinstance(running.task, _GroupTask):
+                if (
+                    time.perf_counter() - running.last_activity
+                    >= timeout + _GROUP_GRACE
+                ):
+                    running.process.terminate()
+                    running.process.join(1.0)
+                    if running.process.is_alive():  # pragma: no cover
+                        running.process.kill()
+                    settle_group(running, hard_timeout=True)
+                else:
+                    still_running.append(running)
             elif (
                 timeout is not None
                 and time.perf_counter() - running.started >= timeout
@@ -620,6 +864,14 @@ def discharge_jobs(
     disables the on-disk cache.  Custom stimulus providers make the trace
     obligations uncacheable (their verdict depends on the callables), but
     never affect the solver-side obligations.
+
+    With ``params.share`` (the default, incremental engine only) the
+    invariant cache misses are batched into groups that each discharge
+    over one shared unrolling and solver (:mod:`repro.formal.shared`) —
+    the pool then distributes *groups* rather than single obligations,
+    with per-obligation timeouts enforced inside a group through the
+    solver's interrupt callback and a crashed group falling back to
+    classic per-obligation scheduling.
 
     With ``lint_gate=True`` (the default) the machine is first run through
     :func:`repro.lint.lint_pipeline`; ERROR-level findings fail every
@@ -711,13 +963,18 @@ def discharge_jobs(
                 )
             else:
                 report.uncacheable += 1
-        else:
+        elif cache is not None:
             fingerprint = obligation.fingerprint(
                 system=system,
                 params=params.invariant_params()
                 if obligation.kind is ObligationKind.INVARIANT
                 else None,
             )
+        else:
+            # fingerprints exist to key the cache: without one there is
+            # nothing to look up or persist, and hashing every
+            # obligation's cone is a measurable slice of a cold run
+            fingerprint = None
 
         cached = cache.get(fingerprint) if cache and fingerprint else None
         if cached is not None:
@@ -740,27 +997,82 @@ def discharge_jobs(
         else:
             solver_tasks.append(_SolverTask(position, obligation, fingerprint))
 
+    # -- proof sharing: batch invariant misses into shared-unrolling groups ----
+    share_groups: list[_GroupTask] = []
+    if params.share and params.incremental:
+        invariant_tasks = [
+            task
+            for task in solver_tasks
+            if task.obligation.kind is ObligationKind.INVARIANT
+        ]
+        if len(invariant_tasks) > 1:
+            share_groups = _partition_groups(invariant_tasks, jobs)
+            grouped = {
+                id(member) for group in share_groups for member in group.members
+            }
+            solver_tasks = [
+                task for task in solver_tasks if id(task) not in grouped
+            ]
+
     # -- solver obligations: worker pool (or inline fallback) ------------------
     use_pool = (
-        solver_tasks
+        (solver_tasks or share_groups)
         and "fork" in multiprocessing.get_all_start_methods()
         and (jobs > 1 or timeout is not None)
     )
     if use_pool:
+        # groups first: they are the long poles, so they get slots early
         pooled, busy, pool_stats = _run_pool(
-            solver_tasks, system, params, jobs, timeout
+            [*share_groups, *solver_tasks], system, params, jobs, timeout
         )
         outcome_by_position.update(pooled)
         report.worker_seconds = busy
         report.crashes = pool_stats.crashes
         report.retries = pool_stats.retries
     else:
-        for task in solver_tasks:
-            start = time.perf_counter()
-            record = _solver_record(system, task.obligation, params)
+
+        def charge(start: float) -> None:
             report.worker_seconds[0] = report.worker_seconds.get(0, 0.0) + (
                 time.perf_counter() - start
             )
+
+        for group in share_groups:
+            start = time.perf_counter()
+            delivered: dict[int, DischargeRecord] = {}
+            try:
+                # the driver's own intern table: scope it so repeated
+                # group discharges cannot grow it without bound
+                with E.scoped_intern():
+                    for index, record in _group_records(
+                        system,
+                        [member.obligation for member in group.members],
+                        params,
+                        timeout,
+                    ):
+                        delivered[index] = record
+            except Exception:
+                # group-machinery failure: salvage what streamed, fall the
+                # rest back to per-obligation discharge below
+                pass
+            for index, member in enumerate(group.members):
+                record = delivered.get(index)
+                if record is None:
+                    record = _solver_record(system, member.obligation, params)
+                    source = "inline"
+                else:
+                    source = (
+                        "timeout"
+                        if record.method.startswith("timeout(")
+                        else "group"
+                    )
+                outcome_by_position[member.position] = JobOutcome(
+                    record=record, fingerprint=member.fingerprint, source=source
+                )
+            charge(start)
+        for task in solver_tasks:
+            start = time.perf_counter()
+            record = _solver_record(system, task.obligation, params)
+            charge(start)
             outcome_by_position[task.position] = JobOutcome(
                 record=record, fingerprint=task.fingerprint, source="inline"
             )
@@ -789,11 +1101,19 @@ def discharge_jobs(
     # -- persist fresh verdicts -------------------------------------------------
     if cache is not None:
         for outcome in outcome_by_position.values():
-            if outcome.source in ("worker", "inline") and outcome.fingerprint:
+            if (
+                outcome.source in ("worker", "group", "inline")
+                and outcome.fingerprint
+            ):
                 cache.put(
                     outcome.fingerprint, outcome.record, params=asdict(params)
                 )
 
-    report.outcomes = [outcome_by_position[i] for i in range(len(ordered))]
+    # obligation-id order, not completion order: report diffs and
+    # --profile tables stay stable across scheduling modes and runs
+    report.outcomes = sorted(
+        (outcome_by_position[i] for i in range(len(ordered))),
+        key=lambda outcome: outcome.record.oid,
+    )
     report.wall_seconds = time.perf_counter() - started
     return report

@@ -27,7 +27,7 @@ rung does, as does ``repro absint``'s consumers' tooling).
 from __future__ import annotations
 
 from ..absint.domain import AbsValue
-from ..absint.fixpoint import FixpointResult, analyze
+from ..absint.fixpoint import FixpointResult, shared_fixpoint
 from ..hdl import expr as E
 from ..hdl.bitvec import mask
 from ..hdl.netlist import Module
@@ -100,7 +100,9 @@ def lint_semantic(
         module=module,
     )
     if fixpoint is None:
-        fixpoint = analyze(module)
+        # memoised: the lint gate and invariant mining run over the
+        # same module in one discharge drive — share the analysis
+        fixpoint = shared_fixpoint(module)
 
     roots = named_roots(module)
     owner = _owner_map(roots)

@@ -8,6 +8,7 @@ from .discharge import (
     discharge,
     discharge_equivalence,
     discharge_invariant,
+    discharge_invariant_group,
     discharge_invariant_ladder,
     discharge_trace,
     resolve_properties,
@@ -39,6 +40,7 @@ __all__ = [
     "discharge",
     "discharge_equivalence",
     "discharge_invariant",
+    "discharge_invariant_group",
     "discharge_invariant_ladder",
     "discharge_trace",
     "fingerprint_equivalence",

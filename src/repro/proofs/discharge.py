@@ -21,7 +21,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Callable, Mapping
+from typing import Callable, Iterator, Mapping, Sequence
 
 from ..core.consistency import (
     check_data_consistency,
@@ -142,6 +142,7 @@ def discharge(
     max_conflicts: int | None = None,
     incremental: bool = True,
     sweep_frames: bool = False,
+    share: bool = True,
 ) -> DischargeReport:
     """Discharge every obligation; see module docstring for the strategy.
 
@@ -158,7 +159,10 @@ def discharge(
     an exhausted budget degrades the obligation to ``Status.UNKNOWN``.
     ``incremental`` selects the single-solver engine (default; see
     :mod:`repro.formal.bmc`) and ``sweep_frames`` its optional AIG
-    rewriting pass.
+    rewriting pass.  With ``share`` (default, incremental engine only)
+    individual invariant discharge runs through one shared unrolling per
+    group (:func:`discharge_invariant_group`) instead of one per
+    obligation — same verdicts, one symbolic build.
     """
     report = DischargeReport(machine_name=obligations.machine_name)
     resolve_properties(pipelined, obligations)
@@ -195,18 +199,33 @@ def discharge(
                 )
             conjoined_done = True
     if not conjoined_done:
-        for obligation in invariants:
-            report.records.append(
-                discharge_invariant(
+        if share and incremental and len(invariants) > 1:
+            grouped = dict(
+                discharge_invariant_group(
                     system,
-                    obligation,
+                    invariants,
                     max_k=max_k,
                     bmc_bound=bmc_bound,
                     max_conflicts=max_conflicts,
-                    incremental=incremental,
                     sweep_frames=sweep_frames,
                 )
             )
+            report.records.extend(
+                grouped[index] for index in range(len(invariants))
+            )
+        else:
+            for obligation in invariants:
+                report.records.append(
+                    discharge_invariant(
+                        system,
+                        obligation,
+                        max_k=max_k,
+                        bmc_bound=bmc_bound,
+                        max_conflicts=max_conflicts,
+                        incremental=incremental,
+                        sweep_frames=sweep_frames,
+                    )
+                )
 
     for obligation in obligations.equivalences():
         report.records.append(discharge_equivalence(obligation))
@@ -237,6 +256,7 @@ def discharge_invariant(
     max_conflicts: int | None = None,
     incremental: bool = True,
     sweep_frames: bool = False,
+    interrupt: Callable[[], bool] | None = None,
 ) -> DischargeRecord:
     """Discharge one invariant obligation by k-induction, then BMC.
 
@@ -256,6 +276,7 @@ def discharge_invariant(
             obligation.prop,
             assume=list(obligation.assume),
             max_conflicts=max_conflicts,
+            interrupt=interrupt,
             sweep_frames=sweep_frames,
         )
     conflicts = 0
@@ -292,6 +313,7 @@ def discharge_invariant(
                 k=k,
                 assume=list(obligation.assume),
                 max_conflicts=max_conflicts,
+                interrupt=interrupt,
                 incremental=False,
             )
         note(result)
@@ -308,6 +330,7 @@ def discharge_invariant(
             bound=bmc_bound,
             assume=list(obligation.assume),
             max_conflicts=max_conflicts,
+            interrupt=interrupt,
             incremental=False,
         )
     note(result)
@@ -327,6 +350,7 @@ def discharge_invariant_ladder(
     sweep_frames: bool = False,
     bdd_bound: int | None = None,
     bdd_max_nodes: int = 200_000,
+    interrupt: Callable[[], bool] | None = None,
 ) -> DischargeRecord:
     """Discharge one invariant via the graceful-degradation ladder.
 
@@ -360,6 +384,7 @@ def discharge_invariant_ladder(
             max_conflicts=max_conflicts,
             incremental=True,
             sweep_frames=sweep_frames,
+            interrupt=interrupt,
         )
         if record.status is not Status.UNKNOWN:
             return record
@@ -375,6 +400,7 @@ def discharge_invariant_ladder(
             bmc_bound=bmc_bound,
             max_conflicts=max_conflicts,
             incremental=False,
+            interrupt=interrupt,
         )
         if record.status is not Status.UNKNOWN:
             return replace(
@@ -431,6 +457,141 @@ def discharge_invariant_ladder(
         seconds=time.perf_counter() - start,
         frames=frames,
     )
+
+
+def discharge_invariant_group(
+    system: TransitionSystem,
+    obligations: Sequence[Obligation],
+    max_k: int = 2,
+    bmc_bound: int = 8,
+    max_conflicts: int | None = None,
+    sweep_frames: bool = False,
+    ladder: bool = False,
+    member_timeout: float | None = None,
+) -> Iterator[tuple[int, DischargeRecord]]:
+    """Discharge a family of invariant obligations over **one** shared
+    unrolling (:class:`repro.formal.shared.SharedContext`), yielding
+    ``(index, record)`` pairs in obligation order.
+
+    Each member walks exactly the escalation of
+    :func:`discharge_invariant` — k-induction at k = 1..``max_k``, then
+    BMC to ``bmc_bound`` — through the shared context, so statuses,
+    methods and details are verbatim what the per-obligation engine
+    produces; only the symbolic build and the solver's learned state are
+    shared.  Streaming the records (rather than returning a list) lets
+    the group worker ship each verdict over its pipe the moment it lands,
+    so a member that times out or a worker that dies mid-group never
+    costs its already-finished siblings.
+
+    ``member_timeout`` is the per-obligation wall-clock budget *inside*
+    the group, enforced cooperatively through the solver's interrupt
+    callback; a member that exhausts it yields the same ``timeout(..s)``
+    shape the worker pool's hard deadline produces.  With ``ladder``, a
+    member the shared engine leaves UNKNOWN (and that has budget left)
+    falls back to the full per-obligation degradation ladder
+    (:func:`discharge_invariant_ladder`) — grouped scheduling never takes
+    a rung away.
+    """
+    from ..formal.shared import SharedContext, SharedMember
+
+    for obligation in obligations:
+        assert (
+            obligation.kind is ObligationKind.INVARIANT
+            and obligation.prop is not None
+        )
+    context = SharedContext(
+        system,
+        [
+            SharedMember(obligation.prop, tuple(obligation.assume))
+            for obligation in obligations
+        ],
+        max_conflicts=max_conflicts,
+        sweep_frames=sweep_frames,
+    )
+    for index, obligation in enumerate(obligations):
+        start = time.perf_counter()
+        deadline = (
+            start + member_timeout if member_timeout is not None else None
+        )
+        context.interrupt = (
+            (lambda d=deadline: time.perf_counter() >= d)
+            if deadline is not None
+            else None
+        )
+
+        def record_of(status: Status, method: str, detail: str = "") -> DischargeRecord:
+            return DischargeRecord(
+                oid=obligation.oid,
+                title=obligation.title,
+                status=status,
+                method=method,
+                detail=detail,
+                seconds=time.perf_counter() - start,
+                conflicts=context.conflicts[index],
+                frames=context.frames,
+            )
+
+        try:
+            record = None
+            for k in range(1, max_k + 1):
+                result = context.k_induction(index, k)
+                if result.holds is True:
+                    record = record_of(Status.PROVED, f"{k}-induction")
+                    break
+                if result.holds is False:
+                    record = record_of(
+                        Status.FAILED, result.method, str(result.counterexample)
+                    )
+                    break
+            if record is None:
+                result = context.bmc_to(index, bmc_bound)
+                if result.holds is True:
+                    record = record_of(Status.BOUNDED, f"bmc({bmc_bound})")
+                elif result.holds is False:
+                    record = record_of(
+                        Status.FAILED,
+                        f"bmc({result.bound})",
+                        str(result.counterexample),
+                    )
+                else:
+                    record = record_of(Status.UNKNOWN, "exhausted")
+        except Exception as exc:  # one sick member must not kill the group
+            record = record_of(
+                Status.UNKNOWN, "group-error", repr(exc)
+            )
+            if ladder:
+                record = None  # decided by the full ladder below
+
+        timed_out = deadline is not None and time.perf_counter() >= deadline
+        if timed_out:
+            # Strict wall budget, matching the worker pool's hard deadline:
+            # past it, even a verdict the solver reached late is discarded
+            # (the classic scheduler would have killed the worker first).
+            record = DischargeRecord(
+                oid=obligation.oid,
+                title=obligation.title,
+                status=Status.UNKNOWN,
+                method=f"timeout({member_timeout:g}s)",
+                detail="solver interrupted at the per-obligation"
+                " deadline inside a shared group",
+                seconds=time.perf_counter() - start,
+                conflicts=context.conflicts[index],
+                frames=context.frames,
+            )
+        elif record is None or record.status is Status.UNKNOWN:
+            if ladder:
+                # the remaining rungs run per-obligation, exactly as the
+                # classic scheduling mode would have run them
+                record = discharge_invariant_ladder(
+                    system,
+                    obligation,
+                    max_k=max_k,
+                    bmc_bound=bmc_bound,
+                    max_conflicts=max_conflicts,
+                    sweep_frames=sweep_frames,
+                    interrupt=context.interrupt,
+                )
+        yield index, record
 
 
 def discharge_equivalence(obligation: Obligation) -> DischargeRecord:

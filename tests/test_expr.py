@@ -37,6 +37,28 @@ class TestInterning:
         y = E.input_port("y", 8)
         assert E.mux(s, x, y) is E.mux(s, x, y)
 
+    def test_scoped_intern_bounds_growth(self):
+        outside = E.add(E.input_port("si_a", 8), E.input_port("si_b", 8))
+        before = E.intern_table_size()
+        with E.scoped_intern():
+            inside = E.mul(outside, E.const(8, 3))
+            assert E.intern_table_size() > before
+            # pre-existing nodes still intern to themselves in-scope
+            assert E.add(E.input_port("si_a", 8), E.input_port("si_b", 8)) is outside
+        # the scope's additions are gone, nothing else was touched
+        assert E.intern_table_size() == before
+        assert E.add(E.input_port("si_a", 8), E.input_port("si_b", 8)) is outside
+        # a fresh build of the in-scope node is a new object
+        assert E.mul(outside, E.const(8, 3)) is not inside
+
+    def test_scoped_intern_restores_on_error(self):
+        before = E.intern_table_size()
+        with pytest.raises(RuntimeError):
+            with E.scoped_intern():
+                E.sub(E.input_port("si_c", 16), E.const(16, 7))
+                raise RuntimeError("mid-scope failure")
+        assert E.intern_table_size() == before
+
 
 class TestWidthChecking:
     def test_binary_width_mismatch(self):

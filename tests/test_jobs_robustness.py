@@ -11,6 +11,11 @@ unknown) and a combined chaos run exercising all of it at once.
 The sabotage pattern: workers are forked, so monkeypatching
 ``repro.jobs.engine._solver_record`` (or the discharge functions it
 calls) in the parent is inherited by every child.
+
+These tests pin the *classic* per-obligation scheduler (``share=False``):
+the sabotage seam sits in the singleton worker path.  The robustness of
+grouped shared-unrolling scheduling — a SIGKILLed group worker, a forced
+mid-group timeout — is covered in ``tests/test_shared.py``.
 """
 
 from __future__ import annotations
@@ -45,7 +50,7 @@ pytestmark = pytest.mark.skipif(
     not hasattr(os, "fork"), reason="worker-pool tests need fork"
 )
 
-PARAMS = EngineParams(trace_cycles=60)
+PARAMS = EngineParams(trace_cycles=60, share=False)
 
 
 @pytest.fixture()
@@ -180,7 +185,7 @@ def test_sigkilled_worker_becomes_structured_crash(
     report = discharge_jobs(
         toy_pipelined,
         toy_obligations,
-        params=EngineParams(trace_cycles=60, max_retries=1),
+        params=EngineParams(trace_cycles=60, max_retries=1, share=False),
         jobs=2,
     )
     outcome = _record_of(report, victim)
@@ -213,7 +218,7 @@ def test_os_exit_worker_is_also_quarantined(
     report = discharge_jobs(
         toy_pipelined,
         toy_obligations,
-        params=EngineParams(trace_cycles=60, max_retries=0),
+        params=EngineParams(trace_cycles=60, max_retries=0, share=False),
         jobs=2,
     )
     outcome = _record_of(report, victim)
@@ -239,7 +244,7 @@ def test_transient_crash_recovers_on_retry(
     report = discharge_jobs(
         toy_pipelined,
         toy_obligations,
-        params=EngineParams(trace_cycles=60, max_retries=2),
+        params=EngineParams(trace_cycles=60, max_retries=2, share=False),
         jobs=2,
     )
     assert report.ok
@@ -268,7 +273,7 @@ def test_cpu_rlimit_kills_spinning_worker(
     report = discharge_jobs(
         toy_pipelined,
         toy_obligations,
-        params=EngineParams(trace_cycles=60, max_retries=0, cpu_limit_s=1),
+        params=EngineParams(trace_cycles=60, max_retries=0, cpu_limit_s=1, share=False),
         jobs=2,
     )
     outcome = _record_of(report, victim)
@@ -463,7 +468,7 @@ def test_chaos_run_completes_with_correct_verdicts(
     report = discharge_jobs(
         toy_pipelined,
         toy_obligations,
-        params=EngineParams(trace_cycles=60, max_retries=1),
+        params=EngineParams(trace_cycles=60, max_retries=1, share=False),
         jobs=2,
         timeout=2.0,
         cache=chaos_cache,
