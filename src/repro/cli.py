@@ -185,6 +185,7 @@ def cmd_discharge(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         cache=cache,
         lint_gate=not args.no_lint,
+        taint_gate=not args.no_taint,
     )
     if args.json:
         with open(args.json, "w") as handle:
@@ -390,8 +391,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
         for rule in sorted(rule_table().values(), key=lambda r: r.rule_id):
             print(
                 f"{rule.rule_id:<28} {rule.severity.label:<7}"
-                f" [{rule.target}] {rule.title}"
+                f" {rule.target:<8} {rule.title}"
             )
+            if rule.description:
+                print(f"{'':37}{rule.description}")
         return 0
 
     config = LintConfig(
@@ -404,6 +407,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
     for _name, pipelined in _lint_targets(args):
         combined.extend(lint_pipeline(pipelined, config))
 
+    # multi-target runs repeat findings for shared submodules; collapse
+    # exact duplicates and emit in stable (rule, location) order
+    combined = combined.deduplicated()
     rendered = render(combined, args.format)
     if args.output:
         with open(args.output, "w") as handle:
@@ -416,6 +422,77 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     threshold = Severity.parse(args.fail_on)
     return 1 if combined.at_least(threshold) else 0
+
+
+def cmd_taint(args: argparse.Namespace) -> int:
+    from .absint.fixpoint import shared_fixpoint
+    from .faults.catalog import CORES
+    from .lint import LintResult, lint_taint, render
+    from .lint.taint import TaintAnalysis, taint_verdicts
+
+    targets: list[tuple[str, object]] = []
+    if args.program:
+        _source, program, _labels = _load(args.program)
+        machine = build_dlx_machine(
+            program, config=_config_for(program, args.dmem_bits)
+        )
+        targets.append((args.program, transform(machine)))
+    else:
+        names = args.core or ["toy", "dlx-small", "dlx-spec"]
+        for name in names:
+            targets.append((name, transform(CORES[name].build_machine())))
+
+    combined = LintResult()
+    contradictions = 0
+    for name, pipelined in targets:
+        fixpoint = shared_fixpoint(pipelined.module)
+        analysis = TaintAnalysis(pipelined, fixpoint=fixpoint)
+        result = lint_taint(pipelined, fixpoint=fixpoint, analysis=analysis)
+        combined.extend(result)
+        verdicts = taint_verdicts(pipelined, analysis=analysis)
+        clean = sum(1 for verdict in verdicts if verdict.clean)
+        print(
+            f"== {name} == {len(analysis.sources)} labeled source(s),"
+            f" {len(verdicts)} policy sink(s), {clean} clean —"
+            f" findings: {result.summary()}"
+        )
+        if args.check:
+            from .formal.noninterference import crosscheck_policies
+
+            entries = crosscheck_policies(
+                pipelined, fixpoint=fixpoint, max_conflicts=args.max_conflicts
+            )
+            for entry in entries:
+                verdict = entry.verdict
+                if verdict.independent is True:
+                    label = "independent"
+                elif verdict.independent is False:
+                    label = "dependent"
+                else:
+                    label = "unknown (conflict budget)"
+                if verdict.vacuous:
+                    label += " (vacuous)"
+                agree = "CONTRADICTED" if entry.contradicted else "agrees"
+                contradictions += int(entry.contradicted)
+                print(
+                    f"  {entry.rule:<22} {entry.path:<34}"
+                    f" static={'clean' if entry.static_clean else 'tainted'}"
+                    f" sat={label} {agree} ({verdict.seconds:.3f}s)"
+                )
+
+    combined = combined.deduplicated()
+    rendered = render(combined, args.format)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+            handle.write("\n")
+        print(f"{len(combined)} finding(s) written to {args.output}"
+              f" ({combined.summary()})")
+    elif len(combined) or args.format != "text":
+        print(rendered)
+    if contradictions:
+        print(f"{contradictions} clean policy claim(s) CONTRADICTED by SAT")
+    return 1 if combined.has_errors or contradictions else 0
 
 
 def cmd_cost(args: argparse.Namespace) -> int:
@@ -516,6 +593,11 @@ def main(argv: list[str] | None = None) -> int:
         "--no-lint", action="store_true",
         help="skip the static-lint gate that fails obligations fast on"
         " ERROR-level findings",
+    )
+    discharge_parser.add_argument(
+        "--no-taint", action="store_true",
+        help="skip the taint gate that fails obligations fast when a"
+        " speculation non-interference policy is violated",
     )
     discharge_parser.add_argument(
         "--max-retries", type=int, default=1, metavar="N",
@@ -684,6 +766,43 @@ def main(argv: list[str] | None = None) -> int:
         help="data memory size in address bits (words)",
     )
     lint_parser.set_defaults(func=cmd_lint)
+
+    taint_parser = sub.add_parser(
+        "taint",
+        help="speculation-aware information-flow taint analysis with"
+        " SAT-cross-checked non-interference policies",
+    )
+    taint_parser.add_argument(
+        "program", nargs="?", default=None,
+        help="DLX assembly file to analyse (default: the built-in cores)",
+    )
+    taint_parser.add_argument(
+        "--core", action="append", metavar="NAME",
+        choices=("toy", "dlx-small", "dlx", "dlx-spec"),
+        help="built-in core(s) to analyse when no program is given"
+        " (repeatable; default: toy, dlx-small and dlx-spec)",
+    )
+    taint_parser.add_argument(
+        "--check", action="store_true",
+        help="cross-check every absence-of-flow policy verdict against a"
+        " two-copy SAT non-interference query",
+    )
+    taint_parser.add_argument(
+        "--max-conflicts", type=int, default=200_000, metavar="N",
+        help="conflict budget per SAT query (default: %(default)s)",
+    )
+    taint_parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
+    taint_parser.add_argument(
+        "--output", metavar="FILE",
+        help="write the findings report here instead of stdout",
+    )
+    taint_parser.add_argument(
+        "--dmem-bits", type=int, default=6,
+        help="data memory size in address bits (words; program files only)",
+    )
+    taint_parser.set_defaults(func=cmd_taint)
 
     cost_parser = sub.add_parser("cost", help="forwarding cost vs pipeline depth")
     cost_parser.add_argument(

@@ -12,14 +12,18 @@ detector first, stopping at the first kill:
    reports an ERROR (a register provably frozen at its reset value), or
    a word of an instruction ROM concretely violates a declared invariant
    template (:func:`repro.absint.rom_template_violations`);
-4. **trace** — a dynamic trace obligation fails: the mutated pipeline
+4. **taint** — the speculation-aware information-flow analysis
+   (:func:`repro.lint.lint_taint`) reports an ERROR: speculative state
+   reaches an architectural sink outside a commit guard, a rollback tag
+   is bypassed, or a forwarding valid bit is provably forced early;
+5. **trace** — a dynamic trace obligation fails: the mutated pipeline
    diverges from the sequential reference on the core's workload, or a
    scheduling/liveness trace check is violated;
-5. **formal** — a SAT-discharged proof obligation produces a concrete
+6. **formal** — a SAT-discharged proof obligation produces a concrete
    counterexample (``Status.FAILED``; an ``unknown`` verdict does *not*
    count as detection).
 
-A mutant surviving all five detectors is a **verifier soundness gap**:
+A mutant surviving all six detectors is a **verifier soundness gap**:
 the campaign's job is to prove the checker stack leaves none.  The
 baseline (unmutated) design runs through the same ladder first and must
 be detected by nothing — a noisy checker would make kills meaningless.
@@ -35,7 +39,7 @@ from typing import Callable
 from ..absint import rom_template_violations
 from ..core.transform import PipelinedMachine
 from ..formal.bmc import TransitionSystem
-from ..lint import lint_pipeline, lint_semantic
+from ..lint import lint_pipeline, lint_semantic, lint_taint
 from ..proofs.discharge import (
     Status,
     build_trace,
@@ -59,7 +63,7 @@ class MutantResult:
     operator: str
     site: str
     detected: bool
-    detector: str = ""  # build | lint | absint | trace | formal ("" = survived)
+    detector: str = ""  # build | lint | absint | taint | trace | formal ("" = survived)
     detail: str = ""
     seconds: float = 0.0
 
@@ -181,7 +185,7 @@ class DetectParams:
 
 
 def detect_static(pipelined: PipelinedMachine) -> tuple[str, str]:
-    """The simulation-free rungs of the ladder: lint, then absint."""
+    """The simulation-free rungs of the ladder: lint, absint, taint."""
     lint = lint_pipeline(pipelined)
     if lint.has_errors:
         first = lint.errors[0]
@@ -194,6 +198,11 @@ def detect_static(pipelined: PipelinedMachine) -> tuple[str, str]:
     violations = rom_template_violations(pipelined.machine, pipelined.module)
     if violations:
         return "absint", violations[0]
+
+    taint = lint_taint(pipelined)
+    if taint.has_errors:
+        first = taint.errors[0]
+        return "taint", f"{first.rule}: {first.message}"
     return "", ""
 
 
@@ -290,7 +299,8 @@ def run_mutants_lockstep(
     then the formal rung per trace-clean mutant.
 
     The staging reorders *work*, not verdicts: every mutant still walks
-    build → lint → absint → trace → formal and stops at the first kill,
+    build → lint → absint → taint → trace → formal and stops at the
+    first kill,
     so results (detector and detail included) match :func:`run_mutant`.
     """
     from .lockstep import LockstepTraceRung

@@ -26,6 +26,8 @@ operator              fault shape
 ``early-valid``       a forwarding valid bit forced on one stage too early
 ``freeze-reg``        a pipeline register's next value tied to its own output
 ``unalign-rom``       an instruction-ROM word corrupted against its template
+``drop-commit-guard`` a write-port enable's occupancy (full-bit) guard forced to 1
+``rollback-tag-bypass`` a squash-window full bit keeps its tag across rollback
 ====================  =========================================================
 
 Every mutant must be caught by the verifier stack (lint, the absint
@@ -550,6 +552,89 @@ def _enum_unalign_rom(core: str, pipelined: PipelinedMachine) -> Iterator[Mutant
                 )
 
 
+def _enum_drop_commit_guard(
+    core: str, pipelined: PipelinedMachine
+) -> Iterator[Mutant]:
+    # the seeded speculation leak: the write-port enable keeps its piped
+    # write-enable logic but loses the occupancy guard, so bubbles and
+    # squashed slots retire whatever address/data is in flight.  The
+    # hazard audit still sees full coverage and nothing becomes reachably
+    # constant, so the taint rung's unguarded-commit policy is the
+    # detector that must catch it.
+    from ..core.stall_engine import full_bit_name
+    from ..hdl.subst import substitute
+
+    full_names = {
+        full_bit_name(stage) for stage in range(1, pipelined.n_stages)
+    }
+    for name in _writable_memories(pipelined):
+        memory = pipelined.module.memories[name]
+        for index, port in enumerate(memory.write_ports):
+            guards = tuple(
+                node
+                for node in E.walk([port.enable])
+                if isinstance(node, E.RegRead) and node.name in full_names
+            )
+            if not guards:
+                continue
+            yield Mutant(
+                mid=f"{core}/drop-commit-guard/{name}.w{index}",
+                core=core,
+                operator="drop-commit-guard",
+                site=f"{name} write port {index} enable: occupancy guard := 1",
+                build=lambda p=index, n=name, e=port.enable, g=guards: (
+                    ops.with_write_port(
+                        pipelined,
+                        n,
+                        p,
+                        enable=substitute(
+                            e, memo={id(node): E.const(1, 1) for node in g}
+                        ),
+                    )
+                ),
+            )
+
+
+def _enum_rollback_tag_bypass(
+    core: str, pipelined: PipelinedMachine
+) -> Iterator[Mutant]:
+    # the seeded rollback-tag bypass: a squash-window full bit is rebuilt
+    # as ``ue_{s-1} OR stall_s`` without the ``NOT rollback'_s`` gate, so
+    # an instruction *stalled* in stage s during a squash keeps its
+    # occupancy tag and later commits.  (When stall_s is constant 0 the
+    # stage cannot hold across the squash and the mutant is equivalent —
+    # those sites are excluded.)  Killed by taint.rollback-escape.
+    from ..core.stall_engine import full_bit_name
+
+    engine = pipelined.engine
+    seen: set[int] = set()
+    for hardware in pipelined.speculations:
+        for stage in range(1, hardware.spec.resolve_stage + 1):
+            if stage in seen:
+                continue
+            seen.add(stage)
+            name = full_bit_name(stage)
+            prime = engine.rollback_prime[stage]
+            if (
+                name not in pipelined.module.registers
+                or not _nonconst(prime)
+                or not _nonconst(engine.stall[stage])
+            ):
+                continue
+            yield Mutant(
+                mid=f"{core}/rollback-tag-bypass/{name}",
+                core=core,
+                operator="rollback-tag-bypass",
+                site=f"{name} next := ue_{stage - 1} | stall_{stage}"
+                " (NOT rollback' gate dropped)",
+                build=lambda n=name, s=stage: ops.with_register(
+                    pipelined,
+                    n,
+                    next=E.bor(engine.ue[s - 1], engine.stall[s]),
+                ),
+            )
+
+
 _NETLIST_ENUMERATORS: dict[
     str, Callable[[str, PipelinedMachine], Iterator[Mutant]]
 ] = {
@@ -571,6 +656,8 @@ _NETLIST_ENUMERATORS: dict[
     "early-valid": _enum_early_valid,
     "freeze-reg": _enum_freeze_reg,
     "unalign-rom": _enum_unalign_rom,
+    "drop-commit-guard": _enum_drop_commit_guard,
+    "rollback-tag-bypass": _enum_rollback_tag_bypass,
 }
 
 OPERATORS: tuple[str, ...] = tuple(_NETLIST_ENUMERATORS)

@@ -199,6 +199,9 @@ class JobReport:
     # formatted ERROR-level lint findings when the lint gate tripped and
     # the run failed fast without invoking any solver
     lint_errors: list[str] = field(default_factory=list)
+    # formatted ERROR-level non-interference findings when the taint gate
+    # tripped (speculative state reaching architectural sinks unguarded)
+    taint_errors: list[str] = field(default_factory=list)
     # invariant-mining summary when repro.absint ran (candidate/proven
     # counts, proven invariant names, mining seconds, cache provenance)
     absint: dict | None = None
@@ -259,6 +262,7 @@ class JobReport:
                 "hit_rate": round(self.hit_rate, 4),
             },
             "lint_errors": list(self.lint_errors),
+            "taint_errors": list(self.taint_errors),
             "absint": self.absint,
             "workers": {
                 "count": self.jobs,
@@ -302,6 +306,8 @@ class JobReport:
             )
         for finding in self.lint_errors:
             lines.append(f"  LINT    {finding[:110]}")
+        for finding in self.taint_errors:
+            lines.append(f"  TAINT   {finding[:110]}")
         for record in self.failed:
             lines.append(f"  FAILED  {record.oid}: {record.detail[:100]}")
         for record in self.unknown:
@@ -856,6 +862,7 @@ def discharge_jobs(
     inputs: InputProvider | None = None,
     seq_inputs: InputProvider | None = None,
     lint_gate: bool = True,
+    taint_gate: bool = True,
 ) -> JobReport:
     """Discharge an obligation set with caching and a worker pool.
 
@@ -877,7 +884,11 @@ def discharge_jobs(
     :func:`repro.lint.lint_pipeline`; ERROR-level findings fail every
     obligation fast with method ``"lint-gate"`` — a structurally broken
     netlist would only waste solver time producing vacuous or confusing
-    counterexamples.
+    counterexamples.  ``taint_gate=True`` (also the default) then runs the
+    speculation-aware non-interference policies
+    (:func:`repro.lint.lint_taint`) the same way with method
+    ``"taint-gate"``: a design whose speculative state escapes its commit
+    guards is wrong regardless of what the per-obligation solvers say.
     """
     params = params or EngineParams()
     jobs = max(1, jobs if jobs is not None else default_jobs())
@@ -910,6 +921,39 @@ def discharge_jobs(
                         ),
                         fingerprint=None,
                         source="lint",
+                    )
+                )
+            report.wall_seconds = time.perf_counter() - started
+            return report
+
+    if taint_gate:
+        from ..lint import lint_taint
+
+        findings = lint_taint(pipelined).errors
+        if findings:
+            report = JobReport(
+                machine_name=obligations.machine_name,
+                jobs=jobs,
+                timeout=timeout,
+                taint_errors=[finding.format() for finding in findings],
+            )
+            detail = "; ".join(
+                f"{finding.rule} @ {finding.path}" for finding in findings[:5]
+            )
+            for obligation in obligations:
+                report.outcomes.append(
+                    JobOutcome(
+                        record=DischargeRecord(
+                            oid=obligation.oid,
+                            title=obligation.title,
+                            status=Status.FAILED,
+                            method="taint-gate",
+                            detail="non-interference policy found"
+                            f" {len(findings)} error-level finding(s):"
+                            f" {detail}",
+                        ),
+                        fingerprint=None,
+                        source="taint",
                     )
                 )
             report.wall_seconds = time.perf_counter() - started

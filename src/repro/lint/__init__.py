@@ -28,20 +28,25 @@ from .registry import (
 )
 from .render import render, render_json, render_sarif, render_text
 from .semantic import lint_semantic
+from .taint import PolicyVerdict, TaintAnalysis, lint_taint, taint_verdicts
 
 __all__ = [
     "Diagnostic",
     "LintConfig",
     "LintResult",
     "LintRule",
+    "PolicyVerdict",
     "Severity",
+    "TaintAnalysis",
     "lint_machine",
     "lint_module",
     "lint_pipeline",
     "lint_semantic",
+    "lint_taint",
     "render",
     "render_json",
     "render_sarif",
     "render_text",
     "rule_table",
+    "taint_verdicts",
 ]

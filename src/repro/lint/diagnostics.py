@@ -157,6 +157,22 @@ class LintResult:
     def by_rule(self, rule: str) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.rule == rule]
 
+    def deduplicated(self) -> "LintResult":
+        """A copy with exact-duplicate diagnostics dropped and the rest
+        sorted by (rule, location) — multi-target runs over cores sharing
+        submodules repeat findings, and stable order keeps diffs clean."""
+        seen: set[Diagnostic] = set()
+        unique: list[Diagnostic] = []
+        for diagnostic in self.diagnostics:
+            if diagnostic in seen:
+                continue
+            seen.add(diagnostic)
+            unique.append(diagnostic)
+        unique.sort(
+            key=lambda d: (d.rule, d.module, d.path, d.message, d.severity)
+        )
+        return LintResult(diagnostics=unique)
+
     def counts(self) -> dict[str, int]:
         result: dict[str, int] = {}
         for diagnostic in self.diagnostics:

@@ -62,11 +62,16 @@ register_rule(
     "absint-redundant-mux",
     "mux select is constant over every reachable state",
     Severity.WARNING,
+    description="the sequential fixpoint proves the select never varies"
+    " from reset; the mux (often a forwarding bypass) is provably"
+    " redundant hardware",
 )
 register_rule(
     "absint-unreachable-values",
     "register values are a strict subset of the type",
     Severity.INFO,
+    description="documentation-grade: the fixpoint's known-bits/interval"
+    " facts bound the register strictly below its declared type",
 )
 
 

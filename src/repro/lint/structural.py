@@ -35,17 +35,41 @@ from .registry import ModuleContext, module_pass, register_rule
 # ---------------------------------------------------------------------------
 
 register_rule(
-    "undefined-register", "read of an undeclared register", Severity.ERROR
+    "undefined-register",
+    "read of an undeclared register",
+    Severity.ERROR,
+    description="an expression reads a register name the module never"
+    " declared; simulation and bit-blasting have no value to supply",
 )
-register_rule("undefined-memory", "read of an undeclared memory", Severity.ERROR)
-register_rule("undefined-input", "read of an undeclared input", Severity.ERROR)
 register_rule(
-    "width-mismatch", "read width disagrees with declaration", Severity.ERROR
+    "undefined-memory",
+    "read of an undeclared memory",
+    Severity.ERROR,
+    description="an expression reads a memory name the module never"
+    " declared; no words exist to select from",
+)
+register_rule(
+    "undefined-input",
+    "read of an undeclared input",
+    Severity.ERROR,
+    description="an expression reads an input port the module never"
+    " declared; the environment has nothing to drive",
+)
+register_rule(
+    "width-mismatch",
+    "read width disagrees with declaration",
+    Severity.ERROR,
+    description="a register/memory/input read asks for a different bit"
+    " width than the declaration provides; downstream logic would be"
+    " silently truncated or padded",
 )
 register_rule(
     "undriven-register",
     "register next value never driven after declaration",
     Severity.WARNING,
+    description="the register still has its declaration-time default"
+    " next value; either the drive was forgotten or the register is"
+    " dead state",
 )
 register_rule(
     "comb-cycle",
@@ -58,19 +82,31 @@ register_rule(
     "never-enabled-register",
     "register enable is constant 0",
     Severity.WARNING,
+    description="dataflow analysis proves the clock enable never fires;"
+    " the register is frozen at its initial value and its update logic"
+    " is dead",
 )
 register_rule(
     "constant-net",
     "net computes a constant through non-constant logic",
     Severity.WARNING,
+    description="ternary constant propagation reduces this net to one"
+    " value even though the constructors could not fold it; the logic"
+    " computing it is redundant",
 )
 register_rule(
     "unreachable-mux-arm",
     "mux select is constant under dataflow analysis",
     Severity.WARNING,
+    description="one arm of the mux can never be selected; the dead arm"
+    " hides either redundant hardware or a wiring mistake",
 )
 register_rule(
-    "dead-write-port", "memory write enable is constant 0", Severity.WARNING
+    "dead-write-port",
+    "memory write enable is constant 0",
+    Severity.WARNING,
+    description="the port can never commit a write; the memory content"
+    " is effectively read-only through this port",
 )
 register_rule(
     "memory-write-overlap",
@@ -83,15 +119,30 @@ register_rule(
     "narrowed-arithmetic",
     "slice discards the high bits of an arithmetic result",
     Severity.INFO,
+    description="an add/sub/mul result is sliced below its natural"
+    " width; overflow bits are silently dropped, which is worth a"
+    " deliberate look",
 )
 register_rule(
-    "slice-of-concat", "slice re-splits a concatenation", Severity.INFO
+    "slice-of-concat",
+    "slice re-splits a concatenation",
+    Severity.INFO,
+    description="a slice reaches into a concatenation it could reference"
+    " directly; usually a sign of width bookkeeping done twice",
 )
 register_rule(
-    "delay-budget", "combinational cone exceeds the delay budget", Severity.WARNING
+    "delay-budget",
+    "combinational cone exceeds the delay budget",
+    Severity.WARNING,
+    description="the unit-gate critical path of this cone exceeds the"
+    " configured max_delay budget",
 )
 register_rule(
-    "cost-budget", "module exceeds the gate-cost budget", Severity.WARNING
+    "cost-budget",
+    "module exceeds the gate-cost budget",
+    Severity.WARNING,
+    description="the unit-gate cost of the whole module exceeds the"
+    " configured max_cost budget",
 )
 
 

@@ -39,6 +39,31 @@ class MachineSpecError(ValueError):
     """Raised for ill-formed prepared machine descriptions."""
 
 
+# ---------------------------------------------------------------------------
+# Information-flow state classes (consumed by repro.lint.taint)
+# ---------------------------------------------------------------------------
+
+#: Raw speculative values in flight: the piped guess registers between the
+#: guessing stage and the resolving comparator.  Until resolution these may
+#: be arbitrary wrong-path data and must never reach architectural state.
+SPEC_GUESS = "spec-guess"
+
+#: Resolved speculation control: the squash-or-not outcome of the guess
+#: comparator.  This is the *declassified* form of SPEC_GUESS — the paper
+#: sanctions exactly this one-bit digest influencing enables and repairs.
+SPEC_CTRL = "spec-ctrl"
+
+#: Pre-commit stage results: register instances written by stages inside a
+#: speculation's squash window; they may hold wrong-path intermediate data.
+PRECOMMIT = "precommit"
+
+#: Rollback tags: the occupancy bits of squashable stages — the commit
+#: guard state that makes wrong-path instructions vanish.
+ROLLBACK_TAG = "rollback-tag"
+
+STATE_CLASSES = (SPEC_GUESS, SPEC_CTRL, PRECOMMIT, ROLLBACK_TAG)
+
+
 @dataclass
 class PipelineRegister:
     """A register with instances ``R.first`` .. ``R.last``.
@@ -233,6 +258,9 @@ class PreparedMachine:
         # Designer-declared invariant shapes (mined/proved by repro.absint,
         # emitted as tmpl.* obligations by the proof generator).
         self.invariant_templates: list[InvariantTemplate] = []
+        # Designer-supplied information-flow labels on top of the derived
+        # classes (register name -> state classes); see state_classes().
+        self.state_labels: dict[str, set[str]] = {}
 
     # -- declarations ---------------------------------------------------------
 
@@ -471,6 +499,57 @@ class PreparedMachine:
         )
         self.invariant_templates.append(template)
         return template
+
+    def label_state(self, name: str, state_class: str) -> None:
+        """Attach an information-flow state class to a register name.
+
+        ``name`` may be a register instance of this machine or a register
+        the elaboration creates later (piped guesses, full bits); the
+        taint analysis intersects labels with the registers that actually
+        exist in the transformed module.
+        """
+        if state_class not in STATE_CLASSES:
+            raise MachineSpecError(
+                f"unknown state class {state_class!r}; use one of {STATE_CLASSES}"
+            )
+        self.state_labels.setdefault(name, set()).add(state_class)
+
+    def state_classes(self) -> dict[str, set[str]]:
+        """Information-flow labels of the machine's state, derived from
+        the speculation annotations plus any :meth:`label_state` entries.
+
+        Per speculation with guess stage ``g`` and resolve stage ``r``:
+
+        * the piped guesses ``{name}.guess.{g+1..r}`` are ``SPEC_GUESS``;
+        * the full bits ``fullb.{1..r}`` of the squashable stages are
+          ``ROLLBACK_TAG``;
+        * register instances ``R.k`` with ``k <= r`` are ``PRECOMMIT`` —
+          they may hold results of wrong-path instructions that the
+          squash has not yet caught up with.
+
+        Machines without speculation have no derived labels: every value
+        in flight is committed work.
+        """
+        labels: dict[str, set[str]] = {}
+
+        def tag(name: str, state_class: str) -> None:
+            labels.setdefault(name, set()).add(state_class)
+
+        from ..core.stall_engine import full_bit_name
+
+        for spec in self.speculations:
+            for j in range(spec.guess_stage + 1, spec.resolve_stage + 1):
+                tag(spec.guess_name(j), SPEC_GUESS)
+            for s in range(1, spec.resolve_stage + 1):
+                tag(full_bit_name(s), ROLLBACK_TAG)
+            for reg in self.registers.values():
+                for k in reg.instances():
+                    if k <= spec.resolve_stage:
+                        tag(reg.instance_name(k), PRECOMMIT)
+        for name, classes in self.state_labels.items():
+            for state_class in classes:
+                tag(name, state_class)
+        return labels
 
     def allow_external_stall(self, stage: int) -> None:
         """Declare that stage ``stage`` has an external stall input ``ext_k``."""

@@ -341,14 +341,14 @@ def test_faults_cli_lanes_knob(tmp_path, capsys):
 @pytest.mark.slow
 def test_lockstep_campaign_full_equivalence():
     """Acceptance: toy + dlx-small through the batched rung — the full
-    115-mutant catalog, kill set identical to per-vector, 0 survivors."""
+    118-mutant catalog, kill set identical to per-vector, 0 survivors."""
     cores = ["toy", "dlx-small"]
     per_vector = run_campaign(cores=cores, params=DetectParams(lanes=1))
     lockstep = run_campaign(cores=cores, params=DetectParams(lanes=64))
     assert lockstep.baseline_clean == {"toy": True, "dlx-small": True}
     assert _campaign_verdicts(lockstep) == _campaign_verdicts(per_vector)
-    assert len(lockstep.results) == 115
-    assert lockstep.killed == 115
+    assert len(lockstep.results) == 118
+    assert lockstep.killed == 118
     assert lockstep.survivors == [], lockstep.format_text()
 
 
