@@ -501,6 +501,89 @@ def cmd_cost(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .jobs import EngineParams
+    from .service import ChaosConfig, ServiceConfig, run_chaos, serve_forever
+    from .service.chaos import write_report
+
+    config = ServiceConfig(
+        root=args.root,
+        engine_jobs=args.jobs,
+        solve_slots=args.slots,
+        obligation_timeout=args.timeout,
+        params=EngineParams(
+            max_retries=args.max_retries,
+            mem_limit_mb=args.mem_limit,
+            cpu_limit_s=args.cpu_limit,
+        ),
+        max_queue=args.max_queue,
+        tenant_active=args.tenant_active,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        use_cache=not args.no_cache,
+        fsync_journal=args.fsync,
+        recover=not args.no_recover,
+    )
+    if args.chaos:
+        chaos = ChaosConfig(
+            root=args.root,
+            seed=args.seed,
+            requests=args.chaos_requests,
+            solve_slots=args.slots,
+            engine_jobs=args.jobs or 2,
+        )
+        report = run_chaos(chaos)
+        if args.chaos_report:
+            path = write_report(report, args.chaos_report)
+            print(f"chaos report written to {path}")
+        print(
+            f"chaos: {len(report.requests)} requests,"
+            f" {sum(report.injected.values())} faults injected,"
+            f" {report.recovered_jobs} jobs recovered,"
+            f" {len(report.violations)} violation(s)"
+            f" in {report.wall_seconds:.1f}s"
+        )
+        for violation in report.violations:
+            print(f"  VIOLATION: {violation}")
+        return 0 if report.ok else 1
+    try:
+        asyncio.run(serve_forever(config, host=args.host, port=args.port))
+    except KeyboardInterrupt:  # pragma: no cover - Ctrl-C before drain
+        pass
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .jobs import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        payload: dict = cache.disk_stats()
+    elif args.action == "verify":
+        payload = cache.verify()
+    elif args.action == "gc":
+        payload = cache.gc(
+            max_age_s=args.max_age_s,
+            max_bytes=args.max_bytes,
+            dry_run=args.dry_run,
+        )
+    else:  # clear
+        payload = {"removed": cache.clear()}
+    if args.json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for key, value in payload.items():
+            print(f"{key:>14}: {value}")
+    if args.action == "verify" and payload.get("evicted"):
+        # evictions self-heal the store; surface them without failing
+        print(f"note: {payload['evicted']} corrupt record(s) evicted")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
@@ -809,6 +892,129 @@ def main(argv: list[str] | None = None) -> int:
         "--depths", type=int, nargs="+", default=[4, 6, 8, 12, 16]
     )
     cost_parser.set_defaults(func=cmd_cost)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the crash-tolerant multi-tenant discharge server"
+        " (NDJSON verdict streaming, write-ahead journal, chaos harness)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8745, help="0 picks a free port"
+    )
+    serve_parser.add_argument(
+        "--root", default=".repro-service",
+        help="service state directory: verdict cache + job journal"
+        " (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--slots", type=int, default=2, metavar="N",
+        help="concurrent discharge runs (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes per discharge run (default: all CPUs)",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-obligation wall-clock budget",
+    )
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=32, metavar="N",
+        help="queued jobs beyond which requests are shed with 429"
+        " + Retry-After (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--tenant-active", type=int, default=4, metavar="N",
+        help="in-flight jobs allowed per tenant (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive crashy jobs before a tenant is quarantined"
+        " (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="quarantine duration (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="crashed-worker relaunches per obligation (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--mem-limit", type=int, default=None, metavar="MB",
+        help="rlimit address-space cap per solver worker, in MiB",
+    )
+    serve_parser.add_argument(
+        "--cpu-limit", type=int, default=None, metavar="SECONDS",
+        help="rlimit CPU-time cap per solver worker, in seconds",
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without the on-disk verdict cache",
+    )
+    serve_parser.add_argument(
+        "--fsync", action="store_true",
+        help="fsync every journal append (survives power loss, not just"
+        " process death)",
+    )
+    serve_parser.add_argument(
+        "--no-recover", action="store_true",
+        help="skip journal recovery of accepted-but-undischarged jobs",
+    )
+    serve_parser.add_argument(
+        "--chaos", action="store_true",
+        help="run the chaos-injection campaign against a live server"
+        " instead of serving: worker SIGKILLs, cache corruption, journal"
+        " truncation, solver stalls and client disconnects under load,"
+        " then a kill/recover phase; exits nonzero on any integrity"
+        " violation",
+    )
+    serve_parser.add_argument(
+        "--chaos-requests", type=int, default=12, metavar="N",
+        help="concurrent client requests in the chaos campaign",
+    )
+    serve_parser.add_argument(
+        "--chaos-report", metavar="FILE",
+        help="write the chaos report JSON here",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=7, help="chaos campaign RNG seed"
+    )
+    serve_parser.set_defaults(func=cmd_serve)
+
+    cache_parser = sub.add_parser(
+        "cache",
+        help="maintain the on-disk verdict cache: stats, checksum"
+        " verification, garbage collection",
+    )
+    cache_parser.add_argument(
+        "action", choices=("stats", "verify", "gc", "clear"),
+        help="stats: on-disk shape; verify: load every record through the"
+        " checksum gauntlet, evicting corrupt ones; gc: prune by age and"
+        " bound total size (oldest evicted first), always removing"
+        " orphaned temp files; clear: delete everything",
+    )
+    cache_parser.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="cache location (default: %(default)s)",
+    )
+    cache_parser.add_argument(
+        "--max-age-s", type=float, default=None, metavar="SECONDS",
+        help="gc: evict records older than this",
+    )
+    cache_parser.add_argument(
+        "--max-bytes", type=int, default=None, metavar="BYTES",
+        help="gc: evict oldest records until the store fits this budget",
+    )
+    cache_parser.add_argument(
+        "--dry-run", action="store_true",
+        help="gc: report what would be removed without touching anything",
+    )
+    cache_parser.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
+    cache_parser.set_defaults(func=cmd_cache)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -156,15 +156,21 @@ class ResultCache:
             dir=path.parent, prefix=f".{fingerprint[:8]}.", suffix=".tmp"
         )
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, indent=1)
-            os.replace(tmp, path)
-        except OSError:
             try:
-                os.unlink(tmp)
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle, indent=1)
+                os.replace(tmp, path)
             except OSError:
-                pass
-            return False
+                return False
+        finally:
+            # unlink on *any* unwind — an OSError above, but also a
+            # KeyboardInterrupt/SIGTERM drain mid-write: a killed run must
+            # not litter the store with orphaned temp files
+            if os.path.exists(tmp):
+                try:
+                    os.unlink(tmp)
+                except OSError:  # pragma: no cover - unlink race
+                    pass
         self.stats.stores += 1
         return True
 
@@ -172,6 +178,132 @@ class ResultCache:
         if not self.directory.is_dir():
             return 0
         return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    # -- offline maintenance (``repro cache``) ---------------------------------
+
+    def entries(self) -> list[Path]:
+        """Every record file, sorted for deterministic iteration."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*/*.json"))
+
+    def tmp_files(self) -> list[Path]:
+        """Orphaned atomic-write temp files (a crashed writer's litter)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*/.*.tmp"))
+
+    @staticmethod
+    def _created(path: Path) -> float:
+        """A record's creation time: the journal'd ``created`` field when
+        the payload is readable, the filesystem mtime otherwise (a corrupt
+        record still needs an age for gc ordering)."""
+        try:
+            with open(path) as handle:
+                created = json.load(handle).get("created")
+            if isinstance(created, (int, float)):
+                return float(created)
+        except (OSError, ValueError):
+            pass
+        try:
+            return path.stat().st_mtime
+        except OSError:  # pragma: no cover - deleted underfoot
+            return 0.0
+
+    def disk_stats(self) -> dict[str, object]:
+        """On-disk shape of the store: record/byte counts and age range."""
+        sizes: list[int] = []
+        created: list[float] = []
+        for path in self.entries():
+            try:
+                sizes.append(path.stat().st_size)
+            except OSError:  # pragma: no cover - deleted underfoot
+                continue
+            created.append(self._created(path))
+        now = time.time()
+        return {
+            "root": str(self.root),
+            "records": len(sizes),
+            "bytes": sum(sizes),
+            "tmp_files": len(self.tmp_files()),
+            "oldest_age_s": round(now - min(created), 1) if created else 0.0,
+            "newest_age_s": round(now - max(created), 1) if created else 0.0,
+        }
+
+    def verify(self) -> dict[str, int]:
+        """Load every record through the checksum/version gauntlet.
+
+        Corrupt, forged, version-skewed or non-verdict records are evicted
+        exactly as a live lookup would evict them — this just does it for
+        the whole store at once, so a damaged cache is healed offline
+        instead of one surprise miss at a time."""
+        scanned = ok = 0
+        evictions_before = self.stats.evictions
+        for path in self.entries():
+            scanned += 1
+            if self.get(path.stem) is not None:
+                ok += 1
+        return {
+            "scanned": scanned,
+            "ok": ok,
+            "evicted": self.stats.evictions - evictions_before,
+        }
+
+    def gc(
+        self,
+        max_age_s: float | None = None,
+        max_bytes: int | None = None,
+        dry_run: bool = False,
+        now: float | None = None,
+    ) -> dict[str, object]:
+        """Evict by age and bound the store's total size (oldest first).
+
+        Orphaned temp files are always pruned.  ``dry_run`` reports what
+        would be removed without touching anything.  Returns removal and
+        retention counts; eviction order is by record creation time, so
+        the warmest verdicts survive a size squeeze."""
+        now = time.time() if now is None else now
+        survivors: list[tuple[float, int, Path]] = []
+        removed = removed_bytes = 0
+        tmp_removed = 0
+        for tmp in self.tmp_files():
+            if not dry_run:
+                try:
+                    tmp.unlink()
+                except OSError:  # pragma: no cover - unlink race
+                    continue
+            tmp_removed += 1
+        for path in self.entries():
+            try:
+                size = path.stat().st_size
+            except OSError:  # pragma: no cover - deleted underfoot
+                continue
+            created = self._created(path)
+            if max_age_s is not None and now - created > max_age_s:
+                removed += 1
+                removed_bytes += size
+                if not dry_run:
+                    self._evict(path)
+                continue
+            survivors.append((created, size, path))
+        if max_bytes is not None:
+            survivors.sort()  # oldest first
+            total = sum(size for _, size, _ in survivors)
+            while survivors and total > max_bytes:
+                _, size, path = survivors.pop(0)
+                total -= size
+                removed += 1
+                removed_bytes += size
+                if not dry_run:
+                    self._evict(path)
+        return {
+            "removed": removed,
+            "removed_bytes": removed_bytes,
+            "tmp_removed": tmp_removed,
+            "kept": len(survivors),
+            "kept_bytes": sum(size for _, size, _ in survivors),
+            "dry_run": dry_run,
+        }
 
     def clear(self) -> int:
         """Delete every record; returns how many were removed."""

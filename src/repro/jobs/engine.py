@@ -50,8 +50,12 @@ import json
 import multiprocessing
 import multiprocessing.connection
 import os
+import random
+import signal
+import threading
 import time
 from dataclasses import asdict, dataclass, field, replace
+from typing import Callable
 
 from ..core.transform import PipelinedMachine
 from ..formal.bmc import TransitionSystem
@@ -441,6 +445,20 @@ def _group_records(
     )
 
 
+def _worker_init(params: EngineParams) -> None:
+    """Per-worker process setup: resource caps and signal hygiene.
+
+    The parent may have installed drain handlers for SIGTERM (see
+    :func:`_install_drain_handlers`); a forked worker inherits them, but
+    for a worker SIGTERM means *die now* (the parent kills overrunning
+    workers with it), so it is reset to the default disposition."""
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - exotic hosts
+        pass
+    _apply_rlimits(params.mem_limit_mb, params.cpu_limit_s)
+
+
 def _apply_rlimits(mem_limit_mb: int | None, cpu_limit_s: int | None) -> None:
     """Cap a worker's address space / CPU time via ``resource`` rlimits.
 
@@ -472,7 +490,7 @@ def _worker_main(
     connection: multiprocessing.connection.Connection,
 ) -> None:
     """Child-process entry: discharge one obligation, ship the record back."""
-    _apply_rlimits(params.mem_limit_mb, params.cpu_limit_s)
+    _worker_init(params)
     try:
         record = _solver_record(system, obligation, params)
     except Exception as exc:  # a crashed obligation must not kill the run
@@ -502,7 +520,7 @@ def _group_worker_main(
     group so back-to-back group discharges cannot grow it without bound
     (relevant mostly to the inline fallback, which shares the driver's
     table; here it also keeps the copy-on-write pages clean)."""
-    _apply_rlimits(params.mem_limit_mb, params.cpu_limit_s)
+    _worker_init(params)
     try:
         with E.scoped_intern():
             for index, record in _group_records(
@@ -558,8 +576,54 @@ def _crash_record(task: _SolverTask, exitcode: int | None, elapsed: float) -> Di
     )
 
 
-# first-retry backoff after a worker crash; doubles per attempt
+# first-retry backoff cap after a worker crash; the cap doubles per
+# attempt and the actual delay is drawn uniformly from [0, cap] ("full
+# jitter"): when several group workers die at once — one bad machine
+# image, an OOM sweep — their relaunches must not retry in lockstep and
+# stampede the host again
 _RETRY_BACKOFF = 0.25
+
+
+def _retry_delay(attempts: int) -> float:
+    """Full-jitter exponential backoff for crashed-worker relaunches.
+
+    ``attempts`` counts launches already consumed; the delay before
+    launch ``attempts + 1`` is uniform over ``[0, _RETRY_BACKOFF *
+    2**(attempts-1)]``.  The upper bound is exactly the old deterministic
+    schedule, so the worst case is unchanged."""
+    cap = _RETRY_BACKOFF * 2 ** max(0, attempts - 1)
+    return random.uniform(0.0, cap)
+
+
+def _install_drain_handlers() -> Callable[[], None]:
+    """Route SIGTERM into ``KeyboardInterrupt`` while the pool runs.
+
+    Without this a SIGTERM kills the orchestrator outright, orphaning
+    the forked workers and any half-written temp files; with it the
+    signal unwinds through :func:`_run_pool`'s ``finally`` block, which
+    terminates and reaps every in-flight worker first.  SIGINT already
+    raises ``KeyboardInterrupt`` natively.  Only the main thread may
+    install handlers; elsewhere (the service discharges from executor
+    threads and drains at the asyncio layer) this is a no-op.  Returns a
+    restore callable."""
+    if threading.current_thread() is not threading.main_thread():
+        return lambda: None
+
+    def _raise(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt(f"drain on signal {signum}")
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except (ValueError, OSError):  # pragma: no cover - exotic hosts
+        return lambda: None
+
+    def restore() -> None:
+        try:
+            signal.signal(signal.SIGTERM, previous)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
+
+    return restore
 
 # Inside a group the per-obligation timeout is enforced cooperatively by
 # the solver's interrupt callback; the parent only kills a group worker
@@ -606,6 +670,7 @@ def _run_pool(
     params: EngineParams,
     jobs: int,
     timeout: float | None,
+    on_outcome: Callable[[JobOutcome], None] | None = None,
 ) -> tuple[dict[int, JobOutcome], dict[int, float], _PoolStats]:
     """Fan tasks out over forked workers.
 
@@ -636,6 +701,14 @@ def _run_pool(
     free_slots = list(reversed(range(jobs)))
     stats = _PoolStats()
 
+    def settle(position: int, outcome: JobOutcome) -> None:
+        outcomes[position] = outcome
+        if on_outcome is not None:
+            try:  # a broken observer must never take the solve down
+                on_outcome(outcome)
+            except Exception:
+                pass
+
     def release(running: _Running) -> float:
         elapsed = time.perf_counter() - running.started
         busy[running.slot] = busy.get(running.slot, 0.0) + elapsed
@@ -646,12 +719,15 @@ def _run_pool(
 
     def finish(running: _Running, record: DischargeRecord, source: str) -> None:
         release(running)
-        outcomes[running.task.position] = JobOutcome(
-            record=record,
-            fingerprint=running.task.fingerprint,
-            source=source,
-            worker=running.slot,
-            attempts=running.task.attempts,
+        settle(
+            running.task.position,
+            JobOutcome(
+                record=record,
+                fingerprint=running.task.fingerprint,
+                source=source,
+                worker=running.slot,
+                attempts=running.task.attempts,
+            ),
         )
 
     def settle_group(running: _Running, hard_timeout: bool = False) -> None:
@@ -672,23 +748,29 @@ def _run_pool(
         for index, member in enumerate(group.members):
             record = done.get(index)
             if record is not None:
-                outcomes[member.position] = JobOutcome(
-                    record=record,
-                    fingerprint=member.fingerprint,
-                    source="timeout"
-                    if record.method.startswith("timeout(")
-                    else "group",
-                    worker=running.slot,
-                    attempts=group.attempts,
+                settle(
+                    member.position,
+                    JobOutcome(
+                        record=record,
+                        fingerprint=member.fingerprint,
+                        source="timeout"
+                        if record.method.startswith("timeout(")
+                        else "group",
+                        worker=running.slot,
+                        attempts=group.attempts,
+                    ),
                 )
             elif hard_timeout and index == current:
                 # deterministic, same no-retry rule as a singleton timeout
-                outcomes[member.position] = JobOutcome(
-                    record=_timeout_record(member, timeout, elapsed),
-                    fingerprint=member.fingerprint,
-                    source="timeout",
-                    worker=running.slot,
-                    attempts=group.attempts,
+                settle(
+                    member.position,
+                    JobOutcome(
+                        record=_timeout_record(member, timeout, elapsed),
+                        fingerprint=member.fingerprint,
+                        source="timeout",
+                        worker=running.slot,
+                        attempts=group.attempts,
+                    ),
                 )
             elif crashed and index == current:
                 # prime suspect for the crash: it inherits the group
@@ -696,158 +778,190 @@ def _run_pool(
                 # quarantined outright) exactly like a crashed singleton
                 member.attempts = group.attempts
                 if member.attempts > params.max_retries:
-                    outcomes[member.position] = JobOutcome(
-                        record=_crash_record(member, exitcode, elapsed),
-                        fingerprint=member.fingerprint,
-                        source="crashed",
-                        worker=running.slot,
-                        attempts=member.attempts,
+                    settle(
+                        member.position,
+                        JobOutcome(
+                            record=_crash_record(member, exitcode, elapsed),
+                            fingerprint=member.fingerprint,
+                            source="crashed",
+                            worker=running.slot,
+                            attempts=member.attempts,
+                        ),
                     )
                 else:
                     stats.retries += 1
-                    member.not_before = time.perf_counter() + _RETRY_BACKOFF
+                    member.not_before = time.perf_counter() + _retry_delay(
+                        member.attempts
+                    )
                     pending.append(member)
             else:
                 # never reached: innocent, rescheduled classically with a
                 # clean slate and no backoff
                 pending.append(member)
 
-    while pending or in_flight:
-        now = time.perf_counter()
-        while pending and free_slots:
-            index = next(
-                (
-                    i
-                    for i in range(len(pending) - 1, -1, -1)
-                    if pending[i].not_before <= now
-                ),
-                None,
-            )
-            if index is None:  # every runnable task is backing off
-                break
-            task = pending.pop(index)
-            task.attempts += 1
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            if isinstance(task, _GroupTask):
-                target = _group_worker_main
-                args = (
-                    system,
-                    [member.obligation for member in task.members],
-                    params,
-                    timeout,
-                    child_conn,
+    def _pool_loop() -> None:
+        nonlocal in_flight
+        while pending or in_flight:
+            now = time.perf_counter()
+            while pending and free_slots:
+                index = next(
+                    (
+                        i
+                        for i in range(len(pending) - 1, -1, -1)
+                        if pending[i].not_before <= now
+                    ),
+                    None,
                 )
-            else:
-                target = _worker_main
-                args = (system, task.obligation, params, child_conn)
-            process = ctx.Process(target=target, args=args, daemon=True)
-            process.start()
-            child_conn.close()
-            started = time.perf_counter()
-            in_flight.append(
-                _Running(
-                    task=task,
-                    process=process,
-                    connection=parent_conn,
-                    started=started,
-                    slot=free_slots.pop(),
-                    last_activity=started,
-                )
-            )
-
-        now = time.perf_counter()
-        wakeups: list[float] = []
-        if timeout is not None:
-            for running in in_flight:
-                if isinstance(running.task, _GroupTask):
-                    wakeups.append(
-                        running.last_activity + timeout + _GROUP_GRACE
+                if index is None:  # every runnable task is backing off
+                    break
+                task = pending.pop(index)
+                task.attempts += 1
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                if isinstance(task, _GroupTask):
+                    target = _group_worker_main
+                    args = (
+                        system,
+                        [member.obligation for member in task.members],
+                        params,
+                        timeout,
+                        child_conn,
                     )
                 else:
-                    wakeups.append(running.started + timeout)
-        if free_slots and pending:  # a backoff expiry could start work
-            wakeups.extend(task.not_before for task in pending)
-        wait_for = max(0.0, min(wakeups) - now) if wakeups else None
-        if in_flight:
-            ready = multiprocessing.connection.wait(
-                [running.connection for running in in_flight], timeout=wait_for
-            )
-        else:  # only backing-off tasks remain: sleep out the earliest gate
-            time.sleep(wait_for or 0.0)
-            ready = []
+                    target = _worker_main
+                    args = (system, task.obligation, params, child_conn)
+                process = ctx.Process(target=target, args=args, daemon=True)
+                process.start()
+                child_conn.close()
+                started = time.perf_counter()
+                in_flight.append(
+                    _Running(
+                        task=task,
+                        process=process,
+                        connection=parent_conn,
+                        started=started,
+                        slot=free_slots.pop(),
+                        last_activity=started,
+                    )
+                )
 
-        still_running: list[_Running] = []
-        for running in in_flight:
-            if running.connection in ready:
-                if isinstance(running.task, _GroupTask):
-                    eof = False
+            now = time.perf_counter()
+            wakeups: list[float] = []
+            if timeout is not None:
+                for running in in_flight:
+                    if isinstance(running.task, _GroupTask):
+                        wakeups.append(
+                            running.last_activity + timeout + _GROUP_GRACE
+                        )
+                    else:
+                        wakeups.append(running.started + timeout)
+            if free_slots and pending:  # a backoff expiry could start work
+                wakeups.extend(task.not_before for task in pending)
+            wait_for = max(0.0, min(wakeups) - now) if wakeups else None
+            if in_flight:
+                ready = multiprocessing.connection.wait(
+                    [running.connection for running in in_flight], timeout=wait_for
+                )
+            else:  # only backing-off tasks remain: sleep out the earliest gate
+                time.sleep(wait_for or 0.0)
+                ready = []
+
+            still_running: list[_Running] = []
+            for running in in_flight:
+                if running.connection in ready:
+                    if isinstance(running.task, _GroupTask):
+                        eof = False
+                        try:
+                            # drain every queued (index, record) message; at
+                            # pipe EOF poll() reports readable and recv raises
+                            while running.connection.poll():
+                                index, record = running.connection.recv()
+                                running.group_done[index] = record
+                                running.last_activity = time.perf_counter()
+                        except (EOFError, OSError):
+                            eof = True
+                        if eof:
+                            settle_group(running)
+                        else:
+                            still_running.append(running)
+                        continue
                     try:
-                        # drain every queued (index, record) message; at
-                        # pipe EOF poll() reports readable and recv raises
-                        while running.connection.poll():
-                            index, record = running.connection.recv()
-                            running.group_done[index] = record
-                            running.last_activity = time.perf_counter()
+                        record = running.connection.recv()
+                        finish(running, record, "worker")
                     except (EOFError, OSError):
-                        eof = True
-                    if eof:
-                        settle_group(running)
+                        # Pipe closed without a record: the worker crashed.
+                        stats.crashes += 1
+                        elapsed = release(running)
+                        task = running.task
+                        exitcode = running.process.exitcode
+                        if task.attempts <= params.max_retries:
+                            stats.retries += 1
+                            task.not_before = time.perf_counter() + _retry_delay(
+                                task.attempts
+                            )
+                            pending.append(task)
+                        else:
+                            settle(
+                                task.position,
+                                JobOutcome(
+                                    record=_crash_record(task, exitcode, elapsed),
+                                    fingerprint=task.fingerprint,
+                                    source="crashed",
+                                    worker=running.slot,
+                                    attempts=task.attempts,
+                                ),
+                            )
+                elif timeout is not None and isinstance(running.task, _GroupTask):
+                    if (
+                        time.perf_counter() - running.last_activity
+                        >= timeout + _GROUP_GRACE
+                    ):
+                        running.process.terminate()
+                        running.process.join(1.0)
+                        if running.process.is_alive():  # pragma: no cover
+                            running.process.kill()
+                        settle_group(running, hard_timeout=True)
                     else:
                         still_running.append(running)
-                    continue
-                try:
-                    record = running.connection.recv()
-                    finish(running, record, "worker")
-                except (EOFError, OSError):
-                    # Pipe closed without a record: the worker crashed.
-                    stats.crashes += 1
-                    elapsed = release(running)
-                    task = running.task
-                    exitcode = running.process.exitcode
-                    if task.attempts <= params.max_retries:
-                        stats.retries += 1
-                        task.not_before = time.perf_counter() + (
-                            _RETRY_BACKOFF * 2 ** (task.attempts - 1)
-                        )
-                        pending.append(task)
-                    else:
-                        outcomes[task.position] = JobOutcome(
-                            record=_crash_record(task, exitcode, elapsed),
-                            fingerprint=task.fingerprint,
-                            source="crashed",
-                            worker=running.slot,
-                            attempts=task.attempts,
-                        )
-            elif timeout is not None and isinstance(running.task, _GroupTask):
-                if (
-                    time.perf_counter() - running.last_activity
-                    >= timeout + _GROUP_GRACE
+                elif (
+                    timeout is not None
+                    and time.perf_counter() - running.started >= timeout
                 ):
                     running.process.terminate()
                     running.process.join(1.0)
-                    if running.process.is_alive():  # pragma: no cover
+                    if running.process.is_alive():  # pragma: no cover - stuck kill
                         running.process.kill()
-                    settle_group(running, hard_timeout=True)
+                    finish(
+                        running,
+                        _timeout_record(
+                            running.task, timeout, time.perf_counter() - running.started
+                        ),
+                        "timeout",
+                    )
                 else:
                     still_running.append(running)
-            elif (
-                timeout is not None
-                and time.perf_counter() - running.started >= timeout
-            ):
+            in_flight = still_running
+
+    restore_signals = _install_drain_handlers()
+    try:
+        _pool_loop()
+    finally:
+        restore_signals()
+        # Drain path: on any unwind (SIGTERM/SIGINT routed here by the
+        # drain handlers, or an orchestrator bug) no forked worker may
+        # outlive the pool and no pipe may leak.
+        for running in in_flight:
+            try:
                 running.process.terminate()
                 running.process.join(1.0)
-                if running.process.is_alive():  # pragma: no cover - stuck kill
+                if running.process.is_alive():  # pragma: no cover - stuck
                     running.process.kill()
-                finish(
-                    running,
-                    _timeout_record(
-                        running.task, timeout, time.perf_counter() - running.started
-                    ),
-                    "timeout",
-                )
-            else:
-                still_running.append(running)
-        in_flight = still_running
+                    running.process.join(1.0)
+            except OSError:  # pragma: no cover - already reaped
+                pass
+            try:
+                running.connection.close()
+            except OSError:  # pragma: no cover
+                pass
 
     return outcomes, busy, stats
 
@@ -863,6 +977,7 @@ def discharge_jobs(
     seq_inputs: InputProvider | None = None,
     lint_gate: bool = True,
     taint_gate: bool = True,
+    on_outcome: Callable[[JobOutcome], None] | None = None,
 ) -> JobReport:
     """Discharge an obligation set with caching and a worker pool.
 
@@ -889,10 +1004,26 @@ def discharge_jobs(
     (:func:`repro.lint.lint_taint`) the same way with method
     ``"taint-gate"``: a design whose speculative state escapes its commit
     guards is wrong regardless of what the per-obligation solvers say.
+
+    ``on_outcome`` is an optional observer invoked with each
+    :class:`JobOutcome` the moment it is final (cache hit, worker
+    verdict, timeout, crash quarantine, gate failure) — the streaming
+    seam the discharge service (:mod:`repro.service`) uses to fan
+    verdicts out to clients while the run is still in flight.  It is
+    called from the orchestrating thread, exactly once per obligation,
+    and exceptions it raises are swallowed.
     """
     params = params or EngineParams()
     jobs = max(1, jobs if jobs is not None else default_jobs())
     started = time.perf_counter()
+
+    def emit(outcome: JobOutcome) -> JobOutcome:
+        if on_outcome is not None:
+            try:  # a broken observer must never take the run down
+                on_outcome(outcome)
+            except Exception:
+                pass
+        return outcome
 
     if lint_gate:
         from ..lint import lint_pipeline
@@ -910,17 +1041,19 @@ def discharge_jobs(
             )
             for obligation in obligations:
                 report.outcomes.append(
-                    JobOutcome(
-                        record=DischargeRecord(
-                            oid=obligation.oid,
-                            title=obligation.title,
-                            status=Status.FAILED,
-                            method="lint-gate",
-                            detail=f"static lint found {len(findings)}"
-                            f" error-level finding(s): {detail}",
-                        ),
-                        fingerprint=None,
-                        source="lint",
+                    emit(
+                        JobOutcome(
+                            record=DischargeRecord(
+                                oid=obligation.oid,
+                                title=obligation.title,
+                                status=Status.FAILED,
+                                method="lint-gate",
+                                detail=f"static lint found {len(findings)}"
+                                f" error-level finding(s): {detail}",
+                            ),
+                            fingerprint=None,
+                            source="lint",
+                        )
                     )
                 )
             report.wall_seconds = time.perf_counter() - started
@@ -942,18 +1075,20 @@ def discharge_jobs(
             )
             for obligation in obligations:
                 report.outcomes.append(
-                    JobOutcome(
-                        record=DischargeRecord(
-                            oid=obligation.oid,
-                            title=obligation.title,
-                            status=Status.FAILED,
-                            method="taint-gate",
-                            detail="non-interference policy found"
-                            f" {len(findings)} error-level finding(s):"
-                            f" {detail}",
-                        ),
-                        fingerprint=None,
-                        source="taint",
+                    emit(
+                        JobOutcome(
+                            record=DischargeRecord(
+                                oid=obligation.oid,
+                                title=obligation.title,
+                                status=Status.FAILED,
+                                method="taint-gate",
+                                detail="non-interference policy found"
+                                f" {len(findings)} error-level finding(s):"
+                                f" {detail}",
+                            ),
+                            fingerprint=None,
+                            source="taint",
+                        )
                     )
                 )
             report.wall_seconds = time.perf_counter() - started
@@ -1023,14 +1158,16 @@ def discharge_jobs(
         cached = cache.get(fingerprint) if cache and fingerprint else None
         if cached is not None:
             report.cache_hits += 1
-            outcome_by_position[position] = JobOutcome(
-                # content-identical obligations share a fingerprint; the
-                # verdict transfers but the identity must be this one's
-                record=replace(
-                    cached, oid=obligation.oid, title=obligation.title
-                ),
-                fingerprint=fingerprint,
-                source="cache",
+            outcome_by_position[position] = emit(
+                JobOutcome(
+                    # content-identical obligations share a fingerprint; the
+                    # verdict transfers but the identity must be this one's
+                    record=replace(
+                        cached, oid=obligation.oid, title=obligation.title
+                    ),
+                    fingerprint=fingerprint,
+                    source="cache",
+                )
             )
             continue
         if cache is not None and fingerprint is not None:
@@ -1067,7 +1204,12 @@ def discharge_jobs(
     if use_pool:
         # groups first: they are the long poles, so they get slots early
         pooled, busy, pool_stats = _run_pool(
-            [*share_groups, *solver_tasks], system, params, jobs, timeout
+            [*share_groups, *solver_tasks],
+            system,
+            params,
+            jobs,
+            timeout,
+            on_outcome=emit if on_outcome is not None else None,
         )
         outcome_by_position.update(pooled)
         report.worker_seconds = busy
@@ -1109,16 +1251,22 @@ def discharge_jobs(
                         if record.method.startswith("timeout(")
                         else "group"
                     )
-                outcome_by_position[member.position] = JobOutcome(
-                    record=record, fingerprint=member.fingerprint, source=source
+                outcome_by_position[member.position] = emit(
+                    JobOutcome(
+                        record=record,
+                        fingerprint=member.fingerprint,
+                        source=source,
+                    )
                 )
             charge(start)
         for task in solver_tasks:
             start = time.perf_counter()
             record = _solver_record(system, task.obligation, params)
             charge(start)
-            outcome_by_position[task.position] = JobOutcome(
-                record=record, fingerprint=task.fingerprint, source="inline"
+            outcome_by_position[task.position] = emit(
+                JobOutcome(
+                    record=record, fingerprint=task.fingerprint, source="inline"
+                )
             )
 
     # -- trace obligations: inline, sharing one stimulus run -------------------
@@ -1138,8 +1286,10 @@ def discharge_jobs(
             inputs=inputs,
             seq_inputs=seq_inputs,
         )
-        outcome_by_position[position] = JobOutcome(
-            record=record, fingerprint=fingerprint, source="inline"
+        outcome_by_position[position] = emit(
+            JobOutcome(
+                record=record, fingerprint=fingerprint, source="inline"
+            )
         )
 
     # -- persist fresh verdicts -------------------------------------------------

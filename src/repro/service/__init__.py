@@ -1,0 +1,48 @@
+"""Crash-tolerant multi-tenant discharge service.
+
+The jobs engine as shared infrastructure: an asyncio HTTP server
+(:mod:`repro.service.server`) that accepts machine specs, discharges
+their obligation sets on the forked worker pool, streams verdicts as
+NDJSON, coalesces identical in-flight requests, sheds load with
+``Retry-After``, journals every job transition write-ahead
+(:mod:`repro.service.journal`) for crash recovery, quarantines tenants
+whose payloads crash workers, and drains cleanly on SIGTERM.  The chaos
+harness (:mod:`repro.service.chaos`) proves all of it under live fault
+injection.  Stdlib only.
+"""
+
+from .chaos import ChaosConfig, ChaosReport, run_chaos
+from .client import DischargeResult, ServiceClient
+from .journal import Journal, JournalState, scan
+from .protocol import BadRequest, job_key
+from .server import (
+    DischargeService,
+    HttpFront,
+    ServerThread,
+    ServiceConfig,
+    ServiceReject,
+    ServiceStats,
+    serve,
+    serve_forever,
+)
+
+__all__ = [
+    "BadRequest",
+    "ChaosConfig",
+    "ChaosReport",
+    "DischargeResult",
+    "DischargeService",
+    "HttpFront",
+    "Journal",
+    "JournalState",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceReject",
+    "ServiceStats",
+    "job_key",
+    "run_chaos",
+    "scan",
+    "serve",
+    "serve_forever",
+]

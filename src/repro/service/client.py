@@ -1,0 +1,225 @@
+"""Blocking HTTP client for the discharge service.
+
+Raw ``socket`` + line-oriented reads (stdlib only): the response body is
+NDJSON terminated by EOF, so the client is a loop over ``readline``.
+Used by the test suite, the chaos harness, the benchmark and the
+``repro discharge --server`` path.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class DischargeResult:
+    """Everything one ``POST /v1/discharge`` round-trip produced."""
+
+    status: int
+    job: str | None = None
+    disposition: str | None = None
+    events: list[dict] = field(default_factory=list)
+    error: dict | None = None
+    retry_after: int | None = None
+
+    @property
+    def verdicts(self) -> list[dict]:
+        return [e for e in self.events if e.get("type") == "verdict"]
+
+    @property
+    def done(self) -> dict | None:
+        for event in self.events:
+            if event.get("type") == "done":
+                return event
+        return None
+
+    @property
+    def ok(self) -> bool:
+        done = self.done
+        return bool(done and done.get("ok"))
+
+
+class _Stream:
+    """A live NDJSON event stream; iterate for events, ``close()`` to
+    drop the connection mid-solve (the server keeps computing)."""
+
+    def __init__(
+        self, sock: socket.socket, reader, status: int, headers: dict[str, str]
+    ) -> None:
+        self.status = status
+        self.headers = headers
+        self.job = headers.get("x-job")
+        self.disposition = headers.get("x-disposition")
+        self._sock = sock
+        self._file = reader
+
+    def __iter__(self) -> Iterator[dict]:
+        for raw in self._file:
+            raw = raw.strip()
+            if raw:
+                yield json.loads(raw.decode("utf-8"))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "_Stream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class ServiceClient:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "anon",
+        timeout: float = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def _open(
+        self, method: str, target: str, body: dict | None, tenant: str | None
+    ):
+        """Send one request; returns ``(sock, reader, status, headers)``.
+
+        The buffered ``reader`` must be used for the body too — a second
+        ``makefile`` would race it for buffered bytes."""
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode()
+        headers = [
+            f"{method} {target} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            f"X-Tenant: {tenant or self.tenant}",
+            "Connection: close",
+        ]
+        if payload:
+            headers.append("Content-Type: application/json")
+            headers.append(f"Content-Length: {len(payload)}")
+        request = ("\r\n".join(headers) + "\r\n\r\n").encode() + payload
+        sock = socket.create_connection((self.host, self.port), self.timeout)
+        try:
+            sock.sendall(request)
+            reader = sock.makefile("rb")
+            status_line = reader.readline().decode("latin-1")
+            status = int(status_line.split()[1])
+            response_headers: dict[str, str] = {}
+            while True:
+                line = reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                response_headers[name.strip().lower()] = value.strip()
+        except Exception:
+            sock.close()
+            raise
+        return sock, reader, status, response_headers
+
+    def _json_request(
+        self, method: str, target: str, body: dict | None = None
+    ) -> tuple[int, dict, dict[str, str]]:
+        sock, reader, status, headers = self._open(method, target, body, None)
+        try:
+            raw = reader.read()
+        finally:
+            sock.close()
+        return status, json.loads(raw.decode("utf-8")) if raw else {}, headers
+
+    # -- endpoints -------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        status, payload, _ = self._json_request("GET", "/healthz")
+        payload["status"] = status
+        return payload
+
+    def stats(self) -> dict:
+        _, payload, _ = self._json_request("GET", "/v1/stats")
+        return payload
+
+    def job(self, key: str) -> tuple[int, dict]:
+        status, payload, _ = self._json_request("GET", f"/v1/jobs/{key}")
+        return status, payload
+
+    def submit(
+        self,
+        machine: dict,
+        params: dict | None = None,
+        tenant: str | None = None,
+    ) -> tuple[int, dict]:
+        """Fire-and-forget acceptance (``wait: false``)."""
+        body = {"machine": machine, "wait": False}
+        if params:
+            body["params"] = params
+        sock, reader, status, headers = self._open(
+            "POST", "/v1/discharge", body, tenant
+        )
+        try:
+            raw = reader.read()
+        finally:
+            sock.close()
+        payload = json.loads(raw.decode("utf-8")) if raw else {}
+        return status, payload
+
+    def stream(
+        self,
+        machine: dict,
+        params: dict | None = None,
+        tenant: str | None = None,
+    ) -> "_Stream | DischargeResult":
+        """Open the verdict stream; a rejection returns a finished
+        :class:`DischargeResult` instead of a stream."""
+        body: dict = {"machine": machine}
+        if params:
+            body["params"] = params
+        sock, reader, status, headers = self._open(
+            "POST", "/v1/discharge", body, tenant
+        )
+        if status != 200:
+            try:
+                raw = reader.read()
+            finally:
+                sock.close()
+            error = json.loads(raw.decode("utf-8")) if raw else {}
+            retry_after = headers.get("retry-after")
+            return DischargeResult(
+                status=status,
+                error=error,
+                retry_after=int(retry_after) if retry_after else None,
+            )
+        return _Stream(sock, reader, status, headers)
+
+    def discharge(
+        self,
+        machine: dict,
+        params: dict | None = None,
+        tenant: str | None = None,
+    ) -> DischargeResult:
+        """Submit and consume the whole stream (or the rejection)."""
+        stream = self.stream(machine, params=params, tenant=tenant)
+        if isinstance(stream, DischargeResult):
+            return stream
+        with stream:
+            events = list(stream)
+        return DischargeResult(
+            status=stream.status,
+            job=stream.job,
+            disposition=stream.disposition,
+            events=events,
+        )

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import signal
 import time
 
@@ -240,7 +241,6 @@ def test_transient_crash_recovers_on_retry(
             os.kill(os.getpid(), signal.SIGKILL)
 
     _sabotage(monkeypatch, behaviour)
-    started = time.perf_counter()
     report = discharge_jobs(
         toy_pipelined,
         toy_obligations,
@@ -252,8 +252,9 @@ def test_transient_crash_recovers_on_retry(
     assert outcome.source == "worker"
     assert outcome.attempts == 2
     assert report.crashes == 1 and report.retries == 1
-    # the relaunch waited out the first backoff step
-    assert time.perf_counter() - started >= 0.25
+    # (the relaunch delay is full-jitter — anywhere in [0, backoff] —
+    # so no wall-clock floor is asserted; bounds are pinned in
+    # test_retry_delay_full_jitter_bounds)
 
 
 def test_cpu_rlimit_kills_spinning_worker(
@@ -488,3 +489,254 @@ def test_chaos_run_completes_with_correct_verdicts(
             continue
         assert outcome.record.status is expected[oid], oid
     assert report.wall_seconds < 60
+
+
+# ---------------------------------------------------------------------------
+# full-jitter crash-retry backoff
+
+
+def test_retry_delay_full_jitter_bounds():
+    """The relaunch delay is uniform over [0, cap] with the cap doubling
+    per consumed attempt — full jitter: correlated crash storms (shared
+    bad input, OOM sweep) must not retry in lockstep."""
+    rng_state = random.getstate()
+    try:
+        random.seed(20260808)
+        for attempts in (1, 2, 3):
+            cap = engine_mod._RETRY_BACKOFF * 2 ** (attempts - 1)
+            draws = [engine_mod._retry_delay(attempts) for _ in range(400)]
+            assert all(0.0 <= d <= cap for d in draws)
+            # actually jittered across the range, not pinned to either end
+            assert min(draws) < 0.25 * cap
+            assert max(draws) > 0.75 * cap
+        # attempts=0 degenerates to the base cap, never negative
+        assert 0.0 <= engine_mod._retry_delay(0) <= engine_mod._RETRY_BACKOFF
+    finally:
+        random.setstate(rng_state)
+
+
+# ---------------------------------------------------------------------------
+# outcome streaming (the service's verdict feed)
+
+
+def test_on_outcome_streams_each_outcome_exactly_once(
+    toy_pipelined, toy_obligations
+):
+    streamed = []
+    report = discharge_jobs(
+        toy_pipelined,
+        toy_obligations,
+        params=PARAMS,
+        jobs=2,
+        on_outcome=streamed.append,
+    )
+    assert report.ok
+    assert len(streamed) == len(report.outcomes)
+    assert sorted(o.record.oid for o in streamed) == sorted(
+        o.record.oid for o in report.outcomes
+    )
+    # streamed objects are the report's outcomes, not copies
+    assert {id(o) for o in streamed} == {id(o) for o in report.outcomes}
+
+
+def test_on_outcome_observer_exceptions_are_swallowed(
+    toy_pipelined, toy_obligations
+):
+    """A broken observer (a disconnected subscriber, say) must never
+    poison the discharge run itself."""
+
+    def broken_observer(outcome):
+        raise RuntimeError("subscriber vanished")
+
+    report = discharge_jobs(
+        toy_pipelined,
+        toy_obligations,
+        params=PARAMS,
+        jobs=2,
+        on_outcome=broken_observer,
+    )
+    assert report.ok
+
+
+def test_on_outcome_covers_cache_hits_and_gate_failures(
+    tmp_path, toy_pipelined, toy_obligations
+):
+    cache = ResultCache(tmp_path)
+    discharge_jobs(
+        toy_pipelined, toy_obligations, params=PARAMS, jobs=2, cache=cache
+    )
+    streamed = []
+    warm = discharge_jobs(
+        toy_pipelined,
+        toy_obligations,
+        params=PARAMS,
+        jobs=2,
+        cache=cache,
+        on_outcome=streamed.append,
+    )
+    assert warm.cache_hits == len(warm.outcomes)
+    assert len(streamed) == len(warm.outcomes)
+    assert {o.source for o in streamed} == {"cache"}
+
+
+# ---------------------------------------------------------------------------
+# cache maintenance (``repro cache``)
+
+
+def _seed_cache(tmp_path, n=3) -> ResultCache:
+    cache = ResultCache(tmp_path)
+    for index in range(n):
+        fingerprint = f"{index:02x}" * 32
+        assert cache.put(
+            fingerprint,
+            DischargeRecord(
+                oid=f"ob{index}",
+                title="t",
+                status=Status.PROVED,
+                method="1-induction",
+            ),
+        )
+    return cache
+
+
+def test_cache_disk_stats_counts_records_and_litter(tmp_path):
+    cache = _seed_cache(tmp_path, 3)
+    litter = cache.directory / "00" / ".deadbeef.tmp"
+    litter.write_text("half-written")
+    stats = cache.disk_stats()
+    assert stats["records"] == 3
+    assert stats["bytes"] > 0
+    assert stats["tmp_files"] == 1
+    assert stats["oldest_age_s"] >= stats["newest_age_s"] >= 0.0
+
+
+def test_cache_verify_heals_corruption_offline(tmp_path):
+    cache = _seed_cache(tmp_path, 3)
+    victim = cache.entries()[1]
+    victim.write_text('{"version": 99, "torn')
+    result = ResultCache(tmp_path).verify()
+    assert result == {"scanned": 3, "ok": 2, "evicted": 1}
+    assert not victim.exists()
+    # a second pass over the healed store is clean
+    assert ResultCache(tmp_path).verify() == {
+        "scanned": 2,
+        "ok": 2,
+        "evicted": 0,
+    }
+
+
+def test_cache_gc_by_age_and_size(tmp_path):
+    cache = _seed_cache(tmp_path, 4)
+    litter = cache.directory / "00" / ".cafecafe.tmp"
+    litter.write_text("x")
+    now = time.time()
+    # dry run: reports, touches nothing
+    preview = cache.gc(max_age_s=0.0, now=now + 100.0, dry_run=True)
+    assert preview["removed"] == 4 and preview["dry_run"]
+    assert len(cache.entries()) == 4 and litter.exists()
+    # age pass: everything is "older" than 50s from a vantage 100s out
+    result = cache.gc(max_age_s=50.0, now=now + 100.0)
+    assert result["removed"] == 4 and result["kept"] == 0
+    assert result["tmp_removed"] == 1
+    assert cache.entries() == [] and not litter.exists()
+
+    # size pass: keep only the newest records under the byte budget
+    cache = _seed_cache(tmp_path, 4)
+    sizes = [p.stat().st_size for p in cache.entries()]
+    budget = sum(sizes) - 1  # force exactly the oldest record out
+    result = cache.gc(max_bytes=budget)
+    assert result["removed"] == 1
+    assert result["kept"] == 3
+    assert result["kept_bytes"] <= budget
+
+
+# ---------------------------------------------------------------------------
+# engine shutdown: SIGTERM/SIGINT mid-pool drains without leaks
+
+_DRAIN_SCRIPT = r"""
+import multiprocessing, os, sys, time
+
+import repro.jobs.engine as engine_mod
+from repro.core import transform
+from repro.faults.catalog import CORES
+from repro.jobs import EngineParams, ResultCache, discharge_jobs
+from repro.proofs import generate_obligations
+
+marker = sys.argv[1]
+cache_dir = sys.argv[2]
+
+
+def stall(system, obligation, params):
+    with open(marker, "a") as handle:  # tell the parent the pool is busy
+        handle.write(obligation.oid + "\n")
+    time.sleep(120)
+
+
+engine_mod._solver_record = stall  # forked workers inherit the stall
+
+pipelined = transform(CORES["toy"].build_machine())
+obligations = generate_obligations(pipelined)
+try:
+    discharge_jobs(
+        pipelined,
+        obligations,
+        params=EngineParams(
+            trace_cycles=60, share=False, absint=False, max_retries=0
+        ),
+        jobs=2,
+        cache=ResultCache(cache_dir),
+        lint_gate=False,
+        taint_gate=False,
+    )
+    print("FINISHED-UNEXPECTEDLY", flush=True)
+    sys.exit(1)
+except KeyboardInterrupt:
+    # the drain path must have terminated and reaped every worker
+    # before the interrupt unwound out of discharge_jobs
+    print(f"LEAKED {len(multiprocessing.active_children())}", flush=True)
+    sys.exit(17)
+"""
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_signal_mid_pool_drains_workers_and_cache(tmp_path, signum):
+    """SIGTERM/SIGINT while the pool is busy: the run unwinds as
+    KeyboardInterrupt with every forked worker terminated and reaped and
+    no half-written temp files left in the cache."""
+    import subprocess
+    import sys as _sys
+
+    script = tmp_path / "drain_target.py"
+    script.write_text(_DRAIN_SCRIPT)
+    marker = tmp_path / "busy-marker"
+    cache_dir = tmp_path / "cache"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.abspath("src"), env.get("PYTHONPATH")])
+    )
+    proc = subprocess.Popen(
+        [_sys.executable, str(script), str(marker), str(cache_dir)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        start_new_session=True,  # isolate SIGINT from the test runner
+    )
+    try:
+        deadline = time.time() + 60
+        while not marker.exists():
+            assert proc.poll() is None, proc.communicate()[0]
+            assert time.time() < deadline, "pool never became busy"
+            time.sleep(0.05)
+        time.sleep(0.2)  # let both workers settle into their stalls
+        os.kill(proc.pid, signum)
+        output, _ = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    assert proc.returncode == 17, output
+    assert "LEAKED 0" in output, output
+    # no orphaned atomic-write temp files anywhere in the cache tree
+    litter = list(cache_dir.rglob("*.tmp")) if cache_dir.exists() else []
+    assert litter == []

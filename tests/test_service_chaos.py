@@ -1,0 +1,85 @@
+"""Acceptance: the chaos-injection campaign against a live service.
+
+Everything at once — concurrent multi-tenant load over a real socket
+while the injector SIGKILLs solver workers, corrupts cache records,
+truncates the journal and stalls the solver, with some clients hanging
+up mid-stream — followed by a kill-the-server/recover-from-journal
+phase.  The contract is ``report.violations == []``: every accepted job
+yields exactly one terminal event, exactly one verdict per obligation,
+and every verdict is identical to a clean ``repro discharge`` run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.service import ChaosConfig, run_chaos
+from repro.service.chaos import write_report
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="chaos campaign needs forked workers"
+)
+
+
+def test_chaos_campaign_preserves_verdict_integrity(tmp_path):
+    config = ChaosConfig(
+        root=tmp_path / "chaos",
+        seed=7,
+        requests=9,
+        injections=12,
+        inject_interval=0.05,
+        param_variants=({"trace_cycles": 40}, {"trace_cycles": 44}),
+        restart_phase=True,
+        budget_s=180.0,
+    )
+    report = run_chaos(config)
+    assert report.ok, "\n".join(report.violations)
+    outcomes = [entry.get("outcome") for entry in report.requests]
+    assert len(report.requests) == config.requests
+    # the campaign exercised real completions and real disconnects
+    assert outcomes.count("completed") >= 4
+    assert "disconnected" in outcomes
+    # the kill/recover phase actually recovered journalled jobs
+    assert report.recovered_jobs >= 1
+    # no request outlived its budget (hangs are violations, checked
+    # above, but pin the wall clock too)
+    assert report.wall_seconds < config.budget_s
+
+    # the report round-trips to JSON for the CI artifact
+    path = write_report(report, tmp_path / "chaos-report.json")
+    payload = json.loads(path.read_text())
+    assert payload["ok"] is True
+    assert payload["violations"] == []
+    assert payload["recovered_jobs"] == report.recovered_jobs
+
+
+def test_chaos_detects_a_rigged_violation(tmp_path):
+    """The harness itself must not be vacuous: feed it a baseline that
+    disagrees with reality and demand it reports verdict drift."""
+    from repro.service import chaos as chaos_mod
+
+    config = ChaosConfig(
+        root=tmp_path / "rigged",
+        requests=1,
+        injections=0,
+        disconnect_every=0,
+        param_variants=({"trace_cycles": 40},),
+        operators=(),  # clean run: any violation must come from the rig
+        restart_phase=False,
+        budget_s=120.0,
+    )
+    baseline = chaos_mod.clean_baseline(config)
+    rigged_oid = next(iter(baseline[0]))
+    baseline[0][rigged_oid] = "failed"  # lie about one clean verdict
+
+    real_clean = chaos_mod.clean_baseline
+    chaos_mod.clean_baseline = lambda _config: baseline
+    try:
+        report = run_chaos(config)
+    finally:
+        chaos_mod.clean_baseline = real_clean
+    assert not report.ok
+    assert any("verdict drift" in v for v in report.violations)
