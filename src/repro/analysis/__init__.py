@@ -1,0 +1,41 @@
+"""Static analyses over prepared/pipelined machines.
+
+Currently: width-parametricity typing (:mod:`repro.analysis.widths`) and
+the family-certificate layer built on it (:mod:`repro.analysis.family`),
+which lets one discharged verdict cover a whole datapath-width family.
+"""
+
+from .widths import ConeTyping, MemSpec, PairMismatch, ParamType, StateSpec, infer_types
+from .family import (
+    FAMILIES,
+    CrosscheckReport,
+    FamilyAnalysis,
+    FamilyContext,
+    FamilyMismatch,
+    FamilySpec,
+    ObligationCertificate,
+    analyze_family,
+    crosscheck_family,
+    family_context,
+    family_fingerprint,
+)
+
+__all__ = [
+    "ConeTyping",
+    "MemSpec",
+    "PairMismatch",
+    "ParamType",
+    "StateSpec",
+    "infer_types",
+    "FAMILIES",
+    "CrosscheckReport",
+    "FamilyAnalysis",
+    "FamilyContext",
+    "FamilyMismatch",
+    "FamilySpec",
+    "ObligationCertificate",
+    "analyze_family",
+    "crosscheck_family",
+    "family_context",
+    "family_fingerprint",
+]

@@ -180,6 +180,7 @@ def cmd_discharge(args: argparse.Namespace) -> int:
             mem_limit_mb=args.mem_limit,
             cpu_limit_s=args.cpu_limit,
             absint=not args.no_absint,
+            family=not args.no_family,
         ),
         jobs=args.jobs,
         timeout=args.timeout,
@@ -555,24 +556,146 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_family(args: argparse.Namespace) -> int:
+    import json as _json
+    import time
+
+    from .analysis.family import (
+        FAMILIES,
+        FamilyContext,
+        analyze_family,
+        crosscheck_family,
+    )
+    from .jobs.cache import FamilyCache
+    from .jobs.engine import EngineParams, discharge_jobs
+    from .lint import lint_family
+
+    names = args.core or sorted(FAMILIES)
+    unknown = [name for name in names if name not in FAMILIES]
+    if unknown:
+        print(f"unknown family core(s): {', '.join(unknown)}"
+              f" (known: {', '.join(sorted(FAMILIES))})")
+        return 2
+
+    payload: list[dict] = []
+    failed = False
+    for name in names:
+        spec = FAMILIES[name]
+        params = EngineParams(trace_cycles=spec.trace_cycles)
+        started = time.perf_counter()
+        analysis = analyze_family(spec, params)
+        seconds = time.perf_counter() - started
+        certified = analysis.certified()
+        print(
+            f"== {name} == {len(certified)}/{len(analysis.certificates)}"
+            f" obligation(s) certified width-parametric at"
+            f" w0={spec.base_width} (widths {spec.widths},"
+            f" analysis {seconds:.1f}s)"
+        )
+        reasons: dict[str, int] = {}
+        for certificate in analysis.certificates.values():
+            if not certificate.certified:
+                reasons[certificate.reason] = reasons.get(certificate.reason, 0) + 1
+        for reason, count in sorted(reasons.items(), key=lambda kv: -kv[1]):
+            print(f"   not certified ({count}): {reason}")
+        lint_result = lint_family(analysis)
+        for diagnostic in lint_result.diagnostics:
+            print(f"   {diagnostic.severity.label} {diagnostic.rule}"
+                  f" {diagnostic.path}: {diagnostic.message}")
+        entry = analysis.to_dict()
+        entry["analysis_seconds"] = round(seconds, 3)
+        entry["lint"] = [d.to_dict() for d in lint_result.diagnostics]
+        if args.check and lint_result.has_errors:
+            failed = True
+
+        if args.check or args.crosscheck:
+            sample = None if args.crosscheck else args.sample
+            report = crosscheck_family(
+                spec, params, sample=sample, analysis=analysis
+            )
+            checked = report.to_dict()
+            entry["crosscheck"] = checked
+            contradicted = checked["contradicted"]
+            scope = "all" if sample is None else f"sample of {len(checked['checked'])}"
+            print(
+                f"   crosscheck ({scope} at widths"
+                f" {spec.base_width}/{spec.check_width}):"
+                f" {len(contradicted)} CONTRADICTED"
+            )
+            for oid in contradicted:
+                print(f"     CONTRADICTED {oid}: {checked['statuses'][oid]}")
+                failed = True
+
+        if args.width_sweep:
+            cache = FamilyCache(args.cache_dir)
+            sweep: list[dict] = []
+            for width in spec.widths:
+                pipelined = spec.instance(width)
+                obligations = generate_obligations(pipelined)
+                context = FamilyContext(analysis, width, cache)
+                started = time.perf_counter()
+                report = discharge_jobs(
+                    pipelined, obligations, params=params, family=context
+                )
+                wall = time.perf_counter() - started
+                print(
+                    f"   width {width}: {len(report.outcomes)} obligation(s)"
+                    f" in {wall:.2f}s — served {context.served},"
+                    f" seeded {context.seeded}"
+                )
+                sweep.append(
+                    {
+                        "width": width,
+                        "wall_seconds": round(wall, 3),
+                        "outcomes": len(report.outcomes),
+                        "served": context.served,
+                        "seeded": context.seeded,
+                        "failed": report.failed,
+                    }
+                )
+                if report.failed:
+                    failed = True
+            entry["width_sweep"] = sweep
+        payload.append(entry)
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            _json.dump({"families": payload}, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    return 1 if failed else 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     import json as _json
 
     from .jobs import ResultCache
+    from .jobs.cache import FamilyCache
 
     cache = ResultCache(args.cache_dir)
+    family = FamilyCache(args.cache_dir)
     if args.action == "stats":
         payload: dict = cache.disk_stats()
+        family_stats = family.disk_stats()
+        payload["family_records"] = family_stats["records"]
+        payload["family_bytes"] = family_stats["bytes"]
+        payload["family_widths"] = {
+            str(width): count
+            for width, count in sorted(family.width_histogram().items())
+        }
     elif args.action == "verify":
         payload = cache.verify()
     elif args.action == "gc":
-        payload = cache.gc(
+        target = family if args.family_only else cache
+        payload = target.gc(
             max_age_s=args.max_age_s,
             max_bytes=args.max_bytes,
             dry_run=args.dry_run,
         )
+        if args.family_only:
+            payload["store"] = "family"
     else:  # clear
-        payload = {"removed": cache.clear()}
+        payload = {"removed": cache.clear(), "family_removed": family.clear()}
     if args.json:
         print(_json.dumps(payload, indent=2, sort_keys=True))
     else:
@@ -710,6 +833,11 @@ def main(argv: list[str] | None = None) -> int:
         "--no-absint", action="store_true",
         help="skip abstract-interpretation invariant mining (obligations"
         " are discharged without mined strengthening assumptions)",
+    )
+    discharge_parser.add_argument(
+        "--no-family", action="store_true",
+        help="opt out of width-family verdict serving/seeding even when a"
+        " family certificate covers an obligation",
     )
     discharge_parser.set_defaults(func=cmd_discharge)
 
@@ -1012,9 +1140,53 @@ def main(argv: list[str] | None = None) -> int:
         help="gc: report what would be removed without touching anything",
     )
     cache_parser.add_argument(
+        "--family-only", action="store_true",
+        help="gc: prune only the width-family verdict store"
+        " (.repro-cache/family), leaving content verdicts alone",
+    )
+    cache_parser.add_argument(
         "--json", action="store_true", help="emit the result as JSON"
     )
     cache_parser.set_defaults(func=cmd_cache)
+
+    family_parser = sub.add_parser(
+        "family",
+        help="width-parametricity certificates: analyze, audit and sweep"
+        " the datapath width families",
+    )
+    family_parser.add_argument(
+        "--core", action="append", metavar="NAME",
+        help="family core(s) to analyze (default: all; repeatable)",
+    )
+    family_parser.add_argument(
+        "--check", action="store_true",
+        help="fail on family lint errors and on a crosscheck sample"
+        " (re-prove certified obligations family-off at two widths;"
+        " any verdict mismatch is CONTRADICTED and fails)",
+    )
+    family_parser.add_argument(
+        "--crosscheck", action="store_true",
+        help="audit every certified obligation at both analysis widths"
+        " (not just the --check sample)",
+    )
+    family_parser.add_argument(
+        "--sample", type=int, default=5, metavar="N",
+        help="certified obligations per core to crosscheck under --check"
+        " (default: %(default)s)",
+    )
+    family_parser.add_argument(
+        "--width-sweep", action="store_true",
+        help="discharge every member width with a family cache, reporting"
+        " served/seeded counts per width",
+    )
+    family_parser.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="family cache location for --width-sweep (default: %(default)s)",
+    )
+    family_parser.add_argument(
+        "--json", metavar="FILE", help="write the structured report here"
+    )
+    family_parser.set_defaults(func=cmd_family)
 
     args = parser.parse_args(argv)
     return args.func(args)

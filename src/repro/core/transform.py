@@ -79,6 +79,9 @@ class PipelinedMachine:
     engine: se.StallEngine
     networks: list[ForwardingNetwork] = field(default_factory=list)
     speculations: list[SpeculationHardware] = field(default_factory=list)
+    # Designer-declared scheduling oracles, rewritten with the declaring
+    # stage's g^k so they alias the exact decision nodes in the netlist.
+    oracles: list[E.Expr] = field(default_factory=list)
 
     @property
     def n_stages(self) -> int:
@@ -280,6 +283,7 @@ def transform(
         engine=engine,
         networks=builder.networks,
         speculations=spec_hardware,
+        oracles=[rewrite(stage, expr) for stage, expr in machine.oracles],
     )
 
 

@@ -45,16 +45,16 @@ def funct(ir: E.Expr) -> E.Expr:
     return E.bits(ir, 0, 5)
 
 
-def imm16_sext(ir: E.Expr) -> E.Expr:
-    return E.sext(E.bits(ir, 0, 15), WORD)
+def imm16_sext(ir: E.Expr, word: int = WORD) -> E.Expr:
+    return E.sext(E.bits(ir, 0, 15), word)
 
 
-def imm16_zext(ir: E.Expr) -> E.Expr:
-    return E.zext(E.bits(ir, 0, 15), WORD)
+def imm16_zext(ir: E.Expr, word: int = WORD) -> E.Expr:
+    return E.zext(E.bits(ir, 0, 15), word)
 
 
-def imm26_sext(ir: E.Expr) -> E.Expr:
-    return E.sext(E.bits(ir, 0, 25), WORD)
+def imm26_sext(ir: E.Expr, word: int = WORD) -> E.Expr:
+    return E.sext(E.bits(ir, 0, 25), word)
 
 
 def _op_is(ir: E.Expr, *codes: int) -> E.Expr:
@@ -148,15 +148,15 @@ def b_operand_addr(ir: E.Expr) -> E.Expr:
 # ---------------------------------------------------------------------------
 
 
-def alu_result(ir: E.Expr, a: E.Expr, b: E.Expr) -> E.Expr:
+def alu_result(ir: E.Expr, a: E.Expr, b: E.Expr, word: int = WORD) -> E.Expr:
     """The EX-stage result for R-type and ALU-immediate instructions.
 
     ``b`` is the already-selected second operand (register or extended
     immediate); shift amounts come from its low 5 bits.
     """
-    zero = E.const(WORD, 0)
-    one = E.const(WORD, 1)
-    amount = E.zext(E.bits(b, 0, 4), WORD)
+    zero = E.const(word, 0)
+    one = E.const(word, 1)
+    amount = E.zext(E.bits(b, 0, 4), word)
 
     rt = is_rtype(ir)
     f = funct(ir)
@@ -210,12 +210,12 @@ def is_mult(ir: E.Expr) -> E.Expr:
     )
 
 
-def ex_b_operand(ir: E.Expr, b_reg: E.Expr) -> E.Expr:
+def ex_b_operand(ir: E.Expr, b_reg: E.Expr, word: int = WORD) -> E.Expr:
     """Second ALU operand: register for R-type, extended immediate for
     I-type (zero-extended for the logical immediates, sign-extended
     otherwise)."""
     use_zext = _op_is(ir, *sorted(isa.ZEXT_IMM_OPS))
-    imm = E.mux(use_zext, imm16_zext(ir), imm16_sext(ir))
+    imm = E.mux(use_zext, imm16_zext(ir, word), imm16_sext(ir, word))
     return E.mux(is_alu_imm(ir), imm, b_reg)
 
 
@@ -224,35 +224,41 @@ def ex_b_operand(ir: E.Expr, b_reg: E.Expr) -> E.Expr:
 # ---------------------------------------------------------------------------
 
 
-def shift4load(ir: E.Expr, word: E.Expr, byte_offset: E.Expr) -> E.Expr:
+def shift4load(
+    ir: E.Expr, mem_word: E.Expr, byte_offset: E.Expr, word: int = WORD
+) -> E.Expr:
     """The paper's ``shift4load`` circuit (Figure 2): align and extend the
     memory word for LB/LBU/LH/LHU/LW.  ``byte_offset`` is the low 2 bits
     of the effective address; the memory is little-endian."""
-    shift = E.zext(E.concat(byte_offset, E.const(3, 0)), WORD)  # offset * 8
-    shifted = E.lshr(word, shift)
+    shift = E.zext(E.concat(byte_offset, E.const(3, 0)), word)  # offset * 8
+    shifted = E.lshr(mem_word, shift)
     byte = E.bits(shifted, 0, 7)
     half = E.bits(shifted, 0, 15)
     op = opcode(ir)
-    result = word  # LW
+    result = mem_word  # LW
     for code, value in (
-        (isa.OP_LB, E.sext(byte, WORD)),
-        (isa.OP_LBU, E.zext(byte, WORD)),
-        (isa.OP_LH, E.sext(half, WORD)),
-        (isa.OP_LHU, E.zext(half, WORD)),
+        (isa.OP_LB, E.sext(byte, word)),
+        (isa.OP_LBU, E.zext(byte, word)),
+        (isa.OP_LH, E.sext(half, word)),
+        (isa.OP_LHU, E.zext(half, word)),
     ):
         result = E.mux(E.eq(op, E.const(6, code)), value, result)
     return result
 
 
 def store_merge(
-    ir: E.Expr, old_word: E.Expr, data: E.Expr, byte_offset: E.Expr
+    ir: E.Expr,
+    old_word: E.Expr,
+    data: E.Expr,
+    byte_offset: E.Expr,
+    word: int = WORD,
 ) -> E.Expr:
     """Merge the store data into the existing memory word for SB/SH/SW
     (read-modify-write byte lanes)."""
-    shift = E.zext(E.concat(byte_offset, E.const(3, 0)), WORD)
+    shift = E.zext(E.concat(byte_offset, E.const(3, 0)), word)
     op = opcode(ir)
-    mask_byte = E.shl(E.const(WORD, 0xFF), shift)
-    mask_half = E.shl(E.const(WORD, 0xFFFF), shift)
+    mask_byte = E.shl(E.const(word, 0xFF), shift)
+    mask_half = E.shl(E.const(word, 0xFFFF), shift)
     data_shifted = E.shl(data, shift)
 
     def merged(mask: E.Expr) -> E.Expr:
@@ -269,17 +275,28 @@ def store_merge(
 # ---------------------------------------------------------------------------
 
 
-def branch_taken(ir: E.Expr, a: E.Expr) -> E.Expr:
+def branch_taken(ir: E.Expr, a: E.Expr, word: int = WORD) -> E.Expr:
     """BEQZ/BNEZ decision on the (forwarded) first operand."""
-    a_zero = E.eq(a, E.const(WORD, 0))
+    a_zero = E.eq(a, E.const(word, 0))
     return E.bor(
         E.band(_op_is(ir, isa.OP_BEQZ), a_zero),
         E.band(_op_is(ir, isa.OP_BNEZ), E.bnot(a_zero)),
     )
 
 
+def branch_decision(ir: E.Expr, a: E.Expr, word: int = WORD) -> E.Expr:
+    """The PC-redirect decision: a branch opcode whose condition holds.
+
+    Exposed separately so machines can declassify it as a scheduling
+    oracle (``PreparedMachine.declassify``): the stall/forwarding
+    obligations hold for either outcome, so the one-bit decision is
+    width-generic even though ``a`` is a full datapath word.
+    """
+    return E.band(is_branch(ir), branch_taken(ir, a, word))
+
+
 def next_pcp(
-    ir: E.Expr, dpc: E.Expr, pcp: E.Expr, a: E.Expr
+    ir: E.Expr, dpc: E.Expr, pcp: E.Expr, a: E.Expr, word: int = WORD
 ) -> E.Expr:
     """``f^1_PCP``: the fetch address after the delay slot.
 
@@ -288,19 +305,17 @@ def next_pcp(
     * J/JAL: ``DPC + 4 + sext(imm26)``;
     * JR/JALR: the (forwarded) register operand.
     """
-    four = E.const(WORD, 4)
+    four = E.const(word, 4)
     sequential = E.add(pcp, four)
-    branch_target = E.add(E.add(dpc, four), imm16_sext(ir))
-    jump_target = E.add(E.add(dpc, four), imm26_sext(ir))
+    branch_target = E.add(E.add(dpc, four), imm16_sext(ir, word))
+    jump_target = E.add(E.add(dpc, four), imm26_sext(ir, word))
     result = sequential
-    result = E.mux(
-        E.band(is_branch(ir), branch_taken(ir, a)), branch_target, result
-    )
+    result = E.mux(branch_decision(ir, a, word), branch_target, result)
     result = E.mux(is_jump_imm(ir), jump_target, result)
     result = E.mux(is_jump_reg(ir), a, result)
     return result
 
 
-def link_value(dpc: E.Expr) -> E.Expr:
+def link_value(dpc: E.Expr, word: int = WORD) -> E.Expr:
     """JAL/JALR link value: the address after the delay slot."""
-    return E.add(dpc, E.const(WORD, 8))
+    return E.add(dpc, E.const(word, 8))

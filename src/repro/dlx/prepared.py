@@ -57,10 +57,19 @@ class DlxConfig:
     # 1 = combinational.  The result is only forwardable/written once the
     # latency has elapsed, so consumers interlock meanwhile.
     multiplier_latency: int = 1
+    # Datapath width (GPR, data memory, PC pair and the datapath pipeline
+    # registers).  The 32-bit instruction encoding — IR, IMem and every
+    # decode function — is fixed, so the ``word``-indexed family shares
+    # its control cone verbatim: the property the width-parametricity
+    # analysis (:mod:`repro.analysis`) certifies.  Must be >= 32 (LHI
+    # fills bits 16..31, imm26 must embed).
+    word: int = WORD
 
     def __post_init__(self) -> None:
         if self.multiplier_latency < 1:
             raise ValueError("multiplier latency must be at least 1 cycle")
+        if self.word < 32:
+            raise ValueError("DLX datapath width must be at least 32 bits")
 
 
 def build_dlx_machine(
@@ -75,6 +84,7 @@ def build_dlx_machine(
     indices to initial data-memory words.
     """
     config = config or DlxConfig()
+    word = config.word
     imem_size = 1 << config.imem_addr_width
     if len(program) > imem_size:
         raise ValueError(
@@ -85,19 +95,19 @@ def build_dlx_machine(
     machine = PreparedMachine("dlx", 5)
 
     # ---- state ------------------------------------------------------------
-    machine.add_register("DPC", WORD, first=2, init=0, visible=True)
-    machine.add_register("PCP", WORD, first=2, init=4, visible=True)
+    machine.add_register("DPC", word, first=2, init=0, visible=True)
+    machine.add_register("PCP", word, first=2, init=4, visible=True)
     machine.add_register("IR", WORD, first=1, last=4, init=isa.NOP)
-    machine.add_register("IPC", WORD, first=2, last=4)
-    machine.add_register("A", WORD, first=2)
-    machine.add_register("B", WORD, first=2)
-    machine.add_register("C", WORD, first=2, last=4)
-    machine.add_register("MAR", WORD, first=3, last=4)
-    machine.add_register("MDRw", WORD, first=3)
-    machine.add_register("MDRr", WORD, first=4)
+    machine.add_register("IPC", word, first=2, last=4)
+    machine.add_register("A", word, first=2)
+    machine.add_register("B", word, first=2)
+    machine.add_register("C", word, first=2, last=4)
+    machine.add_register("MAR", word, first=3, last=4)
+    machine.add_register("MDRw", word, first=3)
+    machine.add_register("MDRr", word, first=4)
 
     machine.add_register_file(
-        "GPR", addr_width=5, data_width=WORD, write_stage=4
+        "GPR", addr_width=5, data_width=word, write_stage=4
     )
     machine.add_register_file(
         "IMem",
@@ -113,14 +123,14 @@ def build_dlx_machine(
     machine.add_register_file(
         "DMem",
         addr_width=config.dmem_addr_width,
-        data_width=WORD,
+        data_width=word,
         write_stage=3,
         init=dict(data or {}),
     )
     if config.interrupts:
-        machine.add_register("NPC", WORD, first=2, last=3)
-        machine.add_register("EDPC", WORD, first=4, visible=True)
-        machine.add_register("EPCP", WORD, first=4, visible=True)
+        machine.add_register("NPC", word, first=2, last=3)
+        machine.add_register("EDPC", word, first=4, visible=True)
+        machine.add_register("EPCP", word, first=4, visible=True)
     if config.ext_stall_mem:
         machine.allow_external_stall(3)
 
@@ -141,7 +151,7 @@ def build_dlx_machine(
     machine.set_output(1, "IPC", dpc1)
 
     new_dpc: E.Expr = pcp1
-    new_pcp = dp.next_pcp(ir1, dpc1, pcp1, a_read)
+    new_pcp = dp.next_pcp(ir1, dpc1, pcp1, a_read, word)
     if config.interrupts:
         machine.set_output(1, "NPC", pcp1)
         rfe = dp.is_rfe(ir1)
@@ -149,12 +159,15 @@ def build_dlx_machine(
         new_pcp = E.mux(rfe, machine.read_last("EPCP"), new_pcp)
     machine.set_output(1, "DPC", new_dpc)
     machine.set_output(1, "PCP", new_pcp)
+    # The branch decision is a sanctioned redirect channel: the scheduling
+    # obligations quantify over both outcomes (HADES small-model argument).
+    machine.declassify(1, dp.branch_decision(ir1, a_read, word))
 
-    lhi_value = E.concat(E.bits(ir1, 0, 15), E.const(16, 0))
+    lhi_value = E.zext(E.concat(E.bits(ir1, 0, 15), E.const(16, 0)), word)
     machine.set_output(
         1,
         "C",
-        E.mux(dp.is_lhi(ir1), lhi_value, dp.link_value(dpc1)),
+        E.mux(dp.is_lhi(ir1), lhi_value, dp.link_value(dpc1, word)),
         we=E.bor(dp.is_lhi(ir1), dp.is_link(ir1)),
     )
 
@@ -174,9 +187,12 @@ def build_dlx_machine(
         machine.add_stall_condition(2, busy)
         c_we = E.band(c_we, E.bnot(busy))
     machine.set_output(
-        2, "C", dp.alu_result(ir2, a2, dp.ex_b_operand(ir2, b2)), we=c_we
+        2,
+        "C",
+        dp.alu_result(ir2, a2, dp.ex_b_operand(ir2, b2, word), word),
+        we=c_we,
     )
-    machine.set_output(2, "MAR", E.add(a2, dp.imm16_sext(ir2)))
+    machine.set_output(2, "MAR", E.add(a2, dp.imm16_sext(ir2, word)))
     machine.set_output(2, "MDRw", b2)
 
     # ---- stage 3: MEM -----------------------------------------------------------------
@@ -189,7 +205,7 @@ def build_dlx_machine(
     machine.set_output(3, "MDRr", mem_word)
     machine.set_regfile_write(
         "DMem",
-        data=dp.store_merge(ir3, mem_word, mdrw3, byte_offset),
+        data=dp.store_merge(ir3, mem_word, mdrw3, byte_offset, word),
         we=dp.is_store(ir3),
         wa=word_index,
         compute_stage=3,
@@ -203,7 +219,7 @@ def build_dlx_machine(
     c4 = machine.read("C", 4)
     mdrr4 = machine.read("MDRr", 4)
     mar4 = machine.read("MAR", 4)
-    loaded = dp.shift4load(ir4, mdrr4, E.bits(mar4, 0, 1))
+    loaded = dp.shift4load(ir4, mdrr4, E.bits(mar4, 0, 1), word)
     machine.set_regfile_write(
         "GPR",
         data=E.mux(dp.is_load(ir4), loaded, c4),
@@ -228,8 +244,8 @@ def build_dlx_machine(
                 resolve_stage=3,
                 actual=jisr,
                 repairs={
-                    "DPC.2": E.const(WORD, config.sisr),
-                    "PCP.2": E.const(WORD, config.sisr + 4),
+                    "DPC.2": E.const(word, config.sisr),
+                    "PCP.2": E.const(word, config.sisr + 4),
                     "EDPC.4": machine.read("IPC", 3),
                     "EPCP.4": machine.read("NPC", 3),
                 },

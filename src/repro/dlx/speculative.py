@@ -53,41 +53,46 @@ class DlxSpecConfig:
     imem_addr_width: int = 10
     dmem_addr_width: int = 10
     predictor: str = "not_taken"
+    # Datapath width; the 32-bit instruction encoding (IR, IMem, decode)
+    # is fixed, exactly as for :class:`repro.dlx.prepared.DlxConfig`.
+    word: int = WORD
 
     def __post_init__(self) -> None:
         if self.predictor not in PREDICTORS:
             raise ValueError(
                 f"unknown predictor {self.predictor!r}; use one of {PREDICTORS}"
             )
+        if self.word < 32:
+            raise ValueError("DLX datapath width must be at least 32 bits")
 
 
-def _predicted_npc(predictor: str, pc: E.Expr, word: E.Expr) -> E.Expr:
+def _predicted_npc(
+    predictor: str, pc: E.Expr, insn: E.Expr, word: int = WORD
+) -> E.Expr:
     """The fetch stage's guess for the next PC."""
-    fall_through = E.add(pc, E.const(WORD, 4))
+    fall_through = E.add(pc, E.const(word, 4))
     if predictor == "not_taken":
         return fall_through
-    branch_target = E.add(fall_through, dp.imm16_sext(word))
-    jump_target = E.add(fall_through, dp.imm26_sext(word))
-    backward = E.bit(word, 15)  # sign of imm16
+    branch_target = E.add(fall_through, dp.imm16_sext(insn, word))
+    jump_target = E.add(fall_through, dp.imm26_sext(insn, word))
+    backward = E.bit(insn, 15)  # sign of imm16
     if predictor == "taken":
-        take_branch = dp.is_branch(word)
+        take_branch = dp.is_branch(insn)
     else:  # btfn
-        take_branch = E.band(dp.is_branch(word), backward)
+        take_branch = E.band(dp.is_branch(insn), backward)
     guess = fall_through
     guess = E.mux(take_branch, branch_target, guess)
-    guess = E.mux(dp.is_jump_imm(word), jump_target, guess)
+    guess = E.mux(dp.is_jump_imm(insn), jump_target, guess)
     return guess
 
 
-def _true_npc(ir: E.Expr, pc: E.Expr, a: E.Expr) -> E.Expr:
+def _true_npc(ir: E.Expr, pc: E.Expr, a: E.Expr, word: int = WORD) -> E.Expr:
     """``f^2_TNPC``: the architecturally correct next PC, resolved in EX."""
-    fall_through = E.add(pc, E.const(WORD, 4))
-    branch_target = E.add(fall_through, dp.imm16_sext(ir))
-    jump_target = E.add(fall_through, dp.imm26_sext(ir))
+    fall_through = E.add(pc, E.const(word, 4))
+    branch_target = E.add(fall_through, dp.imm16_sext(ir, word))
+    jump_target = E.add(fall_through, dp.imm26_sext(ir, word))
     result = fall_through
-    result = E.mux(
-        E.band(dp.is_branch(ir), dp.branch_taken(ir, a)), branch_target, result
-    )
+    result = E.mux(dp.branch_decision(ir, a, word), branch_target, result)
     result = E.mux(dp.is_jump_imm(ir), jump_target, result)
     result = E.mux(dp.is_jump_reg(ir), a, result)
     return result
@@ -100,6 +105,7 @@ def build_dlx_spec_machine(
 ) -> PreparedMachine:
     """Build the prepared speculative DLX for a program."""
     config = config or DlxSpecConfig()
+    word = config.word
     imem_size = 1 << config.imem_addr_width
     if len(program) > imem_size:
         raise ValueError("program exceeds instruction memory")
@@ -107,18 +113,18 @@ def build_dlx_spec_machine(
     machine = PreparedMachine("dlx-spec", 5)
 
     # ---- state -----------------------------------------------------------
-    machine.add_register("PC", WORD, first=1, init=0, visible=True)
+    machine.add_register("PC", word, first=1, init=0, visible=True)
     machine.add_register("IR", WORD, first=1, last=4, init=isa.NOP)
-    machine.add_register("PCI", WORD, first=1, last=3)  # own fetch address
-    machine.add_register("A", WORD, first=2)
-    machine.add_register("B", WORD, first=2)
-    machine.add_register("C", WORD, first=2, last=4)
-    machine.add_register("MAR", WORD, first=3, last=4)
-    machine.add_register("MDRw", WORD, first=3)
-    machine.add_register("MDRr", WORD, first=4)
-    machine.add_register("TNPC", WORD, first=3, init=0)
+    machine.add_register("PCI", word, first=1, last=3)  # own fetch address
+    machine.add_register("A", word, first=2)
+    machine.add_register("B", word, first=2)
+    machine.add_register("C", word, first=2, last=4)
+    machine.add_register("MAR", word, first=3, last=4)
+    machine.add_register("MDRw", word, first=3)
+    machine.add_register("MDRr", word, first=4)
+    machine.add_register("TNPC", word, first=3, init=0)
 
-    machine.add_register_file("GPR", addr_width=5, data_width=WORD, write_stage=4)
+    machine.add_register_file("GPR", addr_width=5, data_width=word, write_stage=4)
     machine.add_register_file(
         "IMem",
         addr_width=config.imem_addr_width,
@@ -133,7 +139,7 @@ def build_dlx_spec_machine(
     machine.add_register_file(
         "DMem",
         addr_width=config.dmem_addr_width,
-        data_width=WORD,
+        data_width=word,
         write_stage=3,
         init=dict(data or {}),
     )
@@ -144,7 +150,9 @@ def build_dlx_spec_machine(
     fetched = machine.read_file("IMem", fetch_index)
     machine.set_output(0, "IR", fetched)
     machine.set_output(0, "PCI", pc)
-    machine.set_output(0, "PC", _predicted_npc(config.predictor, pc, fetched))
+    machine.set_output(
+        0, "PC", _predicted_npc(config.predictor, pc, fetched, word)
+    )
 
     # ---- stage 1: ID --------------------------------------------------------------
     ir1 = machine.read("IR", 1)
@@ -154,8 +162,8 @@ def build_dlx_spec_machine(
     machine.set_output(1, "A", a_read)
     machine.set_output(1, "B", b_read)
 
-    lhi_value = E.concat(E.bits(ir1, 0, 15), E.const(16, 0))
-    link_value = E.add(pci1, E.const(WORD, 4))
+    lhi_value = E.zext(E.concat(E.bits(ir1, 0, 15), E.const(16, 0)), word)
+    link_value = E.add(pci1, E.const(word, 4))
     machine.set_output(
         1,
         "C",
@@ -169,11 +177,17 @@ def build_dlx_spec_machine(
     a2 = machine.read("A", 2)
     b2 = machine.read("B", 2)
     machine.set_output(
-        2, "C", dp.alu_result(ir2, a2, dp.ex_b_operand(ir2, b2)), we=dp.is_alu(ir2)
+        2,
+        "C",
+        dp.alu_result(ir2, a2, dp.ex_b_operand(ir2, b2, word), word),
+        we=dp.is_alu(ir2),
     )
-    machine.set_output(2, "MAR", E.add(a2, dp.imm16_sext(ir2)))
+    machine.set_output(2, "MAR", E.add(a2, dp.imm16_sext(ir2, word)))
     machine.set_output(2, "MDRw", b2)
-    machine.set_output(2, "TNPC", _true_npc(ir2, pci2, a2))
+    machine.set_output(2, "TNPC", _true_npc(ir2, pci2, a2, word))
+    # Branch resolution is the sanctioned redirect channel (see the plain
+    # DLX): both outcomes are covered by the scheduling obligations.
+    machine.declassify(2, dp.branch_decision(ir2, a2, word))
 
     # ---- stage 3: MEM --------------------------------------------------------------------
     ir3 = machine.read("IR", 3)
@@ -185,7 +199,7 @@ def build_dlx_spec_machine(
     machine.set_output(3, "MDRr", mem_word)
     machine.set_regfile_write(
         "DMem",
-        data=dp.store_merge(ir3, mem_word, mdrw3, byte_offset),
+        data=dp.store_merge(ir3, mem_word, mdrw3, byte_offset, word),
         we=dp.is_store(ir3),
         wa=word_index,
         compute_stage=3,
@@ -196,7 +210,7 @@ def build_dlx_spec_machine(
     c4 = machine.read("C", 4)
     mdrr4 = machine.read("MDRr", 4)
     mar4 = machine.read("MAR", 4)
-    loaded = dp.shift4load(ir4, mdrr4, E.bits(mar4, 0, 1))
+    loaded = dp.shift4load(ir4, mdrr4, E.bits(mar4, 0, 1), word)
     machine.set_regfile_write(
         "GPR",
         data=E.mux(dp.is_load(ir4), loaded, c4),

@@ -75,7 +75,7 @@ class CoreSpec:
     slow: bool = False  # excluded from the default CLI core set
 
 
-def _toy_machine() -> PreparedMachine:
+def _toy_machine(word: int | None = None) -> PreparedMachine:
     from ..machine import toy
 
     # exercises forwarding (back-to-back adds), the two-producer C chain
@@ -88,35 +88,46 @@ def _toy_machine() -> PreparedMachine:
         toy.ld(1, 3),
         toy.add(2, 1, 1),
     ]
-    return toy.build_toy_machine(program, {12: 99})
+    return toy.build_toy_machine(program, {12: 99}, word=word or toy.WORD)
 
 
-def _dlx_small_machine() -> PreparedMachine:
-    from ..dlx import DlxConfig, build_dlx_machine
+def _dlx_small_machine(word: int | None = None) -> PreparedMachine:
+    from ..dlx import DlxConfig, build_dlx_machine, isa
     from ..dlx.programs import hazard_torture
 
     workload = hazard_torture()
     return build_dlx_machine(
         workload.program,
         data=workload.data,
-        config=DlxConfig(imem_addr_width=6, dmem_addr_width=4),
+        config=DlxConfig(
+            imem_addr_width=6, dmem_addr_width=4, word=word or isa.WORD
+        ),
     )
 
 
-def _dlx_machine() -> PreparedMachine:
-    from ..dlx import build_dlx_machine
+def _dlx_machine(word: int | None = None) -> PreparedMachine:
+    from ..dlx import DlxConfig, build_dlx_machine, isa
     from ..dlx.programs import hazard_torture
 
     workload = hazard_torture(iterations=4)
-    return build_dlx_machine(workload.program, data=workload.data)
+    return build_dlx_machine(
+        workload.program,
+        data=workload.data,
+        config=DlxConfig(word=word or isa.WORD),
+    )
 
 
-def _dlx_spec_machine() -> PreparedMachine:
-    from ..dlx.speculative import build_dlx_spec_machine
+def _dlx_spec_machine(word: int | None = None) -> PreparedMachine:
+    from ..dlx import isa
     from ..dlx.programs import hazard_torture
+    from ..dlx.speculative import DlxSpecConfig, build_dlx_spec_machine
 
     workload = hazard_torture(delay_slots=False)
-    return build_dlx_spec_machine(workload.program, data=workload.data)
+    return build_dlx_spec_machine(
+        workload.program,
+        data=workload.data,
+        config=DlxSpecConfig(word=word or isa.WORD),
+    )
 
 
 CORES: dict[str, CoreSpec] = {

@@ -53,7 +53,10 @@ from .sat import SatResult, Solver
 # 3: grouped discharge over one shared unrolling (repro.formal.shared) —
 # verdict-equivalent by construction, but the cost profile of every
 # invariant obligation changed, so per-obligation entries self-evict.
-ENGINE_VERSION = 3
+# 4: width-parametric family verdicts (repro.analysis) — family-certified
+# obligations may be served from a family cache keyed by width-erased
+# templates, so the universe of entries a fingerprint can alias changed.
+ENGINE_VERSION = 4
 
 
 @dataclass(frozen=True)

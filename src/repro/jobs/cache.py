@@ -131,8 +131,13 @@ class ResultCache:
         fingerprint: str,
         record: DischargeRecord,
         params: Mapping[str, object] | None = None,
+        extra: Mapping[str, object] | None = None,
     ) -> bool:
-        """Persist a verdict; returns False for non-cacheable statuses."""
+        """Persist a verdict; returns False for non-cacheable statuses.
+
+        ``extra`` keys are merged into the payload *under* the checksum —
+        subclasses (the family store) use them for their own metadata.
+        """
         if record.status not in _CACHEABLE:
             return False
         path = self._path(fingerprint)
@@ -151,6 +156,8 @@ class ResultCache:
             "params": dict(params or {}),
             "created": time.time(),
         }
+        if extra:
+            payload.update(extra)
         payload["checksum"] = _entry_checksum(payload)
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=f".{fingerprint[:8]}.", suffix=".tmp"
@@ -319,3 +326,98 @@ class ResultCache:
 
     def snapshot_stats(self) -> dict[str, float]:
         return {**asdict(self.stats), "hit_rate": self.stats.hit_rate}
+
+
+@dataclass
+class FamilyCache(ResultCache):
+    """Width-erased *family* verdicts, under ``.repro-cache/family/``.
+
+    Keys are family fingerprints (digests of width-generic obligation
+    templates, see :mod:`repro.analysis.family`), so one entry serves the
+    obligation at every width the certificate covers.  Each record
+    additionally journals the family metadata — the cutoff (base) width,
+    the sorted list of widths it has actually been served or seeded at,
+    and the core name — all under the content checksum, and all folded
+    back in on the read-modify-write width merge.  Everything else
+    (atomic writes, checksum gauntlet, eviction, gc) is inherited.
+    """
+
+    @property
+    def directory(self) -> Path:
+        return Path(self.root) / "family"
+
+    def _payload(self, fingerprint: str) -> dict | None:
+        """Raw payload of a record that passes the load gauntlet."""
+        if self.get(fingerprint) is None:
+            return None
+        try:
+            with open(self._path(fingerprint)) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):  # pragma: no cover - racing eviction
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def put_family(
+        self,
+        fingerprint: str,
+        record: DischargeRecord,
+        base_width: int,
+        width: int,
+        core: str = "",
+        params: Mapping[str, object] | None = None,
+    ) -> bool:
+        """Store (or widen) a family verdict."""
+        widths = {int(width)}
+        prior = self._payload(fingerprint)
+        if prior is not None:
+            for known in prior.get("widths") or []:
+                if isinstance(known, int):
+                    widths.add(known)
+        return self.put(
+            fingerprint,
+            record,
+            params=params,
+            extra={
+                "base_width": int(base_width),
+                "widths": sorted(widths),
+                "core": core,
+            },
+        )
+
+    def record_width(self, fingerprint: str, width: int) -> bool:
+        """Note that an existing verdict served another width."""
+        payload = self._payload(fingerprint)
+        if payload is None:
+            return False
+        widths = [w for w in payload.get("widths") or [] if isinstance(w, int)]
+        if width in widths:
+            return True
+        record = self.get(fingerprint)
+        if record is None:  # pragma: no cover - racing eviction
+            return False
+        return self.put(
+            fingerprint,
+            record,
+            params=payload.get("params"),
+            extra={
+                "base_width": payload.get("base_width"),
+                "widths": sorted({*widths, int(width)}),
+                "core": payload.get("core", ""),
+            },
+        )
+
+    def width_histogram(self) -> dict[int, int]:
+        """How many family verdicts cover each width (``repro cache stats``)."""
+        histogram: dict[int, int] = {}
+        for path in self.entries():
+            try:
+                with open(path) as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if not isinstance(payload, dict):
+                continue
+            for width in payload.get("widths") or []:
+                if isinstance(width, int):
+                    histogram[width] = histogram.get(width, 0) + 1
+        return dict(sorted(histogram.items()))

@@ -55,7 +55,10 @@ import signal
 import threading
 import time
 from dataclasses import asdict, dataclass, field, replace
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - circular import guard
+    from ..analysis.family import FamilyContext
 
 from ..core.transform import PipelinedMachine
 from ..formal.bmc import TransitionSystem
@@ -125,6 +128,14 @@ class EngineParams:
     # Only active with ``incremental`` (the scratch engine rebuilds by
     # definition).
     share: bool = True
+    # width-family proof reuse (repro.analysis.family): serve obligations
+    # whose family certificate covers this width from the family cache,
+    # and seed freshly proved certified obligations into it.  Only active
+    # when the caller also passes a FamilyContext to discharge_jobs.
+    # Verdict-preserving: every serve re-validates the width-erased
+    # template against the obligation's actual serialization, so — like
+    # ``absint``/``share`` — the flag stays out of ``invariant_params``.
+    family: bool = True
     # crash quarantine: how often a crashed (signalled / vanished) worker
     # is retried, with exponential backoff, before the obligation is
     # recorded as ``crashed``.  Timeouts are never retried (deterministic).
@@ -209,6 +220,9 @@ class JobReport:
     # invariant-mining summary when repro.absint ran (candidate/proven
     # counts, proven invariant names, mining seconds, cache provenance)
     absint: dict | None = None
+    # family-proof summary when a FamilyContext was active (certified /
+    # served / seeded counters, see repro.analysis.family)
+    family: dict | None = None
 
     @property
     def records(self) -> list[DischargeRecord]:
@@ -268,6 +282,7 @@ class JobReport:
             "lint_errors": list(self.lint_errors),
             "taint_errors": list(self.taint_errors),
             "absint": self.absint,
+            "family": self.family,
             "workers": {
                 "count": self.jobs,
                 "crashes": self.crashes,
@@ -307,6 +322,12 @@ class JobReport:
                 f"  absint: {self.absint.get('proven', 0)}/"
                 f"{self.absint.get('candidates', 0)} invariants proven"
                 f" in {self.absint.get('seconds', 0.0):.2f}s{provenance}"
+            )
+        if self.family is not None:
+            lines.append(
+                f"  family: {self.family.get('certified', 0)} certified,"
+                f" {self.family.get('served', 0)} served,"
+                f" {self.family.get('seeded', 0)} seeded"
             )
         for finding in self.lint_errors:
             lines.append(f"  LINT    {finding[:110]}")
@@ -978,6 +999,7 @@ def discharge_jobs(
     lint_gate: bool = True,
     taint_gate: bool = True,
     on_outcome: Callable[[JobOutcome], None] | None = None,
+    family: "FamilyContext | None" = None,
 ) -> JobReport:
     """Discharge an obligation set with caching and a worker pool.
 
@@ -1004,6 +1026,17 @@ def discharge_jobs(
     (:func:`repro.lint.lint_taint`) the same way with method
     ``"taint-gate"``: a design whose speculative state escapes its commit
     guards is wrong regardless of what the per-obligation solvers say.
+
+    ``family`` is an optional :class:`repro.analysis.family.FamilyContext`
+    (active only together with ``params.family``): before anything is
+    fingerprinted or mined, each *raw* obligation whose family certificate
+    covers this width is served from the family cache under its
+    width-erased fingerprint — one stored verdict covers every width of
+    the family — and after the solve, freshly proved certified obligations
+    seed that cache.  Serves re-validate the instantiated template against
+    the obligation's actual serialization, so a certificate can never
+    alias a different obligation.  Trace obligations under a custom
+    stimulus are excluded, exactly as they are from the content cache.
 
     ``on_outcome`` is an optional observer invoked with each
     :class:`JobOutcome` the moment it is final (cache hit, worker
@@ -1103,14 +1136,38 @@ def discharge_jobs(
         machine_name=obligations.machine_name, jobs=jobs, timeout=timeout
     )
     ordered: list[Obligation] = list(obligations)
+    outcome_by_position: dict[int, JobOutcome] = {}
+
+    # -- family serve (repro.analysis.family) ----------------------------------
+    # Before mining or fingerprinting: obligations whose width-erased
+    # template has a cached family verdict are settled outright.  This
+    # must see the *raw* obligations — absint injection changes the
+    # assume sets, and the certificates were erased from the raw cones.
+    family_ctx = family if (family is not None and params.family) else None
+    raw: list[Obligation] = list(ordered)
+    if family_ctx is not None:
+        for position, obligation in enumerate(ordered):
+            if obligation.kind is ObligationKind.TRACE and custom_stimulus:
+                continue  # verdict depends on the callables, like the cache
+            served = family_ctx.lookup(obligation, pipelined, system, params)
+            if served is not None:
+                record, family_fp = served
+                outcome_by_position[position] = emit(
+                    JobOutcome(
+                        record=record, fingerprint=family_fp, source="family"
+                    )
+                )
 
     # -- invariant mining (repro.absint) ---------------------------------------
     # Mine and SAT-prove reachability invariants, then strengthen each
     # induction obligation with the proven facts inside its cone.  Mining
     # results are themselves cached (keyed by the module fingerprint), and
     # the injected assumptions flow into the obligation fingerprints, so
-    # cached verdicts stay sound.
-    if params.absint:
+    # cached verdicts stay sound.  Mining only exists to strengthen
+    # obligations headed to the solver: when the family serve pass settled
+    # every one, there is nothing to inject into and the fixpoint plus its
+    # SAT verification would be the dominant cost of a fully-served run.
+    if params.absint and len(outcome_by_position) < len(ordered):
         from ..absint import InvariantCache, inject_invariants, mine_invariants
 
         invariant_cache = (
@@ -1128,11 +1185,12 @@ def discharge_jobs(
             "seconds": round(mining.seconds, 4),
             "from_cache": mining.from_cache,
         }
-    outcome_by_position: dict[int, JobOutcome] = {}
     solver_tasks: list[_SolverTask] = []
     inline_trace: list[tuple[int, Obligation, str | None]] = []
 
     for position, obligation in enumerate(ordered):
+        if position in outcome_by_position:
+            continue  # already served from the family cache
         if obligation.kind is ObligationKind.TRACE:
             fingerprint = None
             if cache is not None and not custom_stimulus:
@@ -1302,6 +1360,21 @@ def discharge_jobs(
                 cache.put(
                     outcome.fingerprint, outcome.record, params=asdict(params)
                 )
+
+    # -- seed the family cache with certified fresh verdicts -------------------
+    # Content-cache hits seed too: a content-warm run teaches the family
+    # store without touching a solver.  Seeding validates against the raw
+    # obligation (the certificates' view); put_family rejects
+    # non-cacheable statuses itself.
+    if family_ctx is not None:
+        for position, outcome in outcome_by_position.items():
+            if outcome.source not in ("worker", "group", "inline", "cache"):
+                continue
+            obligation = raw[position]
+            if obligation.kind is ObligationKind.TRACE and custom_stimulus:
+                continue
+            family_ctx.seed(obligation, pipelined, system, params, outcome.record)
+        report.family = family_ctx.counters()
 
     # obligation-id order, not completion order: report diffs and
     # --profile tables stay stable across scheduling modes and runs

@@ -26,6 +26,7 @@ from .registry import (
     lint_pipeline,
     rule_table,
 )
+from .family import lint_family
 from .render import render, render_json, render_sarif, render_text
 from .semantic import lint_semantic
 from .taint import PolicyVerdict, TaintAnalysis, lint_taint, taint_verdicts
@@ -38,6 +39,7 @@ __all__ = [
     "PolicyVerdict",
     "Severity",
     "TaintAnalysis",
+    "lint_family",
     "lint_machine",
     "lint_module",
     "lint_pipeline",

@@ -1,0 +1,107 @@
+"""Width-parametricity lint: surface family-certificate verdicts.
+
+The analysis in :mod:`repro.analysis.family` decides, per proof
+obligation, whether one discharged verdict covers the whole datapath
+width family.  Two of its outcomes deserve the lint machinery (severity
+overrides, waivers, SARIF rendering) rather than a bare report:
+
+* ``family.entangled-control`` — an invariant whose *entire* cone of
+  influence is width-invariant control state (no register in its support
+  scales with the datapath) still typed entangled.  With nothing scaled
+  in sight there is no honest way for the width to matter: the pairing
+  broke, a declared scheduling oracle stopped aliasing its netlist node,
+  or control genuinely reads data through an unsanctioned channel.  This
+  is an error — certified coverage silently collapses.
+* ``family.width-cutoff`` — informational: the family's certified
+  obligations were discharged once at the cutoff width ``w0`` and their
+  verdicts cover every member width ``>= w0`` (the HADES small-model
+  argument).  Widths *below* the cutoff fall back to direct discharge.
+
+Like :mod:`.taint` and :mod:`.semantic`, this pass is not part of the
+default module/machine pass lists — call :func:`lint_family` explicitly
+(``repro family --check`` and the CI family job do).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .diagnostics import LintConfig, LintResult, Severity
+from .registry import MachineContext, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis.family import FamilyAnalysis
+
+register_rule(
+    "family.entangled-control",
+    "pure-control obligation typed width-entangled",
+    Severity.ERROR,
+    target="machine",
+    description="an invariant whose cone of influence contains no"
+    " width-scaled state still typed entangled; the paired bisimulation"
+    " broke or control observes datapath values through an unsanctioned"
+    " channel, and the obligation must be re-proved at every width",
+)
+register_rule(
+    "family.width-cutoff",
+    "family verdicts certified at the cutoff width",
+    Severity.INFO,
+    target="machine",
+    description="certified obligations were discharged once at the"
+    " family's cutoff width w0; the cached family verdicts serve every"
+    " member width >= w0, smaller widths are discharged directly",
+)
+
+
+def lint_family(
+    analysis: "FamilyAnalysis", config: LintConfig | None = None
+) -> LintResult:
+    """Render one family analysis through the lint registry.
+
+    ``analysis`` is the output of
+    :func:`repro.analysis.family.analyze_family`; the diagnostics attach
+    to the base-width instance's module.
+    """
+    config = config or LintConfig()
+    result = LintResult()
+    pipelined = analysis.base
+    context = MachineContext(
+        config=config,
+        result=result,
+        module_name=pipelined.module.name,
+        ignores=getattr(pipelined.module, "lint_ignores", {}),
+        machine=pipelined.machine,
+        pipelined=pipelined,
+    )
+    for certificate in analysis.certificates.values():
+        if certificate.certified or certificate.kind != "invariant":
+            continue
+        if certificate.counts.get("scaled_support") != 0:
+            continue
+        if "entangled" not in certificate.reason:
+            continue
+        context.emit(
+            "family.entangled-control",
+            f"obligation:{certificate.oid}",
+            f"invariant {certificate.oid} reads only width-invariant"
+            f" control state yet typed entangled"
+            f" ({certificate.entangled_nodes} entangled node pair(s));"
+            " the width family cannot share its verdict",
+            oid=certificate.oid,
+            entangled_nodes=certificate.entangled_nodes,
+        )
+    certified = analysis.certified()
+    if certified:
+        spec = analysis.spec
+        context.emit(
+            "family.width-cutoff",
+            f"family:{spec.name}",
+            f"{len(certified)} of {len(analysis.certificates)} obligations"
+            f" certified width-parametric at cutoff w0={spec.base_width};"
+            f" cached verdicts cover every width >= {spec.base_width}"
+            f" (members: {', '.join(str(w) for w in spec.widths)})",
+            certified=len(certified),
+            total=len(analysis.certificates),
+            cutoff_width=spec.base_width,
+        )
+    return result

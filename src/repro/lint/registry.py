@@ -62,7 +62,7 @@ def register_rule(
 def rule_table() -> dict[str, LintRule]:
     """All registered rules, keyed by id (imports the pass families so
     the table is complete no matter what was imported first)."""
-    from . import hazards, semantic, structural, taint  # noqa: F401  (registration)
+    from . import family, hazards, semantic, structural, taint  # noqa: F401  (registration)
 
     return dict(_RULES)
 

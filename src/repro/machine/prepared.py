@@ -261,6 +261,12 @@ class PreparedMachine:
         # Designer-supplied information-flow labels on top of the derived
         # classes (register name -> state classes); see state_classes().
         self.state_labels: dict[str, set[str]] = {}
+        # Designer-sanctioned scheduling oracles (stage, 1-bit decision):
+        # redirect/squash decisions whose *outcome* the scheduling
+        # obligations quantify over, so the width-parametricity analysis
+        # may treat them as width-generic even when the compared datapath
+        # values are not.  See repro.analysis.family.
+        self.oracles: list[tuple[int, E.Expr]] = []
 
     # -- declarations ---------------------------------------------------------
 
@@ -555,6 +561,22 @@ class PreparedMachine:
         """Declare that stage ``stage`` has an external stall input ``ext_k``."""
         self._check_stage(stage)
         self.external_stalls.add(stage)
+
+    def declassify(self, stage: int, expr: E.Expr) -> None:
+        """Declare a 1-bit scheduling oracle evaluated in ``stage``.
+
+        ``expr`` must be a redirect/squash decision (branch taken,
+        prediction mismatch, ...) whose two outcomes the scheduling
+        obligations both cover: the stall engine is correct whichever way
+        the decision goes.  The width-parametricity analysis may then
+        treat the decision bit as width-generic even though the compared
+        datapath values are not; :func:`repro.analysis.family.crosscheck_family`
+        audits the declaration empirically.
+        """
+        self._check_stage(stage)
+        if expr.width != 1:
+            raise MachineSpecError("declassified oracles must be 1-bit decisions")
+        self.oracles.append((stage, expr))
 
     def add_latency_counter(self, name: str, stage: int, width: int) -> E.Expr:
         """Declare a cycle counter for multi-cycle operations in ``stage``

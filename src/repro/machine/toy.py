@@ -73,20 +73,31 @@ def ld(dst: int, src1: int) -> int:
 def build_toy_machine(
     program: list[int],
     dmem: dict[int, int] | None = None,
+    word: int = WORD,
 ) -> PreparedMachine:
-    """Build the prepared sequential toy machine for a program."""
+    """Build the prepared sequential toy machine for a program.
+
+    ``word`` is the datapath width (register file, data memory and the
+    A/B/C pipeline registers).  The instruction encoding — and with it IR,
+    the opcode pipeline and the program counter — is fixed at 8 bits, so
+    the members of the ``word``-indexed family differ *only* in datapath
+    width: the control cone is shared verbatim, which is what the
+    width-parametricity analysis (:mod:`repro.analysis`) certifies.
+    """
     if len(program) > IMEM_SIZE:
         raise ValueError(f"program too long ({len(program)} > {IMEM_SIZE})")
+    if word < 4:
+        raise ValueError("toy datapath width must cover the 4-bit immediates")
     machine = PreparedMachine("toy", 4)
 
     machine.add_register("PC", PC_WIDTH, first=1, visible=True)
     machine.add_register("IR", WORD, first=1, init=nop())
     machine.add_register("OP", 2, first=2, last=3, init=OP_NOP)
-    machine.add_register("A", WORD, first=2, last=3)
-    machine.add_register("B", WORD, first=2)
-    machine.add_register("C", WORD, first=2, last=3)
+    machine.add_register("A", word, first=2, last=3)
+    machine.add_register("B", word, first=2)
+    machine.add_register("C", word, first=2, last=3)
 
-    rf = machine.add_register_file("RF", addr_width=2, data_width=WORD, write_stage=3)
+    rf = machine.add_register_file("RF", addr_width=2, data_width=word, write_stage=3)
     machine.add_register_file(
         "IMem",
         addr_width=PC_WIDTH,
@@ -101,7 +112,7 @@ def build_toy_machine(
     machine.add_register_file(
         "DM",
         addr_width=4,
-        data_width=WORD,
+        data_width=word,
         write_stage=0,
         init=dict(dmem or {}),
         read_only=True,
@@ -118,7 +129,7 @@ def build_toy_machine(
     dst = E.bits(ir, 4, 5)
     src1 = E.bits(ir, 2, 3)
     src2 = E.bits(ir, 0, 1)
-    imm = E.zext(E.bits(ir, 0, 3), WORD)
+    imm = E.zext(E.bits(ir, 0, 3), word)
     is_li = E.eq(op, E.const(2, OP_LI))
     writes_rf = E.ne(op, E.const(2, OP_NOP))
 
@@ -156,7 +167,10 @@ def build_toy_machine(
 
 
 def reference_execution(
-    program: list[int], dmem: dict[int, int] | None = None, max_steps: int = 10_000
+    program: list[int],
+    dmem: dict[int, int] | None = None,
+    max_steps: int = 10_000,
+    word: int = WORD,
 ) -> tuple[list[int], list[tuple[int, int]]]:
     """ISA-level reference: returns (final RF contents, write sequence).
 
@@ -171,15 +185,15 @@ def reference_execution(
     pc = 0
     steps = 0
     while pc < len(program) and steps < max_steps:
-        word = program[pc]
-        op = (word >> 6) & 3
-        dst = (word >> 4) & 3
-        src1 = (word >> 2) & 3
-        src2 = word & 3
+        insn = program[pc]
+        op = (insn >> 6) & 3
+        dst = (insn >> 4) & 3
+        src1 = (insn >> 2) & 3
+        src2 = insn & 3
         pc = (pc + 1) % IMEM_SIZE
         steps += 1
         if op == OP_ADD:
-            rf[dst] = (rf[src1] + rf[src2]) % 256
+            rf[dst] = (rf[src1] + rf[src2]) % (1 << word)
             writes.append((dst, rf[dst]))
         elif op == OP_LI:
             rf[dst] = (src1 << 2) | src2

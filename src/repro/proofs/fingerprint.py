@@ -104,14 +104,20 @@ def fingerprint_exprs(
     return _digest(lines)
 
 
-def fingerprint_invariant(
+def invariant_lines(
     system: "TransitionSystem",
     prop: E.Expr,
     assume: Iterable[E.Expr] = (),
     params: Mapping[str, object] | None = None,
-) -> str:
-    """Fingerprint an invariant obligation: property + assumptions + the
-    cone-of-influence slice of the transition system + engine parameters."""
+) -> list[str]:
+    """The canonical serialization an invariant fingerprint digests.
+
+    Public because the width-parametricity analysis
+    (:mod:`repro.analysis.family`) diffs these lines across two family
+    instances to erase a width-generic template; the digest and the
+    template must agree on what "the obligation" is, so both read the
+    same serialization.
+    """
     assume = list(assume)
     support = sorted(system.cone_of_influence([prop, *assume]))
     roots: list[E.Expr] = [prop, *assume]
@@ -129,17 +135,49 @@ def fingerprint_invariant(
     for mem in sorted(mems_in_cone & system.constant_mems):
         lines.append(f"rom:{mem}")
     lines.extend(_params_lines(params))
-    return _digest(lines)
+    return lines
+
+
+def fingerprint_invariant(
+    system: "TransitionSystem",
+    prop: E.Expr,
+    assume: Iterable[E.Expr] = (),
+    params: Mapping[str, object] | None = None,
+) -> str:
+    """Fingerprint an invariant obligation: property + assumptions + the
+    cone-of-influence slice of the transition system + engine parameters."""
+    return _digest(invariant_lines(system, prop, assume, params))
+
+
+def equivalence_lines(
+    a: E.Expr, b: E.Expr, params: Mapping[str, object] | None = None
+) -> list[str]:
+    """The canonical serialization an equivalence fingerprint digests."""
+    lines, index = _serialize_nodes([a, b])
+    lines.append(f"equiv:{index[id(a)]},{index[id(b)]}")
+    lines.extend(_params_lines(params))
+    return lines
 
 
 def fingerprint_equivalence(
     a: E.Expr, b: E.Expr, params: Mapping[str, object] | None = None
 ) -> str:
     """Fingerprint an equivalence obligation over two combinational DAGs."""
-    lines, index = _serialize_nodes([a, b])
-    lines.append(f"equiv:{index[id(a)]},{index[id(b)]}")
+    return _digest(equivalence_lines(a, b, params))
+
+
+def trace_lines(
+    module: Module, checker: str, params: Mapping[str, object] | None = None
+) -> list[str]:
+    """The *flat* serialization of a trace obligation: checker name, the
+    full module lines and the run parameters.  Unlike
+    :func:`fingerprint_trace` (which nests the module digest) the module
+    lines appear verbatim, so the family analysis can lockstep-diff two
+    instances line by line."""
+    lines = [f"trace:{checker}"]
+    lines.extend(module_lines(module))
     lines.extend(_params_lines(params))
-    return _digest(lines)
+    return lines
 
 
 def fingerprint_trace(
@@ -153,9 +191,8 @@ def fingerprint_trace(
     return _digest(lines)
 
 
-def fingerprint_module(module: Module) -> str:
-    """Fingerprint a whole module (used for trace obligations, whose verdict
-    depends on the entire simulated netlist, not a property cone)."""
+def module_lines(module: Module) -> list[str]:
+    """The canonical serialization a module fingerprint digests."""
     roots = module.roots()
     lines, index = _serialize_nodes(roots)
     lines.append(f"module:{module.name}")
@@ -178,4 +215,10 @@ def fingerprint_module(module: Module) -> str:
             )
     for name in sorted(module.probes):
         lines.append(f"probe:{name}:{index[id(module.probes[name])]}")
-    return _digest(lines)
+    return lines
+
+
+def fingerprint_module(module: Module) -> str:
+    """Fingerprint a whole module (used for trace obligations, whose verdict
+    depends on the entire simulated netlist, not a property cone)."""
+    return _digest(module_lines(module))

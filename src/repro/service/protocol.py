@@ -49,6 +49,7 @@ PARAM_KEYS = (
     "absint",
     "share",
     "lanes",
+    "family",
 )
 
 #: the subset of PARAM_KEYS that can change a verdict; only these (plus
@@ -84,7 +85,12 @@ def canonical_machine_spec(spec: object) -> dict:
             raise BadRequest(
                 f"unknown core {core!r}; available: {', '.join(sorted(CORES))}"
             )
-        return {"core": core}
+        width = spec.get("width")
+        if width is None:
+            return {"core": core}
+        if not isinstance(width, int) or not 4 <= width <= 128:
+            raise BadRequest("machine.width must be an int in [4, 128]")
+        return {"core": core, "width": width}
     if "program" in spec:
         program = spec["program"]
         if not isinstance(program, str) or not program.strip():
@@ -121,7 +127,9 @@ def resolve_params(
         if key not in overrides:
             continue
         value = overrides[key]
-        expect_bool = key in ("incremental", "sweep_frames", "ladder", "absint", "share")
+        expect_bool = key in (
+            "incremental", "sweep_frames", "ladder", "absint", "share", "family"
+        )
         if expect_bool:
             if not isinstance(value, bool):
                 raise BadRequest(f"params.{key} must be a boolean")
@@ -162,7 +170,9 @@ def job_key(machine_spec: dict, params: EngineParams) -> str:
 
 def machine_label(machine_spec: dict) -> str:
     if "core" in machine_spec:
-        return machine_spec["core"]
+        width = machine_spec.get("width")
+        suffix = f"@{width}" if width is not None else ""
+        return f"{machine_spec['core']}{suffix}"
     return f"program[{len(machine_spec['program'])}B]"
 
 
@@ -172,7 +182,13 @@ def build_pipelined(machine_spec: dict) -> PipelinedMachine:
     if "core" in machine_spec:
         from ..faults.catalog import CORES
 
-        return transform(CORES[machine_spec["core"]].build_machine())
+        builder = CORES[machine_spec["core"]].build_machine
+        width = machine_spec.get("width")
+        try:
+            machine = builder() if width is None else builder(word=width)
+        except ValueError as exc:
+            raise BadRequest(f"machine.width: {exc}")
+        return transform(machine)
     from ..core import TransformOptions
     from ..dlx import DlxConfig, assemble, build_dlx_machine
 

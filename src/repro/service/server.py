@@ -48,7 +48,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-from ..jobs.cache import ResultCache
+from ..jobs.cache import FamilyCache, ResultCache
 from ..jobs.engine import EngineParams, JobReport, discharge_jobs
 from ..proofs import generate_obligations
 from . import protocol
@@ -174,6 +174,7 @@ class DischargeService:
         self.cache = (
             ResultCache(self.root / "cache") if self.config.use_cache else None
         )
+        self._family_store: FamilyCache | None = None
         self.journal = Journal(
             self.root / DEFAULT_JOURNAL, fsync=self.config.fsync_journal
         )
@@ -381,6 +382,29 @@ class DischargeService:
                 return
             await self._execute(job)
 
+    def _family_context(self, job: Job):
+        """Width-family serve/seed context for catalog-core requests.
+
+        The per-core analysis is memoised process-wide (pure in core and
+        params), so only the first request of a family pays for it; the
+        family verdict store shares the cache root."""
+        if self.cache is None or not job.params.family:
+            return None
+        core = job.machine_spec.get("core")
+        if core is None:
+            return None
+        from ..analysis.family import FAMILIES, family_context
+
+        spec = FAMILIES.get(core)
+        if spec is None:
+            return None
+        width = job.machine_spec.get("width", spec.base_width)
+        if self._family_store is None:
+            self._family_store = FamilyCache(self.root / "cache")
+        return family_context(
+            core, width=width, cache=self._family_store, params=job.params
+        )
+
     def _run_discharge(self, job: Job, on_outcome) -> JobReport:
         pipelined = protocol.build_pipelined(job.machine_spec)
         obligations = generate_obligations(pipelined)
@@ -391,6 +415,7 @@ class DischargeService:
             jobs=self.config.engine_jobs,
             timeout=self.config.obligation_timeout,
             cache=self.cache,
+            family=self._family_context(job),
             on_outcome=on_outcome,
         )
 
